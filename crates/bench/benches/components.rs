@@ -1,0 +1,116 @@
+//! Micro-benchmarks of the simulator's hot substrate paths: these are
+//! the inner loops that determine how many simulated instructions per
+//! second the reproduction achieves.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vsv_isa::{Addr, BranchKind, InstStream, Pc};
+use vsv_mem::{AccessKind, Bus, BusConfig, Cache, CacheConfig, EventQueue, Hierarchy, HierarchyConfig, MshrFile};
+use vsv_uarch::{BranchPredictor, BranchPredictorConfig};
+use vsv_workloads::{twin, Generator, XorShift64};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.bench_function("l1_access_hit", |b| {
+        let mut cache = Cache::new(CacheConfig::l1_baseline());
+        cache.fill(Addr(0x40));
+        b.iter(|| black_box(cache.access(black_box(Addr(0x40)), false)));
+    });
+    g.bench_function("l1_fill_evict", |b| {
+        let mut cache = Cache::new(CacheConfig::l1_baseline());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 32;
+            black_box(cache.fill(black_box(Addr(i * 32))))
+        });
+    });
+    g.finish();
+}
+
+fn bench_mshr_and_bus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mshr-bus");
+    g.bench_function("mshr_allocate_complete", |b| {
+        let mut m = MshrFile::new(64, 16);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let a = Addr((i % 64) * 64);
+            m.allocate(a, i, true);
+            black_box(m.complete(a))
+        });
+    });
+    g.bench_function("bus_schedule", |b| {
+        let mut bus = Bus::new(BusConfig::baseline());
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 10;
+            black_box(bus.schedule(now, 64))
+        });
+    });
+    g.bench_function("event_queue_push_pop", |b| {
+        let mut q = EventQueue::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            q.push(t + 5, t);
+            black_box(q.pop_ready(t))
+        });
+    });
+    g.finish();
+}
+
+fn bench_bpred(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bpred");
+    g.bench_function("predict_update", |b| {
+        let mut bp = BranchPredictor::new(BranchPredictorConfig::baseline());
+        let mut pc = 0u64;
+        b.iter(|| {
+            pc = (pc + 4) % 8192;
+            let p = bp.predict(Pc(pc), BranchKind::Conditional);
+            bp.update(Pc(pc), BranchKind::Conditional, pc % 8 < 4, Pc(pc + 8));
+            black_box(p)
+        });
+    });
+    g.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.bench_function("xorshift", |b| {
+        let mut r = XorShift64::new(1);
+        b.iter(|| black_box(r.next_u64()));
+    });
+    g.bench_function("generator_next_inst", |b| {
+        let mut gen = Generator::new(twin("applu").expect("twin exists"));
+        b.iter(|| black_box(gen.next_inst()));
+    });
+    g.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hierarchy");
+    g.bench_function("l1_hit_path", |b| {
+        let mut mem = Hierarchy::new(HierarchyConfig::baseline());
+        // Warm one block.
+        let _ = mem.access_data(0, Addr(0x40), AccessKind::Read);
+        for t in 0..300 {
+            mem.tick(t);
+        }
+        let _ = mem.drain_completions();
+        let mut now = 300u64;
+        b.iter(|| {
+            now += 1;
+            black_box(mem.access_data(now, Addr(0x40), AccessKind::Read))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_mshr_and_bus,
+    bench_bpred,
+    bench_workload,
+    bench_hierarchy
+);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Regenerates **Figure 4** of the paper: VSV's performance
+//! degradation (top) and total CPU power savings (bottom), with and
+//! without the FSMs, for all 26 SPEC2K twins sorted by decreasing MR.
+//!
+//! Usage: `cargo run --release -p vsv-bench --bin figure4`
+//! Scale via `VSV_INSTS` / `VSV_WARMUP`.
+
+use vsv::{mean_comparison, Comparison, SystemConfig};
+use vsv_bench::{experiment_from_env, rule, run_parallel, CsvSink};
+use vsv_workloads::spec2k_twins;
+
+fn main() {
+    let e = experiment_from_env();
+    println!(
+        "Figure 4: VSV with vs. without the FSMs ({} insts measured)",
+        e.instructions
+    );
+    println!(
+        "{:<10} {:>6} | {:>11} {:>11} | {:>11} {:>11}",
+        "bench", "MR", "perf% noFSM", "perf% FSM", "power% noFSM", "power% FSM"
+    );
+    rule(72);
+
+    // Run every twin under baseline / VSV-no-FSM / VSV-FSM.
+    let mut rows = run_parallel(spec2k_twins(), |params| {
+        let base = e.run(params, SystemConfig::baseline());
+        let no_fsm = e.run(params, SystemConfig::vsv_without_fsms());
+        let fsm = e.run(params, SystemConfig::vsv_with_fsms());
+        let c_no = Comparison::of(&base, &no_fsm);
+        let c_fsm = Comparison::of(&base, &fsm);
+        (params.name, base.mpki, c_no, c_fsm)
+    });
+    // The paper sorts benchmarks by decreasing MR.
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("MR is finite"));
+    let mut csv = CsvSink::from_env("figure4");
+    csv.row(&["bench", "mr", "perf_nofsm", "perf_fsm", "power_nofsm", "power_fsm"]);
+    for (name, mr, c_no, c_fsm) in &rows {
+        csv.row(&[
+            name,
+            &format!("{mr:.2}"),
+            &format!("{:.2}", c_no.perf_degradation_pct),
+            &format!("{:.2}", c_fsm.perf_degradation_pct),
+            &format!("{:.2}", c_no.power_saving_pct),
+            &format!("{:.2}", c_fsm.power_saving_pct),
+        ]);
+        println!(
+            "{:<10} {:>6.1} | {:>11.1} {:>11.1} | {:>11.1} {:>11.1}",
+            name,
+            mr,
+            c_no.perf_degradation_pct,
+            c_fsm.perf_degradation_pct,
+            c_no.power_saving_pct,
+            c_fsm.power_saving_pct
+        );
+    }
+    if let Some(path) = csv.path() {
+        println!("(csv written to {})", path.display());
+    }
+    if let Some(dir) = std::env::var_os("VSV_SVG_DIR") {
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("create VSV_SVG_DIR");
+        let cats: Vec<(&str, f64, f64)> = rows
+            .iter()
+            .map(|(n, _, c_no, c_fsm)| (*n, c_no.power_saving_pct, c_fsm.power_saving_pct))
+            .collect();
+        let power = vsv_viz::GroupedBarChart::new("CPU power savings (%) — Figure 4 bottom")
+            .series("without FSMs", &cats.iter().map(|(n, a, _)| (*n, *a)).collect::<Vec<_>>())
+            .series("with FSMs", &cats.iter().map(|(n, _, b)| (*n, *b)).collect::<Vec<_>>())
+            .render();
+        let perf_rows: Vec<(&str, f64, f64)> = rows
+            .iter()
+            .map(|(n, _, c_no, c_fsm)| (*n, c_no.perf_degradation_pct, c_fsm.perf_degradation_pct))
+            .collect();
+        let perf = vsv_viz::GroupedBarChart::new("performance degradation (%) — Figure 4 top")
+            .series("without FSMs", &perf_rows.iter().map(|(n, a, _)| (*n, *a)).collect::<Vec<_>>())
+            .series("with FSMs", &perf_rows.iter().map(|(n, _, b)| (*n, *b)).collect::<Vec<_>>())
+            .render();
+        std::fs::write(dir.join("figure4_power.svg"), power).expect("write svg");
+        std::fs::write(dir.join("figure4_perf.svg"), perf).expect("write svg");
+        println!("(svg written to {}/figure4_*.svg)", dir.display());
+    }
+    rule(72);
+
+    let high: Vec<_> = rows.iter().filter(|r| r.1 > 4.0).collect();
+    let no_fsm_high = mean_comparison(&high.iter().map(|r| r.2).collect::<Vec<_>>());
+    let fsm_high = mean_comparison(&high.iter().map(|r| r.3).collect::<Vec<_>>());
+    let fsm_all = mean_comparison(&rows.iter().map(|r| r.3).collect::<Vec<_>>());
+    let no_fsm_all = mean_comparison(&rows.iter().map(|r| r.2).collect::<Vec<_>>());
+    println!(
+        "high-MR (>4) means : noFSM {:.1}% perf / {:.1}% power ; FSM {:.1}% perf / {:.1}% power",
+        no_fsm_high.perf_degradation_pct,
+        no_fsm_high.power_saving_pct,
+        fsm_high.perf_degradation_pct,
+        fsm_high.power_saving_pct
+    );
+    println!(
+        "all-suite means    : noFSM {:.1}% perf / {:.1}% power ; FSM {:.1}% perf / {:.1}% power",
+        no_fsm_all.perf_degradation_pct,
+        no_fsm_all.power_saving_pct,
+        fsm_all.perf_degradation_pct,
+        fsm_all.power_saving_pct
+    );
+    println!(
+        "paper (Fig.4/§6.1) : noFSM ~12% perf / ~33% power (high-MR); \
+         FSM ~2% perf / ~21% power (high-MR), ~1% / ~7% (all)"
+    );
+}

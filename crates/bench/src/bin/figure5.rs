@@ -1,0 +1,64 @@
+//! Regenerates **Figure 5** of the paper: the effect of the
+//! high-to-low monitoring threshold (0 / 1 / 3 / 5 zero-issue cycles,
+//! 10-cycle window) on the high-MR benchmarks. The up-FSM is fixed at
+//! 3/10, as in §6.2.
+//!
+//! Usage: `cargo run --release -p vsv-bench --bin figure5`
+
+use vsv::{Comparison, DownPolicy, SystemConfig, UpPolicy};
+use vsv_bench::{experiment_from_env, rule};
+use vsv_workloads::{high_mr_names, twin};
+
+fn main() {
+    let e = experiment_from_env();
+    let thresholds = [0u32, 1, 3, 5];
+    println!(
+        "Figure 5: down-FSM threshold sweep on high-MR twins ({} insts)",
+        e.instructions
+    );
+    println!(
+        "{:<10} | {:>22} | {:>22}",
+        "bench", "perf degradation %", "power saving %"
+    );
+    println!(
+        "{:<10} | {:>4} {:>5} {:>5} {:>5} | {:>4} {:>5} {:>5} {:>5}",
+        "", "t=0", "t=1", "t=3", "t=5", "t=0", "t=1", "t=3", "t=5"
+    );
+    rule(64);
+    for name in high_mr_names() {
+        let params = twin(name).expect("high-MR name is in the suite");
+        let base = e.run(&params, SystemConfig::baseline());
+        let mut perf = Vec::new();
+        let mut power = Vec::new();
+        for &t in &thresholds {
+            let mut cfg = SystemConfig::vsv_with_fsms();
+            cfg.vsv.down = if t == 0 {
+                // Threshold 0: no down monitoring (transition on the
+                // detection event itself).
+                DownPolicy::Immediate
+            } else {
+                DownPolicy::Monitor {
+                    threshold: t,
+                    period: 10,
+                }
+            };
+            cfg.vsv.up = UpPolicy::Monitor {
+                threshold: 3,
+                period: 10,
+            };
+            let run = e.run(&params, cfg);
+            let c = Comparison::of(&base, &run);
+            perf.push(c.perf_degradation_pct);
+            power.push(c.power_saving_pct);
+        }
+        println!(
+            "{:<10} | {:>4.1} {:>5.1} {:>5.1} {:>5.1} | {:>4.1} {:>5.1} {:>5.1} {:>5.1}",
+            name, perf[0], perf[1], perf[2], perf[3], power[0], power[1], power[2], power[3]
+        );
+    }
+    rule(64);
+    println!(
+        "paper shape: low thresholds save more power but degrade more;\n\
+         threshold 3 is the best trade-off (degradation <5%, most of the power)."
+    );
+}

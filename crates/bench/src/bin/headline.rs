@@ -1,0 +1,58 @@
+//! Reproduces the paper's **headline numbers** (abstract / §6.1 /
+//! §6.4):
+//!
+//! * 20.7 % average power saving at 2.0 % degradation for high-MR
+//!   benchmarks (VSV with FSMs, no Time-Keeping);
+//! * 7.0 % / 0.9 % averaged over the whole suite;
+//! * 12.1 % / 2.1 % (high-MR) and 4.1 % / 0.9 % (suite) with
+//!   Time-Keeping on both baseline and VSV.
+//!
+//! Usage: `cargo run --release -p vsv-bench --bin headline`
+
+use vsv::{mean_comparison, Comparison, SystemConfig};
+use vsv_bench::{experiment_from_env, rule, run_parallel};
+use vsv_workloads::spec2k_twins;
+
+fn main() {
+    let e = experiment_from_env();
+    let mut plain = Vec::new();
+    let mut plain_high = Vec::new();
+    let mut tk = Vec::new();
+    let mut tk_high = Vec::new();
+    let runs = run_parallel(spec2k_twins(), |params| {
+        let base = e.run(params, SystemConfig::baseline());
+        let vsv = e.run(params, SystemConfig::vsv_with_fsms());
+        let c = Comparison::of(&base, &vsv);
+        let base_tk = e.run(params, SystemConfig::baseline().with_timekeeping(true));
+        let vsv_tk = e.run(params, SystemConfig::vsv_with_fsms().with_timekeeping(true));
+        let ct = Comparison::of(&base_tk, &vsv_tk);
+        (base.mpki, c, ct)
+    });
+    for (mpki, c, ct) in runs {
+        plain.push(c);
+        tk.push(ct);
+        if mpki > 4.0 {
+            plain_high.push(c);
+            tk_high.push(ct);
+        }
+    }
+    let rows = [
+        ("VSV (FSMs), high-MR", mean_comparison(&plain_high), 20.7, 2.0),
+        ("VSV (FSMs), all", mean_comparison(&plain), 7.0, 0.9),
+        ("VSV + TimeKeeping, high-MR", mean_comparison(&tk_high), 12.1, 2.1),
+        ("VSV + TimeKeeping, all", mean_comparison(&tk), 4.1, 0.9),
+    ];
+    println!("Headline reproduction ({} insts measured per run)", e.instructions);
+    println!(
+        "{:<28} {:>10} {:>10} | {:>10} {:>10}",
+        "configuration", "power%", "paper", "perf%", "paper"
+    );
+    rule(76);
+    for (label, got, paper_power, paper_perf) in rows {
+        println!(
+            "{:<28} {:>10.1} {:>10.1} | {:>10.1} {:>10.1}",
+            label, got.power_saving_pct, paper_power, got.perf_degradation_pct, paper_perf
+        );
+    }
+    rule(76);
+}

@@ -1,0 +1,53 @@
+//! Regenerates **Table 2** of the paper: baseline IPC and L2 demand
+//! misses per 1000 instructions (MR), with and without Time-Keeping
+//! prefetching, for all 26 SPEC2K twins.
+//!
+//! Usage: `cargo run --release -p vsv-bench --bin table2`
+//! Scale via `VSV_INSTS` / `VSV_WARMUP`.
+
+use vsv::SystemConfig;
+use vsv_bench::{experiment_from_env, rule, run_parallel, CsvSink};
+use vsv_workloads::{spec2k_twins, table2_reference};
+
+fn main() {
+    let e = experiment_from_env();
+    println!(
+        "Table 2: baseline statistics ({} insts measured, {} warm-up)",
+        e.instructions, e.warmup_instructions
+    );
+    println!(
+        "{:<10} {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
+        "bench", "IPC", "IPC*", "MR", "MR*", "MR(TK)", "MR(TK)*"
+    );
+    println!("{:<10} {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}", "", "(sim)", "(paper)", "(sim)", "(paper)", "(sim)", "(paper)");
+    rule(72);
+    let refs = table2_reference();
+    let mut csv = CsvSink::from_env("table2");
+    csv.row(&["bench", "ipc", "ipc_paper", "mr", "mr_paper", "mr_tk", "mr_tk_paper"]);
+    let runs = run_parallel(spec2k_twins(), |params| {
+        (
+            e.run(params, SystemConfig::baseline()),
+            e.run(params, SystemConfig::baseline().with_timekeeping(true)),
+        )
+    });
+    for ((params, paper), (base, tk)) in spec2k_twins().iter().zip(&refs).zip(runs) {
+        println!(
+            "{:<10} {:>8.2} {:>8.2} | {:>8.1} {:>8.1} | {:>8.1} {:>8.1}",
+            params.name, base.ipc, paper.ipc_base, base.mpki, paper.mr_base, tk.mpki, paper.mr_tk
+        );
+        csv.row(&[
+            params.name,
+            &format!("{:.3}", base.ipc),
+            &format!("{:.2}", paper.ipc_base),
+            &format!("{:.2}", base.mpki),
+            &format!("{:.1}", paper.mr_base),
+            &format!("{:.2}", tk.mpki),
+            &format!("{:.1}", paper.mr_tk),
+        ]);
+    }
+    if let Some(path) = csv.path() {
+        println!("(csv written to {})", path.display());
+    }
+    rule(72);
+    println!("* = paper's Table 2 value. Shape, not absolute match, is the goal.");
+}

@@ -1,0 +1,197 @@
+//! Shared harness utilities for the experiment binaries that
+//! regenerate the paper's tables and figures.
+//!
+//! Every binary honours three environment variables so the same code
+//! serves quick smoke runs and full reproductions:
+//!
+//! * `VSV_INSTS` — measured instructions per run (default 300 000);
+//! * `VSV_WARMUP` — warm-up instructions per run (default 100 000);
+//! * `VSV_CSV_DIR` — if set, each binary also writes its data as
+//!   `<dir>/<experiment>.csv` for plotting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use vsv::Experiment;
+
+/// Reads the experiment scale from the environment (see crate docs).
+#[must_use]
+pub fn experiment_from_env() -> Experiment {
+    let get = |name: &str, default: u64| {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    Experiment {
+        warmup_instructions: get("VSV_WARMUP", 100_000),
+        instructions: get("VSV_INSTS", 300_000),
+    }
+}
+
+/// Prints a rule line of the given width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// A tiny CSV writer for the experiment binaries: created only when
+/// `VSV_CSV_DIR` is set, it mirrors each printed table into
+/// `<dir>/<experiment>.csv` so results can be plotted directly.
+#[derive(Debug)]
+pub struct CsvSink {
+    file: Option<std::io::BufWriter<std::fs::File>>,
+    path: Option<PathBuf>,
+}
+
+impl CsvSink {
+    /// Opens `<VSV_CSV_DIR>/<experiment>.csv` if the variable is set;
+    /// otherwise returns a no-op sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory or file cannot be created (a CSV path
+    /// was explicitly requested, so failing silently would lose data).
+    #[must_use]
+    pub fn from_env(experiment: &str) -> Self {
+        let Some(dir) = std::env::var_os("VSV_CSV_DIR") else {
+            return CsvSink {
+                file: None,
+                path: None,
+            };
+        };
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("create VSV_CSV_DIR");
+        let path = dir.join(format!("{experiment}.csv"));
+        let file = std::fs::File::create(&path).expect("create csv file");
+        CsvSink {
+            file: Some(std::io::BufWriter::new(file)),
+            path: Some(path),
+        }
+    }
+
+    /// Writes one CSV row. Fields containing commas or quotes are
+    /// quoted.
+    pub fn row(&mut self, fields: &[&str]) {
+        let Some(f) = self.file.as_mut() else { return };
+        let mut first = true;
+        for field in fields {
+            if !first {
+                let _ = write!(f, ",");
+            }
+            first = false;
+            if field.contains(',') || field.contains('"') {
+                let _ = write!(f, "\"{}\"", field.replace('"', "\"\""));
+            } else {
+                let _ = write!(f, "{field}");
+            }
+        }
+        let _ = writeln!(f);
+    }
+
+    /// Where the CSV is being written, if anywhere.
+    #[must_use]
+    pub fn path(&self) -> Option<&std::path::Path> {
+        self.path.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        let e = experiment_from_env();
+        assert!(e.instructions > 0);
+        assert!(e.warmup_instructions > 0);
+    }
+
+    #[test]
+    fn csv_sink_without_env_is_noop() {
+        // VSV_CSV_DIR is not set in the test environment.
+        let mut sink = CsvSink::from_env("unit-test");
+        assert!(sink.path().is_none());
+        sink.row(&["a", "b"]); // must not panic
+    }
+
+    #[test]
+    fn csv_quoting() {
+        // Exercise the quoting path through a real temp file.
+        let dir = std::env::temp_dir().join("vsv-csv-test");
+        std::env::set_var("VSV_CSV_DIR", &dir);
+        let mut sink = CsvSink::from_env("quoting");
+        sink.row(&["plain", "with,comma", "with\"quote"]);
+        let path = sink.path().expect("csv requested").to_owned();
+        drop(sink);
+        std::env::remove_var("VSV_CSV_DIR");
+        let contents = std::fs::read_to_string(path).expect("csv written");
+        assert_eq!(contents.trim(), "plain,\"with,comma\",\"with\"\"quote\"");
+    }
+}
+
+/// Runs `f` over the items on `std::thread` workers (the experiment
+/// grid is embarrassingly parallel: every run owns its whole
+/// simulator). Results come back in input order, so table layouts and
+/// CSVs are unaffected by scheduling.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (a panicking simulation is a bug worth
+/// surfacing, not hiding).
+pub fn run_parallel<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(item);
+                **slots[i].lock().expect("slot lock") = Some(r);
+            });
+        }
+    });
+    drop(slots);
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = run_parallel(items.clone(), |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u64> = run_parallel(Vec::<u64>::new(), |x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(run_parallel(vec![7u64], |x| x + 1), vec![8]);
+    }
+}

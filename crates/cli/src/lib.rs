@@ -1,0 +1,402 @@
+//! Argument parsing and command execution for `vsv-cli`.
+//!
+//! Hand-rolled parsing (no CLI dependency): the grammar is small and
+//! fixed. See [`Command::parse`] for the accepted forms and the
+//! binary's `--help` output for usage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use vsv::{Comparison, Experiment, System, SystemConfig};
+use vsv_workloads::{spec2k_twins, table2_reference, twin, Generator};
+
+/// Which system configuration a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigKind {
+    /// The Table 1 baseline (VSV off).
+    Baseline,
+    /// VSV with both FSMs at 3/10 (the paper's headline config).
+    VsvFsm,
+    /// VSV without the FSMs (down on detect, up on first return).
+    VsvNoFsm,
+}
+
+impl ConfigKind {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "baseline" => Ok(ConfigKind::Baseline),
+            "vsv-fsm" | "vsv" => Ok(ConfigKind::VsvFsm),
+            "vsv-nofsm" => Ok(ConfigKind::VsvNoFsm),
+            other => Err(format!(
+                "unknown config '{other}' (expected baseline | vsv-fsm | vsv-nofsm)"
+            )),
+        }
+    }
+
+    /// Builds the [`SystemConfig`], optionally with Time-Keeping.
+    #[must_use]
+    pub fn to_config(self, timekeeping: bool) -> SystemConfig {
+        let base = match self {
+            ConfigKind::Baseline => SystemConfig::baseline(),
+            ConfigKind::VsvFsm => SystemConfig::vsv_with_fsms(),
+            ConfigKind::VsvNoFsm => SystemConfig::vsv_without_fsms(),
+        };
+        base.with_timekeeping(timekeeping)
+    }
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List the twins and their Table 2 reference numbers.
+    List,
+    /// Run one twin under one configuration.
+    Run {
+        /// Twin name.
+        twin: String,
+        /// Configuration to run.
+        config: ConfigKind,
+        /// Attach Time-Keeping prefetching.
+        timekeeping: bool,
+        /// Measured instructions.
+        insts: u64,
+        /// Warm-up instructions.
+        warmup: u64,
+        /// Emit JSON instead of text.
+        json: bool,
+    },
+    /// Run baseline vs. VSV-with-FSMs and print the paper metrics.
+    Compare {
+        /// Twin name.
+        twin: String,
+        /// Attach Time-Keeping to both sides.
+        timekeeping: bool,
+        /// Measured instructions.
+        insts: u64,
+        /// Warm-up instructions.
+        warmup: u64,
+        /// Emit JSON instead of text.
+        json: bool,
+    },
+    /// Print a mode strip (one char per ns) around VSV activity.
+    Trace {
+        /// Twin name.
+        twin: String,
+        /// Nanoseconds of trace to keep (tail).
+        ns: usize,
+        /// Also write an SVG timeline to this path.
+        svg: Option<String>,
+    },
+    /// Print usage.
+    Help,
+}
+
+impl Command {
+    /// Parses an argument vector (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when the arguments do not form a valid
+    /// command.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut it = args.iter();
+        let Some(cmd) = it.next() else {
+            return Ok(Command::Help);
+        };
+        let mut twin_name: Option<String> = None;
+        let mut config = ConfigKind::Baseline;
+        let mut timekeeping = false;
+        let mut insts = 300_000u64;
+        let mut warmup = 100_000u64;
+        let mut json = false;
+        let mut ns = 2_000usize;
+        let mut svg: Option<String> = None;
+
+        let next_value = |flag: &str, it: &mut std::slice::Iter<String>| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--twin" => twin_name = Some(next_value("--twin", &mut it)?),
+                "--config" => config = ConfigKind::parse(&next_value("--config", &mut it)?)?,
+                "--tk" => timekeeping = true,
+                "--json" => json = true,
+                "--insts" => {
+                    insts = next_value("--insts", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--insts: {e}"))?;
+                }
+                "--warmup" => {
+                    warmup = next_value("--warmup", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--warmup: {e}"))?;
+                }
+                "--ns" => {
+                    ns = next_value("--ns", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--ns: {e}"))?;
+                }
+                "--svg" => svg = Some(next_value("--svg", &mut it)?),
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        let need_twin = |t: Option<String>| t.ok_or_else(|| "--twin is required".to_owned());
+        match cmd.as_str() {
+            "list" => Ok(Command::List),
+            "help" | "--help" | "-h" => Ok(Command::Help),
+            "run" => Ok(Command::Run {
+                twin: need_twin(twin_name)?,
+                config,
+                timekeeping,
+                insts,
+                warmup,
+                json,
+            }),
+            "compare" => Ok(Command::Compare {
+                twin: need_twin(twin_name)?,
+                timekeeping,
+                insts,
+                warmup,
+                json,
+            }),
+            "trace" => Ok(Command::Trace {
+                twin: need_twin(twin_name)?,
+                ns,
+                svg,
+            }),
+            other => Err(format!("unknown command '{other}'")),
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+vsv-cli — run the VSV (MICRO-36 2003) reproduction from the command line
+
+USAGE:
+  vsv-cli list
+  vsv-cli run     --twin NAME [--config baseline|vsv-fsm|vsv-nofsm]
+                  [--tk] [--insts N] [--warmup N] [--json]
+  vsv-cli compare --twin NAME [--tk] [--insts N] [--warmup N] [--json]
+  vsv-cli trace   --twin NAME [--ns N] [--svg FILE]
+
+EXAMPLES:
+  vsv-cli compare --twin mcf
+  vsv-cli run --twin applu --config vsv-fsm --tk --json
+  vsv-cli trace --twin ammp --ns 500
+";
+
+/// Executes a parsed command; returns the text to print.
+///
+/// # Errors
+///
+/// Returns a message for unknown twins.
+pub fn execute(cmd: Command) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_owned()),
+        Command::List => {
+            let mut out = String::new();
+            out.push_str("twin       paper IPC  paper MR  paper MR(TK)\n");
+            for r in table2_reference() {
+                out.push_str(&format!(
+                    "{:<10} {:>9.2} {:>9.1} {:>13.1}\n",
+                    r.name, r.ipc_base, r.mr_base, r.mr_tk
+                ));
+            }
+            Ok(out)
+        }
+        Command::Run {
+            twin: name,
+            config,
+            timekeeping,
+            insts,
+            warmup,
+            json,
+        } => {
+            let params = twin(&name).ok_or_else(|| unknown_twin(&name))?;
+            let e = Experiment {
+                warmup_instructions: warmup,
+                instructions: insts,
+            };
+            let result = e.run(&params, config.to_config(timekeeping));
+            if json {
+                serde_json::to_string_pretty(&result).map_err(|e| e.to_string())
+            } else {
+                Ok(result.to_string())
+            }
+        }
+        Command::Compare {
+            twin: name,
+            timekeeping,
+            insts,
+            warmup,
+            json,
+        } => {
+            let params = twin(&name).ok_or_else(|| unknown_twin(&name))?;
+            let e = Experiment {
+                warmup_instructions: warmup,
+                instructions: insts,
+            };
+            let (base, vsv_run, cmp) = e.compare(
+                &params,
+                SystemConfig::baseline().with_timekeeping(timekeeping),
+                SystemConfig::vsv_with_fsms().with_timekeeping(timekeeping),
+            );
+            if json {
+                #[derive(serde::Serialize)]
+                struct Out {
+                    baseline: vsv::RunResult,
+                    vsv: vsv::RunResult,
+                    comparison: Comparison,
+                }
+                serde_json::to_string_pretty(&Out {
+                    baseline: base,
+                    vsv: vsv_run,
+                    comparison: cmp,
+                })
+                .map_err(|e| e.to_string())
+            } else {
+                Ok(format!(
+                    "baseline: {base}\nvsv     : {vsv_run}\n=> {cmp}\n"
+                ))
+            }
+        }
+        Command::Trace { twin: name, ns, svg } => {
+            let params = twin(&name).ok_or_else(|| unknown_twin(&name))?;
+            let mut sys = System::new(
+                SystemConfig::vsv_with_fsms(),
+                Generator::new(params),
+            );
+            sys.enable_trace(ns);
+            sys.warm_up(20_000);
+            let _ = sys.run(30_000);
+            let trace = sys.take_trace().expect("tracing was enabled");
+            let mut out = String::new();
+            out.push_str("H=high d=down-distribute D=ramp-down L=low u=up-distribute U=ramp-up\n");
+            for chunk in trace.strip().into_bytes().chunks(100) {
+                out.push_str(std::str::from_utf8(chunk).expect("ascii strip"));
+                out.push('\n');
+            }
+            if let Some(path) = svg {
+                let rendered = vsv_viz::TimelineChart::new(&trace).render();
+                std::fs::write(&path, rendered).map_err(|e| format!("{path}: {e}"))?;
+                out.push_str(&format!("(svg timeline written to {path})\n"));
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn unknown_twin(name: &str) -> String {
+    let names: Vec<&str> = spec2k_twins().iter().map(|p| p.name).collect();
+    format!("unknown twin '{name}'; known twins: {}", names.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_run_with_flags() {
+        let cmd = Command::parse(&sv(&[
+            "run", "--twin", "mcf", "--config", "vsv-fsm", "--tk", "--insts", "5000",
+            "--warmup", "1000", "--json",
+        ]))
+        .expect("valid");
+        assert_eq!(
+            cmd,
+            Command::Run {
+                twin: "mcf".to_owned(),
+                config: ConfigKind::VsvFsm,
+                timekeeping: true,
+                insts: 5000,
+                warmup: 1000,
+                json: true,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_missing_twin_and_bad_flags() {
+        assert!(Command::parse(&sv(&["run"])).is_err());
+        assert!(Command::parse(&sv(&["run", "--twin", "mcf", "--bogus"])).is_err());
+        assert!(Command::parse(&sv(&["run", "--twin"])).is_err());
+        assert!(Command::parse(&sv(&["frobnicate"])).is_err());
+        assert!(Command::parse(&sv(&["run", "--twin", "mcf", "--config", "wat"])).is_err());
+    }
+
+    #[test]
+    fn empty_args_mean_help() {
+        assert_eq!(Command::parse(&[]).expect("ok"), Command::Help);
+        assert!(execute(Command::Help).expect("ok").contains("USAGE"));
+    }
+
+    #[test]
+    fn list_prints_all_twins() {
+        let out = execute(Command::List).expect("ok");
+        for p in spec2k_twins() {
+            assert!(out.contains(p.name), "missing {}", p.name);
+        }
+    }
+
+    #[test]
+    fn run_unknown_twin_is_a_clean_error() {
+        let err = execute(Command::Run {
+            twin: "doom".to_owned(),
+            config: ConfigKind::Baseline,
+            timekeeping: false,
+            insts: 1000,
+            warmup: 100,
+            json: false,
+        })
+        .expect_err("unknown twin");
+        assert!(err.contains("doom"));
+        assert!(err.contains("mcf"));
+    }
+
+    #[test]
+    fn run_json_is_valid_json() {
+        let out = execute(Command::Run {
+            twin: "gzip".to_owned(),
+            config: ConfigKind::Baseline,
+            timekeeping: false,
+            insts: 3_000,
+            warmup: 1_000,
+            json: true,
+        })
+        .expect("runs");
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        assert!(v.get("avg_power_w").is_some());
+    }
+
+    #[test]
+    fn compare_text_mentions_both_sides() {
+        let out = execute(Command::Compare {
+            twin: "gzip".to_owned(),
+            timekeeping: false,
+            insts: 3_000,
+            warmup: 1_000,
+            json: false,
+        })
+        .expect("runs");
+        assert!(out.contains("baseline:"));
+        assert!(out.contains("power saved"));
+    }
+
+    #[test]
+    fn trace_emits_mode_strip() {
+        let out = execute(Command::Trace {
+            twin: "ammp".to_owned(),
+            ns: 300,
+            svg: None,
+        })
+        .expect("runs");
+        assert!(out.contains('H') || out.contains('L'));
+    }
+}

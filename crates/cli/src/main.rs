@@ -1,0 +1,13 @@
+//! The `vsv-cli` binary. All logic lives in the library so it can be
+//! unit-tested; this file is arg collection and exit codes only.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match vsv_cli::Command::parse(&args).and_then(vsv_cli::execute) {
+        Ok(out) => print!("{out}"),
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{}", vsv_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

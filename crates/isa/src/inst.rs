@@ -1,0 +1,396 @@
+//! Dynamic micro-op records.
+
+use std::fmt;
+
+use crate::{ArchReg, OpClass};
+
+/// A program-counter value, in bytes.
+///
+/// Instructions are 4 bytes wide (Alpha-like); generators advance the PC
+/// by [`Pc::STEP`] per instruction on the fall-through path.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Pc(pub u64);
+
+impl Pc {
+    /// Byte distance between sequential instructions.
+    pub const STEP: u64 = 4;
+
+    /// The next sequential PC (fall-through successor).
+    #[must_use]
+    pub fn next(self) -> Pc {
+        Pc(self.0.wrapping_add(Self::STEP))
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// A byte address in the simulated data address space.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The address of the cache block containing this address, for a
+    /// block of `block_bytes` (must be a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `block_bytes` is not a power of two.
+    #[must_use]
+    pub fn block(self, block_bytes: u64) -> Addr {
+        debug_assert!(block_bytes.is_power_of_two());
+        Addr(self.0 & !(block_bytes - 1))
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// Flavor of a control-transfer instruction, as seen by the branch
+/// predictor (conditional branches consult the direction predictor;
+/// calls push and returns pop the return-address stack).
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Conditional direct branch.
+    Conditional,
+    /// Unconditional direct jump.
+    Jump,
+    /// Subroutine call (pushes the return address).
+    Call,
+    /// Subroutine return (pops the return-address stack).
+    Return,
+}
+
+/// Resolved outcome of a control-transfer instruction.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchInfo {
+    /// What kind of branch this is.
+    pub kind: BranchKind,
+    /// Whether the branch is taken. Always `true` for jumps, calls and
+    /// returns.
+    pub taken: bool,
+    /// The target if taken (the fall-through successor otherwise).
+    pub target: Pc,
+}
+
+/// One dynamic micro-op.
+///
+/// An `Inst` carries everything the timing model needs: the op class,
+/// up to two source registers, an optional destination register, the
+/// effective address for memory ops, and the resolved outcome for
+/// branches. Construction goes through the class-specific constructors
+/// which enforce the fields each class requires.
+///
+/// # Examples
+///
+/// ```
+/// use vsv_isa::{Inst, OpClass, ArchReg, Addr, Pc};
+///
+/// let st = Inst::store(Pc(0x40), Addr(0x1000), ArchReg::int(4));
+/// assert_eq!(st.op(), OpClass::Store);
+/// assert_eq!(st.mem_addr(), Some(Addr(0x1000)));
+/// assert_eq!(st.dst(), None);
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Inst {
+    pc: Pc,
+    op: OpClass,
+    srcs: [Option<ArchReg>; 2],
+    dst: Option<ArchReg>,
+    mem_addr: Option<Addr>,
+    branch: Option<BranchInfo>,
+}
+
+impl Inst {
+    /// A single-cycle integer ALU op reading up to two sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than two sources are given.
+    #[must_use]
+    pub fn alu(pc: Pc, dst: ArchReg, srcs: &[ArchReg]) -> Self {
+        Self::compute(pc, OpClass::IntAlu, dst, srcs)
+    }
+
+    /// A compute op of class `op` (one of the four ALU/mul-div classes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not a compute class or more than two sources
+    /// are given.
+    #[must_use]
+    pub fn compute(pc: Pc, op: OpClass, dst: ArchReg, srcs: &[ArchReg]) -> Self {
+        assert!(
+            matches!(
+                op,
+                OpClass::IntAlu | OpClass::IntMulDiv | OpClass::FpAlu | OpClass::FpMulDiv
+            ),
+            "{op} is not a compute class"
+        );
+        Inst {
+            pc,
+            op,
+            srcs: pack_srcs(srcs),
+            dst: Some(dst),
+            mem_addr: None,
+            branch: None,
+        }
+    }
+
+    /// A load producing `dst` from `addr`.
+    #[must_use]
+    pub fn load(pc: Pc, dst: ArchReg, addr: Addr) -> Self {
+        Inst {
+            pc,
+            op: OpClass::Load,
+            srcs: [None; 2],
+            dst: Some(dst),
+            mem_addr: Some(addr),
+            branch: None,
+        }
+    }
+
+    /// A load whose address depends on `base` (pointer chasing).
+    #[must_use]
+    pub fn load_dep(pc: Pc, dst: ArchReg, base: ArchReg, addr: Addr) -> Self {
+        Inst {
+            pc,
+            op: OpClass::Load,
+            srcs: [Some(base), None],
+            dst: Some(dst),
+            mem_addr: Some(addr),
+            branch: None,
+        }
+    }
+
+    /// A store of `data` to `addr`.
+    #[must_use]
+    pub fn store(pc: Pc, addr: Addr, data: ArchReg) -> Self {
+        Inst {
+            pc,
+            op: OpClass::Store,
+            srcs: [Some(data), None],
+            dst: None,
+            mem_addr: Some(addr),
+            branch: None,
+        }
+    }
+
+    /// A software prefetch of `addr` (non-binding, no destination).
+    #[must_use]
+    pub fn prefetch(pc: Pc, addr: Addr) -> Self {
+        Inst {
+            pc,
+            op: OpClass::Prefetch,
+            srcs: [None; 2],
+            dst: None,
+            mem_addr: Some(addr),
+            branch: None,
+        }
+    }
+
+    /// A branch with resolved outcome `info`, optionally reading a
+    /// condition register.
+    #[must_use]
+    pub fn branch(pc: Pc, info: BranchInfo, cond_src: Option<ArchReg>) -> Self {
+        Inst {
+            pc,
+            op: OpClass::Branch,
+            srcs: [cond_src, None],
+            dst: None,
+            mem_addr: None,
+            branch: Some(info),
+        }
+    }
+
+    /// A no-op.
+    #[must_use]
+    pub fn nop(pc: Pc) -> Self {
+        Inst {
+            pc,
+            op: OpClass::Nop,
+            srcs: [None; 2],
+            dst: None,
+            mem_addr: None,
+            branch: None,
+        }
+    }
+
+    /// The instruction's PC.
+    #[must_use]
+    pub fn pc(self) -> Pc {
+        self.pc
+    }
+
+    /// The functional class.
+    #[must_use]
+    pub fn op(self) -> OpClass {
+        self.op
+    }
+
+    /// Source registers (up to two).
+    #[must_use]
+    pub fn srcs(self) -> [Option<ArchReg>; 2] {
+        self.srcs
+    }
+
+    /// Destination register, if the class produces one.
+    #[must_use]
+    pub fn dst(self) -> Option<ArchReg> {
+        self.dst
+    }
+
+    /// Effective memory address for loads/stores/prefetches.
+    #[must_use]
+    pub fn mem_addr(self) -> Option<Addr> {
+        self.mem_addr
+    }
+
+    /// Resolved branch outcome for branches.
+    #[must_use]
+    pub fn branch_info(self) -> Option<BranchInfo> {
+        self.branch
+    }
+
+    /// Returns `true` if the instruction reads register `reg`.
+    #[must_use]
+    pub fn reads(self, reg: ArchReg) -> bool {
+        self.srcs.contains(&Some(reg))
+    }
+
+    /// The PC of the instruction executed after this one
+    /// (branch target if taken, else fall-through).
+    #[must_use]
+    pub fn next_pc(self) -> Pc {
+        match self.branch {
+            Some(b) if b.taken => b.target,
+            _ => self.pc.next(),
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pc, self.op)?;
+        if let Some(d) = self.dst {
+            write!(f, " {d} <-")?;
+        }
+        for s in self.srcs.iter().flatten() {
+            write!(f, " {s}")?;
+        }
+        if let Some(a) = self.mem_addr {
+            write!(f, " [{a}]")?;
+        }
+        if let Some(b) = self.branch {
+            write!(
+                f,
+                " {} -> {}",
+                if b.taken { "taken" } else { "not-taken" },
+                b.target
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn pack_srcs(srcs: &[ArchReg]) -> [Option<ArchReg>; 2] {
+    assert!(srcs.len() <= 2, "at most two source registers");
+    let mut out = [None; 2];
+    for (slot, s) in out.iter_mut().zip(srcs.iter()) {
+        *slot = Some(*s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_advances_by_step() {
+        assert_eq!(Pc(0).next(), Pc(4));
+        assert_eq!(Pc(u64::MAX - 3).next(), Pc(0));
+    }
+
+    #[test]
+    fn addr_block_masks_low_bits() {
+        assert_eq!(Addr(0x1234).block(32), Addr(0x1220));
+        assert_eq!(Addr(0x1220).block(32), Addr(0x1220));
+        assert_eq!(Addr(0x123f).block(64), Addr(0x1200));
+    }
+
+    #[test]
+    fn alu_has_dst_and_srcs() {
+        let i = Inst::alu(Pc(8), ArchReg::int(1), &[ArchReg::int(2), ArchReg::int(3)]);
+        assert_eq!(i.dst(), Some(ArchReg::int(1)));
+        assert!(i.reads(ArchReg::int(2)));
+        assert!(i.reads(ArchReg::int(3)));
+        assert!(!i.reads(ArchReg::int(1)));
+        assert_eq!(i.mem_addr(), None);
+    }
+
+    #[test]
+    fn load_dep_reads_base() {
+        let i = Inst::load_dep(Pc(0), ArchReg::int(1), ArchReg::int(1), Addr(64));
+        assert!(i.reads(ArchReg::int(1)));
+        assert_eq!(i.op(), OpClass::Load);
+    }
+
+    #[test]
+    fn store_has_no_dst() {
+        let i = Inst::store(Pc(0), Addr(0x100), ArchReg::int(9));
+        assert_eq!(i.dst(), None);
+        assert!(i.reads(ArchReg::int(9)));
+    }
+
+    #[test]
+    fn taken_branch_redirects_next_pc() {
+        let info = BranchInfo {
+            kind: BranchKind::Conditional,
+            taken: true,
+            target: Pc(0x100),
+        };
+        let b = Inst::branch(Pc(0x10), info, Some(ArchReg::int(1)));
+        assert_eq!(b.next_pc(), Pc(0x100));
+        let nt = Inst::branch(
+            Pc(0x10),
+            BranchInfo {
+                taken: false,
+                ..info
+            },
+            None,
+        );
+        assert_eq!(nt.next_pc(), Pc(0x14));
+    }
+
+    #[test]
+    fn non_branch_next_pc_is_fallthrough() {
+        assert_eq!(Inst::nop(Pc(0x20)).next_pc(), Pc(0x24));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a compute class")]
+    fn compute_rejects_load_class() {
+        let _ = Inst::compute(Pc(0), OpClass::Load, ArchReg::int(0), &[]);
+    }
+
+    #[test]
+    fn display_mentions_fields() {
+        let i = Inst::load(Pc(0x1000), ArchReg::int(7), Addr(0xbeef));
+        let s = i.to_string();
+        assert!(s.contains("load"));
+        assert!(s.contains("r7"));
+        assert!(s.contains("0xbeef"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Micro-op ISA for the VSV trace-driven simulator.
+//!
+//! The VSV reproduction is *trace driven*: workloads are streams of
+//! micro-ops carrying register dependences, memory addresses and branch
+//! outcomes, and the out-of-order core ([`vsv-uarch`]) consumes them to
+//! recover cycle-level timing. This crate defines the instruction
+//! vocabulary shared by the workload generators and the pipeline:
+//!
+//! * [`OpClass`] — the functional classes the 8-way core distinguishes
+//!   (integer/FP ALU and mul/div, loads, stores, branches, software
+//!   prefetches);
+//! * [`ArchReg`] — logical (architectural) register names;
+//! * [`Inst`] — one dynamic micro-op;
+//! * [`InstStream`] — an infinite source of micro-ops plus adapters.
+//!
+//! # Examples
+//!
+//! Build a tiny two-instruction dependence chain by hand:
+//!
+//! ```
+//! use vsv_isa::{Inst, OpClass, ArchReg, Addr, Pc};
+//!
+//! let load = Inst::load(Pc(0x1000), ArchReg::int(1), Addr(0x8000));
+//! let use_ = Inst::alu(Pc(0x1004), ArchReg::int(2), &[ArchReg::int(1)]);
+//! assert!(use_.reads(ArchReg::int(1)));
+//! assert_eq!(load.dst(), Some(ArchReg::int(1)));
+//! ```
+//!
+//! [`vsv-uarch`]: https://docs.rs/vsv-uarch
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod inst;
+mod op;
+mod reg;
+mod stream;
+
+pub use inst::{Addr, BranchInfo, BranchKind, Inst, Pc};
+pub use op::OpClass;
+pub use reg::ArchReg;
+pub use stream::{FnStream, InstStream, Peekable, Take, VecStream};

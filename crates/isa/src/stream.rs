@@ -1,0 +1,241 @@
+//! Instruction streams: the interface between workloads and the core.
+
+use crate::Inst;
+
+/// An unbounded source of dynamic micro-ops.
+///
+/// Workload generators implement this; the pipeline pulls from it at
+/// fetch. Streams are infinite — simulations decide when to stop by
+/// counting committed instructions — but finite adapters exist for
+/// tests ([`VecStream`], [`Take`]).
+///
+/// Streams are intentionally *not* `Iterator`s: the pipeline needs
+/// "peek without consuming" semantics at fetch (an instruction that
+/// does not fit this cycle must be retried next cycle), which
+/// [`Peekable`] provides uniformly.
+pub trait InstStream {
+    /// Produces the next dynamic instruction, or `None` if the stream
+    /// is exhausted (only finite test streams ever return `None`).
+    fn next_inst(&mut self) -> Option<Inst>;
+
+    /// Wraps the stream with single-instruction lookahead.
+    fn peekable(self) -> Peekable<Self>
+    where
+        Self: Sized,
+    {
+        Peekable {
+            inner: self,
+            slot: None,
+        }
+    }
+
+    /// Truncates the stream after `n` instructions.
+    fn take_insts(self, n: u64) -> Take<Self>
+    where
+        Self: Sized,
+    {
+        Take {
+            inner: self,
+            left: n,
+        }
+    }
+}
+
+impl<S: InstStream + ?Sized> InstStream for &mut S {
+    fn next_inst(&mut self) -> Option<Inst> {
+        (**self).next_inst()
+    }
+}
+
+impl<S: InstStream + ?Sized> InstStream for Box<S> {
+    fn next_inst(&mut self) -> Option<Inst> {
+        (**self).next_inst()
+    }
+}
+
+/// A finite stream over a vector of instructions, mainly for tests.
+///
+/// # Examples
+///
+/// ```
+/// use vsv_isa::{Inst, InstStream, Pc, VecStream};
+///
+/// let mut s = VecStream::new(vec![Inst::nop(Pc(0)), Inst::nop(Pc(4))]);
+/// assert_eq!(s.next_inst().unwrap().pc(), Pc(0));
+/// assert_eq!(s.next_inst().unwrap().pc(), Pc(4));
+/// assert!(s.next_inst().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct VecStream {
+    insts: std::vec::IntoIter<Inst>,
+}
+
+impl VecStream {
+    /// Builds a stream that yields `insts` in order, then ends.
+    #[must_use]
+    pub fn new(insts: Vec<Inst>) -> Self {
+        VecStream {
+            insts: insts.into_iter(),
+        }
+    }
+}
+
+impl InstStream for VecStream {
+    fn next_inst(&mut self) -> Option<Inst> {
+        self.insts.next()
+    }
+}
+
+impl FromIterator<Inst> for VecStream {
+    fn from_iter<I: IntoIterator<Item = Inst>>(iter: I) -> Self {
+        VecStream::new(iter.into_iter().collect())
+    }
+}
+
+/// A stream backed by a closure, for ad-hoc generators.
+///
+/// # Examples
+///
+/// ```
+/// use vsv_isa::{FnStream, Inst, InstStream, Pc};
+///
+/// let mut pc = Pc(0);
+/// let mut s = FnStream::new(move || {
+///     let i = Inst::nop(pc);
+///     pc = pc.next();
+///     Some(i)
+/// });
+/// assert_eq!(s.next_inst().unwrap().pc(), Pc(0));
+/// assert_eq!(s.next_inst().unwrap().pc(), Pc(4));
+/// ```
+pub struct FnStream<F> {
+    f: F,
+}
+
+impl<F: FnMut() -> Option<Inst>> FnStream<F> {
+    /// Wraps `f` as a stream.
+    pub fn new(f: F) -> Self {
+        FnStream { f }
+    }
+}
+
+impl<F: FnMut() -> Option<Inst>> InstStream for FnStream<F> {
+    fn next_inst(&mut self) -> Option<Inst> {
+        (self.f)()
+    }
+}
+
+impl<F> std::fmt::Debug for FnStream<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnStream").finish_non_exhaustive()
+    }
+}
+
+/// Single-instruction lookahead adapter produced by
+/// [`InstStream::peekable`].
+#[derive(Debug)]
+pub struct Peekable<S> {
+    inner: S,
+    slot: Option<Inst>,
+}
+
+impl<S: InstStream> Peekable<S> {
+    /// Returns the next instruction without consuming it.
+    pub fn peek(&mut self) -> Option<Inst> {
+        if self.slot.is_none() {
+            self.slot = self.inner.next_inst();
+        }
+        self.slot
+    }
+}
+
+impl<S: InstStream> InstStream for Peekable<S> {
+    fn next_inst(&mut self) -> Option<Inst> {
+        self.slot.take().or_else(|| self.inner.next_inst())
+    }
+}
+
+/// Truncating adapter produced by [`InstStream::take_insts`].
+#[derive(Debug)]
+pub struct Take<S> {
+    inner: S,
+    left: u64,
+}
+
+impl<S: InstStream> InstStream for Take<S> {
+    fn next_inst(&mut self) -> Option<Inst> {
+        if self.left == 0 {
+            return None;
+        }
+        self.left -= 1;
+        self.inner.next_inst()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pc;
+
+    fn nops(n: u64) -> VecStream {
+        (0..n).map(|i| Inst::nop(Pc(i * 4))).collect()
+    }
+
+    #[test]
+    fn vec_stream_yields_in_order_then_none() {
+        let mut s = nops(3);
+        assert_eq!(s.next_inst().unwrap().pc(), Pc(0));
+        assert_eq!(s.next_inst().unwrap().pc(), Pc(4));
+        assert_eq!(s.next_inst().unwrap().pc(), Pc(8));
+        assert!(s.next_inst().is_none());
+        assert!(s.next_inst().is_none());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut s = nops(2).peekable();
+        assert_eq!(s.peek().unwrap().pc(), Pc(0));
+        assert_eq!(s.peek().unwrap().pc(), Pc(0));
+        assert_eq!(s.next_inst().unwrap().pc(), Pc(0));
+        assert_eq!(s.next_inst().unwrap().pc(), Pc(4));
+        assert!(s.peek().is_none());
+        assert!(s.next_inst().is_none());
+    }
+
+    #[test]
+    fn take_truncates() {
+        let mut s = nops(10).take_insts(4);
+        let mut count = 0;
+        while s.next_inst().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn take_zero_is_empty() {
+        let mut s = nops(10).take_insts(0);
+        assert!(s.next_inst().is_none());
+    }
+
+    #[test]
+    fn boxed_stream_works_as_trait_object() {
+        let mut s: Box<dyn InstStream> = Box::new(nops(1));
+        assert!(s.next_inst().is_some());
+        assert!(s.next_inst().is_none());
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut v = nops(2);
+        let r = &mut v;
+        fn consume<S: InstStream>(mut s: S) -> u64 {
+            let mut n = 0;
+            while s.next_inst().is_some() {
+                n += 1;
+            }
+            n
+        }
+        assert_eq!(consume(r), 2);
+    }
+}

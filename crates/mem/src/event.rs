@@ -1,0 +1,142 @@
+//! A deterministic time-ordered event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A min-heap of `(time, payload)` events with FIFO tie-breaking.
+///
+/// Events scheduled for the same time pop in insertion order, which
+/// keeps the simulator deterministic regardless of heap internals.
+///
+/// # Examples
+///
+/// ```
+/// use vsv_mem::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(10, "b");
+/// q.push(5, "a");
+/// q.push(10, "c");
+/// assert_eq!(q.pop_ready(5), vec!["a"]);
+/// assert_eq!(q.pop_ready(10), vec!["b", "c"]);
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    payloads: Vec<Option<T>>,
+    seq: u64,
+    free: Vec<usize>,
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            payloads: Vec::new(),
+            seq: 0,
+            free: Vec::new(),
+        }
+    }
+
+    /// Schedules `payload` to fire at time `at`.
+    pub fn push(&mut self, at: u64, payload: T) {
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.payloads[slot] = Some(payload);
+                slot
+            }
+            None => {
+                self.payloads.push(Some(payload));
+                self.payloads.len() - 1
+            }
+        };
+        self.heap.push(Reverse((at, self.seq, slot)));
+        self.seq += 1;
+    }
+
+    /// Pops every event with `time <= now`, in (time, insertion) order.
+    pub fn pop_ready(&mut self, now: u64) -> Vec<T> {
+        let mut ready = Vec::new();
+        while let Some(Reverse((at, _, _))) = self.heap.peek() {
+            if *at > now {
+                break;
+            }
+            let Reverse((_, _, slot)) = self.heap.pop().expect("peeked");
+            let payload = self.payloads[slot].take().expect("slot occupied");
+            self.free.push(slot);
+            ready.push(payload);
+        }
+        ready
+    }
+
+    /// The time of the earliest pending event, if any.
+    #[must_use]
+    pub fn next_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((at, _, _))| *at)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_insertion() {
+        let mut q = EventQueue::new();
+        q.push(3, 30);
+        q.push(1, 10);
+        q.push(3, 31);
+        q.push(2, 20);
+        assert_eq!(q.pop_ready(3), vec![10, 20, 30, 31]);
+    }
+
+    #[test]
+    fn pop_ready_leaves_future_events() {
+        let mut q = EventQueue::new();
+        q.push(5, 'x');
+        q.push(10, 'y');
+        assert_eq!(q.pop_ready(7), vec!['x']);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_time(), Some(10));
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut q = EventQueue::new();
+        for round in 0..100u64 {
+            q.push(round, round);
+            assert_eq!(q.pop_ready(round), vec![round]);
+        }
+        assert!(q.is_empty());
+        // Internal payload arena should not have grown past a handful.
+        assert!(q.payloads.len() <= 2);
+    }
+
+    #[test]
+    fn empty_pop_is_empty() {
+        let mut q: EventQueue<u8> = EventQueue::default();
+        assert!(q.pop_ready(1000).is_empty());
+        assert_eq!(q.next_time(), None);
+    }
+}

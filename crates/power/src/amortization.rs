@@ -1,0 +1,145 @@
+//! The paper's §3.5 energy-amortization argument (eq. 3–6): why VSV
+//! scales the supply of combinational logic but *not* of large RAM
+//! structures.
+//!
+//! Ramping a structure's VDD charges or discharges every internal node
+//! once (eq. 3). A RAM access only touches the accessed blocks'
+//! bitcells, so the per-access saving at VDDL (eq. 4) is a tiny
+//! fraction of the transition cost: eq. 5 concludes ~200 VDDL accesses
+//! are needed to break even for a 64 KB 2-way L1 — far more than ever
+//! happen during one L2 miss. Combinational logic activates all of its
+//! nodes every operation, so a single low-VDD operation more than pays
+//! for the transition (eq. 6, ratio ≈ 0.2).
+
+use crate::tech::TechParams;
+
+/// Parameters of eq. 3–5: a RAM structure's geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RamGeometry {
+    /// Total capacity in bytes (all cells charge on a ramp).
+    pub capacity_bytes: u64,
+    /// Bytes read per access (e.g. `assoc × block_bytes` for a
+    /// set-associative read that reads one block per way).
+    pub bytes_per_access: u64,
+}
+
+impl RamGeometry {
+    /// The paper's eq. 3/4 example: a 64 KB 2-way L1 with 32-byte
+    /// blocks reading both ways on an access (2 × 32 B).
+    #[must_use]
+    pub fn l1_example() -> Self {
+        RamGeometry {
+            capacity_bytes: 64 * 1024,
+            bytes_per_access: 2 * 32,
+        }
+    }
+}
+
+/// Eq. 5: the number of VDDL accesses needed to amortise one VDD
+/// transition of a RAM structure.
+///
+/// `E_overhead / E_saving = (capacity / access) × (VDDH − VDDL) /
+/// (VDDH + VDDL)` — the cell count ratio times the voltage-difference
+/// factor (the transition moves each cell across `ΔV`, while a VDDL
+/// access saves the *difference of squares* per accessed cell).
+///
+/// # Examples
+///
+/// ```
+/// use vsv_power::{ram_breakeven_accesses, RamGeometry, TechParams};
+///
+/// let n = ram_breakeven_accesses(RamGeometry::l1_example(), &TechParams::baseline());
+/// // The paper's eq. 5 arrives at ≈ 200 accesses.
+/// assert!((190.0..=210.0).contains(&n));
+/// ```
+#[must_use]
+pub fn ram_breakeven_accesses(geometry: RamGeometry, tech: &TechParams) -> f64 {
+    let cell_ratio = geometry.capacity_bytes as f64 / geometry.bytes_per_access as f64;
+    cell_ratio * voltage_factor(tech)
+}
+
+/// Eq. 6: the overhead-to-saving ratio for combinational logic, whose
+/// every node is active each operation: `(VDDH − VDDL) / (VDDH +
+/// VDDL)` (≈ 0.2 for 1.8 V / 1.2 V). A value below 1 means a *single*
+/// low-VDD operation already amortises the transition.
+///
+/// # Examples
+///
+/// ```
+/// use vsv_power::{logic_amortization_ratio, TechParams};
+///
+/// let r = logic_amortization_ratio(&TechParams::baseline());
+/// assert!((r - 0.2).abs() < 1e-9, "the paper's eq. 6 value");
+/// assert!(r < 1.0, "logic amortises in one operation");
+/// ```
+#[must_use]
+pub fn logic_amortization_ratio(tech: &TechParams) -> f64 {
+    voltage_factor(tech)
+}
+
+/// `(VDDH − VDDL)/(VDDH + VDDL)`: the common factor of eq. 5 and 6.
+///
+/// Derivation: the ramp charges each cell across `ΔV = VDDH − VDDL`
+/// (energy ∝ `C·ΔV·V̄` per cell), while operating at VDDL instead of
+/// VDDH saves `C·(VDDH² − VDDL²)` per activated cell — their ratio
+/// collapses to `ΔV / (VDDH + VDDL)` per cell.
+fn voltage_factor(tech: &TechParams) -> f64 {
+    (tech.vddh - tech.vddl) / (tech.vddh + tech.vddl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_eq5_l1_breakeven_is_about_200() {
+        let n = ram_breakeven_accesses(RamGeometry::l1_example(), &TechParams::baseline());
+        // (65536 / 64) × (0.6 / 3.0) = 1024 × 0.2 = 204.8 ≈ the
+        // paper's "at least 200 accesses".
+        assert!((n - 204.8).abs() < 1e-9, "got {n}");
+    }
+
+    #[test]
+    fn paper_eq6_logic_ratio_is_point_two() {
+        let r = logic_amortization_ratio(&TechParams::baseline());
+        assert!((r - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bigger_rams_need_more_accesses() {
+        let tech = TechParams::baseline();
+        let l1 = ram_breakeven_accesses(RamGeometry::l1_example(), &tech);
+        let l2 = ram_breakeven_accesses(
+            RamGeometry {
+                capacity_bytes: 2 * 1024 * 1024,
+                bytes_per_access: 8 * 64,
+            },
+            &tech,
+        );
+        assert!(l2 > l1, "the 2 MB L2 is even less amortisable");
+    }
+
+    #[test]
+    fn narrower_voltage_swing_amortises_faster() {
+        let mut tech = TechParams::baseline();
+        let wide = ram_breakeven_accesses(RamGeometry::l1_example(), &tech);
+        tech.vddl = 1.6;
+        let narrow = ram_breakeven_accesses(RamGeometry::l1_example(), &tech);
+        assert!(narrow < wide);
+    }
+
+    #[test]
+    fn the_design_rule_follows() {
+        // The conclusion §3.5 draws: during one ~120 ns L2 miss the
+        // pipeline makes at most a few dozen cache accesses — far
+        // below the ~200-access break-even — so the RAM structures
+        // must stay at VDDH while logic scales.
+        let tech = TechParams::baseline();
+        let accesses_per_miss = 120.0; // one per cycle, absolute upper bound
+        assert!(
+            ram_breakeven_accesses(RamGeometry::l1_example(), &tech) > accesses_per_miss,
+            "RAM scaling must not amortise within a miss"
+        );
+        assert!(logic_amortization_ratio(&tech) < 1.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Wattch-style activity-based dynamic-power model for the VSV
+//! simulator (paper §5.2).
+//!
+//! The model mirrors what the paper's modified Wattch computes:
+//!
+//! * per-structure **access energies** at 0.18 µm / 1.8 V with a
+//!   Wattch-like breakdown ([`default_catalog`]);
+//! * **deterministic clock gating** (DCG): gateable structures drop
+//!   most of their clock energy in idle cycles;
+//! * **variable-VDD scaling**: structures on the dual-supply network
+//!   (Figure 1) scale dynamic energy by `(V/VDDH)²`, using the
+//!   per-cycle average voltage while ramping;
+//! * the **66 nJ ramp energy** of the dual-power-supply network and
+//!   the **level-converting latches** on VDDL→VDDH paths (§3.6).
+//!
+//! Only dynamic power is modeled, as in the paper (leakage is small at
+//! 0.18 µm, §5.2).
+//!
+//! # Examples
+//!
+//! ```
+//! use vsv_power::{ActivitySample, PowerAccountant, PowerConfig, StructureId};
+//!
+//! let mut acc = PowerAccountant::new(PowerConfig::baseline());
+//! let mut sample: ActivitySample = Default::default();
+//! sample[StructureId::Ruu.index()] = 8;
+//! sample[StructureId::IntAlu.index()] = 6;
+//! acc.record_cycle(&sample, 1.8); // one full-speed cycle at VDDH
+//! acc.record_ramp();              // one supply transition
+//! assert!(acc.total_energy_pj() > 66_000.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accounting;
+mod amortization;
+mod structures;
+mod tech;
+
+pub use accounting::{ActivitySample, DcgModel, EnergyBreakdown, PowerAccountant, PowerConfig};
+pub use amortization::{logic_amortization_ratio, ram_breakeven_accesses, RamGeometry};
+pub use structures::{default_catalog, StructureId, StructureParams, VddDomain};
+pub use tech::TechParams;

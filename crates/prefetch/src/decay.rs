@@ -1,0 +1,303 @@
+//! Per-block decay timers with coarse resolution.
+//!
+//! Real Time-Keeping hardware uses small per-frame counters ticked
+//! every 16 cycles; we model the same observable behaviour — idle
+//! times and live times quantised to the resolution — with
+//! nanosecond-stamped entries.
+
+use std::collections::HashMap;
+
+use vsv_isa::Addr;
+
+/// Lifetime bookkeeping for one resident L1 block generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockTimer {
+    /// When this generation was filled (ns).
+    pub filled_at: u64,
+    /// Last demand access to this generation (ns).
+    pub last_access: u64,
+    /// Live-time estimate for this generation (learned from the
+    /// block's earlier generations, or the table's default), quantised
+    /// to the decay resolution. `None` until there is any basis.
+    pub prev_live_time: Option<u64>,
+    /// Whether this generation has already been predicted dead
+    /// (predictions fire at most once per generation).
+    pub predicted_dead: bool,
+}
+
+/// A table of decay timers for the live blocks of one cache.
+///
+/// Live times are learned **per block** with an exponential moving
+/// average, with two hardware-inspired refinements that keep the
+/// engine productive in short simulation windows:
+///
+/// * blocks with no history use the table's *default live time*
+///   (a fixed decay interval, as in cache-decay schemes), so
+///   first-generation blocks of a large working set can still die;
+/// * a block touched *after* being predicted dead raises its own
+///   estimate to the observed idle time (adaptive correction), so
+///   hot blocks quickly stop producing false deaths.
+///
+/// # Examples
+///
+/// ```
+/// use vsv_isa::Addr;
+/// use vsv_prefetch::DecayTable;
+///
+/// let mut t = DecayTable::new(16);
+/// t.fill(0, Addr(0x40));
+/// t.touch(48, Addr(0x40));
+/// // live time of this generation so far: 48 ns, quantised to 48.
+/// let lt = t.evict(100, Addr(0x40)).unwrap();
+/// assert_eq!(lt, 48);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecayTable {
+    resolution_ns: u64,
+    /// Live time assumed for generations whose set has no history yet
+    /// (`None` = never predict those dead).
+    default_live_ns: Option<u64>,
+    blocks: HashMap<Addr, BlockTimer>,
+    /// Live time learned per block (EWMA across generations).
+    learned: HashMap<Addr, u64>,
+}
+
+impl DecayTable {
+    /// Creates an empty table with the given counter resolution
+    /// (paper: 16 cycles = 16 ns at 1 GHz).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution_ns` is zero.
+    #[must_use]
+    pub fn new(resolution_ns: u64) -> Self {
+        Self::with_default_live(resolution_ns, None)
+    }
+
+    /// Like [`DecayTable::new`], but generations whose set has no
+    /// learned history are assumed to live `default_live_ns` (a fixed
+    /// decay interval, as in cache-decay schemes) instead of never
+    /// dying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution_ns` is zero.
+    #[must_use]
+    pub fn with_default_live(resolution_ns: u64, default_live_ns: Option<u64>) -> Self {
+        assert!(resolution_ns > 0, "decay resolution must be nonzero");
+        DecayTable {
+            resolution_ns,
+            default_live_ns,
+            blocks: HashMap::new(),
+            learned: HashMap::new(),
+        }
+    }
+
+    /// The counter resolution in nanoseconds.
+    #[must_use]
+    pub fn resolution_ns(&self) -> u64 {
+        self.resolution_ns
+    }
+
+    /// Quantises a duration down to the counter resolution.
+    #[must_use]
+    pub fn quantise(&self, ns: u64) -> u64 {
+        ns - ns % self.resolution_ns
+    }
+
+    /// Starts a new generation for `block`.
+    pub fn fill(&mut self, now: u64, block: Addr) {
+        let prev = self.learned.get(&block).copied().or(self.default_live_ns);
+        self.blocks.insert(
+            block,
+            BlockTimer {
+                filled_at: now,
+                last_access: now,
+                prev_live_time: prev,
+                predicted_dead: false,
+            },
+        );
+    }
+
+    /// Records a demand access to a live `block` (resets its decay).
+    /// An access to a block already predicted dead is a
+    /// *misprediction*: the block's live-time estimate is raised to
+    /// the observed span so it stops dying early.
+    pub fn touch(&mut self, now: u64, block: Addr) {
+        let resolution = self.resolution_ns;
+        if let Some(t) = self.blocks.get_mut(&block) {
+            if t.predicted_dead {
+                let span = now.saturating_sub(t.filled_at);
+                let q = span - span % resolution;
+                t.prev_live_time = Some(t.prev_live_time.unwrap_or(0).max(q));
+                self.learned.insert(block, t.prev_live_time.expect("just set"));
+            }
+            t.last_access = now.max(t.last_access);
+            t.predicted_dead = false;
+        }
+    }
+
+    /// Ends the generation for `block`, folding its live time into the
+    /// block's estimate (EWMA with weight ½). Returns the quantised
+    /// live time, or `None` if untracked.
+    pub fn evict(&mut self, _now: u64, block: Addr) -> Option<u64> {
+        let t = self.blocks.remove(&block)?;
+        let live = self.quantise(t.last_access.saturating_sub(t.filled_at));
+        let blended = match self.learned.get(&block) {
+            Some(&old) => self.quantise(old / 2 + live / 2),
+            None => live,
+        };
+        self.learned.insert(block, blended);
+        Some(live)
+    }
+
+    /// Returns blocks whose idle time now exceeds their previous
+    /// generation's live time (plus one resolution step of slack) and
+    /// marks them predicted-dead. Blocks with no learned history never
+    /// fire.
+    pub fn harvest_dead(&mut self, now: u64) -> Vec<Addr> {
+        let resolution = self.resolution_ns;
+        let mut dead = Vec::new();
+        for (&addr, t) in &mut self.blocks {
+            if t.predicted_dead {
+                continue;
+            }
+            let Some(prev) = t.prev_live_time.or(self.default_live_ns) else {
+                continue;
+            };
+            let idle = now.saturating_sub(t.last_access);
+            if idle > prev + resolution {
+                t.predicted_dead = true;
+                dead.push(addr);
+            }
+        }
+        dead.sort_unstable_by_key(|a| a.0); // deterministic order
+        dead
+    }
+
+    /// Whether `block` has a live, tracked generation.
+    #[must_use]
+    pub fn contains(&self, block: Addr) -> bool {
+        self.blocks.contains_key(&block)
+    }
+
+    /// Number of live tracked generations.
+    #[must_use]
+    pub fn live_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantisation_floors_to_resolution() {
+        let t = DecayTable::new(16);
+        assert_eq!(t.quantise(0), 0);
+        assert_eq!(t.quantise(15), 0);
+        assert_eq!(t.quantise(16), 16);
+        assert_eq!(t.quantise(47), 32);
+    }
+
+    #[test]
+    fn first_generation_never_predicted_dead() {
+        let mut t = DecayTable::new(16);
+        t.fill(0, Addr(0x40));
+        assert!(t.harvest_dead(1_000_000).is_empty());
+    }
+
+    #[test]
+    fn second_generation_dies_after_learned_live_time() {
+        let mut t = DecayTable::new(16);
+        t.fill(0, Addr(0x40));
+        t.touch(64, Addr(0x40));
+        assert_eq!(t.evict(100, Addr(0x40)), Some(64));
+        t.fill(200, Addr(0x40));
+        t.touch(210, Addr(0x40));
+        // idle = 70 < 64 + 16 → still live
+        assert!(t.harvest_dead(280).is_empty());
+        // idle = 100 > 80 → dead
+        assert_eq!(t.harvest_dead(310), vec![Addr(0x40)]);
+        // Fires only once per generation.
+        assert!(t.harvest_dead(400).is_empty());
+    }
+
+    #[test]
+    fn touch_resets_decay_and_dead_mark() {
+        let mut t = DecayTable::new(16);
+        t.fill(0, Addr(0x40));
+        t.touch(64, Addr(0x40));
+        t.evict(100, Addr(0x40));
+        t.fill(200, Addr(0x40));
+        assert_eq!(t.harvest_dead(300), vec![Addr(0x40)]);
+        // A late access revives the block, and the misprediction
+        // raises its live estimate to the observed 110 ns span
+        // (quantised to 96)...
+        t.touch(310, Addr(0x40));
+        assert!(t.harvest_dead(320).is_empty());
+        assert!(t.harvest_dead(420).is_empty(), "idle 110 < 96+16");
+        // ...so it dies again only after the longer interval.
+        assert_eq!(t.harvest_dead(430), vec![Addr(0x40)]);
+    }
+
+    #[test]
+    fn evict_untracked_returns_none() {
+        let mut t = DecayTable::new(16);
+        assert_eq!(t.evict(0, Addr(0x40)), None);
+    }
+
+    #[test]
+    fn live_block_count() {
+        let mut t = DecayTable::new(16);
+        t.fill(0, Addr(0x00));
+        t.fill(0, Addr(0x20));
+        assert_eq!(t.live_blocks(), 2);
+        assert!(t.contains(Addr(0x20)));
+        t.evict(10, Addr(0x20));
+        assert_eq!(t.live_blocks(), 1);
+    }
+
+    #[test]
+    fn default_live_lets_first_generations_die() {
+        let mut t = DecayTable::with_default_live(16, Some(64));
+        t.fill(0, Addr(0x40));
+        // No per-block history, but the default interval applies.
+        assert!(t.harvest_dead(70).is_empty(), "idle 70 < 64+16");
+        assert_eq!(t.harvest_dead(100), vec![Addr(0x40)]);
+    }
+
+    #[test]
+    fn misprediction_raises_live_estimate() {
+        let mut t = DecayTable::with_default_live(16, Some(64));
+        t.fill(0, Addr(0x40));
+        assert_eq!(t.harvest_dead(100), vec![Addr(0x40)]);
+        // The block turns out to be alive: touch after a false death.
+        t.touch(200, Addr(0x40));
+        // Its estimate is now >= 192 (the observed span), so it does
+        // not die again at the default interval.
+        assert!(t.harvest_dead(300).is_empty());
+        assert_eq!(t.harvest_dead(420), vec![Addr(0x40)]);
+    }
+
+    #[test]
+    fn ewma_blends_live_times() {
+        let mut t = DecayTable::new(16);
+        t.fill(0, Addr(0x40));
+        t.touch(160, Addr(0x40));
+        t.evict(200, Addr(0x40)); // learned: 160
+        t.fill(300, Addr(0x40));
+        t.evict(400, Addr(0x40)); // live 0 -> blended 80
+        // Third generation inherits the blended 80 ns estimate:
+        t.fill(500, Addr(0x40));
+        assert!(t.harvest_dead(560).is_empty(), "idle 60 < 80+16");
+        assert_eq!(t.harvest_dead(600), vec![Addr(0x40)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_resolution_panics() {
+        let _ = DecayTable::new(0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Time-Keeping hardware prefetching (Hu et al., ISCA 2002), as used to
+//! stress-test VSV in §5.1/§6.4 of the paper.
+//!
+//! The idea: most L1 blocks have a stable *live time* (fill → last
+//! access). Once a block has been idle longer than its previous
+//! generation's live time it is predicted **dead**; a PC-free address
+//! predictor — trained with per-set miss-history traces — then guesses
+//! the next block that will map near it and prefetches it into the L2
+//! and a small prefetch buffer beside the L1 (never into the L1
+//! itself).
+//!
+//! Structures, following the paper's §5.1 parameters:
+//!
+//! * decay counters with **16-cycle resolution** per live L1-D block;
+//! * a **16 KB address predictor** indexed by a signature of nine L1
+//!   tag bits and one index bit, holding a predicted successor block;
+//! * per-set history traces for training (recommended in Hu et al. for
+//!   set-associative L1s);
+//! * the 128-entry FIFO prefetch buffer itself lives in `vsv-mem`
+//!   (`HierarchyConfig::with_prefetch_buffer`), since refills flow
+//!   through the hierarchy.
+//!
+//! # Examples
+//!
+//! ```
+//! use vsv_isa::Addr;
+//! use vsv_prefetch::{TimeKeeping, TimeKeepingConfig};
+//!
+//! let mut tk = TimeKeeping::new(TimeKeepingConfig::baseline());
+//! // Train: miss to A then (same set) miss to B teaches A -> B.
+//! tk.on_miss(0, Addr(0x1000));
+//! tk.on_fill(10, Addr(0x1000));
+//! tk.on_access(20, Addr(0x1000));
+//! tk.on_evict(200, Addr(0x1000));
+//! tk.on_miss(200, Addr(0x11000)); // same L1 set as 0x1000
+//! tk.on_fill(210, Addr(0x11000));
+//! // Next generation of A: once idle past its live time, the
+//! // predictor proposes B.
+//! tk.on_miss(300, Addr(0x1000));
+//! tk.on_fill(310, Addr(0x1000));
+//! tk.on_access(320, Addr(0x1000));
+//! let mut proposals = Vec::new();
+//! for now in (320..800).step_by(16) {
+//!     proposals.extend(tk.tick(now));
+//! }
+//! assert!(proposals.contains(&Addr(0x11000)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod decay;
+mod predictor;
+mod timekeeping;
+
+pub use decay::{BlockTimer, DecayTable};
+pub use predictor::AddressPredictor;
+pub use timekeeping::{TimeKeeping, TimeKeepingConfig, TimeKeepingStats};

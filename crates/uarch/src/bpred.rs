@@ -1,0 +1,470 @@
+//! Hybrid branch predictor, BTB and return-address stack.
+//!
+//! Table 1: "8K/8K/8K hybrid predictor; 32-entry RAS, 8192-entry 4-way
+//! BTB, 8 cycle misprediction penalty". The hybrid combines an 8K-entry
+//! bimodal table and an 8K-entry gshare table through an 8K-entry meta
+//! (chooser) table, as in the Alpha 21264 tournament scheme.
+
+use vsv_isa::{BranchKind, Pc};
+
+/// Saturating 2-bit counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Counter2(u8);
+
+impl Counter2 {
+    fn taken(self) -> bool {
+        self.0 >= 2
+    }
+    fn update(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+}
+
+/// Which direction-prediction scheme the predictor uses.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PredictorKind {
+    /// Bimodal + gshare selected by a meta chooser (Table 1; the
+    /// Alpha 21264 tournament scheme).
+    #[default]
+    Hybrid,
+    /// Bimodal only: per-PC 2-bit counters.
+    Bimodal,
+    /// Gshare only: global-history-xor-PC 2-bit counters.
+    Gshare,
+}
+
+/// Predictor table sizes.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchPredictorConfig {
+    /// Direction scheme.
+    pub kind: PredictorKind,
+    /// Bimodal-table entries.
+    pub bimodal_entries: usize,
+    /// Gshare-table entries (also sets the history length).
+    pub gshare_entries: usize,
+    /// Meta-chooser entries.
+    pub meta_entries: usize,
+    /// BTB entries.
+    pub btb_entries: usize,
+    /// BTB associativity.
+    pub btb_assoc: usize,
+    /// Return-address-stack depth.
+    pub ras_entries: usize,
+}
+
+impl BranchPredictorConfig {
+    /// Table 1's 8K/8K/8K hybrid, 8192×4-way BTB, 32-entry RAS.
+    #[must_use]
+    pub fn baseline() -> Self {
+        BranchPredictorConfig {
+            kind: PredictorKind::Hybrid,
+            bimodal_entries: 8192,
+            gshare_entries: 8192,
+            meta_entries: 8192,
+            btb_entries: 8192,
+            btb_assoc: 4,
+            ras_entries: 32,
+        }
+    }
+}
+
+/// A direction + target prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Predicted direction (always `true` for unconditional kinds).
+    pub taken: bool,
+    /// Predicted target, when one is available (BTB or RAS hit).
+    pub target: Option<Pc>,
+}
+
+/// Counters for predictor accuracy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchPredictorStats {
+    /// Predictions made.
+    pub lookups: u64,
+    /// Updates applied.
+    pub updates: u64,
+    /// BTB lookups that found a target.
+    pub btb_hits: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BtbLine {
+    valid: bool,
+    tag: u64,
+    target: Pc,
+    last_use: u64,
+}
+
+/// The tournament predictor with BTB and RAS.
+///
+/// # Examples
+///
+/// ```
+/// use vsv_isa::{BranchKind, Pc};
+/// use vsv_uarch::{BranchPredictor, BranchPredictorConfig};
+///
+/// let mut bp = BranchPredictor::new(BranchPredictorConfig::baseline());
+/// // Train a strongly-taken branch.
+/// for _ in 0..4 {
+///     bp.update(Pc(0x40), BranchKind::Conditional, true, Pc(0x100));
+/// }
+/// let p = bp.predict(Pc(0x40), BranchKind::Conditional);
+/// assert!(p.taken);
+/// assert_eq!(p.target, Some(Pc(0x100)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    cfg: BranchPredictorConfig,
+    bimodal: Vec<Counter2>,
+    gshare: Vec<Counter2>,
+    /// Meta counter: high means "trust gshare".
+    meta: Vec<Counter2>,
+    history: u64,
+    btb: Vec<Vec<BtbLine>>,
+    ras: Vec<Pc>,
+    use_counter: u64,
+    stats: BranchPredictorStats,
+}
+
+impl BranchPredictor {
+    /// Builds a predictor with all counters weakly not-taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any table size is zero or not a power of two, or the
+    /// BTB entries are not divisible by its associativity.
+    #[must_use]
+    pub fn new(cfg: BranchPredictorConfig) -> Self {
+        for (name, n) in [
+            ("bimodal_entries", cfg.bimodal_entries),
+            ("gshare_entries", cfg.gshare_entries),
+            ("meta_entries", cfg.meta_entries),
+        ] {
+            assert!(n.is_power_of_two() && n > 0, "{name} must be a power of two");
+        }
+        assert!(cfg.btb_assoc > 0 && cfg.btb_entries.is_multiple_of(cfg.btb_assoc));
+        let btb_sets = cfg.btb_entries / cfg.btb_assoc;
+        assert!(btb_sets.is_power_of_two(), "BTB set count must be a power of two");
+        assert!(cfg.ras_entries > 0, "RAS must have entries");
+        BranchPredictor {
+            bimodal: vec![Counter2(1); cfg.bimodal_entries],
+            gshare: vec![Counter2(1); cfg.gshare_entries],
+            meta: vec![Counter2(1); cfg.meta_entries],
+            history: 0,
+            btb: vec![vec![BtbLine::default(); cfg.btb_assoc]; btb_sets],
+            ras: Vec::with_capacity(cfg.ras_entries),
+            use_counter: 0,
+            stats: BranchPredictorStats::default(),
+            cfg,
+        }
+    }
+
+    /// The predictor configuration.
+    #[must_use]
+    pub fn config(&self) -> BranchPredictorConfig {
+        self.cfg
+    }
+
+    /// Accuracy counters.
+    #[must_use]
+    pub fn stats(&self) -> BranchPredictorStats {
+        self.stats
+    }
+
+    fn pc_index(pc: Pc, entries: usize) -> usize {
+        ((pc.0 >> 2) as usize) & (entries - 1)
+    }
+
+    fn gshare_index(&self, pc: Pc) -> usize {
+        (((pc.0 >> 2) ^ self.history) as usize) & (self.cfg.gshare_entries - 1)
+    }
+
+    /// Predicts the branch at `pc`. Calls (`BranchKind::Call`) push the
+    /// fall-through PC on the RAS; returns pop it.
+    pub fn predict(&mut self, pc: Pc, kind: BranchKind) -> Prediction {
+        self.stats.lookups += 1;
+        match kind {
+            BranchKind::Conditional => {
+                let b = self.bimodal[Self::pc_index(pc, self.cfg.bimodal_entries)].taken();
+                let g = self.gshare[self.gshare_index(pc)].taken();
+                let taken = match self.cfg.kind {
+                    PredictorKind::Bimodal => b,
+                    PredictorKind::Gshare => g,
+                    PredictorKind::Hybrid => {
+                        if self.meta[Self::pc_index(pc, self.cfg.meta_entries)].taken() {
+                            g
+                        } else {
+                            b
+                        }
+                    }
+                };
+                let target = if taken { self.btb_lookup(pc) } else { None };
+                Prediction { taken, target }
+            }
+            BranchKind::Jump => Prediction {
+                taken: true,
+                target: self.btb_lookup(pc),
+            },
+            BranchKind::Call => {
+                let target = self.btb_lookup(pc);
+                if self.ras.len() == self.cfg.ras_entries {
+                    self.ras.remove(0);
+                }
+                self.ras.push(pc.next());
+                Prediction {
+                    taken: true,
+                    target,
+                }
+            }
+            BranchKind::Return => Prediction {
+                taken: true,
+                target: self.ras.pop(),
+            },
+        }
+    }
+
+    /// Trains the tables with the resolved outcome. `target` is the
+    /// actual taken-target (used to fill the BTB for taken branches).
+    pub fn update(&mut self, pc: Pc, kind: BranchKind, taken: bool, target: Pc) {
+        self.stats.updates += 1;
+        if kind == BranchKind::Conditional {
+            let bi = Self::pc_index(pc, self.cfg.bimodal_entries);
+            let gi = self.gshare_index(pc);
+            let mi = Self::pc_index(pc, self.cfg.meta_entries);
+            let b_correct = self.bimodal[bi].taken() == taken;
+            let g_correct = self.gshare[gi].taken() == taken;
+            // Meta trains toward whichever component was right.
+            if b_correct != g_correct {
+                self.meta[mi].update(g_correct);
+            }
+            self.bimodal[bi].update(taken);
+            self.gshare[gi].update(taken);
+            self.history = (self.history << 1) | u64::from(taken);
+        }
+        if taken && kind != BranchKind::Return {
+            self.btb_fill(pc, target);
+        }
+    }
+
+    fn btb_sets(&self) -> usize {
+        self.btb.len()
+    }
+
+    fn btb_lookup(&mut self, pc: Pc) -> Option<Pc> {
+        let sets = self.btb_sets();
+        let set = ((pc.0 >> 2) as usize) & (sets - 1);
+        let tag = pc.0 >> 2 >> sets.trailing_zeros();
+        self.use_counter += 1;
+        let counter = self.use_counter;
+        let hit = self.btb[set]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+            .map(|l| {
+                l.last_use = counter;
+                l.target
+            });
+        if hit.is_some() {
+            self.stats.btb_hits += 1;
+        }
+        hit
+    }
+
+    fn btb_fill(&mut self, pc: Pc, target: Pc) {
+        let sets = self.btb_sets();
+        let set = ((pc.0 >> 2) as usize) & (sets - 1);
+        let tag = pc.0 >> 2 >> sets.trailing_zeros();
+        self.use_counter += 1;
+        let counter = self.use_counter;
+        if let Some(line) = self.btb[set].iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.target = target;
+            line.last_use = counter;
+            return;
+        }
+        let victim = match self.btb[set].iter().position(|l| !l.valid) {
+            Some(i) => i,
+            None => self.btb[set]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("assoc >= 1"),
+        };
+        self.btb[set][victim] = BtbLine {
+            valid: true,
+            tag,
+            target,
+            last_use: counter,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bp() -> BranchPredictor {
+        BranchPredictor::new(BranchPredictorConfig::baseline())
+    }
+
+    #[test]
+    fn learns_always_taken() {
+        let mut p = bp();
+        let pc = Pc(0x100);
+        for _ in 0..4 {
+            p.update(pc, BranchKind::Conditional, true, Pc(0x200));
+        }
+        let pred = p.predict(pc, BranchKind::Conditional);
+        assert!(pred.taken);
+        assert_eq!(pred.target, Some(Pc(0x200)));
+    }
+
+    #[test]
+    fn learns_always_not_taken() {
+        let mut p = bp();
+        let pc = Pc(0x100);
+        for _ in 0..4 {
+            p.update(pc, BranchKind::Conditional, false, Pc(0x200));
+        }
+        let pred = p.predict(pc, BranchKind::Conditional);
+        assert!(!pred.taken);
+        assert_eq!(pred.target, None, "not-taken predictions carry no target");
+    }
+
+    #[test]
+    fn gshare_learns_alternating_pattern() {
+        let mut p = bp();
+        let pc = Pc(0x40);
+        // Alternating T/N/T/N: bimodal dithers, gshare nails it.
+        let mut correct = 0;
+        for i in 0..200u32 {
+            let actual = i % 2 == 0;
+            let pred = p.predict(pc, BranchKind::Conditional);
+            if pred.taken == actual {
+                correct += 1;
+            }
+            p.update(pc, BranchKind::Conditional, actual, Pc(0x80));
+        }
+        assert!(
+            correct > 150,
+            "hybrid should learn alternation, got {correct}/200"
+        );
+    }
+
+    #[test]
+    fn ras_predicts_matching_return() {
+        let mut p = bp();
+        let call_pc = Pc(0x1000);
+        let pred_call = p.predict(call_pc, BranchKind::Call);
+        assert!(pred_call.taken);
+        let pred_ret = p.predict(Pc(0x2000), BranchKind::Return);
+        assert_eq!(pred_ret.target, Some(call_pc.next()));
+        // Stack now empty: next return has no target.
+        assert_eq!(p.predict(Pc(0x2000), BranchKind::Return).target, None);
+    }
+
+    #[test]
+    fn ras_handles_nesting_and_overflow() {
+        let mut p = bp();
+        for i in 0..40u64 {
+            p.predict(Pc(0x100 + 4 * i), BranchKind::Call);
+        }
+        // Depth capped at 32: the 8 oldest were dropped.
+        let mut targets = Vec::new();
+        for _ in 0..40 {
+            targets.push(p.predict(Pc(0), BranchKind::Return).target);
+        }
+        let valid = targets.iter().filter(|t| t.is_some()).count();
+        assert_eq!(valid, 32);
+        // Returns come in LIFO order.
+        assert_eq!(targets[0], Some(Pc(0x100 + 4 * 39).next()));
+    }
+
+    #[test]
+    fn jumps_predict_taken_with_btb_target() {
+        let mut p = bp();
+        let pc = Pc(0x500);
+        assert_eq!(p.predict(pc, BranchKind::Jump).target, None);
+        p.update(pc, BranchKind::Jump, true, Pc(0x900));
+        let pred = p.predict(pc, BranchKind::Jump);
+        assert!(pred.taken);
+        assert_eq!(pred.target, Some(Pc(0x900)));
+    }
+
+    #[test]
+    fn btb_replaces_lru_within_set() {
+        let mut cfg = BranchPredictorConfig::baseline();
+        cfg.btb_entries = 8;
+        cfg.btb_assoc = 2;
+        let mut p = BranchPredictor::new(cfg);
+        // Three taken branches mapping to the same BTB set (4 sets).
+        let a = Pc(0x00);
+        let b = Pc(0x40);
+        let c = Pc(0x80);
+        p.update(a, BranchKind::Jump, true, Pc(0x1000));
+        p.update(b, BranchKind::Jump, true, Pc(0x2000));
+        let _ = p.predict(a, BranchKind::Jump); // refresh a
+        p.update(c, BranchKind::Jump, true, Pc(0x3000)); // evicts b
+        assert_eq!(p.predict(a, BranchKind::Jump).target, Some(Pc(0x1000)));
+        assert_eq!(p.predict(b, BranchKind::Jump).target, None);
+        assert_eq!(p.predict(c, BranchKind::Jump).target, Some(Pc(0x3000)));
+    }
+
+    #[test]
+    fn stats_count() {
+        let mut p = bp();
+        p.update(Pc(0), BranchKind::Conditional, true, Pc(8));
+        let _ = p.predict(Pc(0), BranchKind::Conditional);
+        assert_eq!(p.stats().updates, 1);
+        assert_eq!(p.stats().lookups, 1);
+    }
+}
+
+#[cfg(test)]
+mod kind_tests {
+    use super::*;
+
+    fn accuracy(kind: PredictorKind, outcomes: impl Iterator<Item = bool>) -> f64 {
+        let mut cfg = BranchPredictorConfig::baseline();
+        cfg.kind = kind;
+        let mut p = BranchPredictor::new(cfg);
+        let pc = Pc(0x40);
+        let (mut total, mut right) = (0u64, 0u64);
+        for (i, actual) in outcomes.enumerate() {
+            let pred = p.predict(pc, BranchKind::Conditional);
+            if i > 50 {
+                total += 1;
+                if pred.taken == actual {
+                    right += 1;
+                }
+            }
+            p.update(pc, BranchKind::Conditional, actual, Pc(0x80));
+        }
+        right as f64 / total as f64
+    }
+
+    #[test]
+    fn gshare_beats_bimodal_on_alternation() {
+        let alt = |n: usize| (0..n).map(|i| i % 2 == 0);
+        let bimodal = accuracy(PredictorKind::Bimodal, alt(400));
+        let gshare = accuracy(PredictorKind::Gshare, alt(400));
+        let hybrid = accuracy(PredictorKind::Hybrid, alt(400));
+        assert!(gshare > 0.95, "gshare learns alternation: {gshare}");
+        assert!(bimodal < 0.7, "bimodal dithers on alternation: {bimodal}");
+        assert!(hybrid > 0.9, "the chooser routes to gshare: {hybrid}");
+    }
+
+    #[test]
+    fn all_kinds_learn_a_constant_direction() {
+        for kind in [PredictorKind::Bimodal, PredictorKind::Gshare, PredictorKind::Hybrid] {
+            let acc = accuracy(kind, (0..300).map(|_| true));
+            assert!(acc > 0.98, "{kind:?}: {acc}");
+        }
+    }
+}

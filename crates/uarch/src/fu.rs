@@ -1,0 +1,170 @@
+//! Functional-unit pools.
+
+use vsv_isa::OpClass;
+
+use crate::config::CoreConfig;
+
+/// One pool of identical functional units.
+///
+/// ALU pools are fully pipelined (a unit accepts a new op every cycle);
+/// mul/div pools are unpipelined (a unit is busy for the op's full
+/// latency).
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    /// Cycle at which each unit becomes free.
+    free_at: Vec<u64>,
+    pipelined: bool,
+    issued: u64,
+    structural_stalls: u64,
+}
+
+impl FuPool {
+    /// Creates a pool of `units` units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is zero.
+    #[must_use]
+    pub fn new(units: usize, pipelined: bool) -> Self {
+        assert!(units > 0, "a functional-unit pool needs at least one unit");
+        FuPool {
+            free_at: vec![0; units],
+            pipelined,
+            issued: 0,
+            structural_stalls: 0,
+        }
+    }
+
+    /// Tries to start an op of `latency` cycles at `cycle`.
+    /// Returns the completion cycle, or `None` if no unit is free
+    /// (a structural hazard).
+    pub fn try_issue(&mut self, cycle: u64, latency: u32) -> Option<u64> {
+        match self.free_at.iter_mut().find(|f| **f <= cycle) {
+            Some(slot) => {
+                let done = cycle + u64::from(latency.max(1));
+                // Pipelined units accept a new op next cycle; the
+                // others are busy until completion.
+                *slot = if self.pipelined { cycle + 1 } else { done };
+                self.issued += 1;
+                Some(done)
+            }
+            None => {
+                self.structural_stalls += 1;
+                None
+            }
+        }
+    }
+
+    /// Ops issued to this pool.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Issue attempts rejected for lack of a free unit.
+    #[must_use]
+    pub fn structural_stalls(&self) -> u64 {
+        self.structural_stalls
+    }
+
+    /// Number of units in the pool.
+    #[must_use]
+    pub fn units(&self) -> usize {
+        self.free_at.len()
+    }
+}
+
+/// The full set of pools from Table 1.
+#[derive(Debug, Clone)]
+pub struct FuSet {
+    /// Integer ALUs (8, pipelined). Also execute branches, stores'
+    /// address generation and software prefetches.
+    pub int_alu: FuPool,
+    /// Integer mul/div (2, unpipelined).
+    pub int_muldiv: FuPool,
+    /// FP ALUs (4, pipelined).
+    pub fp_alu: FuPool,
+    /// FP mul/div (4, unpipelined).
+    pub fp_muldiv: FuPool,
+}
+
+impl FuSet {
+    /// Builds the pools described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pool size is zero.
+    #[must_use]
+    pub fn new(cfg: &CoreConfig) -> Self {
+        FuSet {
+            int_alu: FuPool::new(cfg.int_alu_units, true),
+            int_muldiv: FuPool::new(cfg.int_muldiv_units, false),
+            fp_alu: FuPool::new(cfg.fp_alu_units, true),
+            fp_muldiv: FuPool::new(cfg.fp_muldiv_units, false),
+        }
+    }
+
+    /// The pool an op class executes on. Loads/stores/prefetches use
+    /// an integer ALU for address generation; branches resolve on an
+    /// integer ALU; NOPs consume no unit (`None`).
+    pub fn pool_for(&mut self, op: OpClass) -> Option<&mut FuPool> {
+        match op {
+            OpClass::IntAlu
+            | OpClass::Branch
+            | OpClass::Load
+            | OpClass::Store
+            | OpClass::Prefetch => Some(&mut self.int_alu),
+            OpClass::IntMulDiv => Some(&mut self.int_muldiv),
+            OpClass::FpAlu => Some(&mut self.fp_alu),
+            OpClass::FpMulDiv => Some(&mut self.fp_muldiv),
+            OpClass::Nop => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_pool_accepts_back_to_back() {
+        let mut p = FuPool::new(1, true);
+        assert_eq!(p.try_issue(0, 3), Some(3));
+        assert_eq!(p.try_issue(1, 3), Some(4), "pipelined: next cycle OK");
+        assert_eq!(p.try_issue(1, 3), None, "but only one per cycle per unit");
+    }
+
+    #[test]
+    fn unpipelined_pool_blocks_until_done() {
+        let mut p = FuPool::new(1, false);
+        assert_eq!(p.try_issue(0, 8), Some(8));
+        assert_eq!(p.try_issue(4, 8), None);
+        assert_eq!(p.structural_stalls(), 1);
+        assert_eq!(p.try_issue(8, 8), Some(16));
+    }
+
+    #[test]
+    fn multiple_units_issue_same_cycle() {
+        let mut p = FuPool::new(2, false);
+        assert!(p.try_issue(0, 8).is_some());
+        assert!(p.try_issue(0, 8).is_some());
+        assert!(p.try_issue(0, 8).is_none());
+        assert_eq!(p.issued(), 2);
+    }
+
+    #[test]
+    fn zero_latency_clamps_to_one() {
+        let mut p = FuPool::new(1, true);
+        assert_eq!(p.try_issue(5, 0), Some(6));
+    }
+
+    #[test]
+    fn pool_routing() {
+        let mut set = FuSet::new(&CoreConfig::baseline());
+        assert_eq!(set.pool_for(OpClass::Load).unwrap().units(), 8);
+        assert_eq!(set.pool_for(OpClass::IntMulDiv).unwrap().units(), 2);
+        assert_eq!(set.pool_for(OpClass::FpAlu).unwrap().units(), 4);
+        assert_eq!(set.pool_for(OpClass::FpMulDiv).unwrap().units(), 4);
+        assert!(set.pool_for(OpClass::Nop).is_none());
+    }
+}

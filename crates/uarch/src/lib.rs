@@ -1,0 +1,35 @@
+//! The 8-way out-of-order superscalar core of the VSV simulator.
+//!
+//! Implements the paper's Table 1 baseline processor from scratch:
+//!
+//! * trace-driven fetch with a hybrid 8K/8K/8K branch predictor,
+//!   8192-entry 4-way BTB and 32-entry return-address stack
+//!   ([`BranchPredictor`]);
+//! * register renaming into a 128-entry RUU with a 64-entry LSQ
+//!   ([`Ruu`]);
+//! * out-of-order issue to 8 integer ALUs, 2 integer mul/div, 4 FP
+//!   ALUs and 4 FP mul/div units ([`FuSet`]);
+//! * in-order commit, 8 wide;
+//! * per-cycle activity vectors for the Wattch-style power model
+//!   ([`CycleActivity`]).
+//!
+//! The core owns its [`vsv_mem::Hierarchy`] and optionally a
+//! [`vsv_prefetch::TimeKeeping`] engine. See [`Core`] for the
+//! clocking contract that makes VSV's two clock domains work.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activity;
+mod bpred;
+mod config;
+mod fu;
+mod pipeline;
+mod ruu;
+
+pub use activity::{CoreStats, CycleActivity, IssueHistogram};
+pub use bpred::{BranchPredictor, BranchPredictorConfig, BranchPredictorStats, Prediction, PredictorKind};
+pub use config::{CoreConfig, OpLatencies};
+pub use fu::{FuPool, FuSet};
+pub use pipeline::Core;
+pub use ruu::{EntryState, Ruu, RuuEntry, Seq};

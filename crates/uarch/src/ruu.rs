@@ -1,0 +1,483 @@
+//! The Register Update Unit: a combined instruction window / reorder
+//! buffer with register renaming, as in SimpleScalar's `sim-outorder`
+//! (the simulator family the paper's Wattch setup derives from).
+
+use std::collections::VecDeque;
+
+use vsv_isa::{Addr, ArchReg, Inst, OpClass};
+
+/// A dynamic-instruction sequence number: dense, monotonically
+/// increasing in program order.
+pub type Seq = u64;
+
+/// Lifecycle of an RUU entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryState {
+    /// Waiting on source operands.
+    Waiting,
+    /// Operands ready; eligible for issue.
+    Ready,
+    /// Executing on a functional unit (or waiting on a cache miss).
+    Issued,
+    /// Result produced; eligible for in-order commit.
+    Completed,
+}
+
+/// One in-flight instruction.
+#[derive(Debug, Clone)]
+pub struct RuuEntry {
+    /// Program-order sequence number.
+    pub seq: Seq,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// Current lifecycle state.
+    pub state: EntryState,
+    /// Unresolved source dependences.
+    pub deps_outstanding: u8,
+    /// Entries waiting on this one's result.
+    pub consumers: Vec<Seq>,
+    /// Set at dispatch for branches whose fetch-time prediction was
+    /// wrong; fetch resumes `penalty` cycles after this resolves.
+    pub mispredicted: bool,
+    /// Cycle the entry was issued (for occupancy stats).
+    pub issued_at: Option<u64>,
+}
+
+/// The register update unit plus LSQ occupancy accounting.
+///
+/// # Examples
+///
+/// ```
+/// use vsv_isa::{ArchReg, Inst, Pc};
+/// use vsv_uarch::{EntryState, Ruu};
+///
+/// let mut ruu = Ruu::new(4, 2);
+/// let producer = ruu.dispatch(Inst::alu(Pc(0), ArchReg::int(1), &[]), false);
+/// let consumer = ruu.dispatch(
+///     Inst::alu(Pc(4), ArchReg::int(2), &[ArchReg::int(1)]),
+///     false,
+/// );
+/// assert_eq!(ruu.entry(consumer).unwrap().state, EntryState::Waiting);
+/// ruu.mark_issued(producer, 0);
+/// ruu.complete(producer);
+/// assert_eq!(ruu.entry(consumer).unwrap().state, EntryState::Ready);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ruu {
+    entries: VecDeque<RuuEntry>,
+    head_seq: Seq,
+    next_seq: Seq,
+    capacity: usize,
+    lsq_capacity: usize,
+    lsq_occupancy: usize,
+    reg_producer: [Option<Seq>; ArchReg::COUNT],
+    peak_occupancy: usize,
+}
+
+impl Ruu {
+    /// Creates an empty window of `capacity` entries with an LSQ of
+    /// `lsq_capacity` memory slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is zero.
+    #[must_use]
+    pub fn new(capacity: usize, lsq_capacity: usize) -> Self {
+        assert!(capacity > 0, "RUU capacity must be nonzero");
+        assert!(lsq_capacity > 0, "LSQ capacity must be nonzero");
+        Ruu {
+            entries: VecDeque::with_capacity(capacity),
+            head_seq: 0,
+            next_seq: 0,
+            capacity,
+            lsq_capacity,
+            lsq_occupancy: 0,
+            reg_producer: [None; ArchReg::COUNT],
+            peak_occupancy: 0,
+        }
+    }
+
+    /// Whether the window has no free entry.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Whether the window is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Live entries.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Live memory (LSQ) entries.
+    #[must_use]
+    pub fn lsq_occupancy(&self) -> usize {
+        self.lsq_occupancy
+    }
+
+    /// High-water mark of window occupancy.
+    #[must_use]
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Whether dispatching `op` would exceed the LSQ.
+    #[must_use]
+    pub fn lsq_blocks(&self, op: OpClass) -> bool {
+        op.is_mem() && self.lsq_occupancy >= self.lsq_capacity
+    }
+
+    /// Whether `inst` can be dispatched right now.
+    #[must_use]
+    pub fn can_dispatch(&self, inst: &Inst) -> bool {
+        !self.is_full() && !self.lsq_blocks(inst.op())
+    }
+
+    /// Renames and allocates `inst`, returning its sequence number.
+    /// `mispredicted` flags a branch whose prediction was wrong.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window or (for memory ops) the LSQ is full; call
+    /// [`Ruu::can_dispatch`] first.
+    pub fn dispatch(&mut self, inst: Inst, mispredicted: bool) -> Seq {
+        assert!(!self.is_full(), "RUU full");
+        assert!(!self.lsq_blocks(inst.op()), "LSQ full");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if inst.op().is_mem() {
+            self.lsq_occupancy += 1;
+        }
+
+        let mut deps = 0u8;
+        let mut dep_seqs: [Option<Seq>; 2] = [None; 2];
+        for (slot, src) in dep_seqs.iter_mut().zip(inst.srcs().iter()) {
+            if let Some(reg) = src {
+                if let Some(prod) = self.reg_producer[reg.index()] {
+                    // Only a still-live, incomplete producer creates a
+                    // dependence (completed values forward from the
+                    // regfile/bypass).
+                    if self
+                        .entry(prod)
+                        .is_some_and(|e| e.state != EntryState::Completed)
+                    {
+                        *slot = Some(prod);
+                        deps += 1;
+                    }
+                }
+            }
+        }
+
+        let state = if deps == 0 {
+            EntryState::Ready
+        } else {
+            EntryState::Waiting
+        };
+        self.entries.push_back(RuuEntry {
+            seq,
+            inst,
+            state,
+            deps_outstanding: deps,
+            consumers: Vec::new(),
+            mispredicted,
+            issued_at: None,
+        });
+        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+
+        // Register in producers' consumer lists (after push so a
+        // self-dependence like `r1 <- [r1]` is handled by the lookup
+        // above using the *previous* producer).
+        for prod in dep_seqs.into_iter().flatten() {
+            if let Some(e) = self.entry_mut(prod) {
+                e.consumers.push(seq);
+            }
+        }
+        if let Some(dst) = inst.dst() {
+            self.reg_producer[dst.index()] = Some(seq);
+        }
+        seq
+    }
+
+    /// Shared access to entry `seq`, if still in the window.
+    #[must_use]
+    pub fn entry(&self, seq: Seq) -> Option<&RuuEntry> {
+        let idx = seq.checked_sub(self.head_seq)? as usize;
+        self.entries.get(idx)
+    }
+
+    fn entry_mut(&mut self, seq: Seq) -> Option<&mut RuuEntry> {
+        let idx = seq.checked_sub(self.head_seq)? as usize;
+        self.entries.get_mut(idx)
+    }
+
+    /// Sequence numbers of up to `max` issue-eligible entries, oldest
+    /// first.
+    #[must_use]
+    pub fn ready_seqs(&self, max: usize) -> Vec<Seq> {
+        self.entries
+            .iter()
+            .filter(|e| e.state == EntryState::Ready)
+            .take(max)
+            .map(|e| e.seq)
+            .collect()
+    }
+
+    /// Transitions `seq` to [`EntryState::Issued`].
+    pub fn mark_issued(&mut self, seq: Seq, cycle: u64) {
+        if let Some(e) = self.entry_mut(seq) {
+            debug_assert_eq!(e.state, EntryState::Ready);
+            e.state = EntryState::Issued;
+            e.issued_at = Some(cycle);
+        }
+    }
+
+    /// Completes `seq`, waking consumers. Returns the number of
+    /// consumers woken (for wakeup-port activity accounting).
+    pub fn complete(&mut self, seq: Seq) -> u32 {
+        let consumers = match self.entry_mut(seq) {
+            Some(e) => {
+                e.state = EntryState::Completed;
+                std::mem::take(&mut e.consumers)
+            }
+            None => return 0,
+        };
+        let woken = consumers.len() as u32;
+        for c in consumers {
+            if let Some(e) = self.entry_mut(c) {
+                e.deps_outstanding = e.deps_outstanding.saturating_sub(1);
+                if e.deps_outstanding == 0 && e.state == EntryState::Waiting {
+                    e.state = EntryState::Ready;
+                }
+            }
+        }
+        woken
+    }
+
+    /// The head entry, if it is completed and thus committable.
+    #[must_use]
+    pub fn commit_ready(&self) -> Option<&RuuEntry> {
+        self.entries
+            .front()
+            .filter(|e| e.state == EntryState::Completed)
+    }
+
+    /// Removes and returns the head entry (which must be completed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is missing or not completed.
+    pub fn pop_commit(&mut self) -> RuuEntry {
+        let e = self.entries.pop_front().expect("commit from empty RUU");
+        assert_eq!(e.state, EntryState::Completed, "commit of incomplete entry");
+        self.head_seq = e.seq + 1;
+        if e.inst.op().is_mem() {
+            self.lsq_occupancy -= 1;
+        }
+        // The architectural value now lives in the regfile.
+        if let Some(dst) = e.inst.dst() {
+            if self.reg_producer[dst.index()] == Some(e.seq) {
+                self.reg_producer[dst.index()] = None;
+            }
+        }
+        e
+    }
+
+    /// Whether *any* older store is still in flight ahead of `seq`
+    /// (used by the conservative disambiguation mode, where loads may
+    /// not issue past unretired stores).
+    #[must_use]
+    pub fn has_older_store(&self, seq: Seq) -> bool {
+        self.entries
+            .iter()
+            .take_while(|e| e.seq < seq)
+            .any(|e| e.inst.op() == OpClass::Store)
+    }
+
+    /// Whether an older, still-in-flight store writes the same block
+    /// as `addr` (store-to-load forwarding opportunity for the load at
+    /// `seq`).
+    #[must_use]
+    pub fn older_store_to_block(&self, seq: Seq, addr: Addr, block_bytes: u64) -> bool {
+        let block = addr.block(block_bytes);
+        self.entries
+            .iter()
+            .take_while(|e| e.seq < seq)
+            .any(|e| {
+                e.inst.op() == OpClass::Store
+                    && e.inst
+                        .mem_addr()
+                        .is_some_and(|a| a.block(block_bytes) == block)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsv_isa::Pc;
+
+    fn alu(pc: u64, dst: u8, srcs: &[u8]) -> Inst {
+        let regs: Vec<ArchReg> = srcs.iter().map(|&n| ArchReg::int(n)).collect();
+        Inst::alu(Pc(pc), ArchReg::int(dst), &regs)
+    }
+
+    #[test]
+    fn independent_insts_are_ready_at_dispatch() {
+        let mut r = Ruu::new(8, 4);
+        let s = r.dispatch(alu(0, 1, &[]), false);
+        assert_eq!(r.entry(s).unwrap().state, EntryState::Ready);
+    }
+
+    #[test]
+    fn dependence_chain_wakes_in_order() {
+        let mut r = Ruu::new(8, 4);
+        let a = r.dispatch(alu(0, 1, &[]), false);
+        let b = r.dispatch(alu(4, 2, &[1]), false);
+        let c = r.dispatch(alu(8, 3, &[2]), false);
+        assert_eq!(r.ready_seqs(8), vec![a]);
+        r.mark_issued(a, 0);
+        assert_eq!(r.complete(a), 1);
+        assert_eq!(r.ready_seqs(8), vec![b]);
+        r.mark_issued(b, 1);
+        r.complete(b);
+        assert_eq!(r.ready_seqs(8), vec![c]);
+    }
+
+    #[test]
+    fn two_source_instruction_waits_for_both() {
+        let mut r = Ruu::new(8, 4);
+        let a = r.dispatch(alu(0, 1, &[]), false);
+        let b = r.dispatch(alu(4, 2, &[]), false);
+        let c = r.dispatch(alu(8, 3, &[1, 2]), false);
+        r.mark_issued(a, 0);
+        r.complete(a);
+        assert_eq!(r.entry(c).unwrap().state, EntryState::Waiting);
+        r.mark_issued(b, 0);
+        r.complete(b);
+        assert_eq!(r.entry(c).unwrap().state, EntryState::Ready);
+    }
+
+    #[test]
+    fn completed_producer_creates_no_dependence() {
+        let mut r = Ruu::new(8, 4);
+        let a = r.dispatch(alu(0, 1, &[]), false);
+        r.mark_issued(a, 0);
+        r.complete(a);
+        let b = r.dispatch(alu(4, 2, &[1]), false);
+        assert_eq!(r.entry(b).unwrap().state, EntryState::Ready);
+    }
+
+    #[test]
+    fn rename_tracks_latest_producer() {
+        let mut r = Ruu::new(8, 4);
+        let _old = r.dispatch(alu(0, 1, &[]), false);
+        let new = r.dispatch(alu(4, 1, &[]), false);
+        let user = r.dispatch(alu(8, 2, &[1]), false);
+        // user depends on `new`, not `old`.
+        r.mark_issued(new, 0);
+        r.complete(new);
+        assert_eq!(r.entry(user).unwrap().state, EntryState::Ready);
+    }
+
+    #[test]
+    fn self_dependence_uses_previous_producer() {
+        let mut r = Ruu::new(8, 4);
+        let a = r.dispatch(alu(0, 1, &[]), false);
+        // r1 <- f(r1): depends on the previous writer of r1, not itself.
+        let b = r.dispatch(alu(4, 1, &[1]), false);
+        assert_eq!(r.entry(b).unwrap().state, EntryState::Waiting);
+        r.mark_issued(a, 0);
+        r.complete(a);
+        assert_eq!(r.entry(b).unwrap().state, EntryState::Ready);
+    }
+
+    #[test]
+    fn in_order_commit_only_when_head_completed() {
+        let mut r = Ruu::new(8, 4);
+        let a = r.dispatch(alu(0, 1, &[]), false);
+        let b = r.dispatch(alu(4, 2, &[]), false);
+        r.mark_issued(b, 0);
+        r.complete(b);
+        assert!(r.commit_ready().is_none(), "head (a) not complete yet");
+        r.mark_issued(a, 1);
+        r.complete(a);
+        assert_eq!(r.commit_ready().unwrap().seq, a);
+        assert_eq!(r.pop_commit().seq, a);
+        assert_eq!(r.pop_commit().seq, b);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn capacity_and_lsq_limits() {
+        let mut r = Ruu::new(2, 1);
+        let ld = Inst::load(Pc(0), ArchReg::int(1), Addr(0x40));
+        assert!(r.can_dispatch(&ld));
+        r.dispatch(ld, false);
+        let ld2 = Inst::load(Pc(4), ArchReg::int(2), Addr(0x80));
+        assert!(!r.can_dispatch(&ld2), "LSQ full");
+        let a = alu(8, 3, &[]);
+        assert!(r.can_dispatch(&a), "non-mem op unaffected by LSQ");
+        r.dispatch(a, false);
+        assert!(r.is_full());
+        assert!(!r.can_dispatch(&alu(12, 4, &[])));
+    }
+
+    #[test]
+    fn lsq_frees_at_commit() {
+        let mut r = Ruu::new(4, 1);
+        let s = r.dispatch(Inst::load(Pc(0), ArchReg::int(1), Addr(0x40)), false);
+        assert_eq!(r.lsq_occupancy(), 1);
+        r.mark_issued(s, 0);
+        r.complete(s);
+        r.pop_commit();
+        assert_eq!(r.lsq_occupancy(), 0);
+    }
+
+    #[test]
+    fn store_forwarding_visibility() {
+        let mut r = Ruu::new(8, 4);
+        let _st = r.dispatch(Inst::store(Pc(0), Addr(0x44), ArchReg::int(1)), false);
+        let ld = r.dispatch(Inst::load(Pc(4), ArchReg::int(2), Addr(0x40)), false);
+        assert!(r.older_store_to_block(ld, Addr(0x40), 32), "same 32B block");
+        assert!(!r.older_store_to_block(ld, Addr(0x80), 32));
+        // A *younger* store must not forward to an older load.
+        let st2 = r.dispatch(Inst::store(Pc(8), Addr(0xc0), ArchReg::int(1)), false);
+        let _ = st2;
+        assert!(!r.older_store_to_block(ld, Addr(0xc0), 32));
+    }
+
+    #[test]
+    fn commit_clears_stale_rename_mapping() {
+        let mut r = Ruu::new(8, 4);
+        let a = r.dispatch(alu(0, 1, &[]), false);
+        r.mark_issued(a, 0);
+        r.complete(a);
+        r.pop_commit();
+        // A new consumer of r1 sees no in-flight producer.
+        let b = r.dispatch(alu(4, 2, &[1]), false);
+        assert_eq!(r.entry(b).unwrap().state, EntryState::Ready);
+    }
+
+    #[test]
+    fn peak_occupancy_high_water() {
+        let mut r = Ruu::new(8, 8);
+        for i in 0..5 {
+            r.dispatch(alu(i * 4, 1, &[]), false);
+        }
+        assert_eq!(r.peak_occupancy(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "RUU full")]
+    fn dispatch_into_full_window_panics() {
+        let mut r = Ruu::new(1, 1);
+        r.dispatch(alu(0, 1, &[]), false);
+        r.dispatch(alu(4, 2, &[]), false);
+    }
+}

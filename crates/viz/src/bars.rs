@@ -1,0 +1,183 @@
+//! Grouped bar charts (the paper's Figure 4–7 style).
+
+use crate::svg::SvgDoc;
+
+/// Fill colours cycled across series.
+const PALETTE: [&str; 5] = ["#e0e0e0", "#404040", "#7a9ec7", "#c97a7a", "#8fbf8f"];
+
+/// A grouped bar chart: one group per category (benchmark), one bar
+/// per series (configuration) inside each group.
+///
+/// See the crate docs for an example.
+#[derive(Debug, Clone)]
+pub struct GroupedBarChart {
+    title: String,
+    series: Vec<(String, Vec<(String, f64)>)>,
+}
+
+impl GroupedBarChart {
+    /// Starts a chart with a Y-axis title.
+    #[must_use]
+    pub fn new(title: impl Into<String>) -> Self {
+        GroupedBarChart {
+            title: title.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series as `(category, value)` pairs. Categories are
+    /// taken from the first series; later series are matched by name
+    /// (missing categories render as zero).
+    #[must_use]
+    pub fn series(mut self, name: impl Into<String>, values: &[(&str, f64)]) -> Self {
+        self.series.push((
+            name.into(),
+            values
+                .iter()
+                .map(|(c, v)| ((*c).to_owned(), *v))
+                .collect(),
+        ));
+        self
+    }
+
+    /// Renders to SVG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no series were added.
+    #[must_use]
+    pub fn render(&self) -> String {
+        assert!(!self.series.is_empty(), "add at least one series");
+        let categories: Vec<&str> = self.series[0].1.iter().map(|(c, _)| c.as_str()).collect();
+        let n_cat = categories.len().max(1);
+        let n_ser = self.series.len();
+
+        let value_of = |series: &[(String, f64)], cat: &str| {
+            series
+                .iter()
+                .find(|(c, _)| c == cat)
+                .map_or(0.0, |(_, v)| *v)
+        };
+        let max_v = self
+            .series
+            .iter()
+            .flat_map(|(_, vs)| vs.iter().map(|(_, v)| *v))
+            .fold(1e-9_f64, f64::max);
+        let min_v = self
+            .series
+            .iter()
+            .flat_map(|(_, vs)| vs.iter().map(|(_, v)| *v))
+            .fold(0.0_f64, f64::min);
+        let span = (max_v - min_v).max(1e-9);
+
+        // Layout.
+        let (left, right, top, bottom) = (60.0, 20.0, 40.0, 70.0);
+        let plot_w = (n_cat * (n_ser * 14 + 10)) as f64;
+        let plot_h = 240.0;
+        let width = left + plot_w + right;
+        let height = top + plot_h + bottom;
+        let y_of = |v: f64| top + plot_h * (1.0 - (v - min_v) / span);
+
+        let mut doc = SvgDoc::new(width, height);
+        doc.text(width / 2.0, 18.0, 13.0, "middle", 0.0, &self.title);
+
+        // Y axis with 5 ticks.
+        doc.line(left, top, left, top + plot_h, "#000", 1.0);
+        for i in 0..=5 {
+            let v = min_v + span * f64::from(i) / 5.0;
+            let y = y_of(v);
+            doc.line(left - 4.0, y, left, y, "#000", 1.0);
+            doc.text(left - 7.0, y + 3.0, 9.0, "end", 0.0, &format!("{v:.0}"));
+            doc.line(left, y, left + plot_w, y, "#eeeeee", 0.5);
+        }
+        // Zero line when values straddle zero.
+        if min_v < 0.0 {
+            let y0 = y_of(0.0);
+            doc.line(left, y0, left + plot_w, y0, "#888", 1.0);
+        }
+
+        // Bars.
+        let group_w = plot_w / n_cat as f64;
+        let bar_w = (group_w - 10.0) / n_ser as f64;
+        for (ci, cat) in categories.iter().enumerate() {
+            let gx = left + ci as f64 * group_w + 5.0;
+            for (si, (_, values)) in self.series.iter().enumerate() {
+                let v = value_of(values, cat);
+                let y = y_of(v.max(0.0));
+                let h = (y_of(v.min(0.0)) - y).abs().max(0.5);
+                doc.rect(
+                    gx + si as f64 * bar_w,
+                    y,
+                    bar_w.max(1.0) - 1.0,
+                    h,
+                    PALETTE[si % PALETTE.len()],
+                );
+            }
+            doc.text(
+                gx + group_w / 2.0 - 5.0,
+                top + plot_h + 12.0,
+                9.0,
+                "end",
+                -45.0,
+                cat,
+            );
+        }
+
+        // Legend.
+        let mut lx = left;
+        let ly = height - 14.0;
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            doc.rect(lx, ly - 9.0, 10.0, 10.0, PALETTE[si % PALETTE.len()]);
+            doc.text(lx + 14.0, ly, 10.0, "start", 0.0, name);
+            lx += 22.0 + 7.0 * name.len() as f64;
+        }
+
+        doc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> GroupedBarChart {
+        GroupedBarChart::new("power saving (%)")
+            .series("noFSM", &[("mcf", 39.3), ("ammp", 29.5), ("gzip", 1.8)])
+            .series("FSM", &[("mcf", 38.8), ("ammp", 14.7), ("gzip", 1.0)])
+    }
+
+    #[test]
+    fn renders_all_categories_and_series() {
+        let svg = chart().render();
+        for s in ["mcf", "ammp", "gzip", "noFSM", "FSM", "power saving"] {
+            assert!(svg.contains(s), "missing {s}");
+        }
+        // 3 categories x 2 series bars + legend swatches (2).
+        assert_eq!(svg.matches("<rect").count(), 8);
+    }
+
+    #[test]
+    fn negative_values_render_below_a_zero_line() {
+        let svg = GroupedBarChart::new("perf")
+            .series("a", &[("x", -2.0), ("y", 4.0)])
+            .render();
+        assert!(svg.contains("<rect"));
+        // The zero line is drawn when values straddle zero.
+        assert!(svg.contains(r##"stroke="#888""##));
+    }
+
+    #[test]
+    fn missing_category_in_second_series_is_zero() {
+        let svg = GroupedBarChart::new("t")
+            .series("a", &[("x", 1.0), ("y", 2.0)])
+            .series("b", &[("x", 1.5)])
+            .render();
+        assert!(svg.contains("<rect"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one series")]
+    fn empty_chart_panics() {
+        let _ = GroupedBarChart::new("t").render();
+    }
+}

@@ -1,0 +1,170 @@
+//! Power-vs-performance trade-off charts (the analytical view of the
+//! paper's Figures 5 and 6: each policy is a point, each benchmark a
+//! connected curve through its policy spectrum).
+
+use crate::svg::SvgDoc;
+
+/// Stroke colours cycled across curves.
+const STROKES: [&str; 6] = [
+    "#1f4e79", "#9c3d3d", "#3d7a3d", "#7a5c9c", "#9c7a3d", "#3d7a7a",
+];
+
+/// One point of a trade-off curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TradeoffPoint {
+    /// Point label (e.g. the threshold: "t=3", "Last-R").
+    pub label: String,
+    /// Performance degradation, percent (X axis).
+    pub perf_pct: f64,
+    /// Power saving, percent (Y axis).
+    pub power_pct: f64,
+}
+
+/// A power-vs-degradation chart with one labelled curve per workload.
+///
+/// # Examples
+///
+/// ```
+/// use vsv_viz::{TradeoffChart, TradeoffPoint};
+///
+/// let pt = |label: &str, perf, power| TradeoffPoint {
+///     label: label.into(),
+///     perf_pct: perf,
+///     power_pct: power,
+/// };
+/// let svg = TradeoffChart::new()
+///     .curve("mcf", vec![pt("First-R", 2.3, 33.9), pt("Last-R", 3.0, 47.0)])
+///     .render();
+/// assert!(svg.contains("mcf"));
+/// assert!(svg.contains("Last-R"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TradeoffChart {
+    curves: Vec<(String, Vec<TradeoffPoint>)>,
+}
+
+impl TradeoffChart {
+    /// Starts an empty chart.
+    #[must_use]
+    pub fn new() -> Self {
+        TradeoffChart::default()
+    }
+
+    /// Adds one workload's policy curve (points in spectrum order).
+    #[must_use]
+    pub fn curve(mut self, name: impl Into<String>, points: Vec<TradeoffPoint>) -> Self {
+        self.curves.push((name.into(), points));
+        self
+    }
+
+    /// Renders to SVG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no curve has any points.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let all: Vec<&TradeoffPoint> =
+            self.curves.iter().flat_map(|(_, ps)| ps.iter()).collect();
+        assert!(!all.is_empty(), "add at least one curve with points");
+        let max_x = all.iter().map(|p| p.perf_pct).fold(1e-9_f64, f64::max) * 1.15;
+        let max_y = all.iter().map(|p| p.power_pct).fold(1e-9_f64, f64::max) * 1.15;
+
+        let (left, top, plot_w, plot_h) = (55.0, 30.0, 420.0, 300.0);
+        let width = left + plot_w + 140.0;
+        let height = top + plot_h + 50.0;
+        let x_of = |v: f64| left + plot_w * (v / max_x);
+        let y_of = |v: f64| top + plot_h * (1.0 - v / max_y);
+
+        let mut doc = SvgDoc::new(width, height);
+        doc.text(
+            left + plot_w / 2.0,
+            16.0,
+            12.0,
+            "middle",
+            0.0,
+            "power saving vs. performance degradation",
+        );
+        // Axes and ticks.
+        doc.line(left, top, left, top + plot_h, "#000", 1.0);
+        doc.line(left, top + plot_h, left + plot_w, top + plot_h, "#000", 1.0);
+        for i in 0..=5 {
+            let fx = max_x * f64::from(i) / 5.0;
+            let fy = max_y * f64::from(i) / 5.0;
+            doc.text(x_of(fx), top + plot_h + 14.0, 9.0, "middle", 0.0, &format!("{fx:.1}"));
+            doc.text(left - 6.0, y_of(fy) + 3.0, 9.0, "end", 0.0, &format!("{fy:.0}"));
+            doc.line(left, y_of(fy), left + plot_w, y_of(fy), "#eeeeee", 0.5);
+        }
+        doc.text(
+            left + plot_w / 2.0,
+            height - 8.0,
+            10.0,
+            "middle",
+            0.0,
+            "performance degradation (%)",
+        );
+        doc.text(14.0, top + plot_h / 2.0, 10.0, "start", -90.0, "power saving (%)");
+
+        // Curves.
+        for (ci, (name, points)) in self.curves.iter().enumerate() {
+            let stroke = STROKES[ci % STROKES.len()];
+            let pts: Vec<(f64, f64)> = points
+                .iter()
+                .map(|p| (x_of(p.perf_pct), y_of(p.power_pct)))
+                .collect();
+            if pts.len() > 1 {
+                doc.polyline(&pts, stroke, 1.5);
+            }
+            for (p, (x, y)) in points.iter().zip(&pts) {
+                doc.rect(x - 2.0, y - 2.0, 4.0, 4.0, stroke);
+                doc.text(x + 4.0, y - 4.0, 8.0, "start", 0.0, &p.label);
+            }
+            // Legend at the right.
+            let ly = top + 14.0 * ci as f64;
+            doc.rect(left + plot_w + 12.0, ly - 8.0, 10.0, 10.0, stroke);
+            doc.text(left + plot_w + 26.0, ly, 10.0, "start", 0.0, name);
+        }
+        doc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(label: &str, perf: f64, power: f64) -> TradeoffPoint {
+        TradeoffPoint {
+            label: label.to_owned(),
+            perf_pct: perf,
+            power_pct: power,
+        }
+    }
+
+    #[test]
+    fn renders_curves_points_and_labels() {
+        let svg = TradeoffChart::new()
+            .curve("mcf", vec![pt("F", 2.3, 33.9), pt("3", 2.4, 38.8), pt("L", 3.0, 47.0)])
+            .curve("ammp", vec![pt("F", 4.2, 14.3), pt("L", 5.8, 17.7)])
+            .render();
+        for s in ["mcf", "ammp", "polyline", "power saving"] {
+            assert!(svg.contains(s), "missing {s}");
+        }
+        // 5 point markers + 2 legend chips.
+        assert_eq!(svg.matches("<rect").count(), 7);
+    }
+
+    #[test]
+    fn single_point_curve_has_no_polyline() {
+        let svg = TradeoffChart::new()
+            .curve("x", vec![pt("only", 1.0, 2.0)])
+            .render();
+        assert!(!svg.contains("<polyline"));
+        assert!(svg.contains("only"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one curve")]
+    fn empty_chart_panics() {
+        let _ = TradeoffChart::new().render();
+    }
+}

@@ -1,0 +1,130 @@
+//! A minimal SVG document builder.
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+///
+/// Only the handful of primitives the charts need; all coordinates are
+/// in user units (pixels).
+///
+/// # Examples
+///
+/// ```
+/// use vsv_viz::SvgDoc;
+///
+/// let mut doc = SvgDoc::new(100.0, 50.0);
+/// doc.rect(0.0, 0.0, 10.0, 10.0, "#336699");
+/// let svg = doc.finish();
+/// assert!(svg.contains("<rect"));
+/// assert!(svg.ends_with("</svg>\n"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SvgDoc {
+    body: String,
+    width: f64,
+    height: f64,
+}
+
+impl SvgDoc {
+    /// Starts a document of the given pixel size.
+    #[must_use]
+    pub fn new(width: f64, height: f64) -> Self {
+        SvgDoc {
+            body: String::new(),
+            width,
+            height,
+        }
+    }
+
+    /// A filled rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"  <rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{h:.1}" fill="{fill}"/>"#
+        );
+    }
+
+    /// A line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"  <line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="{stroke}" stroke-width="{width:.1}"/>"#
+        );
+    }
+
+    /// A polyline through the given points.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.1},{y:.1}"))
+            .collect();
+        let _ = writeln!(
+            self.body,
+            r#"  <polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{width:.1}"/>"#,
+            pts.join(" ")
+        );
+    }
+
+    /// Text anchored per `anchor` ("start" | "middle" | "end"),
+    /// optionally rotated around its anchor point.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, anchor: &str, rotate: f64, s: &str) {
+        let escaped = s
+            .replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;");
+        let transform = if rotate == 0.0 {
+            String::new()
+        } else {
+            format!(r#" transform="rotate({rotate:.0} {x:.1} {y:.1})""#)
+        };
+        let _ = writeln!(
+            self.body,
+            r#"  <text x="{x:.1}" y="{y:.1}" font-size="{size:.0}" font-family="sans-serif" text-anchor="{anchor}"{transform}>{escaped}</text>"#
+        );
+    }
+
+    /// Closes the document and returns the SVG source.
+    #[must_use]
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure() {
+        let mut d = SvgDoc::new(200.0, 100.0);
+        d.rect(1.0, 2.0, 3.0, 4.0, "#000");
+        d.line(0.0, 0.0, 10.0, 10.0, "#111", 1.0);
+        d.polyline(&[(0.0, 0.0), (5.0, 5.0)], "#222", 2.0);
+        d.text(5.0, 5.0, 10.0, "middle", 0.0, "hi");
+        let svg = d.finish();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("<rect"));
+        assert!(svg.contains("<line"));
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains(">hi</text>"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let mut d = SvgDoc::new(10.0, 10.0);
+        d.text(0.0, 0.0, 8.0, "start", 0.0, "a<b&c");
+        let svg = d.finish();
+        assert!(svg.contains("a&lt;b&amp;c"));
+    }
+
+    #[test]
+    fn rotation_emits_transform() {
+        let mut d = SvgDoc::new(10.0, 10.0);
+        d.text(3.0, 4.0, 8.0, "end", -45.0, "x");
+        assert!(d.finish().contains("rotate(-45 3.0 4.0)"));
+    }
+}

@@ -1,0 +1,589 @@
+//! The VSV mode controller: the cycle-accurate state machine over
+//! power modes and transitions (paper §4, Figures 2 and 3).
+//!
+//! Timeline of a high→low transition (Figure 2): after the down-FSM
+//! decides, the control signal travels 2 ns to the clock-tree root and
+//! the slower clock propagates for 2 ns — the processor still runs at
+//! full speed and VDDH during these 4 ns — then the 12 ns VDD ramp
+//! runs with the processor at half speed and falling voltage.
+//!
+//! Timeline of a low→high transition (Figure 3): after the up-FSM
+//! decides, the control signal travels 2 ns (half speed, VDDL), the
+//! 12 ns VDD ramp-up runs at half speed, and the full-speed clock
+//! distribution overlaps the ramp's last 2 ns, so full speed resumes
+//! exactly when VDDH is reached.
+
+use vsv_mem::VsvSignal;
+use vsv_power::TechParams;
+
+use crate::fsm::{DownFsm, DownPolicy, UpFsm, UpPolicy};
+
+/// The controller's operating mode.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Full speed, VDDH (the default).
+    High,
+    /// Slower-clock distribution before a down-ramp: still full speed
+    /// and VDDH for 4 ns (2 ns control + 2 ns clock tree).
+    DownDistribute,
+    /// VDD ramping down: half speed, falling voltage (12 ns).
+    RampDown,
+    /// Half speed, VDDL.
+    Low,
+    /// Control-signal distribution before an up-ramp: half speed,
+    /// VDDL for 2 ns.
+    UpDistribute,
+    /// VDD ramping up: half speed, rising voltage (12 ns, the final
+    /// 2 ns overlapped with full-clock distribution).
+    RampUp,
+}
+
+impl Mode {
+    /// All modes, for residency accounting.
+    pub const ALL: [Mode; 6] = [
+        Mode::High,
+        Mode::DownDistribute,
+        Mode::RampDown,
+        Mode::Low,
+        Mode::UpDistribute,
+        Mode::RampUp,
+    ];
+
+    /// Dense index into residency arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        Mode::ALL.iter().position(|m| *m == self).expect("exhaustive")
+    }
+
+    /// Pipeline clock period in this mode, in nanoseconds.
+    #[must_use]
+    pub fn clock_period_ns(self) -> u64 {
+        match self {
+            Mode::High | Mode::DownDistribute => 1,
+            _ => 2,
+        }
+    }
+}
+
+/// VSV configuration: policies plus circuit timing.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VsvConfig {
+    /// Master switch; `false` models the baseline processor (always
+    /// full speed, VDDH).
+    pub enabled: bool,
+    /// High→low gating policy.
+    pub down: DownPolicy,
+    /// Low→high gating policy.
+    pub up: UpPolicy,
+    /// Technology constants (voltages, ramp rate, ramp energy).
+    pub tech: TechParams,
+    /// Control-signal distribution latency (paper: 2 ns).
+    pub ctrl_distribute_ns: u64,
+    /// Clock-tree propagation latency (paper: 2 ns).
+    pub clock_tree_ns: u64,
+}
+
+impl VsvConfig {
+    /// The baseline processor: VSV disabled.
+    #[must_use]
+    pub fn disabled() -> Self {
+        VsvConfig {
+            enabled: false,
+            down: DownPolicy::default_monitor(),
+            up: UpPolicy::default_monitor(),
+            tech: TechParams::baseline(),
+            ctrl_distribute_ns: 2,
+            clock_tree_ns: 2,
+        }
+    }
+
+    /// VSV with both FSMs at the paper's best thresholds (3/10 down,
+    /// 3/10 up).
+    #[must_use]
+    pub fn with_fsms() -> Self {
+        VsvConfig {
+            enabled: true,
+            ..Self::disabled()
+        }
+    }
+
+    /// VSV without the FSMs: down on every detected demand miss, up on
+    /// every demand return (Figure 4's white bars).
+    #[must_use]
+    pub fn without_fsms() -> Self {
+        VsvConfig {
+            enabled: true,
+            down: DownPolicy::Immediate,
+            up: UpPolicy::FirstReturn,
+            ..Self::disabled()
+        }
+    }
+
+    /// The VDD ramp duration (12 ns for the paper's constants).
+    #[must_use]
+    pub fn ramp_ns(&self) -> u64 {
+        self.tech.ramp_time_ns()
+    }
+}
+
+/// What the system should do at one nanosecond tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickPlan {
+    /// Whether a pipeline clock edge fires this nanosecond.
+    pub pipeline_edge: bool,
+    /// Effective variable-domain supply voltage for the cycle starting
+    /// at this edge (the per-cycle average while ramping, §5.2).
+    pub vdd: f64,
+}
+
+/// Residency and transition counters.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModeStats {
+    /// Nanoseconds spent in each [`Mode`], by [`Mode::index`].
+    pub ns_in_mode: [u64; 6],
+    /// High→low transitions started.
+    pub down_transitions: u64,
+    /// Low→high transitions started.
+    pub up_transitions: u64,
+}
+
+impl ModeStats {
+    /// Fraction of time in the low-power steady state.
+    #[must_use]
+    pub fn low_residency(&self) -> f64 {
+        let total: u64 = self.ns_in_mode.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.ns_in_mode[Mode::Low.index()] as f64 / total as f64
+        }
+    }
+}
+
+/// The mode controller.
+///
+/// Drive it with, per nanosecond: [`VsvController::observe`] for each
+/// hierarchy signal, then [`VsvController::tick`], then — if the plan
+/// says an edge fired — [`VsvController::on_cycle`] with the cycle's
+/// issue count. [`VsvController::take_ramps`] reports supply ramps for
+/// energy accounting.
+#[derive(Debug, Clone)]
+pub struct VsvController {
+    cfg: VsvConfig,
+    mode: Mode,
+    phase_end: u64,
+    ramp_start: u64,
+    next_edge: u64,
+    down: DownFsm,
+    up: UpFsm,
+    pending_ramps: u64,
+    stats: ModeStats,
+}
+
+impl VsvController {
+    /// Creates a controller in the high-power mode.
+    #[must_use]
+    pub fn new(cfg: VsvConfig) -> Self {
+        VsvController {
+            mode: Mode::High,
+            phase_end: 0,
+            ramp_start: 0,
+            next_edge: 0,
+            down: DownFsm::new(cfg.down),
+            up: UpFsm::new(cfg.up),
+            pending_ramps: 0,
+            stats: ModeStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &VsvConfig {
+        &self.cfg
+    }
+
+    /// The current mode.
+    #[must_use]
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Residency/transition counters.
+    #[must_use]
+    pub fn stats(&self) -> ModeStats {
+        self.stats
+    }
+
+    /// The down-FSM (for trigger/expiry statistics).
+    #[must_use]
+    pub fn down_fsm(&self) -> &DownFsm {
+        &self.down
+    }
+
+    /// The up-FSM (for trigger/expiry statistics).
+    #[must_use]
+    pub fn up_fsm(&self) -> &UpFsm {
+        &self.up
+    }
+
+    /// Consumes an L2 signal from the hierarchy. Prefetch-only misses
+    /// never arm the FSMs (§4.2).
+    pub fn observe(&mut self, sig: &VsvSignal) {
+        if !self.cfg.enabled {
+            return;
+        }
+        match *sig {
+            VsvSignal::L2MissDetected { demand, .. } => {
+                if demand && self.mode == Mode::High {
+                    self.down.arm();
+                }
+            }
+            VsvSignal::L2MissReturned {
+                demand,
+                at,
+                outstanding_demand,
+            } => {
+                if demand && self.mode == Mode::Low && self.up.on_return(outstanding_demand) {
+                    self.start_up(at);
+                }
+            }
+        }
+    }
+
+    /// Advances the controller to nanosecond `now` and plans the tick.
+    /// `outstanding_demand` is the hierarchy's count of in-flight L2
+    /// demand misses (used for the all-returned safety transition).
+    pub fn tick(&mut self, now: u64, outstanding_demand: usize) -> TickPlan {
+        // Phase boundaries.
+        while self.mode != Mode::High && self.mode != Mode::Low && now >= self.phase_end {
+            match self.mode {
+                Mode::DownDistribute => {
+                    self.mode = Mode::RampDown;
+                    self.ramp_start = self.phase_end;
+                    self.phase_end += self.cfg.ramp_ns();
+                    self.pending_ramps += 1;
+                }
+                Mode::RampDown => {
+                    self.mode = Mode::Low;
+                }
+                Mode::UpDistribute => {
+                    self.mode = Mode::RampUp;
+                    self.ramp_start = self.phase_end;
+                    self.phase_end += self.cfg.ramp_ns();
+                    self.pending_ramps += 1;
+                }
+                Mode::RampUp => {
+                    self.mode = Mode::High;
+                    // Misses that were detected mid-transition still
+                    // deserve monitoring once we are back at speed.
+                    if outstanding_demand > 0 {
+                        self.down.arm();
+                    }
+                }
+                Mode::High | Mode::Low => unreachable!("loop guard"),
+            }
+        }
+
+        // All misses returned while we were heading down or sitting
+        // low: nothing left to wait for, so go back up.
+        if self.mode == Mode::Low && outstanding_demand == 0 {
+            self.start_up(now);
+        }
+
+        // The L2 miss signal (Figure 1) is a level: it stays asserted
+        // while a demand miss is outstanding, so the down-FSM keeps
+        // monitoring for a zero-issue run for as long as the pipeline
+        // might yet run dry — not just for one window after the
+        // detection edge.
+        if self.cfg.enabled && self.mode == Mode::High && outstanding_demand > 0 {
+            self.down.refresh();
+        }
+
+        self.stats.ns_in_mode[self.mode.index()] += 1;
+
+        let pipeline_edge = now >= self.next_edge;
+        if pipeline_edge {
+            self.next_edge = now + self.mode.clock_period_ns();
+        }
+        TickPlan {
+            pipeline_edge,
+            vdd: self.cycle_voltage(now),
+        }
+    }
+
+    /// Feeds the issue count of the pipeline cycle that just ran
+    /// (only meaningful on edge ticks). May start a transition.
+    pub fn on_cycle(&mut self, now: u64, issued: u32) {
+        if !self.cfg.enabled {
+            return;
+        }
+        match self.mode {
+            Mode::High
+                if self.down.on_cycle(issued) => {
+                    self.start_down(now);
+                }
+            Mode::Low
+                if self.up.on_cycle(issued) => {
+                    self.start_up(now);
+                }
+            _ => {}
+        }
+    }
+
+    /// Takes the number of supply ramps begun since the last call (for
+    /// the 66 nJ-per-ramp energy charge).
+    pub fn take_ramps(&mut self) -> u64 {
+        std::mem::take(&mut self.pending_ramps)
+    }
+
+    // ---- internals -------------------------------------------------
+
+    fn start_down(&mut self, now: u64) {
+        debug_assert_eq!(self.mode, Mode::High);
+        self.mode = Mode::DownDistribute;
+        self.phase_end = now + self.cfg.ctrl_distribute_ns + self.cfg.clock_tree_ns;
+        self.stats.down_transitions += 1;
+        self.down.disarm();
+        self.up.disarm();
+    }
+
+    fn start_up(&mut self, now: u64) {
+        debug_assert_eq!(self.mode, Mode::Low);
+        self.mode = Mode::UpDistribute;
+        self.phase_end = now + self.cfg.ctrl_distribute_ns;
+        self.stats.up_transitions += 1;
+        self.down.disarm();
+        self.up.disarm();
+    }
+
+    /// The per-cycle effective voltage at `now` (§5.2: the average of
+    /// the supply at the beginning and end of the cycle while ramping).
+    fn cycle_voltage(&self, now: u64) -> f64 {
+        let t = &self.cfg.tech;
+        let ramp = self.cfg.ramp_ns() as f64;
+        match self.mode {
+            Mode::High | Mode::DownDistribute => t.vddh,
+            Mode::Low | Mode::UpDistribute => t.vddl,
+            Mode::RampDown => {
+                let mid = (now - self.ramp_start) as f64 + 1.0;
+                t.ramp_voltage(t.vddh, t.vddl, mid / ramp)
+            }
+            Mode::RampUp => {
+                let mid = (now - self.ramp_start) as f64 + 1.0;
+                t.ramp_voltage(t.vddl, t.vddh, mid / ramp)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detected(at: u64) -> VsvSignal {
+        VsvSignal::L2MissDetected { demand: true, at }
+    }
+
+    fn returned(at: u64, outstanding: usize) -> VsvSignal {
+        VsvSignal::L2MissReturned {
+            demand: true,
+            at,
+            outstanding_demand: outstanding,
+        }
+    }
+
+    /// Drives `ctrl` for `ns` ticks with a fixed issue rate and a fixed
+    /// outstanding-miss count; returns the modes seen.
+    fn drive(ctrl: &mut VsvController, from: u64, ns: u64, issued: u32, outstanding: usize) -> Vec<Mode> {
+        let mut modes = Vec::new();
+        for now in from..from + ns {
+            let plan = ctrl.tick(now, outstanding);
+            modes.push(ctrl.mode());
+            if plan.pipeline_edge {
+                ctrl.on_cycle(now, issued);
+            }
+        }
+        modes
+    }
+
+    #[test]
+    fn disabled_controller_never_leaves_high() {
+        let mut c = VsvController::new(VsvConfig::disabled());
+        c.observe(&detected(5));
+        let modes = drive(&mut c, 0, 100, 0, 3);
+        assert!(modes.iter().all(|m| *m == Mode::High));
+        assert_eq!(c.take_ramps(), 0);
+    }
+
+    #[test]
+    fn immediate_policy_walks_the_figure2_timeline() {
+        let mut c = VsvController::new(VsvConfig::without_fsms());
+        c.observe(&detected(10));
+        // Next edge triggers the transition: 4 ns distribute at full
+        // speed, then 12 ns ramp at half speed, then low.
+        let modes = drive(&mut c, 10, 20, 0, 1);
+        assert_eq!(modes[0], Mode::High); // the triggering cycle itself
+        assert_eq!(modes[1], Mode::DownDistribute);
+        assert_eq!(modes[3], Mode::DownDistribute); // 4 ns of distribution
+        assert_eq!(modes[4], Mode::RampDown);
+        assert_eq!(modes[15], Mode::RampDown); // 12 ns of ramp
+        assert_eq!(modes[16], Mode::Low);
+        assert_eq!(c.take_ramps(), 1);
+        assert_eq!(c.stats().down_transitions, 1);
+    }
+
+    #[test]
+    fn edges_halve_in_low_mode() {
+        let mut c = VsvController::new(VsvConfig::without_fsms());
+        c.observe(&detected(0));
+        // Run well into low mode.
+        drive(&mut c, 0, 40, 0, 1);
+        assert_eq!(c.mode(), Mode::Low);
+        // Count edges over 20 ns of low mode.
+        let mut edges = 0;
+        for now in 40..60 {
+            if c.tick(now, 1).pipeline_edge {
+                edges += 1;
+                c.on_cycle(now, 0);
+            }
+        }
+        assert_eq!(edges, 10, "half-speed clock: one edge per 2 ns");
+    }
+
+    #[test]
+    fn up_transition_follows_figure3_timeline() {
+        let mut c = VsvController::new(VsvConfig::without_fsms());
+        c.observe(&detected(0));
+        drive(&mut c, 0, 40, 0, 1);
+        assert_eq!(c.mode(), Mode::Low);
+        // The miss returns (sole outstanding): 2 ns distribute + 12 ns
+        // ramp, then High.
+        c.observe(&returned(40, 0));
+        let modes = drive(&mut c, 40, 16, 0, 0);
+        assert_eq!(modes[0], Mode::UpDistribute);
+        assert_eq!(modes[1], Mode::UpDistribute);
+        assert_eq!(modes[2], Mode::RampUp);
+        assert_eq!(modes[13], Mode::RampUp);
+        assert_eq!(modes[14], Mode::High);
+        assert_eq!(c.stats().up_transitions, 1);
+        assert_eq!(c.take_ramps(), 2, "one down-ramp + one up-ramp");
+    }
+
+    #[test]
+    fn fsm_blocks_down_when_ilp_high() {
+        let mut c = VsvController::new(VsvConfig::with_fsms());
+        c.observe(&detected(0));
+        // Pipeline keeps issuing 4/cycle: window expires, stays High.
+        let modes = drive(&mut c, 0, 30, 4, 1);
+        assert!(modes.iter().all(|m| *m == Mode::High));
+        // The level-triggered miss signal keeps the window refreshed
+        // while the miss is outstanding, so it does not expire — but
+        // a busy pipeline must never trigger it either.
+        assert_eq!(c.down_fsm().triggers(), 0);
+        assert_eq!(c.stats().down_transitions, 0);
+        // Once the miss returns (signal de-asserts), the window runs
+        // out and expires without triggering.
+        drive(&mut c, 30, 15, 4, 0);
+        assert_eq!(c.down_fsm().expiries(), 1);
+    }
+
+    #[test]
+    fn fsm_allows_down_when_pipeline_idles() {
+        let mut c = VsvController::new(VsvConfig::with_fsms());
+        c.observe(&detected(0));
+        let modes = drive(&mut c, 0, 30, 0, 1);
+        assert!(modes.contains(&Mode::Low), "idle pipeline must go low");
+    }
+
+    #[test]
+    fn voltage_profile_during_ramp() {
+        let mut c = VsvController::new(VsvConfig::without_fsms());
+        c.observe(&detected(0));
+        let mut vs = Vec::new();
+        for now in 0..40 {
+            let plan = c.tick(now, 1);
+            if plan.pipeline_edge {
+                c.on_cycle(now, 0);
+            }
+            vs.push((c.mode(), plan.vdd));
+        }
+        // VDDH before/through distribution, monotone fall through the
+        // ramp, VDDL in low mode.
+        for (m, v) in &vs {
+            match m {
+                Mode::High | Mode::DownDistribute => assert!((*v - 1.8).abs() < 1e-9),
+                Mode::Low => assert!((*v - 1.2).abs() < 1e-9),
+                Mode::RampDown => assert!(*v < 1.8 + 1e-9 && *v > 1.2 - 1e-9),
+                _ => {}
+            }
+        }
+        let ramp_vs: Vec<f64> = vs
+            .iter()
+            .filter(|(m, _)| *m == Mode::RampDown)
+            .map(|(_, v)| *v)
+            .collect();
+        assert!(ramp_vs.windows(2).all(|w| w[1] <= w[0] + 1e-12));
+    }
+
+    #[test]
+    fn all_returned_during_rampdown_bounces_back_up() {
+        let mut c = VsvController::new(VsvConfig::without_fsms());
+        c.observe(&detected(0));
+        drive(&mut c, 0, 20, 0, 1); // into RampDown / Low
+        // Now the hierarchy reports nothing outstanding: the controller
+        // must not camp in low-power mode.
+        let modes = drive(&mut c, 20, 40, 0, 0);
+        assert_eq!(*modes.last().unwrap(), Mode::High);
+    }
+
+    #[test]
+    fn prefetch_misses_never_arm() {
+        let mut c = VsvController::new(VsvConfig::without_fsms());
+        c.observe(&VsvSignal::L2MissDetected {
+            demand: false,
+            at: 0,
+        });
+        let modes = drive(&mut c, 0, 30, 0, 1);
+        assert!(modes.iter().all(|m| *m == Mode::High));
+    }
+
+    #[test]
+    fn up_fsm_holds_low_with_multiple_outstanding_and_no_ilp() {
+        let mut c = VsvController::new(VsvConfig::with_fsms());
+        c.observe(&detected(0));
+        drive(&mut c, 0, 40, 0, 2);
+        assert_eq!(c.mode(), Mode::Low);
+        // A return leaves one more outstanding; pipeline stays idle:
+        // the monitor expires and we stay low (saving power).
+        c.observe(&returned(40, 1));
+        let modes = drive(&mut c, 40, 40, 0, 1);
+        assert!(modes.iter().all(|m| *m == Mode::Low));
+        assert_eq!(c.up_fsm().expiries(), 1);
+    }
+
+    #[test]
+    fn up_fsm_ramps_up_when_ilp_returns() {
+        let mut c = VsvController::new(VsvConfig::with_fsms());
+        c.observe(&detected(0));
+        drive(&mut c, 0, 40, 0, 2);
+        c.observe(&returned(40, 1));
+        // Pipeline starts issuing: 3 consecutive half-speed cycles.
+        let modes = drive(&mut c, 40, 30, 2, 1);
+        assert!(modes.contains(&Mode::UpDistribute));
+        assert_eq!(*modes.last().unwrap(), Mode::High);
+    }
+
+    #[test]
+    fn residency_accounting_sums_to_elapsed() {
+        let mut c = VsvController::new(VsvConfig::without_fsms());
+        c.observe(&detected(0));
+        drive(&mut c, 0, 100, 0, 1);
+        let total: u64 = c.stats().ns_in_mode.iter().sum();
+        assert_eq!(total, 100);
+        assert!(c.stats().low_residency() > 0.5);
+    }
+}

@@ -1,0 +1,63 @@
+//! # VSV: L2-miss-driven variable supply-voltage scaling
+//!
+//! A from-scratch reproduction of *"VSV: L2-Miss-Driven Variable
+//! Supply-Voltage Scaling for Low Power"* (Li, Cher, Vijaykumar, Roy —
+//! MICRO-36, 2003).
+//!
+//! VSV observes that after an L2 miss an out-of-order pipeline almost
+//! always runs out of independent work, and drops the pipeline's
+//! supply voltage (1.8 V → 1.2 V) and clock (1 GHz → 500 MHz) for the
+//! duration of the miss. Two issue-rate-monitoring state machines
+//! ([`DownFsm`], [`UpFsm`]) gate the transitions so high-ILP programs
+//! keep their speed and clustered misses keep their savings. Circuit
+//! constraints are modeled throughout: 12 ns supply ramps at
+//! 0.05 V/ns, 2+2 ns control/clock-tree distribution, a 66 nJ
+//! dual-supply-network charge per ramp, VDDH-pinned RAM structures
+//! with level-converting latches, and an asynchronous L2 interface.
+//!
+//! ## Crate map
+//!
+//! * [`fsm`] — the down/up monitors and their policies;
+//! * [`controller`] — the mode state machine with the Figure 2/3
+//!   transition timelines;
+//! * [`system`] — the composed simulator (core + memory + prefetcher +
+//!   power + controller on one nanosecond clock);
+//! * [`runner`]/[`report`] — experiment driving and the paper's
+//!   metrics (performance degradation %, power saving %).
+//!
+//! The substrates live in sibling crates: `vsv-uarch` (8-way OoO
+//! core), `vsv-mem` (caches/MSHRs/bus/DRAM), `vsv-power`
+//! (Wattch-style model), `vsv-prefetch` (Time-Keeping), and
+//! `vsv-workloads` (synthetic SPEC2K twins).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use vsv::{Comparison, Experiment, SystemConfig};
+//! use vsv_workloads::twin;
+//!
+//! let ammp = twin("ammp").expect("part of the suite");
+//! let e = Experiment::quick();
+//! let (base, vsv_run, cmp) =
+//!     e.compare(&ammp, SystemConfig::baseline(), SystemConfig::vsv_with_fsms());
+//! assert!(base.mpki > 1.0);           // a memory-bound twin
+//! assert!(cmp.power_saving_pct > 0.0); // VSV saves power on it
+//! let _ = vsv_run;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod fsm;
+pub mod report;
+pub mod runner;
+pub mod system;
+pub mod trace;
+
+pub use controller::{Mode, ModeStats, TickPlan, VsvConfig, VsvController};
+pub use fsm::{DownFsm, DownPolicy, UpFsm, UpPolicy};
+pub use report::{mean_comparison, Comparison, RunResult};
+pub use runner::{ComparisonSpread, Experiment};
+pub use system::{System, SystemConfig};
+pub use trace::{ModeTrace, TraceSample};

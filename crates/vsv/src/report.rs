@@ -1,0 +1,272 @@
+//! Result types and paper-style derived metrics.
+
+use vsv_power::EnergyBreakdown;
+use vsv_uarch::IssueHistogram;
+
+use crate::controller::ModeStats;
+
+/// Measured outcome of one simulation window.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Workload name (empty if unset).
+    pub workload: String,
+    /// Instructions committed in the window.
+    pub instructions: u64,
+    /// Wall-clock nanoseconds elapsed (= full-speed cycles at 1 GHz).
+    pub elapsed_ns: u64,
+    /// Pipeline clock edges in the window (fewer than `elapsed_ns`
+    /// when VSV ran at half speed).
+    pub pipeline_cycles: u64,
+    /// Committed instructions per full-speed-clock cycle — the paper's
+    /// IPC metric (Table 2).
+    pub ipc: f64,
+    /// L2 *demand* misses per 1000 instructions — the paper's MR.
+    pub mpki: f64,
+    /// L2 prefetch misses per 1000 instructions.
+    pub prefetch_mpki: f64,
+    /// Total energy dissipated, picojoules.
+    pub energy_pj: f64,
+    /// Per-structure energy breakdown (Wattch-style view; render with
+    /// [`EnergyBreakdown::table`]).
+    pub energy: EnergyBreakdown,
+    /// Average total processor power, watts.
+    pub avg_power_w: f64,
+    /// Mode residency and transition counts.
+    pub mode: ModeStats,
+    /// Down-FSM transitions signalled.
+    pub down_triggers: u64,
+    /// Down-FSM windows that expired (high ILP detected).
+    pub down_expiries: u64,
+    /// Up-FSM transitions signalled.
+    pub up_triggers: u64,
+    /// Up-FSM windows that expired (no ILP found).
+    pub up_expiries: u64,
+    /// Cycles in which nothing issued.
+    pub zero_issue_cycles: u64,
+    /// Branch mispredictions.
+    pub mispredicts: u64,
+    /// Branches committed.
+    pub branches: u64,
+    /// Instructions issued per pipeline cycle, bucketed — the
+    /// statistic the down/up FSMs sample.
+    pub issue_histogram: IssueHistogram,
+}
+
+impl RunResult {
+    /// Fraction of cycles with zero issue — the signal VSV's FSMs key
+    /// off.
+    #[must_use]
+    pub fn zero_issue_fraction(&self) -> f64 {
+        if self.pipeline_cycles == 0 {
+            0.0
+        } else {
+            self.zero_issue_cycles as f64 / self.pipeline_cycles as f64
+        }
+    }
+}
+
+/// The paper's two headline metrics for a VSV run against its
+/// baseline (Figures 4–7).
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparison {
+    /// Increase in execution time, percent of the baseline
+    /// (Figure 4 top).
+    pub perf_degradation_pct: f64,
+    /// Reduction in average total processor power, percent of the
+    /// baseline (Figure 4 bottom).
+    pub power_saving_pct: f64,
+}
+
+impl Comparison {
+    /// Compares a VSV run against its baseline run (same workload,
+    /// same instruction window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline window is degenerate (zero time/power).
+    #[must_use]
+    pub fn of(baseline: &RunResult, vsv: &RunResult) -> Self {
+        assert!(baseline.elapsed_ns > 0, "baseline ran for zero time");
+        assert!(baseline.avg_power_w > 0.0, "baseline burned zero power");
+        Comparison {
+            perf_degradation_pct: (vsv.elapsed_ns as f64 / baseline.elapsed_ns as f64 - 1.0)
+                * 100.0,
+            power_saving_pct: (1.0 - vsv.avg_power_w / baseline.avg_power_w) * 100.0,
+        }
+    }
+}
+
+/// Arithmetic mean of comparisons (the paper averages percentages
+/// across benchmarks).
+#[must_use]
+pub fn mean_comparison(comparisons: &[Comparison]) -> Comparison {
+    if comparisons.is_empty() {
+        return Comparison {
+            perf_degradation_pct: 0.0,
+            power_saving_pct: 0.0,
+        };
+    }
+    let n = comparisons.len() as f64;
+    Comparison {
+        perf_degradation_pct: comparisons.iter().map(|c| c.perf_degradation_pct).sum::<f64>() / n,
+        power_saving_pct: comparisons.iter().map(|c| c.power_saving_pct).sum::<f64>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn result(elapsed_ns: u64, power: f64) -> RunResult {
+        RunResult {
+            workload: String::new(),
+            instructions: 1000,
+            elapsed_ns,
+            pipeline_cycles: elapsed_ns,
+            ipc: 1.0,
+            mpki: 0.0,
+            prefetch_mpki: 0.0,
+            energy_pj: power * elapsed_ns as f64 * 1e3,
+            energy: EnergyBreakdown {
+                per_structure_pj: [0.0; 14],
+                ramp_pj: 0.0,
+                level_converter_pj: 0.0,
+                uncore_pj: 0.0,
+                leakage_pj: 0.0,
+                cycles: 0,
+            },
+            avg_power_w: power,
+            mode: ModeStats::default(),
+            down_triggers: 0,
+            down_expiries: 0,
+            up_triggers: 0,
+            up_expiries: 0,
+            zero_issue_cycles: 0,
+            mispredicts: 0,
+            branches: 0,
+            issue_histogram: IssueHistogram::default(),
+        }
+    }
+
+    #[test]
+    fn comparison_signs_follow_paper_convention() {
+        let base = result(1000, 40.0);
+        let vsv = result(1020, 32.0);
+        let c = Comparison::of(&base, &vsv);
+        assert!((c.perf_degradation_pct - 2.0).abs() < 1e-9);
+        assert!((c.power_saving_pct - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_and_hungrier_goes_negative() {
+        let base = result(1000, 40.0);
+        let vsv = result(990, 44.0);
+        let c = Comparison::of(&base, &vsv);
+        assert!(c.perf_degradation_pct < 0.0);
+        assert!(c.power_saving_pct < 0.0);
+    }
+
+    #[test]
+    fn mean_comparison_averages() {
+        let cs = [
+            Comparison {
+                perf_degradation_pct: 2.0,
+                power_saving_pct: 20.0,
+            },
+            Comparison {
+                perf_degradation_pct: 4.0,
+                power_saving_pct: 40.0,
+            },
+        ];
+        let m = mean_comparison(&cs);
+        assert!((m.perf_degradation_pct - 3.0).abs() < 1e-9);
+        assert!((m.power_saving_pct - 30.0).abs() < 1e-9);
+        let empty = mean_comparison(&[]);
+        assert_eq!(empty.power_saving_pct, 0.0);
+    }
+
+    #[test]
+    fn zero_issue_fraction() {
+        let mut r = result(100, 10.0);
+        r.zero_issue_cycles = 25;
+        assert!((r.zero_issue_fraction() - 0.25).abs() < 1e-12);
+    }
+}
+
+impl std::fmt::Display for RunResult {
+    /// A compact multi-line summary, suitable for logs and examples.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}: {} insts in {} ns (IPC {:.2}, MR {:.1})",
+            if self.workload.is_empty() {
+                "run"
+            } else {
+                &self.workload
+            },
+            self.instructions,
+            self.elapsed_ns,
+            self.ipc,
+            self.mpki
+        )?;
+        writeln!(
+            f,
+            "  power {:.1} W over {} pipeline cycles ({:.0}% zero-issue)",
+            self.avg_power_w,
+            self.pipeline_cycles,
+            self.zero_issue_fraction() * 100.0
+        )?;
+        write!(
+            f,
+            "  vsv: {:.0}% low residency, {} down / {} up transitions",
+            self.mode.low_residency() * 100.0,
+            self.mode.down_transitions,
+            self.mode.up_transitions
+        )
+    }
+}
+
+impl std::fmt::Display for Comparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.1}% power saved at {:.1}% performance degradation",
+            self.power_saving_pct, self.perf_degradation_pct
+        )
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+
+    #[test]
+    fn run_result_display_is_informative() {
+        let mut r = tests::result(1000, 40.0);
+        r.workload = "mcf".to_owned();
+        let s = r.to_string();
+        assert!(s.contains("mcf"));
+        assert!(s.contains("40.0 W"));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn unnamed_run_display_is_nonempty() {
+        let r = tests::result(10, 1.0);
+        assert!(r.to_string().contains("run:"));
+    }
+
+    #[test]
+    fn comparison_display() {
+        let c = Comparison {
+            perf_degradation_pct: 2.0,
+            power_saving_pct: 20.7,
+        };
+        assert_eq!(
+            c.to_string(),
+            "20.7% power saved at 2.0% performance degradation"
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Experiment driving: warm-up + measurement over workload twins.
+
+use vsv_workloads::{Generator, WorkloadParams};
+
+use crate::report::{Comparison, RunResult};
+use crate::system::{System, SystemConfig};
+
+/// Simulation-length policy for an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Experiment {
+    /// Instructions to warm caches/predictors before measuring.
+    pub warmup_instructions: u64,
+    /// Instructions in the measured window.
+    pub instructions: u64,
+}
+
+impl Experiment {
+    /// A fast smoke-test scale (CI, unit tests).
+    #[must_use]
+    pub fn quick() -> Self {
+        Experiment {
+            warmup_instructions: 20_000,
+            instructions: 60_000,
+        }
+    }
+
+    /// The scale used for the paper-reproduction tables and figures.
+    /// (The paper simulates 1 B instructions after a 2 B fast-forward;
+    /// our synthetic twins are stationary, so far shorter windows
+    /// converge.)
+    #[must_use]
+    pub fn standard() -> Self {
+        Experiment {
+            warmup_instructions: 100_000,
+            instructions: 300_000,
+        }
+    }
+
+    /// Runs one workload under one configuration.
+    #[must_use]
+    pub fn run(&self, params: &WorkloadParams, cfg: SystemConfig) -> RunResult {
+        let mut sys = System::new(cfg, Generator::new(*params));
+        sys.set_workload_name(params.name);
+        sys.warm_up(self.warmup_instructions);
+        sys.run(self.instructions)
+    }
+
+    /// Runs a (baseline, variant) pair over the same workload and
+    /// compares them with the paper's metrics.
+    #[must_use]
+    pub fn compare(
+        &self,
+        params: &WorkloadParams,
+        baseline: SystemConfig,
+        variant: SystemConfig,
+    ) -> (RunResult, RunResult, Comparison) {
+        let base = self.run(params, baseline);
+        let vsv = self.run(params, variant);
+        let cmp = Comparison::of(&base, &vsv);
+        (base, vsv, cmp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsv_workloads::twin;
+
+    #[test]
+    fn quick_experiment_runs_a_twin() {
+        let e = Experiment::quick();
+        let r = e.run(&twin("gzip").expect("gzip exists"), SystemConfig::baseline());
+        assert_eq!(r.workload, "gzip");
+        assert!((e.instructions..e.instructions + 8).contains(&r.instructions));
+        assert!(r.ipc > 0.2);
+    }
+
+    #[test]
+    fn compare_produces_paper_metrics() {
+        let e = Experiment::quick();
+        let p = twin("ammp").expect("ammp exists");
+        let (base, vsv, cmp) =
+            e.compare(&p, SystemConfig::baseline(), SystemConfig::vsv_with_fsms());
+        assert!(base.mpki > 1.0, "ammp twin misses, got {}", base.mpki);
+        assert!(vsv.mode.down_transitions > 0);
+        assert!(cmp.power_saving_pct > 0.0, "got {}", cmp.power_saving_pct);
+    }
+}
+
+/// Mean and population standard deviation of a set of comparisons —
+/// for robustness checks across workload seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComparisonSpread {
+    /// Mean of the two percentages.
+    pub mean: crate::report::Comparison,
+    /// Standard deviation of the power-saving percentage.
+    pub power_std: f64,
+    /// Standard deviation of the degradation percentage.
+    pub perf_std: f64,
+}
+
+impl Experiment {
+    /// Runs the (baseline, variant) pair over `seeds` reseeded copies
+    /// of `params` and reports the spread of the paper metrics. The
+    /// twins are deterministic per seed, so this quantifies how much
+    /// of a result is the parameter point versus the particular
+    /// pseudo-random interleaving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty.
+    #[must_use]
+    pub fn compare_across_seeds(
+        &self,
+        params: &WorkloadParams,
+        baseline: SystemConfig,
+        variant: SystemConfig,
+        seeds: &[u64],
+    ) -> ComparisonSpread {
+        assert!(!seeds.is_empty(), "need at least one seed");
+        let mut comparisons = Vec::with_capacity(seeds.len());
+        for &seed in seeds {
+            let mut p = *params;
+            p.seed = seed;
+            let (_, _, cmp) = self.compare(&p, baseline, variant);
+            comparisons.push(cmp);
+        }
+        let mean = crate::report::mean_comparison(&comparisons);
+        let n = comparisons.len() as f64;
+        let var = |f: &dyn Fn(&crate::report::Comparison) -> f64, mu: f64| {
+            comparisons.iter().map(|c| (f(c) - mu).powi(2)).sum::<f64>() / n
+        };
+        ComparisonSpread {
+            mean,
+            power_std: var(&|c| c.power_saving_pct, mean.power_saving_pct).sqrt(),
+            perf_std: var(&|c| c.perf_degradation_pct, mean.perf_degradation_pct).sqrt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod seed_tests {
+    use super::*;
+    use vsv_workloads::twin;
+
+    #[test]
+    fn seed_spread_is_small_for_a_memory_bound_twin() {
+        let e = Experiment {
+            warmup_instructions: 15_000,
+            instructions: 40_000,
+        };
+        let p = twin("ammp").expect("ammp exists");
+        let spread = e.compare_across_seeds(
+            &p,
+            SystemConfig::baseline(),
+            SystemConfig::vsv_with_fsms(),
+            &[1, 2, 3],
+        );
+        assert!(spread.mean.power_saving_pct > 5.0);
+        // The effect is a property of the parameter point, not of one
+        // lucky seed: the spread is small relative to the mean.
+        assert!(
+            spread.power_std < spread.mean.power_saving_pct,
+            "std {} vs mean {}",
+            spread.power_std,
+            spread.mean.power_saving_pct
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seed_list_panics() {
+        let e = Experiment::quick();
+        let p = twin("gzip").expect("gzip exists");
+        let _ = e.compare_across_seeds(
+            &p,
+            SystemConfig::baseline(),
+            SystemConfig::vsv_with_fsms(),
+            &[],
+        );
+    }
+}

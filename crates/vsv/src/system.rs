@@ -1,0 +1,586 @@
+//! The full-system simulator: core + hierarchy + prefetcher + power
+//! model + VSV controller, advanced on a shared nanosecond clock.
+
+use vsv_isa::InstStream;
+use vsv_mem::{Hierarchy, HierarchyConfig, HierarchyStats};
+use vsv_power::{ActivitySample, PowerAccountant, PowerConfig, StructureId};
+use vsv_prefetch::{TimeKeeping, TimeKeepingConfig};
+use vsv_uarch::{Core, CoreConfig, CoreStats, CycleActivity};
+
+use crate::controller::{ModeStats, VsvConfig, VsvController};
+use crate::report::RunResult;
+use crate::trace::{ModeTrace, TraceSample};
+
+/// Configuration of the whole simulated system.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemConfig {
+    /// Out-of-order core parameters (Table 1).
+    pub core: CoreConfig,
+    /// Memory-hierarchy parameters (Table 1).
+    pub mem: HierarchyConfig,
+    /// Power-model parameters (§5.2).
+    pub power: PowerConfig,
+    /// VSV parameters (§4).
+    pub vsv: VsvConfig,
+    /// Whether the Time-Keeping prefetcher is attached (§5.1).
+    pub timekeeping: bool,
+}
+
+impl SystemConfig {
+    /// The paper's baseline: Table 1 core with DCG and software
+    /// prefetching (in the workloads), VSV disabled.
+    #[must_use]
+    pub fn baseline() -> Self {
+        SystemConfig {
+            core: CoreConfig::baseline(),
+            mem: HierarchyConfig::baseline(),
+            power: PowerConfig::baseline(),
+            vsv: VsvConfig::disabled(),
+            timekeeping: false,
+        }
+    }
+
+    /// Baseline plus VSV with both FSMs (the paper's headline
+    /// configuration, black bars in Figure 4).
+    #[must_use]
+    pub fn vsv_with_fsms() -> Self {
+        SystemConfig {
+            vsv: VsvConfig::with_fsms(),
+            ..Self::baseline()
+        }
+    }
+
+    /// Baseline plus VSV without the FSMs (white bars in Figure 4).
+    #[must_use]
+    pub fn vsv_without_fsms() -> Self {
+        SystemConfig {
+            vsv: VsvConfig::without_fsms(),
+            ..Self::baseline()
+        }
+    }
+
+    /// Enables or disables Time-Keeping prefetching (§6.4), adjusting
+    /// the hierarchy's prefetch buffer to match.
+    #[must_use]
+    pub fn with_timekeeping(mut self, on: bool) -> Self {
+        self.timekeeping = on;
+        self.mem = if on {
+            HierarchyConfig::with_prefetch_buffer()
+        } else {
+            HierarchyConfig::baseline()
+        };
+        self
+    }
+}
+
+/// Snapshot of every counter we difference across a measurement
+/// window.
+#[derive(Debug, Clone, Copy)]
+struct Anchors {
+    now: u64,
+    core: CoreStats,
+    mem: HierarchyStats,
+    l2_accesses: u64,
+    dram_accesses: u64,
+    bus_transactions: u64,
+    mode: ModeStats,
+}
+
+/// The composed simulator.
+///
+/// # Examples
+///
+/// ```
+/// use vsv::{System, SystemConfig};
+/// use vsv_workloads::{Generator, WorkloadParams};
+///
+/// let stream = Generator::new(WorkloadParams::compute_bound("demo"));
+/// let mut sys = System::new(SystemConfig::baseline(), stream);
+/// let result = sys.run(5_000);
+/// assert!(result.instructions >= 5_000); // 8-wide commit may overshoot
+/// assert!(result.avg_power_w > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct System<S> {
+    core: Core<S>,
+    controller: VsvController,
+    power: PowerAccountant,
+    now: u64,
+    anchors: Anchors,
+    workload: String,
+    trace: Option<ModeTrace>,
+}
+
+impl<S: InstStream> System<S> {
+    /// Builds the system over `stream`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sub-configuration is invalid.
+    #[must_use]
+    pub fn new(cfg: SystemConfig, stream: S) -> Self {
+        let mut core = Core::new(cfg.core, Hierarchy::new(cfg.mem), stream);
+        if cfg.timekeeping {
+            let l1d = cfg.mem.l1d;
+            core.attach_prefetcher(TimeKeeping::new(TimeKeepingConfig {
+                l1_block_bytes: l1d.block_bytes,
+                l1_sets: l1d.sets() as u64,
+                ..TimeKeepingConfig::baseline()
+            }));
+        }
+        let controller = VsvController::new(cfg.vsv);
+        let anchors = Anchors {
+            now: 0,
+            core: core.stats(),
+            mem: core.mem().stats(),
+            l2_accesses: 0,
+            dram_accesses: 0,
+            bus_transactions: 0,
+            mode: controller.stats(),
+        };
+        System {
+            core,
+            controller,
+            power: PowerAccountant::new(cfg.power),
+            now: 0,
+            anchors,
+            workload: String::new(),
+            trace: None,
+        }
+    }
+
+    /// Names the workload in produced [`RunResult`]s.
+    pub fn set_workload_name(&mut self, name: impl Into<String>) {
+        self.workload = name.into();
+    }
+
+    /// Starts recording a per-nanosecond mode/voltage trace, keeping
+    /// the most recent `capacity` samples (a ring buffer). Costs a few
+    /// bytes per simulated nanosecond while enabled.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(ModeTrace::new(capacity));
+    }
+
+    /// Stops tracing and returns what was recorded, if tracing was on.
+    pub fn take_trace(&mut self) -> Option<ModeTrace> {
+        self.trace.take()
+    }
+
+    /// The trace recorded so far, if tracing is on.
+    #[must_use]
+    pub fn trace(&self) -> Option<&ModeTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Current simulated time (ns).
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The core (stats, hierarchy access).
+    #[must_use]
+    pub fn core(&self) -> &Core<S> {
+        &self.core
+    }
+
+    /// The VSV controller (mode, FSM stats).
+    #[must_use]
+    pub fn controller(&self) -> &VsvController {
+        &self.controller
+    }
+
+    /// Runs `instructions` committed instructions to warm the caches
+    /// and predictors, then re-anchors all measurement counters so the
+    /// next [`System::run`] reports steady-state numbers (the paper
+    /// warms caches during fast-forward, §5).
+    pub fn warm_up(&mut self, instructions: u64) {
+        let _ = self.run_internal(instructions);
+        self.reset_measurement();
+    }
+
+    /// Runs `instructions` committed instructions and reports the
+    /// measured window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine stops making forward progress (a model
+    /// deadlock — indicates a simulator bug).
+    pub fn run(&mut self, instructions: u64) -> RunResult {
+        self.run_internal(instructions)
+    }
+
+    fn run_internal(&mut self, instructions: u64) -> RunResult {
+        let target = self.core.stats().committed + instructions;
+        let mut last_committed = self.core.stats().committed;
+        let mut last_progress_at = self.now;
+        while self.core.stats().committed < target && !self.core.done() {
+            self.step();
+            let committed = self.core.stats().committed;
+            if committed != last_committed {
+                last_committed = committed;
+                last_progress_at = self.now;
+            } else {
+                assert!(
+                    self.now - last_progress_at < 2_000_000,
+                    "no commit progress for 2 ms of simulated time at t={} \
+                     (committed={committed}): simulator deadlock",
+                    self.now
+                );
+            }
+        }
+        self.finish_window()
+    }
+
+    /// Advances the simulation by exactly one nanosecond without any
+    /// completion criterion — the single-stepping primitive under
+    /// [`System::run`], exposed for tools that want to observe the
+    /// controller's mode trajectory cycle by cycle.
+    pub fn step_ns(&mut self) {
+        self.step();
+    }
+
+    /// One nanosecond of simulated time.
+    fn step(&mut self) {
+        let now = self.now;
+        self.core.tick_mem(now);
+        for sig in self.core.mem_mut().drain_vsv_signals() {
+            self.controller.observe(&sig);
+        }
+        let outstanding = self.core.mem().outstanding_demand_misses();
+        let plan = self.controller.tick(now, outstanding);
+        for _ in 0..self.controller.take_ramps() {
+            self.power.record_ramp();
+        }
+        self.power.record_leakage_ns(plan.vdd);
+        if plan.pipeline_edge {
+            let act = self.core.cycle(now);
+            self.controller.on_cycle(now, act.issued);
+            self.power.record_cycle(&sample_from(&act), plan.vdd);
+        }
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(TraceSample {
+                ns: now,
+                mode: self.controller.mode(),
+                vdd: plan.vdd,
+                edge: plan.pipeline_edge,
+            });
+        }
+        self.now += 1;
+    }
+
+    /// Re-anchors every counter at "now" and zeroes the energy
+    /// integrator.
+    fn reset_measurement(&mut self) {
+        let cfg = *self.power.config();
+        self.power = PowerAccountant::new(cfg);
+        let (_, _, l2) = self.core.mem().cache_stats();
+        self.anchors = Anchors {
+            now: self.now,
+            core: self.core.stats(),
+            mem: self.core.mem().stats(),
+            l2_accesses: l2.accesses(),
+            dram_accesses: self.core.mem().dram_accesses(),
+            bus_transactions: self.core.mem().bus().transactions(),
+            mode: self.controller.stats(),
+        };
+    }
+
+    /// Closes the measurement window: charges uncore energy for the
+    /// window's L2/bus/DRAM events and builds the result.
+    fn finish_window(&mut self) -> RunResult {
+        let a = self.anchors;
+        let (_, _, l2) = self.core.mem().cache_stats();
+        let l2_accesses = l2.accesses() - a.l2_accesses;
+        let dram = self.core.mem().dram_accesses() - a.dram_accesses;
+        let bus = self.core.mem().bus().transactions() - a.bus_transactions;
+        self.power.record_uncore(l2_accesses, dram, bus);
+
+        let core = self.core.stats();
+        let mem = self.core.mem().stats();
+        let mode_now = self.controller.stats();
+        let elapsed_ns = self.now - a.now;
+        let committed = core.committed - a.core.committed;
+        let demand_misses = mem.l2_demand_misses - a.mem.l2_demand_misses;
+
+        let mut ns_in_mode = mode_now.ns_in_mode;
+        for (cur, old) in ns_in_mode.iter_mut().zip(a.mode.ns_in_mode.iter()) {
+            *cur -= old;
+        }
+        let mode = ModeStats {
+            ns_in_mode,
+            down_transitions: mode_now.down_transitions - a.mode.down_transitions,
+            up_transitions: mode_now.up_transitions - a.mode.up_transitions,
+        };
+
+        let result = RunResult {
+            workload: self.workload.clone(),
+            instructions: committed,
+            elapsed_ns,
+            pipeline_cycles: core.cycles - a.core.cycles,
+            ipc: if elapsed_ns == 0 {
+                0.0
+            } else {
+                committed as f64 / elapsed_ns as f64
+            },
+            mpki: if committed == 0 {
+                0.0
+            } else {
+                demand_misses as f64 * 1000.0 / committed as f64
+            },
+            prefetch_mpki: if committed == 0 {
+                0.0
+            } else {
+                (mem.l2_prefetch_misses - a.mem.l2_prefetch_misses) as f64 * 1000.0
+                    / committed as f64
+            },
+            energy_pj: self.power.total_energy_pj(),
+            energy: self.power.breakdown(),
+            avg_power_w: self.power.average_power_w(elapsed_ns),
+            mode,
+            down_triggers: self.controller.down_fsm().triggers(),
+            down_expiries: self.controller.down_fsm().expiries(),
+            up_triggers: self.controller.up_fsm().triggers(),
+            up_expiries: self.controller.up_fsm().expiries(),
+            zero_issue_cycles: core.zero_issue_cycles - a.core.zero_issue_cycles,
+            mispredicts: core.mispredicts - a.core.mispredicts,
+            branches: core.branches - a.core.branches,
+            issue_histogram: {
+                let mut h = core.issue_histogram;
+                for (b, old) in h.buckets.iter_mut().zip(a.core.issue_histogram.buckets) {
+                    *b -= old;
+                }
+                h
+            },
+        };
+        self.reset_measurement();
+        result
+    }
+}
+
+/// Maps the core's activity vector onto the power model's structure
+/// catalog.
+fn sample_from(act: &CycleActivity) -> ActivitySample {
+    let mut s: ActivitySample = Default::default();
+    s[StructureId::Fetch.index()] = act.fetched;
+    s[StructureId::Rename.index()] = act.dispatched;
+    s[StructureId::Ruu.index()] = act.ruu_reads + act.ruu_writes + act.ruu_wakeups;
+    s[StructureId::Lsq.index()] = act.lsq_accesses;
+    s[StructureId::RegFile.index()] = act.regfile_reads + act.regfile_writes;
+    s[StructureId::IL1.index()] = act.il1_accesses;
+    s[StructureId::DL1.index()] = act.dl1_accesses;
+    s[StructureId::Bpred.index()] = act.bpred_accesses;
+    s[StructureId::IntAlu.index()] = act.int_alu_ops;
+    s[StructureId::IntMulDiv.index()] = act.int_muldiv_ops;
+    s[StructureId::FpAlu.index()] = act.fp_alu_ops;
+    s[StructureId::FpMulDiv.index()] = act.fp_muldiv_ops;
+    s[StructureId::ResultBus.index()] = act.resultbus_ops;
+    // The clock tree toggles every cycle; its energy is the per-cycle
+    // clock term, charged by the accountant regardless of this count.
+    s[StructureId::ClockTree.index()] = 0;
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsv_workloads::{Generator, WorkloadParams};
+
+    fn memory_bound_params() -> WorkloadParams {
+        let mut p = WorkloadParams::compute_bound("membound");
+        p.working_set_bytes = 32 * 1024 * 1024;
+        p.far_fraction = 0.25;
+        p.miss_dependency = 1.0;
+        p.ilp_chains = 1;
+        p
+    }
+
+    #[test]
+    fn baseline_run_reports_sane_numbers() {
+        let mut sys = System::new(
+            SystemConfig::baseline(),
+            Generator::new(WorkloadParams::compute_bound("t")),
+        );
+        sys.warm_up(5_000);
+        let r = sys.run(20_000);
+        // Commit is 8-wide, so the window may overshoot by up to 7.
+        assert!((20_000..20_008).contains(&r.instructions), "{}", r.instructions);
+        assert!(r.ipc > 0.5, "compute-bound twin should flow, got {}", r.ipc);
+        assert!(r.avg_power_w > 1.0 && r.avg_power_w < 100.0, "{}", r.avg_power_w);
+        assert_eq!(r.mode.down_transitions, 0, "VSV disabled");
+    }
+
+    #[test]
+    fn baseline_cycles_equal_elapsed_ns() {
+        let mut sys = System::new(
+            SystemConfig::baseline(),
+            Generator::new(WorkloadParams::compute_bound("t")),
+        );
+        let r = sys.run(10_000);
+        assert_eq!(r.pipeline_cycles, r.elapsed_ns, "full speed: 1 cycle per ns");
+    }
+
+    #[test]
+    fn vsv_saves_power_on_memory_bound_twin() {
+        let params = memory_bound_params();
+        let mut base = System::new(SystemConfig::baseline(), Generator::new(params));
+        base.warm_up(10_000);
+        let rb = base.run(30_000);
+
+        let mut vsv = System::new(SystemConfig::vsv_with_fsms(), Generator::new(params));
+        vsv.warm_up(10_000);
+        let rv = vsv.run(30_000);
+
+        assert!(rb.mpki > 4.0, "twin must be memory bound, MR {}", rb.mpki);
+        assert!(rv.mode.down_transitions > 0, "VSV must engage");
+        assert!(
+            rv.avg_power_w < rb.avg_power_w * 0.95,
+            "VSV should save >5% power: {} vs {}",
+            rv.avg_power_w,
+            rb.avg_power_w
+        );
+        let degradation = (rv.elapsed_ns as f64 / rb.elapsed_ns as f64 - 1.0) * 100.0;
+        assert!(
+            degradation < 15.0,
+            "degradation should be bounded, got {degradation}%"
+        );
+    }
+
+    #[test]
+    fn vsv_leaves_compute_bound_twin_alone() {
+        let mut p = WorkloadParams::compute_bound("cpu");
+        p.far_fraction = 0.0;
+        let mut base = System::new(SystemConfig::baseline(), Generator::new(p));
+        base.warm_up(5_000);
+        let rb = base.run(20_000);
+        let mut vsv = System::new(SystemConfig::vsv_with_fsms(), Generator::new(p));
+        vsv.warm_up(5_000);
+        let rv = vsv.run(20_000);
+        // A handful of first-touch hot-set blocks may still miss after
+        // warm-up; the twin has no sustained miss traffic though.
+        assert!(
+            rv.mode.down_transitions <= 2,
+            "essentially no transitions expected, got {}",
+            rv.mode.down_transitions
+        );
+        let delta = (rv.elapsed_ns as f64 / rb.elapsed_ns as f64 - 1.0).abs();
+        assert!(delta < 0.02, "near-identical timing expected, delta {delta}");
+    }
+
+    #[test]
+    fn mode_residency_sums_to_elapsed() {
+        let mut sys = System::new(
+            SystemConfig::vsv_without_fsms(),
+            Generator::new(memory_bound_params()),
+        );
+        sys.warm_up(5_000);
+        let r = sys.run(20_000);
+        let total: u64 = r.mode.ns_in_mode.iter().sum();
+        assert_eq!(total, r.elapsed_ns);
+        assert!(r.mode.low_residency() > 0.0, "memory-bound: some low time");
+    }
+
+    #[test]
+    fn timekeeping_cuts_demand_misses_on_streaming_twin() {
+        let mut p = WorkloadParams::compute_bound("stream");
+        p.working_set_bytes = 8 * 1024 * 1024;
+        p.far_fraction = 0.30;
+        p.mem_fraction = 0.35;
+        let cfg = SystemConfig::baseline();
+        let mut base = System::new(cfg, Generator::new(p));
+        base.warm_up(20_000);
+        let rb = base.run(60_000);
+
+        let cfg_tk = SystemConfig::baseline().with_timekeeping(true);
+        let mut tk = System::new(cfg_tk, Generator::new(p));
+        tk.warm_up(20_000);
+        let rt = tk.run(60_000);
+
+        assert!(rb.mpki > 5.0, "stream twin must miss: {}", rb.mpki);
+        assert!(
+            rt.mpki < rb.mpki * 0.8,
+            "TK should cut streaming demand misses: {} -> {}",
+            rb.mpki,
+            rt.mpki
+        );
+    }
+
+    #[test]
+    fn warm_up_resets_measurement() {
+        let mut sys = System::new(
+            SystemConfig::baseline(),
+            Generator::new(WorkloadParams::compute_bound("t")),
+        );
+        sys.warm_up(5_000);
+        let r = sys.run(1_000);
+        assert!(
+            (1_000..1_008).contains(&r.instructions),
+            "window counts only measured insts (8-wide commit may overshoot): {}",
+            r.instructions
+        );
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let run = || {
+            let mut sys = System::new(
+                SystemConfig::vsv_with_fsms(),
+                Generator::new(memory_bound_params()),
+            );
+            sys.warm_up(5_000);
+            sys.run(20_000)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.elapsed_ns, b.elapsed_ns);
+        assert!((a.energy_pj - b.energy_pj).abs() < 1e-6);
+        assert_eq!(a.mode.down_transitions, b.mode.down_transitions);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::controller::Mode;
+    use vsv_workloads::{Generator, WorkloadParams};
+
+    #[test]
+    fn trace_records_modes_and_voltages() {
+        let mut p = WorkloadParams::compute_bound("trace");
+        p.working_set_bytes = 32 * 1024 * 1024;
+        p.far_fraction = 0.25;
+        p.miss_dependency = 1.0;
+        p.ilp_chains = 1;
+        let mut sys = System::new(SystemConfig::vsv_with_fsms(), Generator::new(p));
+        sys.enable_trace(50_000);
+        sys.warm_up(5_000);
+        let _ = sys.run(20_000);
+        let trace = sys.take_trace().expect("tracing was on");
+        assert!(!trace.is_empty());
+        let modes: std::collections::HashSet<_> =
+            trace.iter().map(|s| s.mode).collect();
+        assert!(modes.contains(&Mode::High));
+        assert!(modes.contains(&Mode::Low), "memory-bound run must go low");
+        // Voltage is always inside the rail band.
+        for s in trace.iter() {
+            assert!(s.vdd >= 1.2 - 1e-9 && s.vdd <= 1.8 + 1e-9);
+        }
+        // The strip renders one char per sample.
+        assert_eq!(trace.strip().len(), trace.len());
+    }
+
+    #[test]
+    fn trace_off_by_default_and_disablable() {
+        let mut sys = System::new(
+            SystemConfig::baseline(),
+            Generator::new(WorkloadParams::compute_bound("t")),
+        );
+        assert!(sys.trace().is_none());
+        sys.enable_trace(128);
+        let _ = sys.run(1_000);
+        assert!(sys.trace().is_some());
+        let t = sys.take_trace().expect("on");
+        assert!(t.len() <= 128);
+        assert!(sys.trace().is_none(), "take_trace turns tracing off");
+    }
+}

@@ -1,0 +1,183 @@
+//! Achieved-mix measurement: sample a generator and report what the
+//! stream actually contains, for calibration workflows and tests.
+
+use vsv_isa::{InstStream, OpClass};
+
+use crate::generator::Generator;
+use crate::params::WorkloadParams;
+
+/// Measured composition of a generated instruction stream.
+///
+/// # Examples
+///
+/// ```
+/// use vsv_workloads::{MixSummary, WorkloadParams};
+///
+/// let mix = MixSummary::measure(&WorkloadParams::compute_bound("demo"), 20_000);
+/// assert_eq!(mix.total, 20_000);
+/// // The achieved mix tracks the parameter point.
+/// assert!((mix.branch_fraction() - 0.12).abs() < 0.03);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MixSummary {
+    /// Instructions sampled.
+    pub total: u64,
+    /// Loads (hot + far).
+    pub loads: u64,
+    /// Loads that touch the far (working-set) region.
+    pub far_loads: u64,
+    /// Far loads whose address depends on a prior far load.
+    pub chased_loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Branches (conditionals + loop jumps).
+    pub branches: u64,
+    /// Software prefetches.
+    pub prefetches: u64,
+    /// Compute ops (int/fp, alu/muldiv).
+    pub computes: u64,
+    /// Compute ops that are floating point.
+    pub fp_computes: u64,
+    /// Distinct PCs seen (static footprint actually exercised).
+    pub distinct_pcs: u64,
+}
+
+impl MixSummary {
+    /// Samples `n` instructions of `params`' stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` is invalid (see
+    /// [`WorkloadParams::validate`]).
+    #[must_use]
+    pub fn measure(params: &WorkloadParams, n: u64) -> Self {
+        let mut g = Generator::new(*params);
+        let mut mix = MixSummary::default();
+        let mut pcs = std::collections::HashSet::new();
+        for _ in 0..n {
+            let inst = g.next_inst().expect("streams are infinite");
+            mix.total += 1;
+            pcs.insert(inst.pc());
+            match inst.op() {
+                OpClass::Load => {
+                    mix.loads += 1;
+                    if inst.mem_addr().expect("loads have addresses").0 >= 0x1000_0000 {
+                        mix.far_loads += 1;
+                        if inst.srcs()[0].is_some() {
+                            mix.chased_loads += 1;
+                        }
+                    }
+                }
+                OpClass::Store => mix.stores += 1,
+                OpClass::Branch => mix.branches += 1,
+                OpClass::Prefetch => mix.prefetches += 1,
+                OpClass::IntAlu | OpClass::IntMulDiv => mix.computes += 1,
+                OpClass::FpAlu | OpClass::FpMulDiv => {
+                    mix.computes += 1;
+                    mix.fp_computes += 1;
+                }
+                OpClass::Nop => {}
+            }
+        }
+        mix.distinct_pcs = pcs.len() as u64;
+        mix
+    }
+
+    fn fraction(part: u64, whole: u64) -> f64 {
+        if whole == 0 {
+            0.0
+        } else {
+            part as f64 / whole as f64
+        }
+    }
+
+    /// Loads + stores per instruction.
+    #[must_use]
+    pub fn mem_fraction(&self) -> f64 {
+        Self::fraction(self.loads + self.stores, self.total)
+    }
+
+    /// Branches per instruction.
+    #[must_use]
+    pub fn branch_fraction(&self) -> f64 {
+        Self::fraction(self.branches, self.total)
+    }
+
+    /// Far loads per instruction — with a miss probability near 1 for
+    /// beyond-L2 working sets, this ×1000 approximates the twin's MR.
+    #[must_use]
+    pub fn far_rate(&self) -> f64 {
+        Self::fraction(self.far_loads, self.total)
+    }
+
+    /// FP share of compute ops.
+    #[must_use]
+    pub fn fp_fraction(&self) -> f64 {
+        Self::fraction(self.fp_computes, self.computes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec2k::{spec2k_twins, table2_reference};
+
+    #[test]
+    fn mix_tracks_parameter_point() {
+        let mut p = WorkloadParams::compute_bound("mix");
+        p.mem_fraction = 0.35;
+        p.branch_fraction = 0.10;
+        p.fp_fraction = 0.5;
+        let mix = MixSummary::measure(&p, 40_000);
+        assert!((mix.mem_fraction() - 0.35).abs() < 0.03, "{}", mix.mem_fraction());
+        assert!((mix.branch_fraction() - 0.10).abs() < 0.03);
+        assert!((mix.fp_fraction() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn far_rate_predicts_table2_mr_for_chase_twins() {
+        // For the beyond-L2 chase/random twins (no prefetch coverage,
+        // miss probability ≈ 1), far_rate × 1000 must approximate the
+        // paper's MR target.
+        for name in ["mcf", "art"] {
+            let p = spec2k_twins().into_iter().find(|p| p.name == name).expect("twin");
+            let paper = table2_reference().into_iter().find(|r| r.name == name).expect("row");
+            let mix = MixSummary::measure(&p, 60_000);
+            let predicted_mr = mix.far_rate() * 1000.0;
+            let ratio = predicted_mr / paper.mr_base;
+            assert!(
+                (0.6..=1.6).contains(&ratio),
+                "{name}: far-rate-predicted MR {predicted_mr:.1} vs paper {:.1}",
+                paper.mr_base
+            );
+        }
+    }
+
+    #[test]
+    fn chase_twins_have_chased_loads() {
+        let p = spec2k_twins().into_iter().find(|p| p.name == "mcf").expect("twin");
+        let mix = MixSummary::measure(&p, 30_000);
+        assert!(mix.chased_loads > 0);
+        assert!(mix.chased_loads <= mix.far_loads);
+    }
+
+    #[test]
+    fn distinct_pcs_bounded_by_footprint() {
+        let p = WorkloadParams::compute_bound("pcs");
+        let mix = MixSummary::measure(&p, 50_000);
+        assert!(mix.distinct_pcs <= p.code_footprint_bytes / 4);
+        assert!(mix.distinct_pcs > 100, "the footprint is exercised");
+    }
+
+    #[test]
+    fn prefetch_coverage_produces_prefetches() {
+        let mut p = WorkloadParams::compute_bound("pf");
+        p.far_fraction = 0.2;
+        p.sw_prefetch_coverage = 0.5;
+        let mix = MixSummary::measure(&p, 50_000);
+        assert!(mix.prefetches > 0);
+        // Roughly coverage × far loads.
+        let ratio = mix.prefetches as f64 / (mix.far_loads as f64 * 0.5);
+        assert!((0.6..=1.4).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Umbrella crate for the VSV reproduction workspace.
+//!
+//! This package exists to host the cross-crate integration tests
+//! (`tests/`) and the runnable examples (`examples/`); the library
+//! surface is in the member crates, re-exported here for convenience:
+//!
+//! * [`vsv`] — the paper's contribution (FSMs, controller, system);
+//! * [`vsv_workloads`] — the synthetic SPEC2K twins;
+//! * [`vsv_uarch`], [`vsv_mem`], [`vsv_power`], [`vsv_prefetch`] — the
+//!   substrates;
+//! * [`vsv_viz`] — SVG figure rendering.
+//!
+//! Start from the [`vsv`] crate's documentation or the repository
+//! README.
+
+#![forbid(unsafe_code)]
+
+pub use vsv;
+pub use vsv_isa;
+pub use vsv_mem;
+pub use vsv_power;
+pub use vsv_prefetch;
+pub use vsv_uarch;
+pub use vsv_viz;
+pub use vsv_workloads;

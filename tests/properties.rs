@@ -1,0 +1,342 @@
+//! Property-based tests (proptest) over the public APIs of the
+//! substrate crates: invariants that must hold for *any* input, not
+//! just the scripted cases in the unit tests.
+
+use proptest::prelude::*;
+
+use vsv::{Comparison, DownFsm, DownPolicy, ModeStats, RunResult, UpFsm, UpPolicy};
+use vsv_isa::{Addr, ArchReg, Inst, Pc};
+use vsv_mem::{Bus, BusConfig, Cache, CacheConfig, EventQueue, MshrFile, MshrOutcome};
+use vsv_power::{ActivitySample, PowerAccountant, PowerConfig};
+use vsv_uarch::Ruu;
+use vsv_workloads::{Generator, WorkloadParams, XorShift64};
+
+// ---------- caches ---------------------------------------------------
+
+proptest! {
+    /// A fill makes the block resident; residency only leaves via a
+    /// conflicting fill or invalidation. Model-checked against a naive
+    /// set model.
+    #[test]
+    fn cache_matches_naive_lru_model(ops in prop::collection::vec((0u64..64, any::<bool>()), 1..200)) {
+        // 2 sets x 2 ways x 32B blocks.
+        let cfg = CacheConfig { capacity_bytes: 128, assoc: 2, block_bytes: 32, hit_latency: 1 };
+        let mut cache = Cache::new(cfg);
+        // Naive model: per set, a vec of (block, last_use), most recent last.
+        let mut model: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
+        for (block_idx, is_fill) in ops {
+            let addr = Addr(block_idx * 32);
+            let set = (block_idx % 2) as usize;
+            if is_fill {
+                cache.fill(addr);
+                if let Some(pos) = model[set].iter().position(|b| *b == block_idx) {
+                    model[set].remove(pos);
+                } else if model[set].len() == 2 {
+                    model[set].remove(0); // evict LRU
+                }
+                model[set].push(block_idx);
+            } else {
+                let hit = cache.access(addr, false);
+                let model_hit = model[set].contains(&block_idx);
+                prop_assert_eq!(hit, model_hit, "access {} mismatch", block_idx);
+                if model_hit {
+                    let pos = model[set].iter().position(|b| *b == block_idx).expect("hit");
+                    let b = model[set].remove(pos);
+                    model[set].push(b); // refresh LRU
+                }
+            }
+        }
+    }
+
+    /// Occupancy never exceeds capacity, and the fill/eviction ledger
+    /// balances: every fill either made a block resident, displaced a
+    /// victim, or refreshed an already-resident block.
+    #[test]
+    fn cache_occupancy_and_stat_balance(blocks in prop::collection::vec(0u64..4096, 1..300)) {
+        let cfg = CacheConfig { capacity_bytes: 1024, assoc: 4, block_bytes: 32, hit_latency: 1 };
+        let mut cache = Cache::new(cfg);
+        let n = blocks.len() as u64;
+        for b in blocks {
+            cache.fill(Addr(b * 32));
+        }
+        let s = cache.stats();
+        prop_assert!(cache.resident_blocks() <= 32);
+        prop_assert_eq!(s.fills, n);
+        prop_assert!(
+            cache.resident_blocks() as u64 + s.evictions <= s.fills,
+            "resident {} + evictions {} must not exceed fills {}",
+            cache.resident_blocks(),
+            s.evictions,
+            s.fills
+        );
+        prop_assert!(s.writebacks <= s.evictions);
+    }
+}
+
+// ---------- MSHRs ----------------------------------------------------
+
+proptest! {
+    /// Every allocated target is returned exactly once by complete(),
+    /// in FIFO order per block, and occupancy tracks live entries.
+    #[test]
+    fn mshr_targets_conserved(reqs in prop::collection::vec((0u64..8, 0u64..1000), 1..100)) {
+        let mut mshrs = MshrFile::new(4, 4);
+        let mut expected: std::collections::HashMap<u64, Vec<u64>> = Default::default();
+        for (block_idx, target) in reqs {
+            let block = Addr(block_idx * 64);
+            match mshrs.allocate(block, target, true) {
+                MshrOutcome::Primary | MshrOutcome::Merged => {
+                    expected.entry(block_idx).or_default().push(target);
+                }
+                MshrOutcome::Full => {}
+            }
+        }
+        prop_assert_eq!(mshrs.occupancy(), expected.len());
+        for (block_idx, targets) in expected {
+            let (got, demand) = mshrs.complete(Addr(block_idx * 64)).expect("entry exists");
+            prop_assert_eq!(got, targets, "FIFO order per block");
+            prop_assert!(demand);
+        }
+        prop_assert_eq!(mshrs.occupancy(), 0);
+    }
+}
+
+// ---------- bus -------------------------------------------------------
+
+proptest! {
+    /// Grants never overlap and never start before the request time;
+    /// total busy time equals the sum of grant durations.
+    #[test]
+    fn bus_grants_are_serialised(reqs in prop::collection::vec((0u64..500, 0u64..256), 1..100)) {
+        let mut bus = Bus::new(BusConfig::baseline());
+        let mut last_end = 0u64;
+        let mut busy = 0u64;
+        let mut now = 0u64;
+        for (advance, bytes) in reqs {
+            now += advance;
+            let (start, end) = bus.schedule(now, bytes);
+            prop_assert!(start >= now);
+            prop_assert!(start >= last_end, "grants must not overlap");
+            prop_assert!(end > start);
+            busy += end - start;
+            last_end = end;
+        }
+        prop_assert_eq!(bus.busy_ns(), busy);
+    }
+}
+
+// ---------- event queue ----------------------------------------------
+
+proptest! {
+    /// Events pop in (time, insertion) order regardless of push order.
+    #[test]
+    fn event_queue_is_stable_priority(events in prop::collection::vec(0u64..100, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in events.iter().enumerate() {
+            q.push(*t, (*t, i));
+        }
+        let popped = q.pop_ready(100);
+        prop_assert_eq!(popped.len(), events.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+        }
+    }
+}
+
+// ---------- RUU -------------------------------------------------------
+
+proptest! {
+    /// Any interleaving of dispatch/complete keeps in-order commit:
+    /// popped sequence numbers are dense and increasing, and occupancy
+    /// never exceeds capacity.
+    #[test]
+    fn ruu_commits_in_order(plan in prop::collection::vec(any::<bool>(), 1..300)) {
+        let mut ruu = Ruu::new(16, 8);
+        let mut issued: Vec<u64> = Vec::new();
+        let mut next_commit = 0u64;
+        let mut pc = 0u64;
+        for dispatch in plan {
+            if dispatch {
+                let inst = Inst::alu(Pc(pc), ArchReg::int((pc % 30) as u8 + 1), &[]);
+                pc += 4;
+                if ruu.can_dispatch(&inst) {
+                    let seq = ruu.dispatch(inst, false);
+                    issued.push(seq);
+                }
+            } else if let Some(seq) = issued.pop() {
+                ruu.mark_issued(seq, 0);
+                ruu.complete(seq);
+            }
+            prop_assert!(ruu.occupancy() <= 16);
+            while ruu.commit_ready().is_some() {
+                let e = ruu.pop_commit();
+                prop_assert_eq!(e.seq, next_commit, "commit order must be program order");
+                next_commit += 1;
+            }
+        }
+    }
+}
+
+// ---------- FSMs ------------------------------------------------------
+
+proptest! {
+    /// A higher down-threshold never triggers earlier than a lower one
+    /// on the same issue trace.
+    #[test]
+    fn down_threshold_monotonicity(trace in prop::collection::vec(0u32..4, 10..60)) {
+        let fire_index = |threshold: u32| {
+            let mut f = DownFsm::new(DownPolicy::Monitor { threshold, period: 10 });
+            f.arm();
+            trace.iter().position(|&i| {
+                f.refresh();
+                f.on_cycle(i)
+            })
+        };
+        let t1 = fire_index(1);
+        let t3 = fire_index(3);
+        match (t1, t3) {
+            (Some(a), Some(b)) => prop_assert!(a <= b),
+            (None, Some(_)) => prop_assert!(false, "t3 fired but t1 did not"),
+            _ => {}
+        }
+    }
+
+    /// The up-FSM never fires while the pipeline stays fully idle with
+    /// misses outstanding; Last-R never fires before outstanding hits 0.
+    #[test]
+    fn up_policies_respect_their_definitions(outs in prop::collection::vec(1usize..5, 1..30)) {
+        let mut monitor = UpFsm::new(UpPolicy::Monitor { threshold: 3, period: 10 });
+        let mut last_r = UpFsm::new(UpPolicy::LastReturn);
+        for &o in &outs {
+            prop_assert!(!last_r.on_return(o), "Last-R with outstanding {o}");
+            if monitor.on_return(o) {
+                prop_assert!(false, "monitor cannot fire straight from a return with outstanding > 0");
+            }
+            // Idle cycles: monitor must not fire.
+            for _ in 0..12 {
+                prop_assert!(!monitor.on_cycle(0));
+            }
+        }
+        prop_assert!(last_r.on_return(0));
+    }
+}
+
+// ---------- power model ----------------------------------------------
+
+proptest! {
+    /// Energy is finite, non-negative, and monotone in both activity
+    /// and voltage.
+    #[test]
+    fn power_energy_monotonicity(
+        counts in prop::collection::vec(0u32..32, 14),
+        v_idx in 0usize..4,
+    ) {
+        let volts = [1.2, 1.4, 1.6, 1.8];
+        let v = volts[v_idx];
+        let mut sample: ActivitySample = Default::default();
+        sample.copy_from_slice(&counts);
+        let mut acc = PowerAccountant::new(PowerConfig::baseline());
+        acc.record_cycle(&sample, v);
+        let e = acc.total_energy_pj();
+        prop_assert!(e.is_finite() && e >= 0.0);
+
+        // More activity can only cost more.
+        let mut bigger = sample;
+        bigger[0] += 1;
+        let mut acc2 = PowerAccountant::new(PowerConfig::baseline());
+        acc2.record_cycle(&bigger, v);
+        prop_assert!(acc2.total_energy_pj() >= e);
+
+        // Higher voltage can only cost more.
+        if v < 1.8 {
+            let mut acc3 = PowerAccountant::new(PowerConfig::baseline());
+            acc3.record_cycle(&sample, v + 0.2);
+            prop_assert!(acc3.total_energy_pj() + 1e-9 >= e);
+        }
+    }
+}
+
+// ---------- workload generator ----------------------------------------
+
+proptest! {
+    /// For any valid parameter point, the generated trace respects
+    /// control flow (each instruction sits at its predecessor's next
+    /// PC) and PCs stay inside the code footprint.
+    #[test]
+    fn generator_traces_follow_control_flow(
+        seed in any::<u64>(),
+        far in 0.0f64..0.3,
+        branch in 0.0f64..0.25,
+        ilp in 1usize..9,
+        burst in 1usize..17,
+    ) {
+        use vsv_isa::InstStream;
+        let mut p = WorkloadParams::compute_bound("prop");
+        p.seed = seed;
+        p.far_fraction = far;
+        p.branch_fraction = branch;
+        p.ilp_chains = ilp;
+        p.miss_burst = burst;
+        prop_assume!(p.validate().is_ok());
+        let mut g = Generator::new(p);
+        let mut prev: Option<Inst> = None;
+        for _ in 0..2_000 {
+            let inst = g.next_inst().expect("infinite stream");
+            prop_assert!(inst.pc().0 < p.code_footprint_bytes);
+            if let Some(prev) = prev {
+                prop_assert_eq!(inst.pc(), prev.next_pc(), "{} then {}", prev, inst);
+            }
+            prev = Some(inst);
+        }
+    }
+
+    /// The PRNG's bounded sampler stays in range for any bound.
+    #[test]
+    fn rng_below_stays_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut r = XorShift64::new(seed);
+        for _ in 0..100 {
+            prop_assert!(r.below(bound) < bound);
+        }
+    }
+}
+
+// ---------- report maths ----------------------------------------------
+
+proptest! {
+    /// Comparison percentages are consistent with their definitions.
+    #[test]
+    fn comparison_math(base_ns in 1_000u64..1_000_000, vsv_ns in 1_000u64..1_000_000,
+                       base_w in 1.0f64..100.0, vsv_w in 1.0f64..100.0) {
+        let mk = |ns: u64, w: f64| RunResult {
+            workload: String::new(),
+            instructions: 1,
+            elapsed_ns: ns,
+            pipeline_cycles: ns,
+            ipc: 0.0,
+            mpki: 0.0,
+            prefetch_mpki: 0.0,
+            energy_pj: w * ns as f64 * 1e3,
+            energy: vsv_power::EnergyBreakdown {
+                per_structure_pj: [0.0; 14],
+                ramp_pj: 0.0,
+                level_converter_pj: 0.0,
+                uncore_pj: 0.0,
+                leakage_pj: 0.0,
+                cycles: 0,
+            },
+            avg_power_w: w,
+            mode: ModeStats::default(),
+            down_triggers: 0,
+            down_expiries: 0,
+            up_triggers: 0,
+            up_expiries: 0,
+            zero_issue_cycles: 0,
+            mispredicts: 0,
+            branches: 0,
+            issue_histogram: Default::default(),
+        };
+        let c = Comparison::of(&mk(base_ns, base_w), &mk(vsv_ns, vsv_w));
+        prop_assert!((c.perf_degradation_pct > 0.0) == (vsv_ns > base_ns));
+        prop_assert!((c.power_saving_pct > 0.0) == (vsv_w < base_w));
+    }
+}
