@@ -13,47 +13,54 @@
 //!   baseline wastes more idle power, so VSV's *relative* savings grow.
 //!
 //! Usage: `cargo run --release -p vsv-bench --bin ablations`
+//! Scale via `VSV_INSTS` / `VSV_WARMUP`; threads via `VSV_WORKERS`.
 
-use vsv::{mean_comparison, Comparison, DownPolicy, SystemConfig, UpPolicy, VsvConfig};
-use vsv_bench::{experiment_from_env, rule};
+use vsv::{
+    default_workers, mean_comparison, Comparison, DownPolicy, Sweep, SweepJob, SystemConfig,
+    UpPolicy, VsvConfig,
+};
+use vsv_bench::{announce_workers, experiment_from_env, rule};
 use vsv_workloads::{high_mr_names, twin};
 
-fn high_mr_mean(cfg_of: impl Fn() -> SystemConfig) -> Comparison {
+/// Mean comparison over the high-MR twins for one variant
+/// configuration. The baseline shares everything with the variant
+/// except the VSV policy itself, so each sweep isolates one knob.
+fn high_mr_mean(var_cfg: SystemConfig) -> Comparison {
     let e = experiment_from_env();
-    let mut cs = Vec::new();
-    for name in high_mr_names() {
-        let params = twin(name).expect("suite twin");
-        let var_cfg = cfg_of();
-        // The baseline shares everything with the variant except the
-        // VSV policy itself, so each sweep isolates one knob.
-        let mut base_cfg = var_cfg;
-        base_cfg.vsv = VsvConfig::disabled();
-        let base = e.run(&params, base_cfg);
-        let run = e.run(&params, var_cfg);
-        cs.push(Comparison::of(&base, &run));
-    }
+    let mut base_cfg = var_cfg;
+    base_cfg.vsv = VsvConfig::disabled();
+    let twins: Vec<_> = high_mr_names()
+        .iter()
+        .map(|name| twin(name).expect("suite twin"))
+        .collect();
+    let runs = Sweep::over_grid(e, &twins, &[base_cfg, var_cfg]).run(default_workers());
+    let cs: Vec<Comparison> = runs
+        .chunks(2)
+        .map(|pair| Comparison::of(&pair[0], &pair[1]))
+        .collect();
     mean_comparison(&cs)
 }
 
 fn main() {
     let e = experiment_from_env();
     println!(
-        "Ablations over the high-MR twins ({} insts measured per run)\n",
+        "Ablations over the high-MR twins ({} insts measured per run)",
         e.instructions
     );
+    announce_workers(default_workers());
+    println!();
 
     println!("-- ramp-rate sensitivity (paper: 0.05 V/ns -> 12 ns ramps) --");
-    println!("{:>12} {:>9} | {:>8} {:>8}", "dV/dt V/ns", "ramp ns", "power%", "perf%");
+    println!(
+        "{:>12} {:>9} | {:>8} {:>8}",
+        "dV/dt V/ns", "ramp ns", "power%", "perf%"
+    );
     rule(44);
     for rate in [0.15, 0.05, 0.025, 0.0125] {
-        let c = high_mr_mean(|| {
-            let mut cfg = SystemConfig::vsv_with_fsms();
-            cfg.vsv.tech.ramp_rate_v_per_ns = rate;
-            cfg.power.tech.ramp_rate_v_per_ns = rate;
-            cfg
-        });
         let mut cfg = SystemConfig::vsv_with_fsms();
         cfg.vsv.tech.ramp_rate_v_per_ns = rate;
+        cfg.power.tech.ramp_rate_v_per_ns = rate;
+        let c = high_mr_mean(cfg);
         println!(
             "{:>12} {:>9} | {:>8.1} {:>8.1}",
             rate,
@@ -67,26 +74,34 @@ fn main() {
     println!("{:>12} | {:>8} {:>8}", "window", "power%", "perf%");
     rule(34);
     for period in [5u32, 10, 20] {
-        let c = high_mr_mean(|| {
-            let mut cfg = SystemConfig::vsv_with_fsms();
-            cfg.vsv.down = DownPolicy::Monitor { threshold: 3, period };
-            cfg.vsv.up = UpPolicy::Monitor { threshold: 3, period };
-            cfg
-        });
-        println!("{:>12} | {:>8.1} {:>8.1}", period, c.power_saving_pct, c.perf_degradation_pct);
+        let mut cfg = SystemConfig::vsv_with_fsms();
+        cfg.vsv.down = DownPolicy::Monitor {
+            threshold: 3,
+            period,
+        };
+        cfg.vsv.up = UpPolicy::Monitor {
+            threshold: 3,
+            period,
+        };
+        let c = high_mr_mean(cfg);
+        println!(
+            "{:>12} | {:>8.1} {:>8.1}",
+            period, c.power_saving_pct, c.perf_degradation_pct
+        );
     }
 
     println!("\n-- VDDL what-if (paper: 1.2 V; clock fixed at half speed) --");
     println!("{:>12} | {:>8} {:>8}", "VDDL (V)", "power%", "perf%");
     rule(34);
     for vddl in [1.0, 1.2, 1.4, 1.6] {
-        let c = high_mr_mean(|| {
-            let mut cfg = SystemConfig::vsv_with_fsms();
-            cfg.vsv.tech.vddl = vddl;
-            cfg.power.tech.vddl = vddl;
-            cfg
-        });
-        println!("{:>12.1} | {:>8.1} {:>8.1}", vddl, c.power_saving_pct, c.perf_degradation_pct);
+        let mut cfg = SystemConfig::vsv_with_fsms();
+        cfg.vsv.tech.vddl = vddl;
+        cfg.power.tech.vddl = vddl;
+        let c = high_mr_mean(cfg);
+        println!(
+            "{:>12.1} | {:>8.1} {:>8.1}",
+            vddl, c.power_saving_pct, c.perf_degradation_pct
+        );
     }
 
     println!("\n-- deterministic clock gating interaction (§6.1) --");
@@ -97,12 +112,10 @@ fn main() {
         ("structure", true, vsv_power::DcgModel::PerStructure),
         ("per-unit", true, vsv_power::DcgModel::PerUnit),
     ] {
-        let c = high_mr_mean(|| {
-            let mut cfg = SystemConfig::vsv_with_fsms();
-            cfg.power.dcg_enabled = enabled;
-            cfg.power.dcg_model = model;
-            cfg
-        });
+        let mut cfg = SystemConfig::vsv_with_fsms();
+        cfg.power.dcg_enabled = enabled;
+        cfg.power.dcg_model = model;
+        let c = high_mr_mean(cfg);
         println!(
             "{:>12} | {:>8.1} {:>8.1}",
             label, c.power_saving_pct, c.perf_degradation_pct
@@ -112,12 +125,13 @@ fn main() {
     println!("{:>12} | {:>8} {:>8}", "DRAM ns", "power%", "perf%");
     rule(34);
     for latency in [50u64, 100, 200, 400] {
-        let c = high_mr_mean(|| {
-            let mut cfg = SystemConfig::vsv_with_fsms();
-            cfg.mem.dram.latency_ns = latency;
-            cfg
-        });
-        println!("{:>12} | {:>8.1} {:>8.1}", latency, c.power_saving_pct, c.perf_degradation_pct);
+        let mut cfg = SystemConfig::vsv_with_fsms();
+        cfg.mem.dram.latency_ns = latency;
+        let c = high_mr_mean(cfg);
+        println!(
+            "{:>12} | {:>8.1} {:>8.1}",
+            latency, c.power_saving_pct, c.perf_degradation_pct
+        );
     }
 
     // The suite's high-MR working sets dwarf any realistic L2 and
@@ -126,24 +140,36 @@ fn main() {
     // ~120 k instructions: it fits the 2 MB and 8 MB L2s but not the
     // 512 KB one.
     println!("\n-- L2-capacity sensitivity (1 MB re-visited stream) --");
-    println!("{:>12} | {:>6} | {:>8} {:>8}", "L2", "MR", "power%", "perf%");
+    println!(
+        "{:>12} | {:>6} | {:>8} {:>8}",
+        "L2", "MR", "power%", "perf%"
+    );
     rule(44);
-    for (label, kb) in [("512 KB", 512u64), ("2 MB", 2048), ("8 MB", 8192)] {
-        let mut p = vsv_workloads::WorkloadParams::compute_bound("l2-sweep");
-        p.working_set_bytes = 1024 * 1024;
-        p.mem_fraction = 0.5;
-        p.store_ratio = 0.2;
-        p.far_fraction = 0.8;
-        p.pattern = vsv_workloads::AccessPattern::Streaming;
-        p.miss_dependency = 1.0;
-        p.ilp_chains = 2;
-        let mut var_cfg = SystemConfig::vsv_with_fsms();
-        var_cfg.mem.l2.capacity_bytes = kb * 1024;
-        let mut base_cfg = var_cfg;
-        base_cfg.vsv = VsvConfig::disabled();
-        let base = e.run(&p, base_cfg);
-        let run = e.run(&p, var_cfg);
-        let c = Comparison::of(&base, &run);
+    let capacities = [("512 KB", 512u64), ("2 MB", 2048), ("8 MB", 8192)];
+    // Irregular grid (the workload is fixed but the config varies per
+    // row), so assemble the (base, variant) job pairs by hand.
+    let mut p = vsv_workloads::WorkloadParams::compute_bound("l2-sweep");
+    p.working_set_bytes = 1024 * 1024;
+    p.mem_fraction = 0.5;
+    p.store_ratio = 0.2;
+    p.far_fraction = 0.8;
+    p.pattern = vsv_workloads::AccessPattern::Streaming;
+    p.miss_dependency = 1.0;
+    p.ilp_chains = 2;
+    let jobs: Vec<SweepJob> = capacities
+        .iter()
+        .flat_map(|(_, kb)| {
+            let mut var_cfg = SystemConfig::vsv_with_fsms();
+            var_cfg.mem.l2.capacity_bytes = kb * 1024;
+            let mut base_cfg = var_cfg;
+            base_cfg.vsv = VsvConfig::disabled();
+            [base_cfg, var_cfg].map(|config| SweepJob { params: p, config })
+        })
+        .collect();
+    let runs = Sweep::new(e, jobs).run(default_workers());
+    for ((label, _), pair) in capacities.iter().zip(runs.chunks(2)) {
+        let (base, run) = (&pair[0], &pair[1]);
+        let c = Comparison::of(base, run);
         println!(
             "{:>12} | {:>6.1} | {:>8.1} {:>8.1}",
             label, base.mpki, c.power_saving_pct, c.perf_degradation_pct
@@ -154,12 +180,13 @@ fn main() {
     println!("{:>12} | {:>8} {:>8}", "leakage", "power%", "perf%");
     rule(34);
     for (label, watts) in [("off", 0.0), ("4 W", 4.0), ("8 W", 8.0)] {
-        let c = high_mr_mean(|| {
-            let mut cfg = SystemConfig::vsv_with_fsms();
-            cfg.power = cfg.power.with_leakage(watts);
-            cfg
-        });
-        println!("{:>12} | {:>8.1} {:>8.1}", label, c.power_saving_pct, c.perf_degradation_pct);
+        let mut cfg = SystemConfig::vsv_with_fsms();
+        cfg.power = cfg.power.with_leakage(watts);
+        let c = high_mr_mean(cfg);
+        println!(
+            "{:>12} | {:>8.1} {:>8.1}",
+            label, c.power_saving_pct, c.perf_degradation_pct
+        );
     }
 
     println!(

@@ -3,37 +3,54 @@
 //! without the FSMs, for all 26 SPEC2K twins sorted by decreasing MR.
 //!
 //! Usage: `cargo run --release -p vsv-bench --bin figure4`
-//! Scale via `VSV_INSTS` / `VSV_WARMUP`.
+//! Scale via `VSV_INSTS` / `VSV_WARMUP`; threads via `VSV_WORKERS`.
 
-use vsv::{mean_comparison, Comparison, SystemConfig};
-use vsv_bench::{experiment_from_env, rule, run_parallel, CsvSink};
+use vsv::{default_workers, mean_comparison, Comparison, Sweep, SystemConfig};
+use vsv_bench::{announce_workers, experiment_from_env, rule, CsvSink};
 use vsv_workloads::spec2k_twins;
 
 fn main() {
     let e = experiment_from_env();
+    let workers = default_workers();
     println!(
         "Figure 4: VSV with vs. without the FSMs ({} insts measured)",
         e.instructions
     );
+    announce_workers(workers);
     println!(
         "{:<10} {:>6} | {:>11} {:>11} | {:>11} {:>11}",
         "bench", "MR", "perf% noFSM", "perf% FSM", "power% noFSM", "power% FSM"
     );
     rule(72);
 
-    // Run every twin under baseline / VSV-no-FSM / VSV-FSM.
-    let mut rows = run_parallel(spec2k_twins(), |params| {
-        let base = e.run(params, SystemConfig::baseline());
-        let no_fsm = e.run(params, SystemConfig::vsv_without_fsms());
-        let fsm = e.run(params, SystemConfig::vsv_with_fsms());
-        let c_no = Comparison::of(&base, &no_fsm);
-        let c_fsm = Comparison::of(&base, &fsm);
-        (params.name, base.mpki, c_no, c_fsm)
-    });
+    // Grid: every twin under baseline / VSV-no-FSM / VSV-FSM.
+    let configs = [
+        SystemConfig::baseline(),
+        SystemConfig::vsv_without_fsms(),
+        SystemConfig::vsv_with_fsms(),
+    ];
+    let runs = Sweep::over_grid(e, &spec2k_twins(), &configs).run(workers);
+    let mut rows: Vec<_> = spec2k_twins()
+        .iter()
+        .zip(runs.chunks(3))
+        .map(|(params, triple)| {
+            let (base, no_fsm, fsm) = (&triple[0], &triple[1], &triple[2]);
+            let c_no = Comparison::of(base, no_fsm);
+            let c_fsm = Comparison::of(base, fsm);
+            (params.name, base.mpki, c_no, c_fsm)
+        })
+        .collect();
     // The paper sorts benchmarks by decreasing MR.
     rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("MR is finite"));
     let mut csv = CsvSink::from_env("figure4");
-    csv.row(&["bench", "mr", "perf_nofsm", "perf_fsm", "power_nofsm", "power_fsm"]);
+    csv.row(&[
+        "bench",
+        "mr",
+        "perf_nofsm",
+        "perf_fsm",
+        "power_nofsm",
+        "power_fsm",
+    ]);
     for (name, mr, c_no, c_fsm) in &rows {
         csv.row(&[
             name,
@@ -64,16 +81,34 @@ fn main() {
             .map(|(n, _, c_no, c_fsm)| (*n, c_no.power_saving_pct, c_fsm.power_saving_pct))
             .collect();
         let power = vsv_viz::GroupedBarChart::new("CPU power savings (%) — Figure 4 bottom")
-            .series("without FSMs", &cats.iter().map(|(n, a, _)| (*n, *a)).collect::<Vec<_>>())
-            .series("with FSMs", &cats.iter().map(|(n, _, b)| (*n, *b)).collect::<Vec<_>>())
+            .series(
+                "without FSMs",
+                &cats.iter().map(|(n, a, _)| (*n, *a)).collect::<Vec<_>>(),
+            )
+            .series(
+                "with FSMs",
+                &cats.iter().map(|(n, _, b)| (*n, *b)).collect::<Vec<_>>(),
+            )
             .render();
         let perf_rows: Vec<(&str, f64, f64)> = rows
             .iter()
             .map(|(n, _, c_no, c_fsm)| (*n, c_no.perf_degradation_pct, c_fsm.perf_degradation_pct))
             .collect();
         let perf = vsv_viz::GroupedBarChart::new("performance degradation (%) — Figure 4 top")
-            .series("without FSMs", &perf_rows.iter().map(|(n, a, _)| (*n, *a)).collect::<Vec<_>>())
-            .series("with FSMs", &perf_rows.iter().map(|(n, _, b)| (*n, *b)).collect::<Vec<_>>())
+            .series(
+                "without FSMs",
+                &perf_rows
+                    .iter()
+                    .map(|(n, a, _)| (*n, *a))
+                    .collect::<Vec<_>>(),
+            )
+            .series(
+                "with FSMs",
+                &perf_rows
+                    .iter()
+                    .map(|(n, _, b)| (*n, *b))
+                    .collect::<Vec<_>>(),
+            )
             .render();
         std::fs::write(dir.join("figure4_power.svg"), power).expect("write svg");
         std::fs::write(dir.join("figure4_perf.svg"), perf).expect("write svg");

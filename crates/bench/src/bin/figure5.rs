@@ -4,18 +4,21 @@
 //! 3/10, as in §6.2.
 //!
 //! Usage: `cargo run --release -p vsv-bench --bin figure5`
+//! Scale via `VSV_INSTS` / `VSV_WARMUP`; threads via `VSV_WORKERS`.
 
-use vsv::{Comparison, DownPolicy, SystemConfig, UpPolicy};
-use vsv_bench::{experiment_from_env, rule};
+use vsv::{default_workers, Comparison, DownPolicy, Sweep, SystemConfig, UpPolicy};
+use vsv_bench::{announce_workers, experiment_from_env, rule};
 use vsv_workloads::{high_mr_names, twin};
 
 fn main() {
     let e = experiment_from_env();
+    let workers = default_workers();
     let thresholds = [0u32, 1, 3, 5];
     println!(
         "Figure 5: down-FSM threshold sweep on high-MR twins ({} insts)",
         e.instructions
     );
+    announce_workers(workers);
     println!(
         "{:<10} | {:>22} | {:>22}",
         "bench", "perf degradation %", "power saving %"
@@ -25,35 +28,45 @@ fn main() {
         "", "t=0", "t=1", "t=3", "t=5", "t=0", "t=1", "t=3", "t=5"
     );
     rule(64);
-    for name in high_mr_names() {
-        let params = twin(name).expect("high-MR name is in the suite");
-        let base = e.run(&params, SystemConfig::baseline());
-        let mut perf = Vec::new();
-        let mut power = Vec::new();
-        for &t in &thresholds {
-            let mut cfg = SystemConfig::vsv_with_fsms();
-            cfg.vsv.down = if t == 0 {
-                // Threshold 0: no down monitoring (transition on the
-                // detection event itself).
-                DownPolicy::Immediate
-            } else {
-                DownPolicy::Monitor {
-                    threshold: t,
-                    period: 10,
-                }
-            };
-            cfg.vsv.up = UpPolicy::Monitor {
-                threshold: 3,
+    // Grid: every high-MR twin under baseline + one config per
+    // threshold (same config row for every twin).
+    let mut configs = vec![SystemConfig::baseline()];
+    for &t in &thresholds {
+        let mut cfg = SystemConfig::vsv_with_fsms();
+        cfg.vsv.down = if t == 0 {
+            // Threshold 0: no down monitoring (transition on the
+            // detection event itself).
+            DownPolicy::Immediate
+        } else {
+            DownPolicy::Monitor {
+                threshold: t,
                 period: 10,
-            };
-            let run = e.run(&params, cfg);
-            let c = Comparison::of(&base, &run);
-            perf.push(c.perf_degradation_pct);
-            power.push(c.power_saving_pct);
-        }
+            }
+        };
+        cfg.vsv.up = UpPolicy::Monitor {
+            threshold: 3,
+            period: 10,
+        };
+        configs.push(cfg);
+    }
+    let twins: Vec<_> = high_mr_names()
+        .iter()
+        .map(|name| twin(name).expect("high-MR name is in the suite"))
+        .collect();
+    let runs = Sweep::over_grid(e, &twins, &configs).run(workers);
+    for (params, row) in twins.iter().zip(runs.chunks(configs.len())) {
+        let base = &row[0];
+        let perf: Vec<f64> = row[1..]
+            .iter()
+            .map(|r| Comparison::of(base, r).perf_degradation_pct)
+            .collect();
+        let power: Vec<f64> = row[1..]
+            .iter()
+            .map(|r| Comparison::of(base, r).power_saving_pct)
+            .collect();
         println!(
             "{:<10} | {:>4.1} {:>5.1} {:>5.1} {:>5.1} | {:>4.1} {:>5.1} {:>5.1} {:>5.1}",
-            name, perf[0], perf[1], perf[2], perf[3], power[0], power[1], power[2], power[3]
+            params.name, perf[0], perf[1], perf[2], perf[3], power[0], power[1], power[2], power[3]
         );
     }
     rule(64);

@@ -4,13 +4,15 @@
 //! down-FSM is fixed at 3/10, as in §6.3.
 //!
 //! Usage: `cargo run --release -p vsv-bench --bin figure6`
+//! Scale via `VSV_INSTS` / `VSV_WARMUP`; threads via `VSV_WORKERS`.
 
-use vsv::{Comparison, DownPolicy, SystemConfig, UpPolicy};
-use vsv_bench::{experiment_from_env, rule};
+use vsv::{default_workers, Comparison, DownPolicy, Sweep, SystemConfig, UpPolicy};
+use vsv_bench::{announce_workers, experiment_from_env, rule};
 use vsv_workloads::{high_mr_names, twin};
 
 fn main() {
     let e = experiment_from_env();
+    let workers = default_workers();
     let policies = [
         ("First-R", UpPolicy::FirstReturn),
         (
@@ -40,6 +42,7 @@ fn main() {
         "Figure 6: up-policy sweep on high-MR twins ({} insts)",
         e.instructions
     );
+    announce_workers(workers);
     print!("{:<10} |", "bench");
     for (label, _) in &policies {
         print!(" {label:>7}");
@@ -49,32 +52,38 @@ fn main() {
         print!(" {label:>7}");
     }
     println!();
-    println!("{:<10} | {:^39} | {:^39}", "", "perf degradation %", "power saving %");
+    println!(
+        "{:<10} | {:^39} | {:^39}",
+        "", "perf degradation %", "power saving %"
+    );
     rule(96);
-    for name in high_mr_names() {
-        let params = twin(name).expect("high-MR name is in the suite");
-        let base = e.run(&params, SystemConfig::baseline());
-        let mut perf = Vec::new();
-        let mut power = Vec::new();
-        for (_, up) in &policies {
-            let mut cfg = SystemConfig::vsv_with_fsms();
-            cfg.vsv.down = DownPolicy::Monitor {
-                threshold: 3,
-                period: 10,
-            };
-            cfg.vsv.up = *up;
-            let run = e.run(&params, cfg);
-            let c = Comparison::of(&base, &run);
-            perf.push(c.perf_degradation_pct);
-            power.push(c.power_saving_pct);
-        }
-        print!("{name:<10} |");
-        for p in &perf {
-            print!(" {p:>7.1}");
+    // Grid: every high-MR twin under baseline + one config per
+    // up-policy (same config row for every twin).
+    let mut configs = vec![SystemConfig::baseline()];
+    for (_, up) in &policies {
+        let mut cfg = SystemConfig::vsv_with_fsms();
+        cfg.vsv.down = DownPolicy::Monitor {
+            threshold: 3,
+            period: 10,
+        };
+        cfg.vsv.up = *up;
+        configs.push(cfg);
+    }
+    let twins: Vec<_> = high_mr_names()
+        .iter()
+        .map(|name| twin(name).expect("high-MR name is in the suite"))
+        .collect();
+    let runs = Sweep::over_grid(e, &twins, &configs).run(workers);
+    for (params, row) in twins.iter().zip(runs.chunks(configs.len())) {
+        let base = &row[0];
+        let cs: Vec<Comparison> = row[1..].iter().map(|r| Comparison::of(base, r)).collect();
+        print!("{:<10} |", params.name);
+        for c in &cs {
+            print!(" {:>7.1}", c.perf_degradation_pct);
         }
         print!(" |");
-        for p in &power {
-            print!(" {p:>7.1}");
+        for c in &cs {
+            print!(" {:>7.1}", c.power_saving_pct);
         }
         println!();
     }

@@ -3,33 +3,44 @@
 //! get the prefetcher), for all 26 twins sorted by decreasing MR.
 //!
 //! Usage: `cargo run --release -p vsv-bench --bin figure7`
+//! Scale via `VSV_INSTS` / `VSV_WARMUP`; threads via `VSV_WORKERS`.
 
-use vsv::{mean_comparison, Comparison, SystemConfig};
-use vsv_bench::{experiment_from_env, rule, run_parallel};
+use vsv::{default_workers, mean_comparison, Comparison, Sweep, SystemConfig};
+use vsv_bench::{announce_workers, experiment_from_env, rule};
 use vsv_workloads::spec2k_twins;
 
 fn main() {
     let e = experiment_from_env();
+    let workers = default_workers();
     println!(
         "Figure 7: impact of Time-Keeping prefetching on VSV ({} insts)",
         e.instructions
     );
+    announce_workers(workers);
     println!(
         "{:<10} {:>6} {:>6} | {:>10} {:>10} | {:>10} {:>10}",
         "bench", "MR", "MR(TK)", "perf%", "perf%(TK)", "power%", "power%(TK)"
     );
     rule(72);
-    let mut rows = run_parallel(spec2k_twins(), |params| {
-        // Without TK (same as Figure 4's FSM configuration).
-        let base = e.run(params, SystemConfig::baseline());
-        let vsv = e.run(params, SystemConfig::vsv_with_fsms());
-        let plain = Comparison::of(&base, &vsv);
-        // With TK on both the baseline and the VSV run (§6.4).
-        let base_tk = e.run(params, SystemConfig::baseline().with_timekeeping(true));
-        let vsv_tk = e.run(params, SystemConfig::vsv_with_fsms().with_timekeeping(true));
-        let tk = Comparison::of(&base_tk, &vsv_tk);
-        (params.name, base.mpki, base_tk.mpki, plain, tk)
-    });
+    // Grid: every twin under {baseline, VSV} x {no TK, TK} (§6.4: TK
+    // goes on both the baseline and the VSV run).
+    let configs = [
+        SystemConfig::baseline(),
+        SystemConfig::vsv_with_fsms(),
+        SystemConfig::baseline().with_timekeeping(true),
+        SystemConfig::vsv_with_fsms().with_timekeeping(true),
+    ];
+    let runs = Sweep::over_grid(e, &spec2k_twins(), &configs).run(workers);
+    let mut rows: Vec<_> = spec2k_twins()
+        .iter()
+        .zip(runs.chunks(4))
+        .map(|(params, quad)| {
+            let (base, vsv, base_tk, vsv_tk) = (&quad[0], &quad[1], &quad[2], &quad[3]);
+            let plain = Comparison::of(base, vsv);
+            let tk = Comparison::of(base_tk, vsv_tk);
+            (params.name, base.mpki, base_tk.mpki, plain, tk)
+        })
+        .collect();
     rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("MR is finite"));
     for (name, mr, mr_tk, plain, tk) in &rows {
         println!(

@@ -8,41 +8,59 @@
 //!   Time-Keeping on both baseline and VSV.
 //!
 //! Usage: `cargo run --release -p vsv-bench --bin headline`
+//! Scale via `VSV_INSTS` / `VSV_WARMUP`; threads via `VSV_WORKERS`.
 
-use vsv::{mean_comparison, Comparison, SystemConfig};
-use vsv_bench::{experiment_from_env, rule, run_parallel};
+use vsv::{default_workers, mean_comparison, Comparison, Sweep, SystemConfig};
+use vsv_bench::{announce_workers, experiment_from_env, rule};
 use vsv_workloads::spec2k_twins;
 
 fn main() {
     let e = experiment_from_env();
+    let workers = default_workers();
     let mut plain = Vec::new();
     let mut plain_high = Vec::new();
     let mut tk = Vec::new();
     let mut tk_high = Vec::new();
-    let runs = run_parallel(spec2k_twins(), |params| {
-        let base = e.run(params, SystemConfig::baseline());
-        let vsv = e.run(params, SystemConfig::vsv_with_fsms());
-        let c = Comparison::of(&base, &vsv);
-        let base_tk = e.run(params, SystemConfig::baseline().with_timekeeping(true));
-        let vsv_tk = e.run(params, SystemConfig::vsv_with_fsms().with_timekeeping(true));
-        let ct = Comparison::of(&base_tk, &vsv_tk);
-        (base.mpki, c, ct)
-    });
-    for (mpki, c, ct) in runs {
+    // Grid: every twin under {baseline, VSV} x {no TK, TK}.
+    let configs = [
+        SystemConfig::baseline(),
+        SystemConfig::vsv_with_fsms(),
+        SystemConfig::baseline().with_timekeeping(true),
+        SystemConfig::vsv_with_fsms().with_timekeeping(true),
+    ];
+    let runs = Sweep::over_grid(e, &spec2k_twins(), &configs).run(workers);
+    for quad in runs.chunks(4) {
+        let (base, vsv, base_tk, vsv_tk) = (&quad[0], &quad[1], &quad[2], &quad[3]);
+        let c = Comparison::of(base, vsv);
+        let ct = Comparison::of(base_tk, vsv_tk);
         plain.push(c);
         tk.push(ct);
-        if mpki > 4.0 {
+        if base.mpki > 4.0 {
             plain_high.push(c);
             tk_high.push(ct);
         }
     }
     let rows = [
-        ("VSV (FSMs), high-MR", mean_comparison(&plain_high), 20.7, 2.0),
+        (
+            "VSV (FSMs), high-MR",
+            mean_comparison(&plain_high),
+            20.7,
+            2.0,
+        ),
         ("VSV (FSMs), all", mean_comparison(&plain), 7.0, 0.9),
-        ("VSV + TimeKeeping, high-MR", mean_comparison(&tk_high), 12.1, 2.1),
+        (
+            "VSV + TimeKeeping, high-MR",
+            mean_comparison(&tk_high),
+            12.1,
+            2.1,
+        ),
         ("VSV + TimeKeeping, all", mean_comparison(&tk), 4.1, 0.9),
     ];
-    println!("Headline reproduction ({} insts measured per run)", e.instructions);
+    println!(
+        "Headline reproduction ({} insts measured per run)",
+        e.instructions
+    );
+    announce_workers(workers);
     println!(
         "{:<28} {:>10} {:>10} | {:>10} {:>10}",
         "configuration", "power%", "paper", "perf%", "paper"

@@ -3,34 +3,48 @@
 //! prefetching, for all 26 SPEC2K twins.
 //!
 //! Usage: `cargo run --release -p vsv-bench --bin table2`
-//! Scale via `VSV_INSTS` / `VSV_WARMUP`.
+//! Scale via `VSV_INSTS` / `VSV_WARMUP`; threads via `VSV_WORKERS`.
 
-use vsv::SystemConfig;
-use vsv_bench::{experiment_from_env, rule, run_parallel, CsvSink};
+use vsv::{default_workers, Sweep, SystemConfig};
+use vsv_bench::{announce_workers, experiment_from_env, rule, CsvSink};
 use vsv_workloads::{spec2k_twins, table2_reference};
 
 fn main() {
     let e = experiment_from_env();
+    let workers = default_workers();
     println!(
         "Table 2: baseline statistics ({} insts measured, {} warm-up)",
         e.instructions, e.warmup_instructions
     );
+    announce_workers(workers);
     println!(
         "{:<10} {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
         "bench", "IPC", "IPC*", "MR", "MR*", "MR(TK)", "MR(TK)*"
     );
-    println!("{:<10} {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}", "", "(sim)", "(paper)", "(sim)", "(paper)", "(sim)", "(paper)");
+    println!(
+        "{:<10} {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
+        "", "(sim)", "(paper)", "(sim)", "(paper)", "(sim)", "(paper)"
+    );
     rule(72);
     let refs = table2_reference();
     let mut csv = CsvSink::from_env("table2");
-    csv.row(&["bench", "ipc", "ipc_paper", "mr", "mr_paper", "mr_tk", "mr_tk_paper"]);
-    let runs = run_parallel(spec2k_twins(), |params| {
-        (
-            e.run(params, SystemConfig::baseline()),
-            e.run(params, SystemConfig::baseline().with_timekeeping(true)),
-        )
-    });
-    for ((params, paper), (base, tk)) in spec2k_twins().iter().zip(&refs).zip(runs) {
+    csv.row(&[
+        "bench",
+        "ipc",
+        "ipc_paper",
+        "mr",
+        "mr_paper",
+        "mr_tk",
+        "mr_tk_paper",
+    ]);
+    // Grid: every twin under { baseline, baseline + Time-Keeping }.
+    let configs = [
+        SystemConfig::baseline(),
+        SystemConfig::baseline().with_timekeeping(true),
+    ];
+    let runs = Sweep::over_grid(e, &spec2k_twins(), &configs).run(workers);
+    for ((params, paper), pair) in spec2k_twins().iter().zip(&refs).zip(runs.chunks(2)) {
+        let (base, tk) = (&pair[0], &pair[1]);
         println!(
             "{:<10} {:>8.2} {:>8.2} | {:>8.1} {:>8.1} | {:>8.1} {:>8.1}",
             params.name, base.ipc, paper.ipc_base, base.mpki, paper.mr_base, tk.mpki, paper.mr_tk

@@ -1,13 +1,18 @@
 //! Shared harness utilities for the experiment binaries that
 //! regenerate the paper's tables and figures.
 //!
-//! Every binary honours three environment variables so the same code
+//! Every binary honours four environment variables so the same code
 //! serves quick smoke runs and full reproductions:
 //!
 //! * `VSV_INSTS` — measured instructions per run (default 300 000);
 //! * `VSV_WARMUP` — warm-up instructions per run (default 100 000);
+//! * `VSV_WORKERS` — worker threads for the experiment grid (default:
+//!   the host's available parallelism; see [`vsv::default_workers`]);
 //! * `VSV_CSV_DIR` — if set, each binary also writes its data as
 //!   `<dir>/<experiment>.csv` for plotting.
+//!
+//! Each binary assembles its grid as a [`vsv::Sweep`], so results are
+//! in deterministic grid order regardless of scheduling.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -98,6 +103,21 @@ impl CsvSink {
     }
 }
 
+/// Spawns the simulation grid behind every binary. Parallel execution
+/// with deterministic, grid-ordered results lives in [`vsv::Sweep`];
+/// the binaries build their grids with [`vsv::Sweep::over_grid`] (or
+/// [`vsv::Sweep::new`] for irregular job lists) and pick the worker
+/// count with [`vsv::default_workers`] (`VSV_WORKERS` overrides the
+/// host's parallelism).
+///
+/// Prints a one-line banner so runs record how they were scheduled.
+pub fn announce_workers(workers: usize) {
+    println!(
+        "({workers} worker thread{})",
+        if workers == 1 { "" } else { "s" }
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,69 +149,5 @@ mod tests {
         std::env::remove_var("VSV_CSV_DIR");
         let contents = std::fs::read_to_string(path).expect("csv written");
         assert_eq!(contents.trim(), "plain,\"with,comma\",\"with\"\"quote\"");
-    }
-}
-
-/// Runs `f` over the items on `std::thread` workers (the experiment
-/// grid is embarrassingly parallel: every run owns its whole
-/// simulator). Results come back in input order, so table layouts and
-/// CSVs are unaffected by scheduling.
-///
-/// # Panics
-///
-/// Propagates panics from `f` (a panicking simulation is a bug worth
-/// surfacing, not hiding).
-pub fn run_parallel<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send + Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
-    results.resize_with(items.len(), || None);
-    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                let r = f(item);
-                **slots[i].lock().expect("slot lock") = Some(r);
-            });
-        }
-    });
-    drop(slots);
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
-}
-
-#[cfg(test)]
-mod parallel_tests {
-    use super::*;
-
-    #[test]
-    fn preserves_input_order() {
-        let items: Vec<u64> = (0..100).collect();
-        let out = run_parallel(items.clone(), |x| x * 2);
-        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn empty_input_is_fine() {
-        let out: Vec<u64> = run_parallel(Vec::<u64>::new(), |x| *x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn single_item() {
-        assert_eq!(run_parallel(vec![7u64], |x| x + 1), vec![8]);
     }
 }

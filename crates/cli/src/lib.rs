@@ -7,7 +7,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use vsv::{Comparison, Experiment, System, SystemConfig};
+use vsv::{Comparison, Experiment, Sweep, System, SystemConfig};
 use vsv_workloads::{spec2k_twins, table2_reference, twin, Generator};
 
 /// Which system configuration a run uses.
@@ -75,7 +75,24 @@ pub enum Command {
         insts: u64,
         /// Warm-up instructions.
         warmup: u64,
+        /// Worker threads (0 = `VSV_WORKERS` / host parallelism).
+        workers: usize,
         /// Emit JSON instead of text.
+        json: bool,
+    },
+    /// Run baseline vs. VSV-with-FSMs over many twins in parallel.
+    Sweep {
+        /// Twin name; `None` sweeps the whole suite.
+        twin: Option<String>,
+        /// Attach Time-Keeping to both sides.
+        timekeeping: bool,
+        /// Measured instructions.
+        insts: u64,
+        /// Warm-up instructions.
+        warmup: u64,
+        /// Worker threads (0 = `VSV_WORKERS` / host parallelism).
+        workers: usize,
+        /// Emit the full `SweepReport` as JSON instead of text.
         json: bool,
     },
     /// Print a mode strip (one char per ns) around VSV activity.
@@ -109,6 +126,7 @@ impl Command {
         let mut insts = 300_000u64;
         let mut warmup = 100_000u64;
         let mut json = false;
+        let mut workers = 0usize;
         let mut ns = 2_000usize;
         let mut svg: Option<String> = None;
 
@@ -132,6 +150,11 @@ impl Command {
                     warmup = next_value("--warmup", &mut it)?
                         .parse()
                         .map_err(|e| format!("--warmup: {e}"))?;
+                }
+                "--workers" => {
+                    workers = next_value("--workers", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?;
                 }
                 "--ns" => {
                     ns = next_value("--ns", &mut it)?
@@ -159,6 +182,15 @@ impl Command {
                 timekeeping,
                 insts,
                 warmup,
+                workers,
+                json,
+            }),
+            "sweep" => Ok(Command::Sweep {
+                twin: twin_name,
+                timekeeping,
+                insts,
+                warmup,
+                workers,
                 json,
             }),
             "trace" => Ok(Command::Trace {
@@ -179,12 +211,21 @@ USAGE:
   vsv-cli list
   vsv-cli run     --twin NAME [--config baseline|vsv-fsm|vsv-nofsm]
                   [--tk] [--insts N] [--warmup N] [--json]
-  vsv-cli compare --twin NAME [--tk] [--insts N] [--warmup N] [--json]
+  vsv-cli compare --twin NAME [--tk] [--insts N] [--warmup N]
+                  [--workers N] [--json]
+  vsv-cli sweep   [--twin NAME] [--tk] [--insts N] [--warmup N]
+                  [--workers N] [--json]
   vsv-cli trace   --twin NAME [--ns N] [--svg FILE]
+
+Sweep-shaped commands (compare, sweep) execute on the parallel
+deterministic sweep engine: results are in grid order and
+bit-identical for any worker count. --workers 0 (the default) uses
+VSV_WORKERS or the host's parallelism.
 
 EXAMPLES:
   vsv-cli compare --twin mcf
   vsv-cli run --twin applu --config vsv-fsm --tk --json
+  vsv-cli sweep --workers 4 --json
   vsv-cli trace --twin ammp --ns 500
 ";
 
@@ -232,6 +273,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             timekeeping,
             insts,
             warmup,
+            workers,
             json,
         } => {
             let params = twin(&name).ok_or_else(|| unknown_twin(&name))?;
@@ -239,11 +281,21 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 warmup_instructions: warmup,
                 instructions: insts,
             };
-            let (base, vsv_run, cmp) = e.compare(
-                &params,
-                SystemConfig::baseline().with_timekeeping(timekeeping),
-                SystemConfig::vsv_with_fsms().with_timekeeping(timekeeping),
+            // A compare is a two-job sweep: baseline then variant.
+            let sweep = Sweep::over_grid(
+                e,
+                &[params],
+                &[
+                    SystemConfig::baseline().with_timekeeping(timekeeping),
+                    SystemConfig::vsv_with_fsms().with_timekeeping(timekeeping),
+                ],
             );
+            let mut results = sweep.run(resolve_workers(workers)).into_iter();
+            let (base, vsv_run) = (
+                results.next().expect("two jobs"),
+                results.next().expect("two jobs"),
+            );
+            let cmp = Comparison::of(&base, &vsv_run);
             if json {
                 #[derive(serde::Serialize)]
                 struct Out {
@@ -258,17 +310,65 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 })
                 .map_err(|e| e.to_string())
             } else {
-                Ok(format!(
-                    "baseline: {base}\nvsv     : {vsv_run}\n=> {cmp}\n"
-                ))
+                Ok(format!("baseline: {base}\nvsv     : {vsv_run}\n=> {cmp}\n"))
             }
         }
-        Command::Trace { twin: name, ns, svg } => {
-            let params = twin(&name).ok_or_else(|| unknown_twin(&name))?;
-            let mut sys = System::new(
-                SystemConfig::vsv_with_fsms(),
-                Generator::new(params),
+        Command::Sweep {
+            twin: name,
+            timekeeping,
+            insts,
+            warmup,
+            workers,
+            json,
+        } => {
+            let params = match name {
+                Some(name) => vec![twin(&name).ok_or_else(|| unknown_twin(&name))?],
+                None => spec2k_twins(),
+            };
+            let e = Experiment {
+                warmup_instructions: warmup,
+                instructions: insts,
+            };
+            let sweep = Sweep::over_grid(
+                e,
+                &params,
+                &[
+                    SystemConfig::baseline().with_timekeeping(timekeeping),
+                    SystemConfig::vsv_with_fsms().with_timekeeping(timekeeping),
+                ],
             );
+            let report = sweep.report(resolve_workers(workers));
+            if json {
+                serde_json::to_string_pretty(&report).map_err(|e| e.to_string())
+            } else {
+                let mut out = format!(
+                    "{} jobs on {} workers ({:.1} ms wall)\n{:<10} {:>8} | {:>8} {:>8}\n",
+                    report.jobs,
+                    report.workers,
+                    report.wall_ns as f64 / 1e6,
+                    "twin",
+                    "MR",
+                    "perf%",
+                    "power%"
+                );
+                for pair in report.records.chunks(2) {
+                    let (base, vsv_run) = (&pair[0].result, &pair[1].result);
+                    let cmp = Comparison::of(base, vsv_run);
+                    out.push_str(&format!(
+                        "{:<10} {:>8.1} | {:>8.1} {:>8.1}\n",
+                        base.workload, base.mpki, cmp.perf_degradation_pct, cmp.power_saving_pct
+                    ));
+                }
+                Ok(out)
+            }
+        }
+        Command::Trace {
+            twin: name,
+            ns,
+            svg,
+        } => {
+            let params = twin(&name).ok_or_else(|| unknown_twin(&name))?;
+            let mut sys = System::new(SystemConfig::vsv_with_fsms(), Generator::new(params));
             sys.enable_trace(ns);
             sys.warm_up(20_000);
             let _ = sys.run(30_000);
@@ -289,6 +389,16 @@ pub fn execute(cmd: Command) -> Result<String, String> {
     }
 }
 
+/// Maps the `--workers` flag to a concrete thread count: 0 defers to
+/// [`vsv::default_workers`] (`VSV_WORKERS` or host parallelism).
+fn resolve_workers(flag: usize) -> usize {
+    if flag == 0 {
+        vsv::default_workers()
+    } else {
+        flag
+    }
+}
+
 fn unknown_twin(name: &str) -> String {
     let names: Vec<&str> = spec2k_twins().iter().map(|p| p.name).collect();
     format!("unknown twin '{name}'; known twins: {}", names.join(", "))
@@ -305,8 +415,8 @@ mod tests {
     #[test]
     fn parses_run_with_flags() {
         let cmd = Command::parse(&sv(&[
-            "run", "--twin", "mcf", "--config", "vsv-fsm", "--tk", "--insts", "5000",
-            "--warmup", "1000", "--json",
+            "run", "--twin", "mcf", "--config", "vsv-fsm", "--tk", "--insts", "5000", "--warmup",
+            "1000", "--json",
         ]))
         .expect("valid");
         assert_eq!(
@@ -382,11 +492,60 @@ mod tests {
             timekeeping: false,
             insts: 3_000,
             warmup: 1_000,
+            workers: 2,
             json: false,
         })
         .expect("runs");
         assert!(out.contains("baseline:"));
         assert!(out.contains("power saved"));
+    }
+
+    #[test]
+    fn parses_sweep_with_workers() {
+        let cmd = Command::parse(&sv(&["sweep", "--workers", "4", "--json"])).expect("valid");
+        assert_eq!(
+            cmd,
+            Command::Sweep {
+                twin: None,
+                timekeeping: false,
+                insts: 300_000,
+                warmup: 100_000,
+                workers: 4,
+                json: true,
+            }
+        );
+    }
+
+    #[test]
+    fn sweep_single_twin_text_has_one_row() {
+        let out = execute(Command::Sweep {
+            twin: Some("gzip".to_owned()),
+            timekeeping: false,
+            insts: 3_000,
+            warmup: 1_000,
+            workers: 2,
+            json: false,
+        })
+        .expect("runs");
+        assert!(out.contains("2 jobs"), "{out}");
+        assert!(out.contains("gzip"), "{out}");
+    }
+
+    #[test]
+    fn sweep_json_is_a_sweep_report() {
+        let out = execute(Command::Sweep {
+            twin: Some("gzip".to_owned()),
+            timekeeping: false,
+            insts: 3_000,
+            warmup: 1_000,
+            workers: 1,
+            json: true,
+        })
+        .expect("runs");
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        let records = v.get("records").and_then(|r| r.as_seq()).expect("records");
+        assert_eq!(records.len(), 2);
+        assert!(records[0].get("config_digest").is_some());
     }
 
     #[test]

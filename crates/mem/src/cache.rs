@@ -61,7 +61,10 @@ impl CacheConfig {
             ways_bytes
         );
         let sets = self.capacity_bytes / ways_bytes;
-        assert!(sets.is_power_of_two(), "set count {sets} not a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} not a power of two"
+        );
         sets as usize
     }
 }
@@ -187,7 +190,10 @@ impl Cache {
     /// As for [`Cache::new`].
     #[must_use]
     pub fn with_policy(cfg: CacheConfig, policy: ReplacementPolicy) -> Self {
-        assert!(cfg.block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            cfg.block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
         assert!(cfg.assoc >= 1, "associativity must be at least 1");
         let sets = cfg.sets();
         Cache {
@@ -220,7 +226,10 @@ impl Cache {
 
     fn index(&self, addr: Addr) -> (usize, u64) {
         let block = addr.0 >> self.block_shift;
-        ((block & self.set_mask) as usize, block >> self.set_mask.count_ones())
+        (
+            (block & self.set_mask) as usize,
+            block >> self.set_mask.count_ones(),
+        )
     }
 
     /// Looks up `addr`, updating LRU and the dirty bit on a hit.

@@ -76,11 +76,7 @@ impl Dram {
             return start + self.cfg.latency_ns;
         }
         // Assign to the earliest-free bank (idealised open scheduling).
-        let bank = self
-            .bank_free
-            .iter_mut()
-            .min()
-            .expect("banks is nonempty");
+        let bank = self.bank_free.iter_mut().min().expect("banks is nonempty");
         let begin = start.max(*bank);
         let done = begin + self.cfg.latency_ns;
         *bank = done;

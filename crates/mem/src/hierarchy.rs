@@ -342,7 +342,9 @@ impl Hierarchy {
         // Useless if already close to the core or already in flight.
         if self.l1d.probe(l1_block)
             || pb.probe(l1_block)
-            || self.waiter_index.contains_key(&(Side::PrefetchBuffer, l1_block))
+            || self
+                .waiter_index
+                .contains_key(&(Side::PrefetchBuffer, l1_block))
         {
             self.stats.hw_prefetches_dropped += 1;
             return false;
@@ -693,7 +695,10 @@ mod tests {
         };
         let c = run_until_complete(&mut mem, tok, 500);
         assert_eq!(c.source, DataSource::Memory);
-        assert_eq!(mem.access_data(c.at, addr, AccessKind::Read), L1Outcome::Hit);
+        assert_eq!(
+            mem.access_data(c.at, addr, AccessKind::Read),
+            L1Outcome::Hit
+        );
     }
 
     #[test]
@@ -735,9 +740,9 @@ mod tests {
         };
         let c = run_until_complete(&mut mem, tok, 500);
         let signals = mem.drain_vsv_signals();
-        assert!(signals.iter().any(
-            |s| matches!(s, VsvSignal::L2MissDetected { demand: true, at } if *at == 12)
-        ));
+        assert!(signals
+            .iter()
+            .any(|s| matches!(s, VsvSignal::L2MissDetected { demand: true, at } if *at == 12)));
         assert!(signals.iter().any(|s| matches!(
             s,
             VsvSignal::L2MissReturned { demand: true, at, outstanding_demand: 0 } if *at == c.at
@@ -980,20 +985,34 @@ mod pressure_tests {
         // dirty in the L1: the later L1 eviction must write-allocate
         // it back into the L2 rather than lose the dirty data.
         let mut cfg = HierarchyConfig::baseline();
-        cfg.l1d = CacheConfig { capacity_bytes: 256, assoc: 1, block_bytes: 32, hit_latency: 2 };
-        cfg.l2 = CacheConfig { capacity_bytes: 128, assoc: 1, block_bytes: 64, hit_latency: 12 };
+        cfg.l1d = CacheConfig {
+            capacity_bytes: 256,
+            assoc: 1,
+            block_bytes: 32,
+            hit_latency: 2,
+        };
+        cfg.l2 = CacheConfig {
+            capacity_bytes: 128,
+            assoc: 1,
+            block_bytes: 64,
+            hit_latency: 12,
+        };
         let mut mem = Hierarchy::new(cfg);
 
         // Write block A (L1+L2 resident, dirty in L1).
         let a = Addr(0x0000);
-        let L1Outcome::Miss(_) = mem.access_data(0, a, AccessKind::Write) else { panic!() };
+        let L1Outcome::Miss(_) = mem.access_data(0, a, AccessKind::Write) else {
+            panic!()
+        };
         drain(&mut mem, 1, 400);
         assert_eq!(mem.access_data(400, a, AccessKind::Write), L1Outcome::Hit);
 
         // Evict A's copy from the L2 (same L2 set 0 via +128, which is
         // L1 set 4 — so A stays resident and dirty in the L1).
         let l2_conflict = Addr(128);
-        let L1Outcome::Miss(_) = mem.access_data(401, l2_conflict, AccessKind::Read) else { panic!() };
+        let L1Outcome::Miss(_) = mem.access_data(401, l2_conflict, AccessKind::Read) else {
+            panic!()
+        };
         drain(&mut mem, 402, 800);
         assert!(!mem.l2().probe(a), "A must be gone from the L2");
         assert!(mem.l1d().probe(a), "A still dirty in the L1");
@@ -1001,7 +1020,9 @@ mod pressure_tests {
         // Evict A from the L1 (same L1 set 0 via +256): the dirty
         // victim must be write-allocated back into the L2.
         let l1_conflict = Addr(256);
-        let L1Outcome::Miss(_) = mem.access_data(801, l1_conflict, AccessKind::Read) else { panic!() };
+        let L1Outcome::Miss(_) = mem.access_data(801, l1_conflict, AccessKind::Read) else {
+            panic!()
+        };
         drain(&mut mem, 802, 1_400);
         assert!(mem.drain_l1d_evictions().contains(&a));
         assert!(
@@ -1037,7 +1058,9 @@ mod pressure_tests {
     #[test]
     fn inst_and_data_streams_are_independent() {
         let mut mem = Hierarchy::new(HierarchyConfig::baseline());
-        let L1Outcome::Miss(ti) = mem.access_inst(0, Addr(0x1000)) else { panic!() };
+        let L1Outcome::Miss(ti) = mem.access_inst(0, Addr(0x1000)) else {
+            panic!()
+        };
         let L1Outcome::Miss(td) = mem.access_data(0, Addr(0x1000), AccessKind::Read) else {
             panic!("same address misses separately in the D-side");
         };
@@ -1047,7 +1070,10 @@ mod pressure_tests {
         assert!(done.iter().any(|c| c.token == td));
         // Both L1s now hold the block independently.
         assert_eq!(mem.access_inst(400, Addr(0x1000)), L1Outcome::Hit);
-        assert_eq!(mem.access_data(400, Addr(0x1000), AccessKind::Read), L1Outcome::Hit);
+        assert_eq!(
+            mem.access_data(400, Addr(0x1000), AccessKind::Read),
+            L1Outcome::Hit
+        );
     }
 
     #[test]
@@ -1071,7 +1097,9 @@ mod pressure_tests {
     #[test]
     fn reset_stats_clears_counters_but_keeps_contents() {
         let mut mem = Hierarchy::new(HierarchyConfig::baseline());
-        let L1Outcome::Miss(_) = mem.access_data(0, Addr(0x5000), AccessKind::Read) else { panic!() };
+        let L1Outcome::Miss(_) = mem.access_data(0, Addr(0x5000), AccessKind::Read) else {
+            panic!()
+        };
         for now in 1..400 {
             mem.tick(now);
         }
@@ -1079,6 +1107,9 @@ mod pressure_tests {
         mem.reset_stats();
         assert_eq!(mem.stats().l2_demand_misses, 0);
         // Contents survive: the block still hits.
-        assert_eq!(mem.access_data(400, Addr(0x5000), AccessKind::Read), L1Outcome::Hit);
+        assert_eq!(
+            mem.access_data(400, Addr(0x5000), AccessKind::Read),
+            L1Outcome::Hit
+        );
     }
 }

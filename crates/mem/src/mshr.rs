@@ -67,7 +67,10 @@ impl MshrFile {
     #[must_use]
     pub fn new(capacity: usize, targets_per_entry: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be nonzero");
-        assert!(targets_per_entry > 0, "MSHR target capacity must be nonzero");
+        assert!(
+            targets_per_entry > 0,
+            "MSHR target capacity must be nonzero"
+        );
         MshrFile {
             entries: Vec::with_capacity(capacity),
             capacity,
@@ -125,9 +128,7 @@ impl MshrFile {
     /// Whether the entry for `block` (if any) has a demand target.
     #[must_use]
     pub fn is_demand(&self, block: Addr) -> bool {
-        self.entries
-            .iter()
-            .any(|e| e.block == block && e.demand)
+        self.entries.iter().any(|e| e.block == block && e.demand)
     }
 
     /// Promotes the entry for `block` to demand status (a demand access

@@ -251,8 +251,7 @@ impl PowerAccountant {
                         }
                     }
                     DcgModel::PerUnit => {
-                        let busy =
-                            (accesses / f64::from(self.cfg.units[i].max(1))).min(1.0);
+                        let busy = (accesses / f64::from(self.cfg.units[i].max(1))).min(1.0);
                         busy * p.clock_energy_pj + (1.0 - busy) * gated_residue
                     }
                 }
@@ -269,8 +268,7 @@ impl PowerAccountant {
             let ram_accesses = u64::from(sample[StructureId::RegFile.index()])
                 + u64::from(sample[StructureId::IL1.index()])
                 + u64::from(sample[StructureId::DL1.index()]);
-            self.level_converter_pj +=
-                ram_accesses as f64 * self.cfg.level_converter_energy_pj;
+            self.level_converter_pj += ram_accesses as f64 * self.cfg.level_converter_energy_pj;
         }
         self.cycles += 1;
     }
@@ -390,9 +388,7 @@ mod tests {
         acc_lo.record_cycle(&s, 1.2);
         let i = StructureId::RegFile.index();
         assert!(
-            (acc_hi.breakdown().per_structure_pj[i]
-                - acc_lo.breakdown().per_structure_pj[i])
-                .abs()
+            (acc_hi.breakdown().per_structure_pj[i] - acc_lo.breakdown().per_structure_pj[i]).abs()
                 < 1e-9
         );
     }
@@ -553,10 +549,8 @@ mod table_tests {
         assert!(t.contains("ramps"));
         assert!(t.contains("uncore"));
         // Components add to the total.
-        let parts: f64 = b.per_structure_pj.iter().sum::<f64>()
-            + b.ramp_pj
-            + b.level_converter_pj
-            + b.uncore_pj;
+        let parts: f64 =
+            b.per_structure_pj.iter().sum::<f64>() + b.ramp_pj + b.level_converter_pj + b.uncore_pj;
         assert!((parts - b.total_pj()).abs() < 1e-9);
     }
 
@@ -615,8 +609,7 @@ mod dcg_model_tests {
         reference.record_cycle(&full, 1.8);
         let i = StructureId::IntAlu.index();
         assert!(
-            (acc.breakdown().per_structure_pj[i] - reference.breakdown().per_structure_pj[i])
-                .abs()
+            (acc.breakdown().per_structure_pj[i] - reference.breakdown().per_structure_pj[i]).abs()
                 < 1e-9,
             "saturated per-unit equals per-structure"
         );

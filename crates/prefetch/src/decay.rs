@@ -130,7 +130,8 @@ impl DecayTable {
                 let span = now.saturating_sub(t.filled_at);
                 let q = span - span % resolution;
                 t.prev_live_time = Some(t.prev_live_time.unwrap_or(0).max(q));
-                self.learned.insert(block, t.prev_live_time.expect("just set"));
+                self.learned
+                    .insert(block, t.prev_live_time.expect("just set"));
             }
             t.last_access = now.max(t.last_access);
             t.predicted_dead = false;
@@ -289,7 +290,7 @@ mod tests {
         t.evict(200, Addr(0x40)); // learned: 160
         t.fill(300, Addr(0x40));
         t.evict(400, Addr(0x40)); // live 0 -> blended 80
-        // Third generation inherits the blended 80 ns estimate:
+                                  // Third generation inherits the blended 80 ns estimate:
         t.fill(500, Addr(0x40));
         assert!(t.harvest_dead(560).is_empty(), "idle 60 < 80+16");
         assert_eq!(t.harvest_dead(600), vec![Addr(0x40)]);

@@ -44,7 +44,10 @@ impl AddressPredictor {
     /// Panics if any argument is not a nonzero power of two.
     #[must_use]
     pub fn new(entries: usize, l1_block_bytes: u64, l1_sets: u64) -> Self {
-        assert!(entries.is_power_of_two() && entries > 0, "entries must be a power of two");
+        assert!(
+            entries.is_power_of_two() && entries > 0,
+            "entries must be a power of two"
+        );
         assert!(l1_block_bytes.is_power_of_two() && l1_block_bytes > 0);
         assert!(l1_sets.is_power_of_two() && l1_sets > 0);
         AddressPredictor {

@@ -147,11 +147,17 @@ impl BranchPredictor {
             ("gshare_entries", cfg.gshare_entries),
             ("meta_entries", cfg.meta_entries),
         ] {
-            assert!(n.is_power_of_two() && n > 0, "{name} must be a power of two");
+            assert!(
+                n.is_power_of_two() && n > 0,
+                "{name} must be a power of two"
+            );
         }
         assert!(cfg.btb_assoc > 0 && cfg.btb_entries.is_multiple_of(cfg.btb_assoc));
         let btb_sets = cfg.btb_entries / cfg.btb_assoc;
-        assert!(btb_sets.is_power_of_two(), "BTB set count must be a power of two");
+        assert!(
+            btb_sets.is_power_of_two(),
+            "BTB set count must be a power of two"
+        );
         assert!(cfg.ras_entries > 0, "RAS must have entries");
         BranchPredictor {
             bimodal: vec![Counter2(1); cfg.bimodal_entries],
@@ -462,7 +468,11 @@ mod kind_tests {
 
     #[test]
     fn all_kinds_learn_a_constant_direction() {
-        for kind in [PredictorKind::Bimodal, PredictorKind::Gshare, PredictorKind::Hybrid] {
+        for kind in [
+            PredictorKind::Bimodal,
+            PredictorKind::Gshare,
+            PredictorKind::Hybrid,
+        ] {
             let acc = accuracy(kind, (0..300).map(|_| true));
             assert!(acc > 0.98, "{kind:?}: {acc}");
         }

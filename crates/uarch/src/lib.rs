@@ -28,7 +28,9 @@ mod pipeline;
 mod ruu;
 
 pub use activity::{CoreStats, CycleActivity, IssueHistogram};
-pub use bpred::{BranchPredictor, BranchPredictorConfig, BranchPredictorStats, Prediction, PredictorKind};
+pub use bpred::{
+    BranchPredictor, BranchPredictorConfig, BranchPredictorStats, Prediction, PredictorKind,
+};
 pub use config::{CoreConfig, OpLatencies};
 pub use fu::{FuPool, FuSet};
 pub use pipeline::Core;

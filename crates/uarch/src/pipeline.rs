@@ -317,7 +317,8 @@ impl<S: InstStream> Core<S> {
                         self.stats.mispredicts += 1;
                     }
                     let info = inst.branch_info().expect("branch has info");
-                    self.bpred.update(inst.pc(), info.kind, info.taken, info.target);
+                    self.bpred
+                        .update(inst.pc(), info.kind, info.taken, info.target);
                     act.bpred_accesses += 1;
                 }
                 _ => {}
@@ -356,9 +357,11 @@ impl<S: InstStream> Core<S> {
                     act.lsq_accesses += 1;
                     if self.cfg.conservative_mem_disambiguation
                         && self.ruu.has_older_store(seq)
-                        && !self
-                            .ruu
-                            .older_store_to_block(seq, addr, self.mem.config().l1d.block_bytes)
+                        && !self.ruu.older_store_to_block(
+                            seq,
+                            addr,
+                            self.mem.config().l1d.block_bytes,
+                        )
                     {
                         // Conservative mode: loads wait behind every
                         // older store (same-block stores still forward
@@ -613,7 +616,10 @@ mod tests {
         let core = run(alu_chain(20_000, true), 100_000);
         let ipc = core.stats().ipc();
         assert!(ipc <= 1.05, "serial chain cannot exceed IPC 1, got {ipc}");
-        assert!(ipc > 0.8, "back-to-back bypass should keep IPC near 1, got {ipc}");
+        assert!(
+            ipc > 0.8,
+            "back-to-back bypass should keep IPC near 1, got {ipc}"
+        );
     }
 
     #[test]
@@ -785,7 +791,12 @@ mod backpressure_tests {
     use vsv_isa::{ArchReg, BranchKind, Pc, VecStream};
     use vsv_mem::HierarchyConfig;
 
-    fn run_with(cfg: CoreConfig, mem: HierarchyConfig, stream: VecStream, limit: u64) -> Core<VecStream> {
+    fn run_with(
+        cfg: CoreConfig,
+        mem: HierarchyConfig,
+        stream: VecStream,
+        limit: u64,
+    ) -> Core<VecStream> {
         let mut core = Core::new(cfg, Hierarchy::new(mem), stream);
         let mut now = 0;
         while !core.done() && now < limit {
@@ -858,7 +869,13 @@ mod backpressure_tests {
         cfg.lsq_entries = 2;
         // A burst of independent hot loads larger than the LSQ.
         let insts: VecStream = (0..200u64)
-            .map(|i| Inst::load(Pc((i % 32) * 4), ArchReg::int((i % 4) as u8), Addr(0x100 + (i % 8) * 32)))
+            .map(|i| {
+                Inst::load(
+                    Pc((i % 32) * 4),
+                    ArchReg::int((i % 4) as u8),
+                    Addr(0x100 + (i % 8) * 32),
+                )
+            })
             .collect();
         let core = run_with(cfg, HierarchyConfig::baseline(), insts, 200_000);
         assert_eq!(core.stats().committed, 200);
@@ -871,7 +888,13 @@ mod backpressure_tests {
         mem.dl1_mshrs = 1;
         // Many independent far loads: only one can be outstanding.
         let insts: VecStream = (0..24u64)
-            .map(|i| Inst::load(Pc((i % 16) * 4), ArchReg::int((i % 8) as u8), Addr(0x100_0000 + i * 4096)))
+            .map(|i| {
+                Inst::load(
+                    Pc((i % 16) * 4),
+                    ArchReg::int((i % 8) as u8),
+                    Addr(0x100_0000 + i * 4096),
+                )
+            })
             .collect();
         let core = run_with(CoreConfig::baseline(), mem, insts, 200_000);
         assert_eq!(core.stats().committed, 24);
@@ -981,7 +1004,11 @@ mod backpressure_tests {
         // the ~124 ns fills would complete.
         let mut insts = Vec::new();
         for i in 0..8u64 {
-            insts.push(Inst::store(Pc(i * 4), Addr(0x200_0000 + i * 4096), ArchReg::int(1)));
+            insts.push(Inst::store(
+                Pc(i * 4),
+                Addr(0x200_0000 + i * 4096),
+                ArchReg::int(1),
+            ));
         }
         for i in 8..40u64 {
             insts.push(Inst::alu(Pc(i * 4), ArchReg::int(2), &[]));
@@ -1017,7 +1044,11 @@ mod disambiguation_tests {
         for i in 0..400u64 {
             let pc = Pc((i % 64) * 4);
             if i % 2 == 0 {
-                v.push(Inst::store(pc, Addr(0x1000 + (i % 16) * 32), ArchReg::int(1)));
+                v.push(Inst::store(
+                    pc,
+                    Addr(0x1000 + (i % 16) * 32),
+                    ArchReg::int(1),
+                ));
             } else {
                 v.push(Inst::load(
                     pc,

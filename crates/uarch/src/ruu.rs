@@ -305,15 +305,12 @@ impl Ruu {
     #[must_use]
     pub fn older_store_to_block(&self, seq: Seq, addr: Addr, block_bytes: u64) -> bool {
         let block = addr.block(block_bytes);
-        self.entries
-            .iter()
-            .take_while(|e| e.seq < seq)
-            .any(|e| {
-                e.inst.op() == OpClass::Store
-                    && e.inst
-                        .mem_addr()
-                        .is_some_and(|a| a.block(block_bytes) == block)
-            })
+        self.entries.iter().take_while(|e| e.seq < seq).any(|e| {
+            e.inst.op() == OpClass::Store
+                && e.inst
+                    .mem_addr()
+                    .is_some_and(|a| a.block(block_bytes) == block)
+        })
     }
 }
 

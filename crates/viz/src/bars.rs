@@ -32,10 +32,7 @@ impl GroupedBarChart {
     pub fn series(mut self, name: impl Into<String>, values: &[(&str, f64)]) -> Self {
         self.series.push((
             name.into(),
-            values
-                .iter()
-                .map(|(c, v)| ((*c).to_owned(), *v))
-                .collect(),
+            values.iter().map(|(c, v)| ((*c).to_owned(), *v)).collect(),
         ));
         self
     }

@@ -64,8 +64,7 @@ impl TradeoffChart {
     /// Panics if no curve has any points.
     #[must_use]
     pub fn render(&self) -> String {
-        let all: Vec<&TradeoffPoint> =
-            self.curves.iter().flat_map(|(_, ps)| ps.iter()).collect();
+        let all: Vec<&TradeoffPoint> = self.curves.iter().flat_map(|(_, ps)| ps.iter()).collect();
         assert!(!all.is_empty(), "add at least one curve with points");
         let max_x = all.iter().map(|p| p.perf_pct).fold(1e-9_f64, f64::max) * 1.15;
         let max_y = all.iter().map(|p| p.power_pct).fold(1e-9_f64, f64::max) * 1.15;
@@ -91,8 +90,22 @@ impl TradeoffChart {
         for i in 0..=5 {
             let fx = max_x * f64::from(i) / 5.0;
             let fy = max_y * f64::from(i) / 5.0;
-            doc.text(x_of(fx), top + plot_h + 14.0, 9.0, "middle", 0.0, &format!("{fx:.1}"));
-            doc.text(left - 6.0, y_of(fy) + 3.0, 9.0, "end", 0.0, &format!("{fy:.0}"));
+            doc.text(
+                x_of(fx),
+                top + plot_h + 14.0,
+                9.0,
+                "middle",
+                0.0,
+                &format!("{fx:.1}"),
+            );
+            doc.text(
+                left - 6.0,
+                y_of(fy) + 3.0,
+                9.0,
+                "end",
+                0.0,
+                &format!("{fy:.0}"),
+            );
             doc.line(left, y_of(fy), left + plot_w, y_of(fy), "#eeeeee", 0.5);
         }
         doc.text(
@@ -103,7 +116,14 @@ impl TradeoffChart {
             0.0,
             "performance degradation (%)",
         );
-        doc.text(14.0, top + plot_h / 2.0, 10.0, "start", -90.0, "power saving (%)");
+        doc.text(
+            14.0,
+            top + plot_h / 2.0,
+            10.0,
+            "start",
+            -90.0,
+            "power saving (%)",
+        );
 
         // Curves.
         for (ci, (name, points)) in self.curves.iter().enumerate() {
@@ -143,7 +163,10 @@ mod tests {
     #[test]
     fn renders_curves_points_and_labels() {
         let svg = TradeoffChart::new()
-            .curve("mcf", vec![pt("F", 2.3, 33.9), pt("3", 2.4, 38.8), pt("L", 3.0, 47.0)])
+            .curve(
+                "mcf",
+                vec![pt("F", 2.3, 33.9), pt("3", 2.4, 38.8), pt("L", 3.0, 47.0)],
+            )
             .curve("ammp", vec![pt("F", 4.2, 14.3), pt("L", 5.8, 17.7)])
             .render();
         for s in ["mcf", "ammp", "polyline", "power saving"] {

@@ -130,7 +130,14 @@ impl<'a> TimelineChart<'a> {
             .map(|s| (x_of(s.ns), y_of_v(s.vdd)))
             .collect();
         doc.polyline(&points, "#333333", 1.5);
-        doc.text(left - 30.0, vy_top + volt_h / 2.0, 10.0, "start", -90.0, "VDD");
+        doc.text(
+            left - 30.0,
+            vy_top + volt_h / 2.0,
+            10.0,
+            "start",
+            -90.0,
+            "VDD",
+        );
 
         doc.finish()
     }
@@ -184,7 +191,12 @@ mod tests {
         let wide = TimelineChart::new(&t).px_per_ns(4.0).render();
         let w = |svg: &str| -> f64 {
             let i = svg.find("width=\"").expect("width") + 7;
-            svg[i..].split('"').next().expect("value").parse().expect("number")
+            svg[i..]
+                .split('"')
+                .next()
+                .expect("value")
+                .parse()
+                .expect("number")
         };
         assert!(w(&wide) > w(&narrow) * 2.0);
     }

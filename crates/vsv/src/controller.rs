@@ -53,7 +53,10 @@ impl Mode {
     /// Dense index into residency arrays.
     #[must_use]
     pub fn index(self) -> usize {
-        Mode::ALL.iter().position(|m| *m == self).expect("exhaustive")
+        Mode::ALL
+            .iter()
+            .position(|m| *m == self)
+            .expect("exhaustive")
     }
 
     /// Pipeline clock period in this mode, in nanoseconds.
@@ -322,14 +325,12 @@ impl VsvController {
             return;
         }
         match self.mode {
-            Mode::High
-                if self.down.on_cycle(issued) => {
-                    self.start_down(now);
-                }
-            Mode::Low
-                if self.up.on_cycle(issued) => {
-                    self.start_up(now);
-                }
+            Mode::High if self.down.on_cycle(issued) => {
+                self.start_down(now);
+            }
+            Mode::Low if self.up.on_cycle(issued) => {
+                self.start_up(now);
+            }
             _ => {}
         }
     }
@@ -398,7 +399,13 @@ mod tests {
 
     /// Drives `ctrl` for `ns` ticks with a fixed issue rate and a fixed
     /// outstanding-miss count; returns the modes seen.
-    fn drive(ctrl: &mut VsvController, from: u64, ns: u64, issued: u32, outstanding: usize) -> Vec<Mode> {
+    fn drive(
+        ctrl: &mut VsvController,
+        from: u64,
+        ns: u64,
+        issued: u32,
+        outstanding: usize,
+    ) -> Vec<Mode> {
         let mut modes = Vec::new();
         for now in from..from + ns {
             let plan = ctrl.tick(now, outstanding);
@@ -534,8 +541,8 @@ mod tests {
         let mut c = VsvController::new(VsvConfig::without_fsms());
         c.observe(&detected(0));
         drive(&mut c, 0, 20, 0, 1); // into RampDown / Low
-        // Now the hierarchy reports nothing outstanding: the controller
-        // must not camp in low-power mode.
+                                    // Now the hierarchy reports nothing outstanding: the controller
+                                    // must not camp in low-power mode.
         let modes = drive(&mut c, 20, 40, 0, 0);
         assert_eq!(*modes.last().unwrap(), Mode::High);
     }

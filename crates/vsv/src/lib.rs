@@ -23,7 +23,9 @@
 //! * [`system`] — the composed simulator (core + memory + prefetcher +
 //!   power + controller on one nanosecond clock);
 //! * [`runner`]/[`report`] — experiment driving and the paper's
-//!   metrics (performance degradation %, power saving %).
+//!   metrics (performance degradation %, power saving %);
+//! * [`sweep`] — parallel deterministic execution of experiment
+//!   grids (every table/figure is one [`Sweep`]).
 //!
 //! The substrates live in sibling crates: `vsv-uarch` (8-way OoO
 //! core), `vsv-mem` (caches/MSHRs/bus/DRAM), `vsv-power`
@@ -52,6 +54,7 @@ pub mod controller;
 pub mod fsm;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 pub mod system;
 pub mod trace;
 
@@ -59,5 +62,6 @@ pub use controller::{Mode, ModeStats, TickPlan, VsvConfig, VsvController};
 pub use fsm::{DownFsm, DownPolicy, UpFsm, UpPolicy};
 pub use report::{mean_comparison, Comparison, RunResult};
 pub use runner::{ComparisonSpread, Experiment};
+pub use sweep::{config_digest, default_workers, JobRecord, Sweep, SweepJob, SweepReport};
 pub use system::{System, SystemConfig};
 pub use trace::{ModeTrace, TraceSample};

@@ -110,7 +110,11 @@ pub fn mean_comparison(comparisons: &[Comparison]) -> Comparison {
     }
     let n = comparisons.len() as f64;
     Comparison {
-        perf_degradation_pct: comparisons.iter().map(|c| c.perf_degradation_pct).sum::<f64>() / n,
+        perf_degradation_pct: comparisons
+            .iter()
+            .map(|c| c.perf_degradation_pct)
+            .sum::<f64>()
+            / n,
         power_saving_pct: comparisons.iter().map(|c| c.power_saving_pct).sum::<f64>() / n,
     }
 }

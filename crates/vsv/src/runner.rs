@@ -69,7 +69,10 @@ mod tests {
     #[test]
     fn quick_experiment_runs_a_twin() {
         let e = Experiment::quick();
-        let r = e.run(&twin("gzip").expect("gzip exists"), SystemConfig::baseline());
+        let r = e.run(
+            &twin("gzip").expect("gzip exists"),
+            SystemConfig::baseline(),
+        );
         assert_eq!(r.workload, "gzip");
         assert!((e.instructions..e.instructions + 8).contains(&r.instructions));
         assert!(r.ipc > 0.2);

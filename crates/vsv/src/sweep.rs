@@ -1,0 +1,353 @@
+//! Parallel deterministic experiment sweeps.
+//!
+//! Every table and figure of the paper is a *grid* of independent
+//! simulations: workload twins × system configurations. Each run owns
+//! its whole simulator, so the grid is embarrassingly parallel — but
+//! tables, CSVs, and golden tests all need results in a stable order.
+//! [`Sweep`] provides both: jobs execute on `std::thread::scope`
+//! workers pulling from a shared atomic queue, and results come back
+//! in **grid order** (the order jobs were supplied), bit-identical to
+//! a serial loop over [`Experiment::run`] regardless of the worker
+//! count or the scheduling interleaving. `tests/sweep_equivalence.rs`
+//! pins that guarantee.
+//!
+//! Worker count comes from the caller, the `VSV_WORKERS` environment
+//! variable, or the host's available parallelism, in that order — see
+//! [`default_workers`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use vsv_workloads::WorkloadParams;
+
+use crate::report::RunResult;
+use crate::runner::Experiment;
+use crate::system::SystemConfig;
+
+/// One cell of an experiment grid: a workload under a configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepJob {
+    /// The workload parameter point to simulate.
+    pub params: WorkloadParams,
+    /// The system configuration to simulate it under.
+    pub config: SystemConfig,
+}
+
+/// Everything measured about one finished job. This is the unit the
+/// progress callback sees and the row type of [`SweepReport`].
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Index of the job in the sweep's grid order.
+    pub job: usize,
+    /// Workload name (from the job's parameter point).
+    pub workload: String,
+    /// FNV-1a digest of the job's full `SystemConfig`, as 16 hex
+    /// digits. Two jobs share a digest exactly when they share a
+    /// configuration, so reports remain comparable across runs
+    /// without serializing the whole config.
+    pub config_digest: String,
+    /// The simulation outcome (deterministic: simulated time, energy,
+    /// counters — everything `tests/determinism.rs` pins).
+    pub result: RunResult,
+    /// Host wall-clock nanoseconds this job took. **Not**
+    /// deterministic; consumers that digest reports must zero it
+    /// first (see `tests/sweep_report_golden.rs`).
+    pub wall_ns: u64,
+}
+
+/// The serializable outcome of a whole sweep, in grid order.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Number of jobs in the grid.
+    pub jobs: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Host wall-clock nanoseconds for the whole sweep. Not
+    /// deterministic (see [`JobRecord::wall_ns`]).
+    pub wall_ns: u64,
+    /// One record per job, in grid order.
+    pub records: Vec<JobRecord>,
+}
+
+impl SweepReport {
+    /// The bare results in grid order, consuming the report.
+    #[must_use]
+    pub fn into_results(self) -> Vec<RunResult> {
+        self.records.into_iter().map(|r| r.result).collect()
+    }
+}
+
+/// FNV-1a over the `Debug` rendering of a [`SystemConfig`], as 16 hex
+/// digits. `SystemConfig` derives `Debug` exhaustively, so any knob
+/// change (policies, thresholds, cache geometry, power model) changes
+/// the digest.
+#[must_use]
+pub fn config_digest(cfg: &SystemConfig) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{cfg:?}").bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Worker count policy: `VSV_WORKERS` if set to a positive integer,
+/// otherwise the host's available parallelism (falling back to 1).
+#[must_use]
+pub fn default_workers() -> usize {
+    if let Some(n) = std::env::var("VSV_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if n >= 1 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A grid of independent simulation jobs plus the experiment scale to
+/// run them at.
+///
+/// ```
+/// use vsv::{Experiment, Sweep, SystemConfig};
+/// use vsv_workloads::twin;
+///
+/// let twins = [twin("gzip").unwrap(), twin("ammp").unwrap()];
+/// let configs = [SystemConfig::baseline(), SystemConfig::vsv_with_fsms()];
+/// let sweep = Sweep::over_grid(
+///     Experiment { warmup_instructions: 500, instructions: 2_000 },
+///     &twins,
+///     &configs,
+/// );
+/// // 2 twins x 2 configs, params-major: gzip/base, gzip/vsv, ammp/base, ammp/vsv.
+/// let results = sweep.run(2);
+/// assert_eq!(results.len(), 4);
+/// assert_eq!(results[0].workload, "gzip");
+/// assert_eq!(results[2].workload, "ammp");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Simulation-length policy shared by every job.
+    pub experiment: Experiment,
+    jobs: Vec<SweepJob>,
+}
+
+impl Sweep {
+    /// A sweep over an explicit job list (grid order = list order).
+    #[must_use]
+    pub fn new(experiment: Experiment, jobs: Vec<SweepJob>) -> Self {
+        Sweep { experiment, jobs }
+    }
+
+    /// The params-major cross product: for each parameter point, every
+    /// configuration in order. Row `i` of the result corresponds to
+    /// `params[i / configs.len()]` under `configs[i % configs.len()]`.
+    #[must_use]
+    pub fn over_grid(
+        experiment: Experiment,
+        params: &[WorkloadParams],
+        configs: &[SystemConfig],
+    ) -> Self {
+        let jobs = params
+            .iter()
+            .flat_map(|p| {
+                configs.iter().map(move |c| SweepJob {
+                    params: *p,
+                    config: *c,
+                })
+            })
+            .collect();
+        Sweep { experiment, jobs }
+    }
+
+    /// The grid, in order.
+    #[must_use]
+    pub fn jobs(&self) -> &[SweepJob] {
+        &self.jobs
+    }
+
+    /// Number of jobs in the grid.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the grid is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Runs the grid on `workers` threads and returns the bare
+    /// results in grid order. See [`Sweep::run_with_progress`] for
+    /// the execution model.
+    #[must_use]
+    pub fn run(&self, workers: usize) -> Vec<RunResult> {
+        self.run_with_progress(workers, |_| {}).into_results()
+    }
+
+    /// Runs the grid and returns the full [`SweepReport`] without
+    /// progress reporting.
+    #[must_use]
+    pub fn report(&self, workers: usize) -> SweepReport {
+        self.run_with_progress(workers, |_| {})
+    }
+
+    /// Runs the grid on `workers` scoped threads pulling jobs from a
+    /// shared atomic counter, invoking `progress` once per finished
+    /// job (from the worker that finished it, in completion — not
+    /// grid — order), and returns records in grid order.
+    ///
+    /// Determinism: each job's [`RunResult`] depends only on its
+    /// `(params, config)` and the experiment scale — every simulator
+    /// is owned by exactly one job — so the result vector is
+    /// bit-identical for any `workers >= 1` and equal to a serial
+    /// loop over [`Experiment::run`]. Only the `wall_ns` fields vary
+    /// between runs.
+    ///
+    /// `workers` is clamped to `[1, len()]` (a degenerate clamp of 1
+    /// for an empty grid).
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from the simulator (a panicking simulation
+    /// is a bug worth surfacing, not hiding).
+    #[must_use]
+    pub fn run_with_progress<F>(&self, workers: usize, progress: F) -> SweepReport
+    where
+        F: Fn(&JobRecord) + Sync,
+    {
+        let workers = workers.max(1).min(self.jobs.len().max(1));
+        let sweep_start = Instant::now();
+        let next = AtomicUsize::new(0);
+        let mut records: Vec<Option<JobRecord>> = Vec::with_capacity(self.jobs.len());
+        records.resize_with(self.jobs.len(), || None);
+        // One lock per slot: workers write disjoint indices, so there
+        // is no contention — the Mutex exists only to hand each worker
+        // a &mut to its own slot through the shared borrow.
+        let slots: Vec<Mutex<&mut Option<JobRecord>>> =
+            records.iter_mut().map(Mutex::new).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = self.jobs.get(i) else { break };
+                    let job_start = Instant::now();
+                    let result = self.experiment.run(&job.params, job.config);
+                    let record = JobRecord {
+                        job: i,
+                        workload: job.params.name.to_owned(),
+                        config_digest: config_digest(&job.config),
+                        result,
+                        wall_ns: u64::try_from(job_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    };
+                    progress(&record);
+                    **slots[i].lock().expect("slot lock") = Some(record);
+                });
+            }
+        });
+        drop(slots);
+        SweepReport {
+            jobs: self.jobs.len(),
+            workers,
+            wall_ns: u64::try_from(sweep_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            records: records
+                .into_iter()
+                .map(|r| r.expect("every slot filled"))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use vsv_workloads::twin;
+
+    fn tiny() -> Experiment {
+        Experiment {
+            warmup_instructions: 500,
+            instructions: 2_000,
+        }
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let sweep = Sweep::new(tiny(), Vec::new());
+        let report = sweep.report(4);
+        assert_eq!(report.jobs, 0);
+        assert!(report.records.is_empty());
+    }
+
+    #[test]
+    fn grid_order_is_params_major() {
+        let twins = [twin("gzip").expect("gzip"), twin("ammp").expect("ammp")];
+        let configs = [SystemConfig::baseline(), SystemConfig::vsv_with_fsms()];
+        let sweep = Sweep::over_grid(tiny(), &twins, &configs);
+        assert_eq!(sweep.len(), 4);
+        let report = sweep.report(2);
+        let names: Vec<&str> = report.records.iter().map(|r| r.workload.as_str()).collect();
+        assert_eq!(names, ["gzip", "gzip", "ammp", "ammp"]);
+        // Same config => same digest; different config => different.
+        assert_eq!(
+            report.records[0].config_digest,
+            report.records[2].config_digest
+        );
+        assert_ne!(
+            report.records[0].config_digest,
+            report.records[1].config_digest
+        );
+        // Records carry their grid index.
+        for (i, r) in report.records.iter().enumerate() {
+            assert_eq!(r.job, i);
+        }
+    }
+
+    #[test]
+    fn progress_fires_once_per_job() {
+        let twins = [twin("gzip").expect("gzip")];
+        let configs = [SystemConfig::baseline(), SystemConfig::vsv_with_fsms()];
+        let sweep = Sweep::over_grid(tiny(), &twins, &configs);
+        let fired = AtomicUsize::new(0);
+        let report = sweep.run_with_progress(2, |record| {
+            assert!(record.job < 2);
+            fired.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(fired.load(Ordering::Relaxed), 2);
+        assert_eq!(report.records.len(), 2);
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        let twins = [twin("gzip").expect("gzip")];
+        let configs = [SystemConfig::baseline()];
+        let sweep = Sweep::over_grid(tiny(), &twins, &configs);
+        // 0 and 100 workers both work on a 1-job grid.
+        assert_eq!(sweep.report(0).workers, 1);
+        assert_eq!(sweep.report(100).workers, 1);
+    }
+
+    #[test]
+    fn digest_is_stable_and_knob_sensitive() {
+        let a = config_digest(&SystemConfig::baseline());
+        let b = config_digest(&SystemConfig::baseline());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        let mut cfg = SystemConfig::vsv_with_fsms();
+        let before = config_digest(&cfg);
+        cfg.mem.dram.latency_ns += 1;
+        assert_ne!(before, config_digest(&cfg));
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

@@ -404,9 +404,17 @@ mod tests {
         sys.warm_up(5_000);
         let r = sys.run(20_000);
         // Commit is 8-wide, so the window may overshoot by up to 7.
-        assert!((20_000..20_008).contains(&r.instructions), "{}", r.instructions);
+        assert!(
+            (20_000..20_008).contains(&r.instructions),
+            "{}",
+            r.instructions
+        );
         assert!(r.ipc > 0.5, "compute-bound twin should flow, got {}", r.ipc);
-        assert!(r.avg_power_w > 1.0 && r.avg_power_w < 100.0, "{}", r.avg_power_w);
+        assert!(
+            r.avg_power_w > 1.0 && r.avg_power_w < 100.0,
+            "{}",
+            r.avg_power_w
+        );
         assert_eq!(r.mode.down_transitions, 0, "VSV disabled");
     }
 
@@ -417,7 +425,10 @@ mod tests {
             Generator::new(WorkloadParams::compute_bound("t")),
         );
         let r = sys.run(10_000);
-        assert_eq!(r.pipeline_cycles, r.elapsed_ns, "full speed: 1 cycle per ns");
+        assert_eq!(
+            r.pipeline_cycles, r.elapsed_ns,
+            "full speed: 1 cycle per ns"
+        );
     }
 
     #[test]
@@ -464,7 +475,10 @@ mod tests {
             rv.mode.down_transitions
         );
         let delta = (rv.elapsed_ns as f64 / rb.elapsed_ns as f64 - 1.0).abs();
-        assert!(delta < 0.02, "near-identical timing expected, delta {delta}");
+        assert!(
+            delta < 0.02,
+            "near-identical timing expected, delta {delta}"
+        );
     }
 
     #[test]
@@ -557,8 +571,7 @@ mod trace_tests {
         let _ = sys.run(20_000);
         let trace = sys.take_trace().expect("tracing was on");
         assert!(!trace.is_empty());
-        let modes: std::collections::HashSet<_> =
-            trace.iter().map(|s| s.mode).collect();
+        let modes: std::collections::HashSet<_> = trace.iter().map(|s| s.mode).collect();
         assert!(modes.contains(&Mode::High));
         assert!(modes.contains(&Mode::Low), "memory-bound run must go low");
         // Voltage is always inside the rail band.

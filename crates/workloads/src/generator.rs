@@ -250,18 +250,14 @@ impl Generator {
                 // Full-cycle LCG over 2^k blocks (a ≡ 1 mod 4, c odd):
                 // a fixed permutation, so every block has a stable
                 // successor the Time-Keeping predictor can learn.
-                self.perm_cursor = (self
-                    .perm_cursor
-                    .wrapping_mul(5)
-                    .wrapping_add(1))
-                    & (self.n_far_blocks - 1);
+                self.perm_cursor =
+                    (self.perm_cursor.wrapping_mul(5).wrapping_add(1)) & (self.n_far_blocks - 1);
                 self.perm_cursor
             }
             AccessPattern::Random => self.rng.below(self.n_far_blocks),
             AccessPattern::Strided { blocks } => {
                 let b = self.stream_cursor;
-                self.stream_cursor =
-                    (self.stream_cursor + blocks) & (self.n_far_blocks - 1);
+                self.stream_cursor = (self.stream_cursor + blocks) & (self.n_far_blocks - 1);
                 b
             }
         };

@@ -129,7 +129,11 @@ mod tests {
         p.branch_fraction = 0.10;
         p.fp_fraction = 0.5;
         let mix = MixSummary::measure(&p, 40_000);
-        assert!((mix.mem_fraction() - 0.35).abs() < 0.03, "{}", mix.mem_fraction());
+        assert!(
+            (mix.mem_fraction() - 0.35).abs() < 0.03,
+            "{}",
+            mix.mem_fraction()
+        );
         assert!((mix.branch_fraction() - 0.10).abs() < 0.03);
         assert!((mix.fp_fraction() - 0.5).abs() < 0.05);
     }
@@ -140,8 +144,14 @@ mod tests {
         // miss probability ≈ 1), far_rate × 1000 must approximate the
         // paper's MR target.
         for name in ["mcf", "art"] {
-            let p = spec2k_twins().into_iter().find(|p| p.name == name).expect("twin");
-            let paper = table2_reference().into_iter().find(|r| r.name == name).expect("row");
+            let p = spec2k_twins()
+                .into_iter()
+                .find(|p| p.name == name)
+                .expect("twin");
+            let paper = table2_reference()
+                .into_iter()
+                .find(|r| r.name == name)
+                .expect("row");
             let mix = MixSummary::measure(&p, 60_000);
             let predicted_mr = mix.far_rate() * 1000.0;
             let ratio = predicted_mr / paper.mr_base;
@@ -155,7 +165,10 @@ mod tests {
 
     #[test]
     fn chase_twins_have_chased_loads() {
-        let p = spec2k_twins().into_iter().find(|p| p.name == "mcf").expect("twin");
+        let p = spec2k_twins()
+            .into_iter()
+            .find(|p| p.name == "mcf")
+            .expect("twin");
         let mix = MixSummary::measure(&p, 30_000);
         assert!(mix.chased_loads > 0);
         assert!(mix.chased_loads <= mix.far_loads);

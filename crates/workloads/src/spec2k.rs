@@ -132,32 +132,108 @@ pub fn spec2k_twins() -> Vec<WorkloadParams> {
     // spatial locality, reduced further by prefetch coverage).
     let rows = vec![
         //          ws    far     pattern           chase dep   ilp bst  fp    br    ent   cov  code
-        t("ammp", 32, 0.0524, Streaming, 0.95, 1.00, 1, 1, 0.30, 0.08, 0.02, 0.00, 8),
-        t("applu", 16, 0.100, Streaming, 0.00, 1.00, 8, 1, 0.60, 0.04, 0.01, 0.30, 16),
-        t("apsi", 16, 0.0074, Streaming, 0.00, 0.30, 3, 2, 0.50, 0.08, 0.02, 0.10, 16),
-        t("art", 24, 0.054, Random, 0.00, 1.00, 2, 2, 0.40, 0.08, 0.02, 0.00, 8),
-        t("bzip2", 16, 0.0024, Random, 0.00, 0.50, 2, 1, 0.00, 0.12, 0.05, 0.00, 16),
-        t("crafty", 1, 0.000, Random, 0.00, 0.50, 3, 1, 0.00, 0.14, 0.05, 0.00, 48),
-        t("eon", 1, 0.000, Random, 0.00, 0.30, 2, 1, 0.30, 0.10, 0.02, 0.00, 32),
-        t("equake", 1, 0.000, Streaming, 0.00, 0.10, 3, 1, 0.50, 0.05, 0.01, 0.00, 16),
-        t("facerec", 16, 0.030, Streaming, 0.00, 0.90, 8, 2, 0.50, 0.06, 0.01, 0.20, 16),
-        t("fma3d", 1, 0.000, Streaming, 0.00, 0.10, 5, 1, 0.60, 0.05, 0.01, 0.00, 32),
-        t("galgel", 1, 0.000, Streaming, 0.00, 0.30, 2, 1, 0.50, 0.08, 0.02, 0.00, 16),
-        t("gap", 8, 0.0024, Random, 0.00, 0.40, 3, 1, 0.00, 0.10, 0.02, 0.00, 16),
-        t("gcc", 8, 0.0005, Random, 0.00, 0.40, 2, 1, 0.00, 0.14, 0.04, 0.00, 48),
-        t("gzip", 8, 0.0005, Random, 0.00, 0.40, 2, 1, 0.00, 0.12, 0.03, 0.00, 8),
-        t("lucas", 16, 0.112, Streaming, 0.00, 1.00, 3, 1, 0.60, 0.04, 0.01, 0.30, 8),
-        t("mcf", 64, 0.361, PermutationChase, 0.55, 1.00, 1, 2, 0.00, 0.16, 0.06, 0.00, 8),
-        t("mesa", 4, 0.0014, Random, 0.00, 0.30, 2, 1, 0.40, 0.08, 0.02, 0.00, 32),
-        t("mgrid", 16, 0.0143, Streaming, 0.00, 0.80, 8, 2, 0.70, 0.03, 0.01, 0.50, 8),
-        t("parser", 8, 0.0029, Random, 0.00, 0.60, 1, 1, 0.00, 0.14, 0.06, 0.00, 32),
-        t("perlbmk", 8, 0.0062, PermutationChase, 0.20, 0.60, 1, 1, 0.00, 0.13, 0.05, 0.00, 48),
-        t("sixtrack", 1, 0.000, Streaming, 0.00, 0.20, 3, 1, 0.50, 0.06, 0.01, 0.00, 32),
-        t("swim", 16, 0.052, Streaming, 0.00, 0.90, 8, 2, 0.65, 0.03, 0.01, 0.40, 8),
-        t("twolf", 1, 0.000, Random, 0.00, 0.80, 1, 1, 0.10, 0.14, 0.06, 0.00, 16),
-        t("vortex", 8, 0.0010, Random, 0.00, 0.40, 2, 1, 0.00, 0.11, 0.02, 0.00, 48),
-        t("vpr", 16, 0.0095, Random, 0.00, 0.90, 1, 1, 0.10, 0.13, 0.05, 0.00, 16),
-        t("wupwise", 16, 0.0030, Streaming, 0.00, 0.10, 4, 4, 0.60, 0.04, 0.01, 0.20, 16),
+        t(
+            "ammp", 32, 0.0524, Streaming, 0.95, 1.00, 1, 1, 0.30, 0.08, 0.02, 0.00, 8,
+        ),
+        t(
+            "applu", 16, 0.100, Streaming, 0.00, 1.00, 8, 1, 0.60, 0.04, 0.01, 0.30, 16,
+        ),
+        t(
+            "apsi", 16, 0.0074, Streaming, 0.00, 0.30, 3, 2, 0.50, 0.08, 0.02, 0.10, 16,
+        ),
+        t(
+            "art", 24, 0.054, Random, 0.00, 1.00, 2, 2, 0.40, 0.08, 0.02, 0.00, 8,
+        ),
+        t(
+            "bzip2", 16, 0.0024, Random, 0.00, 0.50, 2, 1, 0.00, 0.12, 0.05, 0.00, 16,
+        ),
+        t(
+            "crafty", 1, 0.000, Random, 0.00, 0.50, 3, 1, 0.00, 0.14, 0.05, 0.00, 48,
+        ),
+        t(
+            "eon", 1, 0.000, Random, 0.00, 0.30, 2, 1, 0.30, 0.10, 0.02, 0.00, 32,
+        ),
+        t(
+            "equake", 1, 0.000, Streaming, 0.00, 0.10, 3, 1, 0.50, 0.05, 0.01, 0.00, 16,
+        ),
+        t(
+            "facerec", 16, 0.030, Streaming, 0.00, 0.90, 8, 2, 0.50, 0.06, 0.01, 0.20, 16,
+        ),
+        t(
+            "fma3d", 1, 0.000, Streaming, 0.00, 0.10, 5, 1, 0.60, 0.05, 0.01, 0.00, 32,
+        ),
+        t(
+            "galgel", 1, 0.000, Streaming, 0.00, 0.30, 2, 1, 0.50, 0.08, 0.02, 0.00, 16,
+        ),
+        t(
+            "gap", 8, 0.0024, Random, 0.00, 0.40, 3, 1, 0.00, 0.10, 0.02, 0.00, 16,
+        ),
+        t(
+            "gcc", 8, 0.0005, Random, 0.00, 0.40, 2, 1, 0.00, 0.14, 0.04, 0.00, 48,
+        ),
+        t(
+            "gzip", 8, 0.0005, Random, 0.00, 0.40, 2, 1, 0.00, 0.12, 0.03, 0.00, 8,
+        ),
+        t(
+            "lucas", 16, 0.112, Streaming, 0.00, 1.00, 3, 1, 0.60, 0.04, 0.01, 0.30, 8,
+        ),
+        t(
+            "mcf",
+            64,
+            0.361,
+            PermutationChase,
+            0.55,
+            1.00,
+            1,
+            2,
+            0.00,
+            0.16,
+            0.06,
+            0.00,
+            8,
+        ),
+        t(
+            "mesa", 4, 0.0014, Random, 0.00, 0.30, 2, 1, 0.40, 0.08, 0.02, 0.00, 32,
+        ),
+        t(
+            "mgrid", 16, 0.0143, Streaming, 0.00, 0.80, 8, 2, 0.70, 0.03, 0.01, 0.50, 8,
+        ),
+        t(
+            "parser", 8, 0.0029, Random, 0.00, 0.60, 1, 1, 0.00, 0.14, 0.06, 0.00, 32,
+        ),
+        t(
+            "perlbmk",
+            8,
+            0.0062,
+            PermutationChase,
+            0.20,
+            0.60,
+            1,
+            1,
+            0.00,
+            0.13,
+            0.05,
+            0.00,
+            48,
+        ),
+        t(
+            "sixtrack", 1, 0.000, Streaming, 0.00, 0.20, 3, 1, 0.50, 0.06, 0.01, 0.00, 32,
+        ),
+        t(
+            "swim", 16, 0.052, Streaming, 0.00, 0.90, 8, 2, 0.65, 0.03, 0.01, 0.40, 8,
+        ),
+        t(
+            "twolf", 1, 0.000, Random, 0.00, 0.80, 1, 1, 0.10, 0.14, 0.06, 0.00, 16,
+        ),
+        t(
+            "vortex", 8, 0.0010, Random, 0.00, 0.40, 2, 1, 0.00, 0.11, 0.02, 0.00, 48,
+        ),
+        t(
+            "vpr", 16, 0.0095, Random, 0.00, 0.90, 1, 1, 0.10, 0.13, 0.05, 0.00, 16,
+        ),
+        t(
+            "wupwise", 16, 0.0030, Streaming, 0.00, 0.10, 4, 4, 0.60, 0.04, 0.01, 0.20, 16,
+        ),
     ];
 
     rows.into_iter()

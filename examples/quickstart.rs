@@ -63,7 +63,10 @@ fn main() {
     println!("\n== baseline ==");
     println!("IPC (full-speed cycles) : {:.2}", base.ipc);
     println!("L2 demand misses / 1k   : {:.1}", base.mpki);
-    println!("zero-issue cycles       : {:.0}%", base.zero_issue_fraction() * 100.0);
+    println!(
+        "zero-issue cycles       : {:.0}%",
+        base.zero_issue_fraction() * 100.0
+    );
     println!("average power           : {:.1} W", base.avg_power_w);
 
     println!("\n== VSV (down-FSM 3/10, up-FSM 3/10) ==");

@@ -12,7 +12,9 @@ use vsv_workloads::{twin, Generator};
 
 fn main() {
     let out_dir = std::path::PathBuf::from(
-        std::env::args().nth(1).unwrap_or_else(|| "target/figures".to_owned()),
+        std::env::args()
+            .nth(1)
+            .unwrap_or_else(|| "target/figures".to_owned()),
     );
     std::fs::create_dir_all(&out_dir).expect("create output dir");
 

@@ -11,7 +11,9 @@ use vsv_viz::{TradeoffChart, TradeoffPoint};
 use vsv_workloads::twin;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "lucas".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "lucas".to_owned());
     let Some(params) = twin(&name) else {
         eprintln!("unknown twin '{name}'");
         std::process::exit(1);
@@ -28,15 +30,51 @@ fn main() {
 
     let downs = [
         ("down=imm", DownPolicy::Immediate),
-        ("down=1", DownPolicy::Monitor { threshold: 1, period: 10 }),
-        ("down=3", DownPolicy::Monitor { threshold: 3, period: 10 }),
-        ("down=5", DownPolicy::Monitor { threshold: 5, period: 10 }),
+        (
+            "down=1",
+            DownPolicy::Monitor {
+                threshold: 1,
+                period: 10,
+            },
+        ),
+        (
+            "down=3",
+            DownPolicy::Monitor {
+                threshold: 3,
+                period: 10,
+            },
+        ),
+        (
+            "down=5",
+            DownPolicy::Monitor {
+                threshold: 5,
+                period: 10,
+            },
+        ),
     ];
     let ups = [
         ("up=First-R", UpPolicy::FirstReturn),
-        ("up=1", UpPolicy::Monitor { threshold: 1, period: 10 }),
-        ("up=3", UpPolicy::Monitor { threshold: 3, period: 10 }),
-        ("up=5", UpPolicy::Monitor { threshold: 5, period: 10 }),
+        (
+            "up=1",
+            UpPolicy::Monitor {
+                threshold: 1,
+                period: 10,
+            },
+        ),
+        (
+            "up=3",
+            UpPolicy::Monitor {
+                threshold: 3,
+                period: 10,
+            },
+        ),
+        (
+            "up=5",
+            UpPolicy::Monitor {
+                threshold: 5,
+                period: 10,
+            },
+        ),
         ("up=Last-R", UpPolicy::LastReturn),
     ];
 

@@ -87,5 +87,8 @@ fn mcf_is_the_most_memory_bound() {
             worst = (params.name, r.mpki);
         }
     }
-    assert_eq!(worst.0, "mcf", "mcf must top the MR ordering, got {worst:?}");
+    assert_eq!(
+        worst.0, "mcf",
+        "mcf must top the MR ordering, got {worst:?}"
+    );
 }

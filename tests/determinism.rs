@@ -41,8 +41,14 @@ fn vsv_runs_are_bit_identical() {
 
 #[test]
 fn timekeeping_runs_are_bit_identical() {
-    let a = run_once("applu", SystemConfig::vsv_with_fsms().with_timekeeping(true));
-    let b = run_once("applu", SystemConfig::vsv_with_fsms().with_timekeeping(true));
+    let a = run_once(
+        "applu",
+        SystemConfig::vsv_with_fsms().with_timekeeping(true),
+    );
+    let b = run_once(
+        "applu",
+        SystemConfig::vsv_with_fsms().with_timekeeping(true),
+    );
     assert_identical(&a, &b);
 }
 

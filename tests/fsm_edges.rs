@@ -1,0 +1,140 @@
+//! Edge cases of the issue-rate monitors (paper §4.2/§4.4) that the
+//! unit tests in `crates/vsv/src/fsm.rs` skirt around: exact window
+//! expiry, the threshold boundary, and the up-FSM's unconditional
+//! sole-miss ramp-up.
+
+use vsv::{DownFsm, DownPolicy, UpFsm, UpPolicy};
+
+// ---------- down-FSM window expiry at exactly 10 cycles ---------------
+
+#[test]
+fn down_window_survives_nine_cycles_and_expires_on_the_tenth() {
+    let mut f = DownFsm::new(DownPolicy::Monitor {
+        threshold: 3,
+        period: 10,
+    });
+    f.arm();
+    // Nine issuing cycles: the window is still open.
+    for cycle in 0..9 {
+        assert!(!f.on_cycle(4), "no trigger on issuing cycle {cycle}");
+        assert!(f.is_armed(), "window open after cycle {cycle}");
+    }
+    assert_eq!(f.expiries(), 0, "not expired after 9 of 10 cycles");
+    // The tenth monitored cycle exhausts the window.
+    assert!(!f.on_cycle(4));
+    assert!(!f.is_armed(), "window closes at exactly 10 cycles");
+    assert_eq!(f.expiries(), 1);
+    assert_eq!(f.triggers(), 0);
+    // And a closed window never fires, even on a long idle run.
+    for _ in 0..20 {
+        assert!(!f.on_cycle(0));
+    }
+    assert_eq!(f.triggers(), 0);
+}
+
+#[test]
+fn down_trigger_on_the_last_window_cycle_still_counts() {
+    // A run that completes exactly on the window's final cycle is a
+    // trigger, not an expiry: the threshold check precedes the
+    // countdown.
+    let mut f = DownFsm::new(DownPolicy::Monitor {
+        threshold: 3,
+        period: 10,
+    });
+    f.arm();
+    for _ in 0..7 {
+        assert!(!f.on_cycle(1));
+    }
+    assert!(!f.on_cycle(0)); // cycle 8: run = 1
+    assert!(!f.on_cycle(0)); // cycle 9: run = 2
+    assert!(f.on_cycle(0), "run of 3 lands on the 10th cycle");
+    assert_eq!(f.triggers(), 1);
+    assert_eq!(f.expiries(), 0);
+}
+
+// ---------- threshold boundary: 2 vs 3 consecutive zero-issue ---------
+
+#[test]
+fn two_zero_issue_cycles_do_not_reach_a_threshold_of_three() {
+    let mut f = DownFsm::new(DownPolicy::Monitor {
+        threshold: 3,
+        period: 10,
+    });
+    f.arm();
+    assert!(!f.on_cycle(0)); // run = 1
+    assert!(!f.on_cycle(0)); // run = 2
+    assert!(!f.on_cycle(1), "an issuing cycle resets the run");
+    // Two more zeros still do not fire...
+    assert!(!f.on_cycle(0));
+    assert!(!f.on_cycle(0));
+    // ...and the third consecutive zero does.
+    assert!(f.on_cycle(0));
+    assert_eq!(f.triggers(), 1);
+}
+
+#[test]
+fn threshold_two_fires_where_threshold_three_does_not() {
+    // The same trace distinguishes the two thresholds: exactly two
+    // consecutive zero-issue cycles, then work returns.
+    let trace = [1u32, 0, 0, 1, 1, 1];
+    let fires = |threshold| {
+        let mut f = DownFsm::new(DownPolicy::Monitor {
+            threshold,
+            period: 10,
+        });
+        f.arm();
+        trace.iter().any(|&i| f.on_cycle(i))
+    };
+    assert!(fires(2), "threshold 2 triggers on a 2-cycle idle run");
+    assert!(!fires(3), "threshold 3 holds through a 2-cycle idle run");
+}
+
+// ---------- up-FSM: sole outstanding miss returns => ramp up ----------
+
+#[test]
+fn sole_miss_return_ramps_up_unconditionally() {
+    // §4.4: a return that leaves no misses outstanding transitions
+    // immediately — there is nothing left to overlap with.
+    let mut f = UpFsm::new(UpPolicy::Monitor {
+        threshold: 3,
+        period: 10,
+    });
+    assert!(f.on_return(0), "sole return fires with no monitoring");
+    assert!(!f.is_armed());
+    assert_eq!(f.triggers(), 1);
+    assert_eq!(f.expiries(), 0);
+}
+
+#[test]
+fn sole_miss_return_preempts_an_open_window() {
+    // A monitoring window opened by an earlier return (misses still
+    // outstanding) is cancelled — not completed — when the last miss
+    // returns: the transition happens now.
+    let mut f = UpFsm::new(UpPolicy::Monitor {
+        threshold: 3,
+        period: 10,
+    });
+    assert!(!f.on_return(2), "misses remain: monitor instead of firing");
+    assert!(f.is_armed());
+    assert!(!f.on_cycle(0), "idle: the window makes no progress");
+    assert!(f.on_return(0), "last return fires regardless of the window");
+    assert!(!f.is_armed(), "the pending window is gone");
+    assert_eq!(f.triggers(), 1);
+    // The dead window cannot fire afterwards.
+    for _ in 0..10 {
+        assert!(!f.on_cycle(4));
+    }
+    assert_eq!(f.triggers(), 1);
+}
+
+#[test]
+fn sole_miss_rule_is_policy_independent_for_monitors() {
+    // Whatever the threshold, on_return(0) is unconditional.
+    for threshold in [1, 3, 5] {
+        let mut f = UpFsm::new(UpPolicy::Monitor {
+            threshold,
+            period: 10,
+        });
+        assert!(f.on_return(0), "threshold {threshold}");
+    }
+}

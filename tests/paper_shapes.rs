@@ -19,9 +19,16 @@ fn quick() -> Experiment {
 fn memory_bound_twin_saves_power_with_small_degradation() {
     let e = quick();
     let params = twin("mcf").expect("mcf twin exists");
-    let (base, vsv_run, cmp) =
-        e.compare(&params, SystemConfig::baseline(), SystemConfig::vsv_with_fsms());
-    assert!(base.mpki > 40.0, "mcf twin is very memory bound: {}", base.mpki);
+    let (base, vsv_run, cmp) = e.compare(
+        &params,
+        SystemConfig::baseline(),
+        SystemConfig::vsv_with_fsms(),
+    );
+    assert!(
+        base.mpki > 40.0,
+        "mcf twin is very memory bound: {}",
+        base.mpki
+    );
     assert!(
         cmp.power_saving_pct > 20.0,
         "mcf should save >20% power, got {:.1}%",
@@ -40,10 +47,17 @@ fn memory_bound_twin_saves_power_with_small_degradation() {
 fn compute_bound_twin_is_untouched() {
     let e = quick();
     let params = twin("crafty").expect("crafty twin exists");
-    let (base, _, cmp) =
-        e.compare(&params, SystemConfig::baseline(), SystemConfig::vsv_with_fsms());
+    let (base, _, cmp) = e.compare(
+        &params,
+        SystemConfig::baseline(),
+        SystemConfig::vsv_with_fsms(),
+    );
     assert!(base.mpki < 0.5, "crafty twin has ~no L2 misses");
-    assert!(cmp.power_saving_pct.abs() < 1.0, "got {:.1}%", cmp.power_saving_pct);
+    assert!(
+        cmp.power_saving_pct.abs() < 1.0,
+        "got {:.1}%",
+        cmp.power_saving_pct
+    );
     assert!(cmp.perf_degradation_pct.abs() < 1.0);
 }
 
@@ -71,21 +85,29 @@ fn fsms_reduce_degradation_at_some_power_cost() {
         c_fsm.power_saving_pct,
         c_no.power_saving_pct
     );
-    assert!(c_fsm.power_saving_pct > 5.0, "but should retain real savings");
+    assert!(
+        c_fsm.power_saving_pct > 5.0,
+        "but should retain real savings"
+    );
 }
 
 /// Figure 5: lower down-thresholds save more power and degrade more.
 #[test]
-fn down_threshold_orders_power_and_performance()
-{
+fn down_threshold_orders_power_and_performance() {
     let e = quick();
     let params = twin("ammp").expect("ammp twin exists");
     let base = e.run(&params, SystemConfig::baseline());
     let mut results = Vec::new();
     for down in [
         DownPolicy::Immediate,
-        DownPolicy::Monitor { threshold: 3, period: 10 },
-        DownPolicy::Monitor { threshold: 5, period: 10 },
+        DownPolicy::Monitor {
+            threshold: 3,
+            period: 10,
+        },
+        DownPolicy::Monitor {
+            threshold: 5,
+            period: 10,
+        },
     ] {
         let mut cfg = SystemConfig::vsv_with_fsms();
         cfg.vsv.down = down;
@@ -114,7 +136,10 @@ fn up_policy_spectrum_first_monitor_last() {
     let mut res = Vec::new();
     for up in [
         UpPolicy::FirstReturn,
-        UpPolicy::Monitor { threshold: 3, period: 10 },
+        UpPolicy::Monitor {
+            threshold: 3,
+            period: 10,
+        },
         UpPolicy::LastReturn,
     ] {
         let mut cfg = SystemConfig::vsv_with_fsms();
@@ -156,7 +181,10 @@ fn timekeeping_shrinks_but_does_not_remove_savings() {
         base.mpki,
         base_tk.mpki
     );
-    let vsv_tk = e.run(&params, SystemConfig::vsv_with_fsms().with_timekeeping(true));
+    let vsv_tk = e.run(
+        &params,
+        SystemConfig::vsv_with_fsms().with_timekeeping(true),
+    );
     let cmp_tk = Comparison::of(&base_tk, &vsv_tk);
     let vsv_plain = e.run(&params, SystemConfig::vsv_with_fsms());
     let cmp_plain = Comparison::of(&base, &vsv_plain);
@@ -222,7 +250,10 @@ fn low_mode_halves_the_clock() {
         run.elapsed_ns
     );
     let base = e.run(&params, SystemConfig::baseline());
-    assert_eq!(base.pipeline_cycles, base.elapsed_ns, "baseline is full speed");
+    assert_eq!(
+        base.pipeline_cycles, base.elapsed_ns,
+        "baseline is full speed"
+    );
 }
 
 /// Energy accounting sanity across the whole stack: VSV burns less
@@ -263,7 +294,10 @@ fn issue_histogram_is_consistent_with_counters() {
         .sum();
     // Bucket 8 clamps; with an 8-wide core nothing exceeds it, so the
     // weighted sum equals total issues.
-    assert!(issued_from_hist >= r.instructions, "all committed insts were issued");
+    assert!(
+        issued_from_hist >= r.instructions,
+        "all committed insts were issued"
+    );
 }
 
 /// A full System run's recorded trace renders to a timeline SVG with

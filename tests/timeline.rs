@@ -23,7 +23,10 @@ fn lonely_miss_stream() -> FnStream<impl FnMut() -> Option<Inst>> {
 }
 
 /// Records (time, mode) changes over `ns` single-steps.
-fn trajectory(sys: &mut System<FnStream<impl FnMut() -> Option<Inst>>>, ns: u64) -> Vec<(u64, Mode)> {
+fn trajectory(
+    sys: &mut System<FnStream<impl FnMut() -> Option<Inst>>>,
+    ns: u64,
+) -> Vec<(u64, Mode)> {
     let mut out = vec![(sys.now(), sys.controller().mode())];
     for _ in 0..ns {
         sys.step_ns();

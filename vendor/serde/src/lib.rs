@@ -1,0 +1,480 @@
+//! A minimal, dependency-free stand-in for the parts of `serde` this
+//! workspace actually uses, vendored so the workspace resolves and
+//! builds with **no network access** (the crates-io registry is
+//! unreachable in some of the environments this repo must build in).
+//!
+//! Dependents rename it to `serde` in their manifests, so source-level
+//! `serde::Serialize` derives and bounds are unchanged. The model is
+//! deliberately simple: serialization goes through a JSON-shaped
+//! [`Content`] tree rather than serde's visitor machinery. The derive
+//! macros (feature `derive`, crate `vsv-serde-derive`) generate
+//! [`Serialize`]/[`Deserialize`] impls with serde's external JSON
+//! conventions: structs as maps, newtype structs as their inner value,
+//! unit enum variants as strings, and data-carrying variants as
+//! single-key maps (externally tagged).
+//!
+//! Supported field attributes: `#[serde(skip_deserializing)]`,
+//! `#[serde(default)]` and `#[serde(default = "path")]`. Anything else
+//! is a compile error in the derive — extend deliberately rather than
+//! silently diverging from real serde.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use vsv_serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree, JSON-shaped. Maps preserve insertion
+/// order so serialization is deterministic (golden digests depend on
+/// it).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON `true`/`false`.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A number with a fractional part or exponent.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Content>),
+    /// An object, in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The map entries if this is a map.
+    #[must_use]
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is a sequence.
+    #[must_use]
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `serde_json::Value`-style alias for [`Content::as_seq`].
+    pub fn as_array(&self) -> Option<&[Content]> {
+        self.as_seq()
+    }
+
+    /// The string if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is any kind of number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::U64(v) => Some(v as f64),
+            Content::I64(v) => Some(v as f64),
+            Content::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(v) => Some(v),
+            Content::I64(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool` if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on a map (`None` on other shapes or missing key),
+    /// mirroring `serde_json::Value::get`.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Looks up a key in a map's entry list (helper for derive-generated
+/// code).
+#[must_use]
+pub fn map_get<'a>(entries: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization (and serialization-to-text) error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An arbitrary message.
+    #[must_use]
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// "expected X while deserializing Y".
+    #[must_use]
+    pub fn expected(what: &str, ty: &str) -> Self {
+        Error {
+            msg: format!("expected {what} while deserializing {ty}"),
+        }
+    }
+
+    /// A required field was absent.
+    #[must_use]
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Error {
+            msg: format!("missing field `{field}` of {ty}"),
+        }
+    }
+
+    /// An enum string/tag did not name a known variant.
+    #[must_use]
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        Error {
+            msg: format!("unknown variant `{variant}` of {ty}"),
+        }
+    }
+
+    /// Wraps the error with field context.
+    #[must_use]
+    pub fn in_field(self, ty: &str, field: &str) -> Self {
+        Error {
+            msg: format!("{ty}.{field}: {}", self.msg),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into a [`Content`] tree.
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Reconstruction from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, failing with a description of the first
+    /// mismatch. Unknown map keys are ignored, as in serde's default.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when the tree's shape or a value does not
+    /// match `Self`.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+// ---------- primitive impls -----------------------------------------
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_bool()
+            .ok_or_else(|| Error::expected("bool", "bool"))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let v = content
+                    .as_u64()
+                    .ok_or_else(|| Error::expected("unsigned integer", stringify!($t)))?;
+                <$t>::try_from(v).map_err(|_| Error::custom(format!(
+                    "{v} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_content(&self) -> Content {
+        Content::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let v = content
+            .as_u64()
+            .ok_or_else(|| Error::expected("unsigned integer", "usize"))?;
+        usize::try_from(v).map_err(|_| Error::custom(format!("{v} out of range for usize")))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = i64::from(*self);
+                if v < 0 { Content::I64(v) } else { Content::U64(v as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let v = match *content {
+                    Content::U64(u) => i64::try_from(u)
+                        .map_err(|_| Error::custom(format!("{u} out of range for i64")))?,
+                    Content::I64(i) => i,
+                    _ => return Err(Error::expected("integer", stringify!($t))),
+                };
+                <$t>::try_from(v).map_err(|_| Error::custom(format!(
+                    "{v} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_f64()
+            .ok_or_else(|| Error::expected("number", "f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        #[allow(clippy::cast_possible_truncation)]
+        content
+            .as_f64()
+            .map(|v| v as f32)
+            .ok_or_else(|| Error::expected("number", "f32"))
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+// Real serde deserializes `&'de str` borrowed from the input. This
+// stand-in has no input lifetime to borrow from, so `&'static str` is
+// produced by leaking — acceptable for the short-lived test/CLI
+// processes this workspace runs.
+impl Deserialize for &'static str {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_str()
+            .map(|s| &*Box::leak(s.to_owned().into_boxed_str()))
+            .ok_or_else(|| Error::expected("string", "&str"))
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_seq()
+            .ok_or_else(|| Error::expected("array", "Vec"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let seq = content
+            .as_seq()
+            .ok_or_else(|| Error::expected("array", "fixed-size array"))?;
+        if seq.len() != N {
+            return Err(Error::custom(format!(
+                "expected an array of length {N}, got {}",
+                seq.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(N);
+        for item in seq {
+            out.push(T::from_content(item)?);
+        }
+        out.try_into()
+            .map_err(|_| Error::custom("array length changed underfoot"))
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(content.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_content(&42u32.to_content()), Ok(42));
+        assert_eq!(i32::from_content(&(-7i32).to_content()), Ok(-7));
+        assert_eq!(f64::from_content(&1.5f64.to_content()), Ok(1.5));
+        assert_eq!(bool::from_content(&true.to_content()), Ok(true));
+        assert_eq!(
+            String::from_content(&"hi".to_content()),
+            Ok("hi".to_owned())
+        );
+    }
+
+    #[test]
+    fn integers_cross_width() {
+        // JSON has one number shape: a u64-serialized value must read
+        // back as f64 and vice versa when integral.
+        assert_eq!(f64::from_content(&Content::U64(3)), Ok(3.0));
+        assert_eq!(u8::from_content(&Content::U64(255)), Ok(255));
+        assert!(u8::from_content(&Content::U64(256)).is_err());
+        assert!(u32::from_content(&Content::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn options_and_arrays() {
+        let some: Option<u32> = Some(5);
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_content(&some.to_content()), Ok(some));
+        assert_eq!(Option::<u32>::from_content(&none.to_content()), Ok(none));
+        let arr = [1.0f64, 2.0, 3.0];
+        assert_eq!(<[f64; 3]>::from_content(&arr.to_content()), Ok(arr));
+        assert!(<[f64; 2]>::from_content(&arr.to_content()).is_err());
+    }
+
+    #[test]
+    fn map_lookup() {
+        let m = Content::Map(vec![
+            ("a".to_owned(), Content::U64(1)),
+            ("b".to_owned(), Content::Bool(false)),
+        ]);
+        assert_eq!(m.get("a"), Some(&Content::U64(1)));
+        assert_eq!(m.get("missing"), None);
+        assert_eq!(Content::Null.get("a"), None);
+    }
+}

@@ -1,0 +1,602 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the in-tree
+//! serde stand-in (`vsv-serde`, renamed to `serde` by its dependents).
+//!
+//! Written directly against `proc_macro` — no `syn`, no `quote` — so
+//! the workspace builds with zero registry access. The parser covers
+//! exactly the shapes this repository derives on:
+//!
+//! * structs with named fields (any visibility, no generics);
+//! * tuple structs (newtypes serialize as their inner value);
+//! * enums whose variants are unit, newtype/tuple, or struct-like
+//!   (serialized externally tagged, as real serde does);
+//! * field attributes `#[serde(skip_deserializing)]`,
+//!   `#[serde(default)]`, `#[serde(default = "path")]`.
+//!
+//! Anything outside that set is a deliberate compile error, so a
+//! future divergence from real serde's semantics is loud, not silent.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stand-in's `Serialize` trait (see `vsv-serde`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the stand-in's `Deserialize` trait (see `vsv-serde`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------- item model ----------------------------------------------
+
+/// Per-field `#[serde(...)]` options.
+#[derive(Default, Clone)]
+struct FieldOpts {
+    skip_deserializing: bool,
+    /// `Some(None)` = bare `default`; `Some(Some(path))` = `default = "path"`.
+    default: Option<Option<String>>,
+}
+
+struct NamedField {
+    name: String,
+    opts: FieldOpts,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<NamedField>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Body {
+    NamedStruct(Vec<NamedField>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+// ---------- parsing --------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("vsv-serde-derive: expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Consumes leading attributes, returning the merged `#[serde(...)]`
+    /// options found among them.
+    fn eat_attrs(&mut self) -> FieldOpts {
+        let mut opts = FieldOpts::default();
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1;
+            let Some(TokenTree::Group(g)) = self.next() else {
+                panic!("vsv-serde-derive: `#` not followed by an attribute group");
+            };
+            parse_attr_group(g.stream(), &mut opts);
+        }
+        opts
+    }
+
+    /// Consumes `pub`, `pub(crate)`, `pub(super)`, `pub(in ...)`.
+    fn eat_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Skips a type (or any expression) up to a top-level `,`,
+    /// tracking `<`/`>` nesting so generic arguments don't split the
+    /// field list. The comma itself is consumed.
+    fn skip_to_field_separator(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == ',' && angle_depth == 0 {
+                        self.pos += 1;
+                        return;
+                    }
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' {
+                        angle_depth -= 1;
+                    }
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+}
+
+/// Parses the contents of one `[...]` attribute group, folding any
+/// `serde(...)` options into `opts`; other attributes (doc comments,
+/// `derive`, `cfg_attr` leftovers, ...) are ignored.
+fn parse_attr_group(stream: TokenStream, opts: &mut FieldOpts) {
+    let mut c = Cursor::new(stream);
+    let Some(TokenTree::Ident(head)) = c.peek() else {
+        return;
+    };
+    if head.to_string() != "serde" {
+        return;
+    }
+    c.pos += 1;
+    let Some(TokenTree::Group(g)) = c.next() else {
+        panic!("vsv-serde-derive: bare `#[serde]` attribute is not supported");
+    };
+    let mut inner = Cursor::new(g.stream());
+    while !inner.at_end() {
+        let key = inner.expect_ident("a serde option name");
+        match key.as_str() {
+            "skip_deserializing" => opts.skip_deserializing = true,
+            "default" => {
+                if inner.eat_punct('=') {
+                    match inner.next() {
+                        Some(TokenTree::Literal(lit)) => {
+                            let s = lit.to_string();
+                            let path = s
+                                .strip_prefix('"')
+                                .and_then(|s| s.strip_suffix('"'))
+                                .unwrap_or_else(|| {
+                                    panic!(
+                                        "vsv-serde-derive: `default = {s}` must be a string literal"
+                                    )
+                                })
+                                .to_owned();
+                            opts.default = Some(Some(path));
+                        }
+                        other => {
+                            panic!("vsv-serde-derive: `default =` needs a string literal, got {other:?}")
+                        }
+                    }
+                } else {
+                    opts.default = Some(None);
+                }
+            }
+            other => panic!(
+                "vsv-serde-derive: unsupported serde option `{other}` \
+                 (supported: skip_deserializing, default[ = \"path\"])"
+            ),
+        }
+        if !inner.eat_punct(',') && !inner.at_end() {
+            panic!("vsv-serde-derive: malformed #[serde(...)] attribute");
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    let _ = c.eat_attrs();
+    c.eat_visibility();
+    let kind = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("the type name");
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("vsv-serde-derive: generic types are not supported (deriving on {name})");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                body: Body::NamedStruct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                body: Body::TupleStruct(count_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+                name,
+                body: Body::UnitStruct,
+            },
+            other => panic!("vsv-serde-derive: unexpected struct body for {name}: {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                body: Body::Enum(parse_variants(g.stream())),
+            },
+            other => panic!("vsv-serde-derive: unexpected enum body for {name}: {other:?}"),
+        },
+        other => panic!("vsv-serde-derive: cannot derive on `{other}` items"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<NamedField> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let opts = c.eat_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.eat_visibility();
+        let name = c.expect_ident("a field name");
+        if !c.eat_punct(':') {
+            panic!("vsv-serde-derive: field `{name}` is not followed by `:`");
+        }
+        c.skip_to_field_separator();
+        fields.push(NamedField { name, opts });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0usize;
+    while !c.at_end() {
+        let opts = c.eat_attrs();
+        if opts.skip_deserializing || opts.default.is_some() {
+            panic!("vsv-serde-derive: serde options on tuple fields are not supported");
+        }
+        if c.at_end() {
+            break;
+        }
+        c.eat_visibility();
+        c.skip_to_field_separator();
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        let opts = c.eat_attrs();
+        if opts.skip_deserializing || opts.default.is_some() {
+            panic!("vsv-serde-derive: serde options on enum variants are not supported");
+        }
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("a variant name");
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.pos += 1;
+                VariantShape::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.pos += 1;
+                VariantShape::Tuple(n)
+            }
+            _ => VariantShape::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = c.peek() {
+            if p.as_char() == '=' {
+                panic!(
+                    "vsv-serde-derive: explicit discriminants are not supported \
+                     (variant {name})"
+                );
+            }
+        }
+        if !c.eat_punct(',') && !c.at_end() {
+            panic!("vsv-serde-derive: expected `,` after variant {name}");
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------- code generation ------------------------------------------
+
+fn push_field_entries(out: &mut String, fields: &[NamedField], accessor: impl Fn(&str) -> String) {
+    for f in fields {
+        out.push_str(&format!(
+            "__m.push((String::from(\"{n}\"), ::serde::Serialize::to_content({a})));\n",
+            n = f.name,
+            a = accessor(&f.name),
+        ));
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let mut s =
+                String::from("let mut __m: Vec<(String, ::serde::Content)> = Vec::new();\n");
+            push_field_entries(&mut s, fields, |f| format!("&self.{f}"));
+            s.push_str("::serde::Content::Map(__m)\n");
+            s
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)\n".to_owned(),
+        Body::TupleStruct(n) => {
+            let mut s = String::from("let mut __s: Vec<::serde::Content> = Vec::new();\n");
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "__s.push(::serde::Serialize::to_content(&self.{i}));\n"
+                ));
+            }
+            s.push_str("::serde::Content::Seq(__s)\n");
+            s
+        }
+        Body::UnitStruct => "::serde::Content::Null\n".to_owned(),
+        Body::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => s.push_str(&format!(
+                        "{name}::{vn} => ::serde::Content::Str(String::from(\"{vn}\")),\n"
+                    )),
+                    VariantShape::Tuple(1) => s.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Content::Map(vec![(String::from(\"{vn}\"), \
+                         ::serde::Serialize::to_content(__f0))]),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        s.push_str(&format!(
+                            "{name}::{vn}({}) => {{\n\
+                             let mut __s: Vec<::serde::Content> = Vec::new();\n",
+                            binders.join(", ")
+                        ));
+                        for b in &binders {
+                            s.push_str(&format!(
+                                "__s.push(::serde::Serialize::to_content({b}));\n"
+                            ));
+                        }
+                        s.push_str(&format!(
+                            "::serde::Content::Map(vec![(String::from(\"{vn}\"), \
+                             ::serde::Content::Seq(__s))])\n}}\n"
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        s.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n\
+                             let mut __m: Vec<(String, ::serde::Content)> = Vec::new();\n",
+                            binders.join(", ")
+                        ));
+                        push_field_entries(&mut s, fields, |f| f.to_owned());
+                        s.push_str(&format!(
+                            "::serde::Content::Map(vec![(String::from(\"{vn}\"), \
+                             ::serde::Content::Map(__m))])\n}}\n"
+                        ));
+                    }
+                }
+            }
+            s.push_str("}\n");
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}}}\n}}\n"
+    )
+}
+
+/// The expression that rebuilds one named field from map entries
+/// `__fm`, honouring skip/default options. `ty_label` names the
+/// containing type in error messages.
+fn field_expr(ty_label: &str, f: &NamedField) -> String {
+    let n = &f.name;
+    let default_expr = match &f.opts.default {
+        Some(Some(path)) => Some(format!("{path}()")),
+        Some(None) => Some("::core::default::Default::default()".to_owned()),
+        None => None,
+    };
+    if f.opts.skip_deserializing {
+        let d = default_expr.unwrap_or_else(|| "::core::default::Default::default()".to_owned());
+        return format!("{n}: {d},\n");
+    }
+    let missing = match default_expr {
+        Some(d) => d,
+        None => format!("return Err(::serde::Error::missing_field(\"{ty_label}\", \"{n}\"))"),
+    };
+    format!(
+        "{n}: match ::serde::map_get(__fm, \"{n}\") {{\n\
+         Some(__fv) => ::serde::Deserialize::from_content(__fv)\
+         .map_err(|__e| __e.in_field(\"{ty_label}\", \"{n}\"))?,\n\
+         None => {missing},\n\
+         }},\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let mut s = format!(
+                "let __fm = __content.as_map()\
+                 .ok_or_else(|| ::serde::Error::expected(\"map\", \"{name}\"))?;\n\
+                 Ok({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&field_expr(name, f));
+            }
+            s.push_str("})\n");
+            s
+        }
+        Body::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_content(__content)?))\n")
+        }
+        Body::TupleStruct(n) => {
+            let mut s = format!(
+                "let __s = __content.as_seq()\
+                 .ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}\"))?;\n\
+                 if __s.len() != {n} {{\n\
+                 return Err(::serde::Error::custom(format!(\
+                 \"expected {n} elements for {name}, got {{}}\", __s.len())));\n}}\n\
+                 Ok({name}(\n"
+            );
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "::serde::Deserialize::from_content(&__s[{i}])?,\n"
+                ));
+            }
+            s.push_str("))\n");
+            s
+        }
+        Body::UnitStruct => format!(
+            "match __content {{\n\
+             ::serde::Content::Null => Ok({name}),\n\
+             _ => Err(::serde::Error::expected(\"null\", \"{name}\")),\n}}\n"
+        ),
+        Body::Enum(variants) => {
+            let units: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .collect();
+            let datas: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, VariantShape::Unit))
+                .collect();
+            let mut s = String::from("match __content {\n");
+            if units.is_empty() {
+                s.push_str(&format!(
+                    "::serde::Content::Str(__s) => \
+                     Err(::serde::Error::unknown_variant(\"{name}\", __s)),\n"
+                ));
+            } else {
+                s.push_str("::serde::Content::Str(__s) => match __s.as_str() {\n");
+                for v in &units {
+                    s.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n", vn = v.name));
+                }
+                s.push_str(&format!(
+                    "__other => Err(::serde::Error::unknown_variant(\"{name}\", __other)),\n}},\n"
+                ));
+            }
+            if datas.is_empty() {
+                s.push_str(&format!(
+                    "::serde::Content::Map(_) => \
+                     Err(::serde::Error::expected(\"variant string\", \"{name}\")),\n"
+                ));
+            } else {
+                s.push_str(
+                    "::serde::Content::Map(__m) if __m.len() == 1 => {\n\
+                     let (__k, __v) = &__m[0];\n\
+                     match __k.as_str() {\n",
+                );
+                for v in &datas {
+                    let vn = &v.name;
+                    let label = format!("{name}::{vn}");
+                    match &v.shape {
+                        VariantShape::Unit => unreachable!("filtered above"),
+                        VariantShape::Tuple(1) => s.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_content(__v)\
+                             .map_err(|__e| __e.in_field(\"{name}\", \"{vn}\"))?)),\n"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            s.push_str(&format!(
+                                "\"{vn}\" => {{\n\
+                                 let __s = __v.as_seq()\
+                                 .ok_or_else(|| ::serde::Error::expected(\"array\", \"{label}\"))?;\n\
+                                 if __s.len() != {n} {{\n\
+                                 return Err(::serde::Error::custom(format!(\
+                                 \"expected {n} elements for {label}, got {{}}\", __s.len())));\n}}\n\
+                                 Ok({name}::{vn}(\n"
+                            ));
+                            for i in 0..*n {
+                                s.push_str(&format!(
+                                    "::serde::Deserialize::from_content(&__s[{i}])?,\n"
+                                ));
+                            }
+                            s.push_str("))\n}\n");
+                        }
+                        VariantShape::Struct(fields) => {
+                            s.push_str(&format!(
+                                "\"{vn}\" => {{\n\
+                                 let __fm = __v.as_map()\
+                                 .ok_or_else(|| ::serde::Error::expected(\"map\", \"{label}\"))?;\n\
+                                 Ok({name}::{vn} {{\n"
+                            ));
+                            for f in fields {
+                                s.push_str(&field_expr(&label, f));
+                            }
+                            s.push_str("})\n}\n");
+                        }
+                    }
+                }
+                s.push_str(&format!(
+                    "__other => Err(::serde::Error::unknown_variant(\"{name}\", __other)),\n\
+                     }}\n}}\n"
+                ));
+            }
+            s.push_str(&format!(
+                "_ => Err(::serde::Error::expected(\
+                 \"variant string or single-key map\", \"{name}\")),\n}}\n"
+            ));
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(__content: &::serde::Content) -> \
+         ::core::result::Result<Self, ::serde::Error> {{\n{body}}}\n}}\n"
+    )
+}
