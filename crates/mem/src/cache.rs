@@ -153,7 +153,10 @@ pub struct Eviction {
 pub struct Cache {
     cfg: CacheConfig,
     policy: ReplacementPolicy,
-    sets: Vec<Vec<Line>>,
+    // All lines in one flat allocation, `assoc` consecutive ways per
+    // set, so the per-access set lookup is one bounds check and no
+    // pointer chase.
+    lines: Vec<Line>,
     set_mask: u64,
     block_shift: u32,
     use_counter: u64,
@@ -199,12 +202,24 @@ impl Cache {
         Cache {
             cfg,
             policy,
-            sets: vec![vec![Line::default(); cfg.assoc]; sets],
+            lines: vec![Line::default(); cfg.assoc * sets],
             set_mask: sets as u64 - 1,
             block_shift: cfg.block_bytes.trailing_zeros(),
             use_counter: 0,
             stats: CacheStats::default(),
         }
+    }
+
+    /// The ways of `set`, in way order.
+    fn set_lines(&self, set: usize) -> &[Line] {
+        let a = self.cfg.assoc;
+        &self.lines[set * a..set * a + a]
+    }
+
+    /// Exclusive access to the ways of `set`, in way order.
+    fn set_lines_mut(&mut self, set: usize) -> &mut [Line] {
+        let a = self.cfg.assoc;
+        &mut self.lines[set * a..set * a + a]
     }
 
     /// The cache's configuration.
@@ -240,7 +255,11 @@ impl Cache {
         self.use_counter += 1;
         let counter = self.use_counter;
         let lru = self.policy == ReplacementPolicy::Lru;
-        match self.sets[set].iter_mut().find(|l| l.valid && l.tag == tag) {
+        match self
+            .set_lines_mut(set)
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
             Some(line) => {
                 if lru {
                     line.last_use = counter;
@@ -260,7 +279,7 @@ impl Cache {
     #[must_use]
     pub fn probe(&self, addr: Addr) -> bool {
         let (set, tag) = self.index(addr);
-        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+        self.set_lines(set).iter().any(|l| l.valid && l.tag == tag)
     }
 
     /// Installs the block containing `addr`, evicting the LRU way if
@@ -291,16 +310,21 @@ impl Cache {
         self.stats.fills += 1;
 
         // Already resident (e.g. two merged misses racing): refresh.
-        if let Some(line) = self.sets[set].iter_mut().find(|l| l.valid && l.tag == tag) {
+        if let Some(line) = self
+            .set_lines_mut(set)
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
             line.last_use = counter;
             line.dirty |= dirty;
             return None;
         }
 
         // Prefer an invalid way; otherwise evict LRU.
-        let victim_idx = match self.sets[set].iter().position(|l| !l.valid) {
+        let victim_idx = match self.set_lines(set).iter().position(|l| !l.valid) {
             Some(i) => i,
-            None => self.sets[set]
+            None => self
+                .set_lines(set)
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, l)| l.last_use)
@@ -308,7 +332,7 @@ impl Cache {
                 .expect("assoc >= 1"),
         };
 
-        let victim = self.sets[set][victim_idx];
+        let victim = self.set_lines(set)[victim_idx];
         let mut evicted = None;
         if victim.valid {
             self.stats.evictions += 1;
@@ -320,7 +344,7 @@ impl Cache {
                 dirty: victim.dirty,
             });
         }
-        self.sets[set][victim_idx] = Line {
+        self.set_lines_mut(set)[victim_idx] = Line {
             tag,
             valid: true,
             dirty,
@@ -333,7 +357,11 @@ impl Cache {
     /// block was invalidated.
     pub fn invalidate(&mut self, addr: Addr) -> bool {
         let (set, tag) = self.index(addr);
-        match self.sets[set].iter_mut().find(|l| l.valid && l.tag == tag) {
+        match self
+            .set_lines_mut(set)
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
             Some(line) => {
                 line.valid = false;
                 line.dirty = false;
@@ -347,7 +375,11 @@ impl Cache {
     /// a write-back arriving from above). Returns `false` if absent.
     pub fn mark_dirty(&mut self, addr: Addr) -> bool {
         let (set, tag) = self.index(addr);
-        match self.sets[set].iter_mut().find(|l| l.valid && l.tag == tag) {
+        match self
+            .set_lines_mut(set)
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
             Some(line) => {
                 line.dirty = true;
                 true
@@ -359,7 +391,7 @@ impl Cache {
     /// Number of valid blocks currently resident.
     #[must_use]
     pub fn resident_blocks(&self) -> usize {
-        self.sets.iter().flatten().filter(|l| l.valid).count()
+        self.lines.iter().filter(|l| l.valid).count()
     }
 
     fn rebuild_addr(&self, set: usize, tag: u64) -> Addr {

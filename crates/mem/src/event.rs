@@ -60,6 +60,15 @@ impl<T> EventQueue<T> {
     /// Pops every event with `time <= now`, in (time, insertion) order.
     pub fn pop_ready(&mut self, now: u64) -> Vec<T> {
         let mut ready = Vec::new();
+        self.pop_ready_into(now, &mut ready);
+        ready
+    }
+
+    /// Pops every event with `time <= now` into `out` (cleared first),
+    /// in (time, insertion) order. Reusing the same scratch `Vec`
+    /// keeps a caller that polls every cycle allocation-free.
+    pub fn pop_ready_into(&mut self, now: u64, out: &mut Vec<T>) {
+        out.clear();
         while let Some(Reverse((at, _, _))) = self.heap.peek() {
             if *at > now {
                 break;
@@ -67,9 +76,8 @@ impl<T> EventQueue<T> {
             let Reverse((_, _, slot)) = self.heap.pop().expect("peeked");
             let payload = self.payloads[slot].take().expect("slot occupied");
             self.free.push(slot);
-            ready.push(payload);
+            out.push(payload);
         }
-        ready
     }
 
     /// The time of the earliest pending event, if any.

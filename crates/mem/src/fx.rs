@@ -1,0 +1,172 @@
+//! An in-tree Fx-style hasher for the simulator's hot-path maps.
+//!
+//! The hot loop touches `HashMap`s keyed by small integers (memory
+//! tokens, waiter ids, `(side, address)` pairs) on every simulated
+//! nanosecond. The standard library's default SipHash is DoS-resistant
+//! but needlessly slow for these trusted, internal keys. This module
+//! provides the classic "Fx" multiply-xor hash (as popularised by the
+//! rustc compiler) implemented from scratch so the workspace keeps
+//! building offline with no registry dependencies.
+//!
+//! The hasher is only used for maps that are **never iterated** — all
+//! accesses are point lookups, inserts and removes — so swapping the
+//! hash function cannot change any simulated result.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx multiplication constant (`π`'s fractional bits, as used
+/// by the Firefox/rustc Fx hash).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic multiply-xor hasher for trusted keys.
+///
+/// Each word of input is folded in as
+/// `state = (state.rotate_left(5) ^ word) * SEED`; the final state is
+/// the hash. Quality is adequate for the simulator's small-integer key
+/// distributions and the throughput is a small fraction of SipHash's.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Fold full 8-byte words, then the (zero-padded) tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_word(u64::from_le_bytes(word));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = [0u8; 8];
+            word[..tail.len()].copy_from_slice(tail);
+            self.add_word(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+}
+
+/// A `HashMap` using [`FxHasher`]. Drop-in for `std::collections::HashMap`
+/// wherever the keys are trusted and the map is never iterated for
+/// results.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash + ?Sized>(value: &T) -> u64 {
+        let mut h = FxHasher::default();
+        value.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        // No per-instance random state (unlike RandomState): the same
+        // key always hashes identically.
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(
+            hash_of(&(1u8, 0xdead_beefu64)),
+            hash_of(&(1u8, 0xdead_beefu64))
+        );
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Sequential ids (the dominant key pattern) must not collide in
+        // the full 64-bit output.
+        let hashes: Vec<u64> = (0u64..1000).map(|k| hash_of(&k)).collect();
+        let mut unique = hashes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), hashes.len());
+    }
+
+    #[test]
+    fn low_bits_spread_for_sequential_keys() {
+        // HashMap indexes with the low bits; sequential u64 keys must
+        // land in many distinct buckets of a 64-slot table.
+        let mut buckets = std::collections::HashSet::new();
+        for k in 0u64..64 {
+            buckets.insert(hash_of(&k) & 63);
+        }
+        assert!(
+            buckets.len() > 32,
+            "only {} distinct buckets",
+            buckets.len()
+        );
+    }
+
+    #[test]
+    fn tail_bytes_affect_hash() {
+        // The zero-padded tail path must still distinguish lengths and
+        // contents.
+        assert_ne!(hash_of(&[1u8, 2, 3][..]), hash_of(&[1u8, 2][..]));
+        assert_ne!(hash_of(&[1u8, 2, 3][..]), hash_of(&[1u8, 2, 4][..]));
+        assert_ne!(hash_of("abcdefgh"), hash_of("abcdefgi"));
+    }
+
+    #[test]
+    fn map_behaves_like_std() {
+        let mut fx: FxHashMap<u64, u64> = FxHashMap::default();
+        let mut std_map: HashMap<u64, u64> = HashMap::new();
+        // Deterministic pseudo-random workload of inserts and removes.
+        let mut x = 0x1234_5678u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let key = x >> 33;
+            if x & 1 == 0 {
+                fx.insert(key, x);
+                std_map.insert(key, x);
+            } else {
+                assert_eq!(fx.remove(&key), std_map.remove(&key));
+            }
+        }
+        assert_eq!(fx.len(), std_map.len());
+        for (k, v) in &std_map {
+            assert_eq!(fx.get(k), Some(v));
+        }
+    }
+}

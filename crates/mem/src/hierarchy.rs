@@ -21,7 +21,6 @@
 //! * Write-backs consume bus/DRAM bandwidth but complete instantly at
 //!   the next level's tags (no write buffer stalls).
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 use vsv_isa::Addr;
@@ -30,6 +29,7 @@ use crate::bus::{Bus, BusConfig};
 use crate::cache::{Cache, CacheConfig};
 use crate::dram::{Dram, DramConfig};
 use crate::event::EventQueue;
+use crate::fx::FxHashMap;
 use crate::mshr::{MshrFile, MshrOutcome};
 
 /// Identifies one outstanding memory request issued by the core.
@@ -244,13 +244,17 @@ pub struct Hierarchy {
     dram: Dram,
     events: EventQueue<Event>,
     retry: VecDeque<(u64, Addr)>,
-    waiters: HashMap<u64, Waiter>,
-    waiter_index: HashMap<(Side, Addr), u64>,
+    // Fx-hashed: point lookups only, never iterated, so the hash
+    // function cannot affect simulated results (see `crate::fx`).
+    waiters: FxHashMap<u64, Waiter>,
+    waiter_index: FxHashMap<(Side, Addr), u64>,
     next_waiter: u64,
     next_token: u64,
     completions: Vec<Completion>,
     vsv_signals: Vec<VsvSignal>,
     l1d_evictions: Vec<Addr>,
+    // Scratch reused by `tick` so firing events never allocates.
+    event_scratch: Vec<Event>,
     stats: HierarchyStats,
     now: u64,
 }
@@ -276,13 +280,14 @@ impl Hierarchy {
             dram: Dram::new(cfg.dram),
             events: EventQueue::new(),
             retry: VecDeque::new(),
-            waiters: HashMap::new(),
-            waiter_index: HashMap::new(),
+            waiters: FxHashMap::default(),
+            waiter_index: FxHashMap::default(),
             next_waiter: 0,
             next_token: 0,
             completions: Vec::new(),
             vsv_signals: Vec::new(),
             l1d_evictions: Vec::new(),
+            event_scratch: Vec::new(),
             stats: HierarchyStats::default(),
             cfg,
             now: 0,
@@ -375,13 +380,17 @@ impl Hierarchy {
             self.start_l2_miss(now, waiter, l2_block);
         }
         loop {
-            let ready = self.events.pop_ready(now);
+            let mut ready = std::mem::take(&mut self.event_scratch);
+            self.events.pop_ready_into(now, &mut ready);
             if ready.is_empty() {
+                self.event_scratch = ready;
                 break;
             }
-            for ev in ready {
+            for &ev in &ready {
                 self.process(ev);
             }
+            ready.clear();
+            self.event_scratch = ready;
         }
     }
 
@@ -390,16 +399,76 @@ impl Hierarchy {
         std::mem::take(&mut self.completions)
     }
 
+    /// Moves all refill completions produced since the last call into
+    /// `out` (cleared first). Both the internal buffer's and `out`'s
+    /// capacities are retained, so a caller reusing the same scratch
+    /// `Vec` makes the hot loop allocation-free.
+    pub fn take_completions_into(&mut self, out: &mut Vec<Completion>) {
+        out.clear();
+        out.append(&mut self.completions);
+    }
+
     /// Takes all VSV mode-controller signals produced since the last
     /// call, in chronological order.
     pub fn drain_vsv_signals(&mut self) -> Vec<VsvSignal> {
         std::mem::take(&mut self.vsv_signals)
     }
 
+    /// Visits (and consumes) all VSV mode-controller signals produced
+    /// since the last call, in chronological order. Unlike
+    /// [`Self::drain_vsv_signals`] this retains the buffer's capacity,
+    /// so the steady-state hot loop never allocates.
+    pub fn visit_vsv_signals(&mut self, mut f: impl FnMut(&VsvSignal)) {
+        for sig in self.vsv_signals.drain(..) {
+            f(&sig);
+        }
+    }
+
     /// Takes the addresses of L1-D blocks evicted since the last call
     /// (consumed by the Time-Keeping predictor).
     pub fn drain_l1d_evictions(&mut self) -> Vec<Addr> {
         std::mem::take(&mut self.l1d_evictions)
+    }
+
+    /// Moves the addresses of L1-D blocks evicted since the last call
+    /// into `out` (cleared first), retaining both buffers' capacities.
+    pub fn take_l1d_evictions_into(&mut self, out: &mut Vec<Addr>) {
+        out.clear();
+        out.append(&mut self.l1d_evictions);
+    }
+
+    /// The time of the next scheduled refill event, if any. Retries
+    /// queued behind a full L2 MSHR are handled on every tick, so a
+    /// caller may only treat the hierarchy as idle until this time if
+    /// [`Self::retry_pending`] is also false.
+    #[must_use]
+    pub fn next_event_time(&self) -> Option<u64> {
+        self.events.next_time()
+    }
+
+    /// Whether any L2-MSHR-full retries are queued (these are polled
+    /// every tick, so the hierarchy is not idle while one is pending).
+    #[must_use]
+    pub fn retry_pending(&self) -> bool {
+        !self.retry.is_empty()
+    }
+
+    /// Whether refill completions are buffered awaiting a drain.
+    #[must_use]
+    pub fn has_buffered_completions(&self) -> bool {
+        !self.completions.is_empty()
+    }
+
+    /// Whether VSV signals are buffered awaiting a drain.
+    #[must_use]
+    pub fn has_buffered_vsv_signals(&self) -> bool {
+        !self.vsv_signals.is_empty()
+    }
+
+    /// Whether L1-D evictions are buffered awaiting a drain.
+    #[must_use]
+    pub fn has_buffered_l1d_evictions(&self) -> bool {
+        !self.l1d_evictions.is_empty()
     }
 
     /// Number of L2 demand misses currently outstanding.

@@ -56,6 +56,7 @@ mod bus;
 mod cache;
 mod dram;
 mod event;
+mod fx;
 mod hierarchy;
 mod mshr;
 
@@ -63,6 +64,7 @@ pub use bus::{Bus, BusConfig};
 pub use cache::{Cache, CacheConfig, CacheStats, Eviction, ReplacementPolicy};
 pub use dram::{Dram, DramConfig};
 pub use event::EventQueue;
+pub use fx::{FxHashMap, FxHasher};
 pub use hierarchy::{
     AccessKind, Completion, DataSource, Hierarchy, HierarchyConfig, HierarchyStats, L1Outcome,
     MemToken, StallReason, VsvSignal,

@@ -199,6 +199,16 @@ pub struct PowerAccountant {
     leakage_pj: f64,
     cycles: u64,
     ramps: u64,
+    // Per-voltage memo for the cycle integration: the variable-domain
+    // energy scale and each structure's zero-activity per-cycle delta
+    // at `memo_vdd`. Rebuilt whenever the supply changes (rare: mode
+    // transitions and ramp steps). An idle structure's contribution in
+    // `record_cycle` is `(0.0 + clock_e) * scale`, which is bitwise
+    // equal to the memoised `clock_e * scale`, so using the memo does
+    // not perturb results.
+    memo_vdd: f64,
+    memo_scale_var: f64,
+    memo_idle_delta: [f64; StructureId::ALL.len()],
 }
 
 impl PowerAccountant {
@@ -221,7 +231,43 @@ impl PowerAccountant {
             leakage_pj: 0.0,
             cycles: 0,
             ramps: 0,
+            memo_vdd: f64::NAN,
+            memo_scale_var: f64::NAN,
+            memo_idle_delta: [0.0; StructureId::ALL.len()],
         }
+    }
+
+    /// Rebuilds the per-voltage memo if `vdd` differs from the memoised
+    /// supply, and returns the variable-domain energy scale for `vdd`.
+    fn memoise_vdd(&mut self, vdd: f64) -> f64 {
+        if vdd.to_bits() == self.memo_vdd.to_bits() {
+            return self.memo_scale_var;
+        }
+        let scale_var = self.cfg.tech.energy_scale(vdd);
+        for (i, p) in self.cfg.catalog.iter().enumerate() {
+            let gated_residue = p.clock_energy_pj * (1.0 - self.cfg.dcg_efficiency);
+            let clock_e = if !(self.cfg.dcg_enabled && p.gateable) {
+                p.clock_energy_pj
+            } else {
+                match self.cfg.dcg_model {
+                    // An idle structure takes the gated branch...
+                    DcgModel::PerStructure => gated_residue,
+                    // ...and a zero-access PerUnit busy fraction is 0.
+                    DcgModel::PerUnit => {
+                        let busy = (0.0 / f64::from(self.cfg.units[i].max(1))).min(1.0);
+                        busy * p.clock_energy_pj + (1.0 - busy) * gated_residue
+                    }
+                }
+            };
+            let scale = match p.domain {
+                VddDomain::Variable => scale_var,
+                VddDomain::Fixed => 1.0,
+            };
+            self.memo_idle_delta[i] = clock_e * scale;
+        }
+        self.memo_vdd = vdd;
+        self.memo_scale_var = scale_var;
+        scale_var
     }
 
     /// The configuration in force.
@@ -233,9 +279,15 @@ impl PowerAccountant {
     /// Integrates one pipeline cycle of activity at effective supply
     /// `vdd` (volts) on the variable domain.
     pub fn record_cycle(&mut self, sample: &ActivitySample, vdd: f64) {
-        let scale_var = self.cfg.tech.energy_scale(vdd);
+        let scale_var = self.memoise_vdd(vdd);
         let low_mode = vdd < self.cfg.tech.vddh - 1e-9;
         for (i, p) in self.cfg.catalog.iter().enumerate() {
+            if sample[i] == 0 {
+                // Zero activity: `(0.0 + clock_e) * scale` is bitwise
+                // the memoised idle delta.
+                self.per_structure_pj[i] += self.memo_idle_delta[i];
+                continue;
+            }
             let accesses = f64::from(sample[i]);
             let access_e = accesses * p.access_energy_pj;
             let gated_residue = p.clock_energy_pj * (1.0 - self.cfg.dcg_efficiency);
@@ -243,13 +295,7 @@ impl PowerAccountant {
                 p.clock_energy_pj
             } else {
                 match self.cfg.dcg_model {
-                    DcgModel::PerStructure => {
-                        if sample[i] > 0 {
-                            p.clock_energy_pj
-                        } else {
-                            gated_residue
-                        }
-                    }
+                    DcgModel::PerStructure => p.clock_energy_pj,
                     DcgModel::PerUnit => {
                         let busy = (accesses / f64::from(self.cfg.units[i].max(1))).min(1.0);
                         busy * p.clock_energy_pj + (1.0 - busy) * gated_residue
@@ -271,6 +317,71 @@ impl PowerAccountant {
             self.level_converter_pj += ram_accesses as f64 * self.cfg.level_converter_energy_pj;
         }
         self.cycles += 1;
+    }
+
+    /// Batch-integrates `cycles` pipeline cycles with **zero activity**
+    /// at a constant effective supply `vdd`: bit-identical to `cycles`
+    /// calls of [`PowerAccountant::record_cycle`] with an all-zero
+    /// sample. The per-cycle energy delta is computed once, with the
+    /// exact expression sequence `record_cycle` uses, then added to
+    /// each accumulator once per cycle (repeated addition, not
+    /// multiplication, because floating-point `x+d+d ≠ x+2d` in
+    /// general).
+    pub fn record_idle_cycles(&mut self, cycles: u64, vdd: f64) {
+        if cycles == 0 {
+            return;
+        }
+        let scale_var = self.cfg.tech.energy_scale(vdd);
+        let mut delta = [0.0f64; StructureId::ALL.len()];
+        for (i, p) in self.cfg.catalog.iter().enumerate() {
+            let accesses = f64::from(0u32);
+            let access_e = accesses * p.access_energy_pj;
+            let gated_residue = p.clock_energy_pj * (1.0 - self.cfg.dcg_efficiency);
+            let clock_e = if !(self.cfg.dcg_enabled && p.gateable) {
+                p.clock_energy_pj
+            } else {
+                match self.cfg.dcg_model {
+                    // An idle structure takes the gated branch...
+                    DcgModel::PerStructure => gated_residue,
+                    // ...and a zero-access PerUnit busy fraction is 0.
+                    DcgModel::PerUnit => {
+                        let busy = (accesses / f64::from(self.cfg.units[i].max(1))).min(1.0);
+                        busy * p.clock_energy_pj + (1.0 - busy) * gated_residue
+                    }
+                }
+            };
+            let scale = match p.domain {
+                VddDomain::Variable => scale_var,
+                VddDomain::Fixed => 1.0,
+            };
+            delta[i] = (access_e + clock_e) * scale;
+        }
+        for _ in 0..cycles {
+            for (acc, d) in self.per_structure_pj.iter_mut().zip(delta.iter()) {
+                *acc += *d;
+            }
+        }
+        // The level converter sees zero RAM accesses, so `record_cycle`
+        // would add exactly +0.0 — a bitwise no-op on the non-negative
+        // accumulator. Nothing to do.
+        self.cycles += cycles;
+    }
+
+    /// Batch-integrates `ns` nanoseconds of static (leakage) power at a
+    /// constant voltage: bit-identical to `ns` calls of
+    /// [`PowerAccountant::record_leakage_ns`] (the per-nanosecond delta
+    /// is constant at constant `vdd`, and is added once per nanosecond).
+    pub fn record_leakage_span(&mut self, ns: u64, vdd: f64) {
+        if self.cfg.leakage_w == 0.0 {
+            return;
+        }
+        let ratio = vdd / self.cfg.tech.vddh;
+        let var = self.cfg.leakage_w * self.cfg.leakage_variable_fraction * ratio.powi(3);
+        let fixed = self.cfg.leakage_w * (1.0 - self.cfg.leakage_variable_fraction);
+        let delta = (var + fixed) * 1e3;
+        for _ in 0..ns {
+            self.leakage_pj += delta;
+        }
     }
 
     /// Integrates one nanosecond of static (leakage) power at the

@@ -127,6 +127,15 @@ impl TimeKeeping {
         self.stats
     }
 
+    /// The earliest time (ns) at which [`TimeKeeping::tick`] will next
+    /// run its harvest scan. Calls strictly before this time are pure
+    /// no-ops, so an owner fast-forwarding through an idle window must
+    /// not skip past it.
+    #[must_use]
+    pub fn next_harvest_at(&self) -> u64 {
+        self.last_harvest + self.cfg.resolution_ns
+    }
+
     fn set_of(&self, block: Addr) -> usize {
         ((block.0 >> self.cfg.l1_block_bytes.trailing_zeros()) & (self.cfg.l1_sets - 1)) as usize
     }

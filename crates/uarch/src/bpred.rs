@@ -127,7 +127,9 @@ pub struct BranchPredictor {
     /// Meta counter: high means "trust gshare".
     meta: Vec<Counter2>,
     history: u64,
-    btb: Vec<Vec<BtbLine>>,
+    // Flat BTB: `btb_assoc` consecutive ways per set.
+    btb: Vec<BtbLine>,
+    btb_sets: usize,
     ras: Vec<Pc>,
     use_counter: u64,
     stats: BranchPredictorStats,
@@ -164,7 +166,8 @@ impl BranchPredictor {
             gshare: vec![Counter2(1); cfg.gshare_entries],
             meta: vec![Counter2(1); cfg.meta_entries],
             history: 0,
-            btb: vec![vec![BtbLine::default(); cfg.btb_assoc]; btb_sets],
+            btb: vec![BtbLine::default(); cfg.btb_entries],
+            btb_sets,
             ras: Vec::with_capacity(cfg.ras_entries),
             use_counter: 0,
             stats: BranchPredictorStats::default(),
@@ -260,7 +263,13 @@ impl BranchPredictor {
     }
 
     fn btb_sets(&self) -> usize {
-        self.btb.len()
+        self.btb_sets
+    }
+
+    /// The ways of BTB set `set`, in way order.
+    fn btb_set_mut(&mut self, set: usize) -> &mut [BtbLine] {
+        let a = self.cfg.btb_assoc;
+        &mut self.btb[set * a..set * a + a]
     }
 
     fn btb_lookup(&mut self, pc: Pc) -> Option<Pc> {
@@ -269,7 +278,8 @@ impl BranchPredictor {
         let tag = pc.0 >> 2 >> sets.trailing_zeros();
         self.use_counter += 1;
         let counter = self.use_counter;
-        let hit = self.btb[set]
+        let hit = self
+            .btb_set_mut(set)
             .iter_mut()
             .find(|l| l.valid && l.tag == tag)
             .map(|l| {
@@ -288,21 +298,22 @@ impl BranchPredictor {
         let tag = pc.0 >> 2 >> sets.trailing_zeros();
         self.use_counter += 1;
         let counter = self.use_counter;
-        if let Some(line) = self.btb[set].iter_mut().find(|l| l.valid && l.tag == tag) {
+        let ways = self.btb_set_mut(set);
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
             line.target = target;
             line.last_use = counter;
             return;
         }
-        let victim = match self.btb[set].iter().position(|l| !l.valid) {
+        let victim = match ways.iter().position(|l| !l.valid) {
             Some(i) => i,
-            None => self.btb[set]
+            None => ways
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, l)| l.last_use)
                 .map(|(i, _)| i)
                 .expect("assoc >= 1"),
         };
-        self.btb[set][victim] = BtbLine {
+        ways[victim] = BtbLine {
             valid: true,
             tag,
             target,

@@ -25,11 +25,10 @@
 //! * Stores write the D-cache at commit and do not block commit on a
 //!   miss (write-buffer semantics); a full MSHR does stall commit.
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 use vsv_isa::{Addr, BranchInfo, Inst, InstStream, OpClass};
-use vsv_mem::{AccessKind, EventQueue, Hierarchy, L1Outcome, MemToken};
+use vsv_mem::{AccessKind, Completion, FxHashMap, Hierarchy, L1Outcome, MemToken};
 use vsv_prefetch::TimeKeeping;
 
 use crate::activity::{CoreStats, CycleActivity};
@@ -78,13 +77,25 @@ pub struct Core<S> {
     icache_wait: Option<MemToken>,
     halted_for_branch: bool,
     resume_fetch_at: Option<u64>,
-    pending_loads: HashMap<MemToken, Seq>,
-    pending_fills: HashMap<MemToken, Addr>,
-    exec_done: EventQueue<Seq>,
+    // Fx-hashed: point lookups only, never iterated, so the hash
+    // function cannot affect simulated results.
+    pending_loads: FxHashMap<MemToken, Seq>,
+    pending_fills: FxHashMap<MemToken, Addr>,
+    exec_done: ExecWheel,
     cycle: u64,
     last_fetch_block: Option<Addr>,
     stream_exhausted: bool,
+    // Copied out of the hierarchy config at construction: the fetch
+    // and issue stages consult these every instruction.
+    l1i_block_bytes: u64,
+    l1d_block_bytes: u64,
     stats: CoreStats,
+    // Scratch buffers reused across cycles so the steady-state hot
+    // loop performs no heap allocation.
+    completion_scratch: Vec<Completion>,
+    eviction_scratch: Vec<Addr>,
+    ready_scratch: Vec<Seq>,
+    writeback_scratch: Vec<Seq>,
 }
 
 impl<S: InstStream> Core<S> {
@@ -103,6 +114,8 @@ impl<S: InstStream> Core<S> {
             ruu: Ruu::new(cfg.ruu_entries, cfg.lsq_entries),
             fus: FuSet::new(&cfg),
             bpred: BranchPredictor::new(cfg.bpred),
+            l1i_block_bytes: mem.config().l1i.block_bytes,
+            l1d_block_bytes: mem.config().l1d.block_bytes,
             mem,
             tk: None,
             stream,
@@ -111,13 +124,17 @@ impl<S: InstStream> Core<S> {
             icache_wait: None,
             halted_for_branch: false,
             resume_fetch_at: None,
-            pending_loads: HashMap::new(),
-            pending_fills: HashMap::new(),
-            exec_done: EventQueue::new(),
+            pending_loads: FxHashMap::default(),
+            pending_fills: FxHashMap::default(),
+            exec_done: ExecWheel::new(),
             cycle: 0,
             last_fetch_block: None,
             stream_exhausted: false,
             stats: CoreStats::default(),
+            completion_scratch: Vec::new(),
+            eviction_scratch: Vec::new(),
+            ready_scratch: Vec::new(),
+            writeback_scratch: Vec::new(),
             cfg,
         }
     }
@@ -138,6 +155,13 @@ impl<S: InstStream> Core<S> {
     #[must_use]
     pub fn stats(&self) -> CoreStats {
         self.stats
+    }
+
+    /// Committed-instruction count. Cheaper than [`Core::stats`] (which
+    /// copies the whole statistics struct) for per-nanosecond polling.
+    #[must_use]
+    pub fn committed(&self) -> u64 {
+        self.stats.committed
     }
 
     /// Shared access to the memory hierarchy (stats, VSV signals).
@@ -179,12 +203,87 @@ impl<S: InstStream> Core<S> {
             && self.ruu.is_empty()
     }
 
+    /// Whether the pipeline is provably quiescent: no clock edge can
+    /// make progress or change any architectural or micro-architectural
+    /// state other than the cycle counters, until some external memory
+    /// completion arrives. A quiescent core's [`Core::cycle`] is
+    /// exactly a zero-activity cycle, so an owner may batch-apply any
+    /// number of such cycles via [`Core::skip_idle_cycles`].
+    ///
+    /// The conditions, stage by stage:
+    ///
+    /// * no functional-unit completion is scheduled (`exec_done`
+    ///   empty), so writeback is idle at every future cycle;
+    /// * no RUU entry is issue-eligible and none can become so without
+    ///   a completion, so issue is idle;
+    /// * the RUU head is not completed, so commit is idle (this also
+    ///   excludes the commit-blocked-store retry case);
+    /// * dispatch is blocked (empty fetch queue, or window/LSQ full);
+    /// * fetch is blocked on an I-miss, a yet-unresolved mispredict, a
+    ///   full fetch queue, or stream exhaustion — and *not* merely
+    ///   waiting out a redirect penalty, which elapses with cycles;
+    /// * with a prefetch engine attached, no L1-D eviction is buffered
+    ///   (its hand-off to the engine is timestamped per nanosecond).
+    #[must_use]
+    pub fn quiescent(&self) -> bool {
+        self.exec_done.is_empty()
+            && !self.ruu.any_ready()
+            && self.ruu.commit_ready().is_none()
+            && self.dispatch_blocked()
+            && self.fetch_blocked()
+            && (self.tk.is_none() || !self.mem.has_buffered_l1d_evictions())
+    }
+
+    fn dispatch_blocked(&self) -> bool {
+        match self.fetch_queue.front() {
+            None => true,
+            Some((inst, _)) => !self.ruu.can_dispatch(inst),
+        }
+    }
+
+    fn fetch_blocked(&self) -> bool {
+        if self.icache_wait.is_some() {
+            return true;
+        }
+        if self.halted_for_branch {
+            // A pending redirect (`resume_fetch_at` set) elapses with
+            // cycles, so fetch is only *indefinitely* blocked while the
+            // branch is unresolved.
+            return self.resume_fetch_at.is_none();
+        }
+        self.fetch_queue.len() >= self.cfg.fetch_queue
+            || (self.stream_exhausted && self.peeked.is_none())
+    }
+
+    /// Batch-applies `edges` quiescent clock edges: exactly what
+    /// `edges` calls to [`Core::cycle`] would do while
+    /// [`Core::quiescent`] holds (each is a zero-issue, zero-activity
+    /// cycle touching only the cycle counters).
+    pub fn skip_idle_cycles(&mut self, edges: u64) {
+        self.stats.cycles += edges;
+        self.stats.zero_issue_cycles += edges;
+        self.stats.issue_histogram.buckets[0] += edges;
+        self.cycle += edges;
+    }
+
+    /// The next time (ns) the attached prefetch engine will run its
+    /// harvest scan, if one is attached. Its per-nanosecond `tick` is a
+    /// pure no-op strictly before this time.
+    #[must_use]
+    pub fn prefetch_harvest_at(&self) -> Option<u64> {
+        self.tk
+            .as_ref()
+            .map(vsv_prefetch::TimeKeeping::next_harvest_at)
+    }
+
     /// Advances the asynchronous memory domain to `now` (call every
     /// nanosecond) and runs the prefetch engine.
     pub fn tick_mem(&mut self, now: u64) {
         self.mem.tick(now);
+        let mut victims = std::mem::take(&mut self.eviction_scratch);
+        self.mem.take_l1d_evictions_into(&mut victims);
         if let Some(tk) = self.tk.as_mut() {
-            for victim in self.mem.drain_l1d_evictions() {
+            for &victim in &victims {
                 tk.on_evict(now, victim);
             }
             let proposals = tk.tick(now);
@@ -192,6 +291,7 @@ impl<S: InstStream> Core<S> {
                 let _ = self.mem.hw_prefetch(now, addr);
             }
         }
+        self.eviction_scratch = victims;
     }
 
     /// Runs one pipeline clock edge at wall-clock time `now` (ns) and
@@ -223,7 +323,9 @@ impl<S: InstStream> Core<S> {
     /// Absorbs refill completions from the ns domain into this clock
     /// edge: missing loads complete; a pending I-fetch resumes.
     fn drain_memory(&mut self, now: u64, act: &mut CycleActivity) {
-        for c in self.mem.drain_completions() {
+        let mut completions = std::mem::take(&mut self.completion_scratch);
+        self.mem.take_completions_into(&mut completions);
+        for c in &completions {
             if self.icache_wait == Some(c.token) {
                 self.icache_wait = None;
                 continue;
@@ -237,14 +339,18 @@ impl<S: InstStream> Core<S> {
                 self.complete_entry(seq, act);
             }
         }
+        self.completion_scratch = completions;
     }
 
     /// Completes instructions whose functional-unit latency elapses at
     /// this cycle.
     fn writeback(&mut self, cycle: u64, act: &mut CycleActivity) {
-        for seq in self.exec_done.pop_ready(cycle) {
+        let mut done = std::mem::take(&mut self.writeback_scratch);
+        self.exec_done.pop_at_into(cycle, &mut done);
+        for &seq in &done {
             self.complete_entry(seq, act);
         }
+        self.writeback_scratch = done;
     }
 
     fn complete_entry(&mut self, seq: Seq, act: &mut CycleActivity) {
@@ -328,9 +434,11 @@ impl<S: InstStream> Core<S> {
 
     /// Out-of-order issue of up to `issue_width` ready instructions.
     fn issue(&mut self, now: u64, cycle: u64, act: &mut CycleActivity) {
-        let candidates = self.ruu.ready_seqs(self.cfg.ruu_entries);
+        let mut candidates = std::mem::take(&mut self.ready_scratch);
+        self.ruu
+            .ready_seqs_into(self.cfg.ruu_entries, &mut candidates);
         let mut issued = 0usize;
-        for seq in candidates {
+        for &seq in &candidates {
             if issued >= self.cfg.issue_width {
                 break;
             }
@@ -357,11 +465,9 @@ impl<S: InstStream> Core<S> {
                     act.lsq_accesses += 1;
                     if self.cfg.conservative_mem_disambiguation
                         && self.ruu.has_older_store(seq)
-                        && !self.ruu.older_store_to_block(
-                            seq,
-                            addr,
-                            self.mem.config().l1d.block_bytes,
-                        )
+                        && !self
+                            .ruu
+                            .older_store_to_block(seq, addr, self.l1d_block_bytes)
                     {
                         // Conservative mode: loads wait behind every
                         // older store (same-block stores still forward
@@ -370,7 +476,7 @@ impl<S: InstStream> Core<S> {
                     }
                     if self
                         .ruu
-                        .older_store_to_block(seq, addr, self.mem.config().l1d.block_bytes)
+                        .older_store_to_block(seq, addr, self.l1d_block_bytes)
                     {
                         self.stats.forwarded_loads += 1;
                         Some(cycle + 1)
@@ -441,6 +547,7 @@ impl<S: InstStream> Core<S> {
                 _ => act.int_alu_ops += 1,
             }
         }
+        self.ready_scratch = candidates;
     }
 
     fn latency_for(&self, op: OpClass) -> u32 {
@@ -497,7 +604,7 @@ impl<S: InstStream> Core<S> {
                 break;
             };
             // One I-cache access per block transition.
-            let block = Addr(inst.pc().0).block(self.mem.config().l1i.block_bytes);
+            let block = Addr(inst.pc().0).block(self.l1i_block_bytes);
             if self.last_fetch_block != Some(block) {
                 act.il1_accesses += 1;
                 match self.mem.access_inst(now, Addr(inst.pc().0)) {
@@ -552,6 +659,100 @@ impl<S: InstStream> Core<S> {
         let i = self.peek_stream();
         self.peeked = None;
         i
+    }
+}
+
+/// A calendar-wheel schedule of functional-unit completions, indexed
+/// by completion cycle modulo the wheel size. Latencies are small and
+/// bounded (a handful of cycles), so completions land within one wheel
+/// revolution of the current cycle and each slot only ever holds one
+/// distinct completion time; the wheel doubles (re-bucketing) if a
+/// pathological latency configuration ever violates that. Entries in
+/// a slot pop in insertion order, matching the FIFO tie-break of the
+/// event queue this replaces, so simulated results are unchanged — the
+/// wheel just makes the every-cycle writeback poll O(1) with no heap.
+#[derive(Debug)]
+struct ExecWheel {
+    slots: Vec<Vec<(u64, Seq)>>,
+    mask: u64,
+    pending: usize,
+}
+
+impl ExecWheel {
+    fn new() -> Self {
+        // 64 slots cover every latency in `OpLatencies::table1` with
+        // room to spare; the wheel grows on demand for larger configs.
+        ExecWheel {
+            slots: vec![Vec::new(); 64],
+            mask: 63,
+            pending: 0,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Schedules `seq` to complete at cycle `done`.
+    fn push(&mut self, done: u64, seq: Seq) {
+        let idx = (done & self.mask) as usize;
+        if self.slots[idx].first().is_some_and(|&(at, _)| at != done) {
+            self.grow(done);
+            return self.push(done, seq);
+        }
+        self.slots[idx].push((done, seq));
+        self.pending += 1;
+    }
+
+    /// Doubles the wheel until `done` no longer collides, preserving
+    /// per-slot insertion order.
+    fn grow(&mut self, done: u64) {
+        let mut all: Vec<(u64, Seq)> = self
+            .slots
+            .iter_mut()
+            .flat_map(|slot| slot.drain(..))
+            .collect();
+        // Re-bucketing must keep FIFO order within a completion time;
+        // a stable sort by time only (original order preserved within
+        // equal times) guarantees it regardless of slot layout.
+        all.sort_by_key(|&(at, _)| at);
+        let mut size = (self.mask + 1) * 2;
+        let needs = |size: u64| {
+            let mask = size - 1;
+            let mut seen = vec![u64::MAX; size as usize];
+            all.iter()
+                .map(|&(at, _)| at)
+                .chain(std::iter::once(done))
+                .any(|at| {
+                    let s = &mut seen[(at & mask) as usize];
+                    let clash = *s != u64::MAX && *s != at;
+                    *s = at;
+                    clash
+                })
+        };
+        while needs(size) {
+            size *= 2;
+        }
+        self.slots = vec![Vec::new(); size as usize];
+        self.mask = size - 1;
+        self.pending = 0;
+        for (at, seq) in all {
+            self.push(at, seq);
+        }
+    }
+
+    /// Drains every completion scheduled for exactly `cycle` into
+    /// `out` (cleared first), in insertion order.
+    fn pop_at_into(&mut self, cycle: u64, out: &mut Vec<Seq>) {
+        out.clear();
+        if self.pending == 0 {
+            return;
+        }
+        let slot = &mut self.slots[(cycle & self.mask) as usize];
+        if slot.first().is_some_and(|&(at, _)| at == cycle) {
+            self.pending -= slot.len();
+            out.extend(slot.drain(..).map(|(_, seq)| seq));
+        }
     }
 }
 

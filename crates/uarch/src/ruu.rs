@@ -72,6 +72,24 @@ pub struct Ruu {
     lsq_occupancy: usize,
     reg_producer: [Option<Seq>; ArchReg::COUNT],
     peak_occupancy: usize,
+    // Count of entries in `EntryState::Ready`, maintained at every
+    // state transition so the issue stage can skip its window scan
+    // (and the fast-forward path can test quiescence) in O(1).
+    ready_count: usize,
+    // In-flight store sequence numbers, oldest first. Entries only
+    // leave the window through in-order commit, so this stays sorted,
+    // which makes `has_older_store` O(1) and `older_store_to_block` a
+    // scan over stores only instead of the whole window.
+    store_seqs: VecDeque<Seq>,
+    // Bit i set ⇔ the entry at window index i (seq = head_seq + i) is
+    // Ready. Lets `ready_seqs_into` walk set bits instead of scanning
+    // a window full of Waiting entries; commit shifts the map right by
+    // one (a couple of word ops for a 128-entry window).
+    ready_bits: Vec<u64>,
+    // Retired consumer lists, kept (empty, capacity intact) for reuse
+    // by later dispatches so wakeup-list growth never re-allocates in
+    // steady state.
+    consumer_pool: Vec<Vec<Seq>>,
 }
 
 impl Ruu {
@@ -94,7 +112,23 @@ impl Ruu {
             lsq_occupancy: 0,
             reg_producer: [None; ArchReg::COUNT],
             peak_occupancy: 0,
+            ready_count: 0,
+            store_seqs: VecDeque::new(),
+            ready_bits: vec![0; capacity.div_ceil(64)],
+            consumer_pool: Vec::new(),
         }
+    }
+
+    /// Sets the ready bit for in-window `seq`.
+    fn set_ready_bit(&mut self, seq: Seq) {
+        let i = (seq - self.head_seq) as usize;
+        self.ready_bits[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clears the ready bit for in-window `seq`.
+    fn clear_ready_bit(&mut self, seq: Seq) {
+        let i = (seq - self.head_seq) as usize;
+        self.ready_bits[i / 64] &= !(1 << (i % 64));
     }
 
     /// Whether the window has no free entry.
@@ -154,6 +188,9 @@ impl Ruu {
         if inst.op().is_mem() {
             self.lsq_occupancy += 1;
         }
+        if inst.op() == OpClass::Store {
+            self.store_seqs.push_back(seq);
+        }
 
         let mut deps = 0u8;
         let mut dep_seqs: [Option<Seq>; 2] = [None; 2];
@@ -175,6 +212,8 @@ impl Ruu {
         }
 
         let state = if deps == 0 {
+            self.ready_count += 1;
+            self.set_ready_bit(seq);
             EntryState::Ready
         } else {
             EntryState::Waiting
@@ -184,7 +223,7 @@ impl Ruu {
             inst,
             state,
             deps_outstanding: deps,
-            consumers: Vec::new(),
+            consumers: self.consumer_pool.pop().unwrap_or_default(),
             mispredicted,
             issued_at: None,
         });
@@ -216,16 +255,48 @@ impl Ruu {
         self.entries.get_mut(idx)
     }
 
+    /// Whether any entry is issue-eligible. O(1).
+    #[must_use]
+    pub fn any_ready(&self) -> bool {
+        self.ready_count > 0
+    }
+
     /// Sequence numbers of up to `max` issue-eligible entries, oldest
     /// first.
     #[must_use]
     pub fn ready_seqs(&self, max: usize) -> Vec<Seq> {
-        self.entries
-            .iter()
-            .filter(|e| e.state == EntryState::Ready)
-            .take(max)
-            .map(|e| e.seq)
-            .collect()
+        let mut out = Vec::new();
+        self.ready_seqs_into(max, &mut out);
+        out
+    }
+
+    /// Fills `out` (cleared first) with up to `max` issue-eligible
+    /// sequence numbers, oldest first. Reusing the same scratch `Vec`
+    /// keeps the issue stage allocation-free; the maintained ready
+    /// count lets the scan stop as soon as all ready entries are found
+    /// (or never start when there are none).
+    pub fn ready_seqs_into(&self, max: usize, out: &mut Vec<Seq>) {
+        out.clear();
+        if self.ready_count == 0 {
+            return;
+        }
+        let want = max.min(self.ready_count);
+        'words: for (w, &word) in self.ready_bits.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let i = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                debug_assert_eq!(
+                    self.entries.get(i).map(|e| e.state),
+                    Some(EntryState::Ready),
+                    "ready bitmap out of sync at index {i}"
+                );
+                out.push(self.head_seq + i as Seq);
+                if out.len() == want {
+                    break 'words;
+                }
+            }
+        }
     }
 
     /// Transitions `seq` to [`EntryState::Issued`].
@@ -234,28 +305,41 @@ impl Ruu {
             debug_assert_eq!(e.state, EntryState::Ready);
             e.state = EntryState::Issued;
             e.issued_at = Some(cycle);
+            self.ready_count -= 1;
+            self.clear_ready_bit(seq);
         }
     }
 
     /// Completes `seq`, waking consumers. Returns the number of
     /// consumers woken (for wakeup-port activity accounting).
     pub fn complete(&mut self, seq: Seq) -> u32 {
-        let consumers = match self.entry_mut(seq) {
+        let (was_ready, consumers) = match self.entry_mut(seq) {
             Some(e) => {
+                let was_ready = e.state == EntryState::Ready;
                 e.state = EntryState::Completed;
-                std::mem::take(&mut e.consumers)
+                (was_ready, std::mem::take(&mut e.consumers))
             }
             None => return 0,
         };
+        if was_ready {
+            // Defensive: completion of a never-issued entry.
+            self.ready_count -= 1;
+            self.clear_ready_bit(seq);
+        }
         let woken = consumers.len() as u32;
-        for c in consumers {
+        for &c in &consumers {
             if let Some(e) = self.entry_mut(c) {
                 e.deps_outstanding = e.deps_outstanding.saturating_sub(1);
                 if e.deps_outstanding == 0 && e.state == EntryState::Waiting {
                     e.state = EntryState::Ready;
+                    self.ready_count += 1;
+                    self.set_ready_bit(c);
                 }
             }
         }
+        let mut consumers = consumers;
+        consumers.clear();
+        self.consumer_pool.push(consumers);
         woken
     }
 
@@ -276,8 +360,18 @@ impl Ruu {
         let e = self.entries.pop_front().expect("commit from empty RUU");
         assert_eq!(e.state, EntryState::Completed, "commit of incomplete entry");
         self.head_seq = e.seq + 1;
+        // Window indices all drop by one: shift the ready map down.
+        // (The head's own bit is already clear — it was Completed.)
+        for w in 0..self.ready_bits.len() {
+            let carry = self.ready_bits.get(w + 1).map_or(0, |&next| next << 63);
+            self.ready_bits[w] = (self.ready_bits[w] >> 1) | carry;
+        }
         if e.inst.op().is_mem() {
             self.lsq_occupancy -= 1;
+        }
+        if e.inst.op() == OpClass::Store {
+            let front = self.store_seqs.pop_front();
+            debug_assert_eq!(front, Some(e.seq), "stores commit in order");
         }
         // The architectural value now lives in the regfile.
         if let Some(dst) = e.inst.dst() {
@@ -290,26 +384,23 @@ impl Ruu {
 
     /// Whether *any* older store is still in flight ahead of `seq`
     /// (used by the conservative disambiguation mode, where loads may
-    /// not issue past unretired stores).
+    /// not issue past unretired stores). O(1): the oldest in-flight
+    /// store is the front of the maintained store list.
     #[must_use]
     pub fn has_older_store(&self, seq: Seq) -> bool {
-        self.entries
-            .iter()
-            .take_while(|e| e.seq < seq)
-            .any(|e| e.inst.op() == OpClass::Store)
+        self.store_seqs.front().is_some_and(|&s| s < seq)
     }
 
     /// Whether an older, still-in-flight store writes the same block
     /// as `addr` (store-to-load forwarding opportunity for the load at
-    /// `seq`).
+    /// `seq`). Scans only the in-flight stores, not the whole window.
     #[must_use]
     pub fn older_store_to_block(&self, seq: Seq, addr: Addr, block_bytes: u64) -> bool {
         let block = addr.block(block_bytes);
-        self.entries.iter().take_while(|e| e.seq < seq).any(|e| {
-            e.inst.op() == OpClass::Store
-                && e.inst
-                    .mem_addr()
-                    .is_some_and(|a| a.block(block_bytes) == block)
+        self.store_seqs.iter().take_while(|&&s| s < seq).any(|&s| {
+            self.entry(s)
+                .and_then(|e| e.inst.mem_addr())
+                .is_some_and(|a| a.block(block_bytes) == block)
         })
     }
 }

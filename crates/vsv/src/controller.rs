@@ -341,6 +341,71 @@ impl VsvController {
         std::mem::take(&mut self.pending_ramps)
     }
 
+    /// The time (ns) of the next pipeline clock edge.
+    #[must_use]
+    pub fn next_edge(&self) -> u64 {
+        self.next_edge
+    }
+
+    /// Whether a window of zero-issue, signal-free nanoseconds may be
+    /// batch-applied via [`VsvController::skip_quiescent`] without
+    /// changing any observable behaviour. True exactly when every
+    /// per-nanosecond [`VsvController::tick`] /
+    /// [`VsvController::on_cycle`] pair in such a window reduces to
+    /// counter updates:
+    ///
+    /// * disabled controller: always (the mode is pinned to
+    ///   [`Mode::High`] and `on_cycle` is a no-op);
+    /// * [`Mode::High`]: no outstanding demand miss (else `tick`
+    ///   refreshes the down-FSM every nanosecond) and the down-FSM
+    ///   unarmed (else idle edges advance its zero-issue run);
+    /// * [`Mode::Low`]: a demand miss still outstanding (else `tick`
+    ///   starts the up transition) and the up-FSM unable to trigger on
+    ///   an idle cycle (its window, if open, merely drains — batched
+    ///   exactly by [`UpFsm::skip_idle_cycles`]);
+    /// * any transition mode: never (phase boundaries and ramp
+    ///   voltages are per-nanosecond affairs).
+    #[must_use]
+    pub fn quiescent_skip_allowed(&self, outstanding_demand: usize) -> bool {
+        if !self.cfg.enabled {
+            return true;
+        }
+        match self.mode {
+            Mode::High => outstanding_demand == 0 && !self.down.is_armed(),
+            Mode::Low => outstanding_demand > 0 && !self.up.would_trigger_on_idle(),
+            _ => false,
+        }
+    }
+
+    /// Batch-applies `ns` nanoseconds starting at `from`, each of which
+    /// would have been a zero-issue, signal-free tick (the caller must
+    /// have checked [`VsvController::quiescent_skip_allowed`]). Updates
+    /// mode residency, the edge schedule and the up-FSM exactly as the
+    /// per-nanosecond path would, and returns the number of pipeline
+    /// edges in the window together with the (constant) effective
+    /// supply voltage.
+    pub fn skip_quiescent(&mut self, from: u64, ns: u64) -> (u64, f64) {
+        debug_assert!(
+            matches!(self.mode, Mode::High | Mode::Low),
+            "skip in a transition mode"
+        );
+        debug_assert!(self.next_edge >= from, "edge schedule in the past");
+        let period = self.mode.clock_period_ns();
+        let end = from + ns;
+        // Edges fire at next_edge, next_edge + period, ... < end.
+        let edges = if self.next_edge >= end {
+            0
+        } else {
+            (end - 1 - self.next_edge) / period + 1
+        };
+        self.stats.ns_in_mode[self.mode.index()] += ns;
+        self.next_edge += edges * period;
+        if self.cfg.enabled && self.mode == Mode::Low {
+            self.up.skip_idle_cycles(edges);
+        }
+        (edges, self.cycle_voltage(from))
+    }
+
     // ---- internals -------------------------------------------------
 
     fn start_down(&mut self, now: u64) {

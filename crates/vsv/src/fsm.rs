@@ -301,6 +301,41 @@ impl UpFsm {
         self.window = None;
     }
 
+    /// Whether the next [`UpFsm::on_cycle`] with `issued == 0` would
+    /// trigger the transition — only possible for an open window under
+    /// a degenerate `threshold == 0` monitor (a zero-length run
+    /// "completes" instantly).
+    #[must_use]
+    pub fn would_trigger_on_idle(&self) -> bool {
+        self.window.is_some() && matches!(self.policy, UpPolicy::Monitor { threshold: 0, .. })
+    }
+
+    /// Batch-applies `cycles` consecutive idle (`issued == 0`)
+    /// half-speed cycles: exactly what `cycles` calls to
+    /// `on_cycle(0)` would do, provided none of them would trigger
+    /// (guaranteed by the caller via
+    /// [`UpFsm::would_trigger_on_idle`]). Idle cycles reset the run
+    /// and drain the window toward expiry.
+    pub fn skip_idle_cycles(&mut self, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        let Some(w) = self.window.as_mut() else {
+            return;
+        };
+        debug_assert!(
+            !matches!(self.policy, UpPolicy::Monitor { threshold: 0, .. }),
+            "threshold-0 monitor would trigger, not expire"
+        );
+        if u64::from(w.cycles_left) <= cycles {
+            self.window = None;
+            self.expiries += 1;
+        } else {
+            w.cycles_left -= cycles as u32;
+            w.run = 0;
+        }
+    }
+
     /// Feeds one half-speed pipeline cycle's issue count. Returns
     /// `true` when the high-power transition should start.
     pub fn on_cycle(&mut self, issued: u32) -> bool {

@@ -24,6 +24,12 @@ pub struct SystemConfig {
     pub vsv: VsvConfig,
     /// Whether the Time-Keeping prefetcher is attached (§5.1).
     pub timekeeping: bool,
+    /// Quiescent-stall fast-forward: when the core is provably unable
+    /// to do any work until the next scheduled memory event, advance
+    /// time in one batch instead of nanosecond by nanosecond. Results
+    /// are bit-identical either way (the equivalence suite proves it);
+    /// the flag exists so tests can pin the ns-stepped reference path.
+    pub fast_forward: bool,
 }
 
 impl SystemConfig {
@@ -37,6 +43,7 @@ impl SystemConfig {
             power: PowerConfig::baseline(),
             vsv: VsvConfig::disabled(),
             timekeeping: false,
+            fast_forward: true,
         }
     }
 
@@ -69,6 +76,15 @@ impl SystemConfig {
         } else {
             HierarchyConfig::baseline()
         };
+        self
+    }
+
+    /// Enables or disables the quiescent-stall fast-forward (on by
+    /// default; the ns-stepped path is the reference for equivalence
+    /// testing).
+    #[must_use]
+    pub fn with_fast_forward(mut self, on: bool) -> Self {
+        self.fast_forward = on;
         self
     }
 }
@@ -109,6 +125,7 @@ pub struct System<S> {
     anchors: Anchors,
     workload: String,
     trace: Option<ModeTrace>,
+    fast_forward: bool,
 }
 
 impl<S: InstStream> System<S> {
@@ -146,6 +163,7 @@ impl<S: InstStream> System<S> {
             anchors,
             workload: String::new(),
             trace: None,
+            fast_forward: cfg.fast_forward,
         }
     }
 
@@ -211,12 +229,15 @@ impl<S: InstStream> System<S> {
     }
 
     fn run_internal(&mut self, instructions: u64) -> RunResult {
-        let target = self.core.stats().committed + instructions;
-        let mut last_committed = self.core.stats().committed;
+        let target = self.core.committed() + instructions;
+        let mut last_committed = self.core.committed();
         let mut last_progress_at = self.now;
-        while self.core.stats().committed < target && !self.core.done() {
+        while self.core.committed() < target && !self.core.done() {
+            if self.fast_forward {
+                self.try_fast_forward();
+            }
             self.step();
-            let committed = self.core.stats().committed;
+            let committed = self.core.committed();
             if committed != last_committed {
                 last_committed = committed;
                 last_progress_at = self.now;
@@ -224,12 +245,69 @@ impl<S: InstStream> System<S> {
                 assert!(
                     self.now - last_progress_at < 2_000_000,
                     "no commit progress for 2 ms of simulated time at t={} \
-                     (committed={committed}): simulator deadlock",
-                    self.now
+                     (committed={committed}, workload={:?}, mode={:?}): \
+                     simulator deadlock",
+                    self.now,
+                    self.workload,
+                    self.controller.mode()
                 );
             }
         }
         self.finish_window()
+    }
+
+    /// Jumps `self.now` forward to the next scheduled memory event (or
+    /// Time-Keeping harvest) if — and only if — every component is
+    /// provably inert for the whole window, batch-applying the skipped
+    /// zero-issue cycles so all counters match the ns-stepped path bit
+    /// for bit. A no-op whenever any eligibility condition fails.
+    fn try_fast_forward(&mut self) {
+        let mem = self.core.mem();
+        // Buffered work would be consumed by the very next step; an
+        // empty event queue means the machine is either done or about
+        // to be declared deadlocked — never skip over either.
+        if mem.retry_pending() || mem.has_buffered_completions() || mem.has_buffered_vsv_signals() {
+            return;
+        }
+        let Some(event_at) = mem.next_event_time() else {
+            return;
+        };
+        let outstanding = mem.outstanding_demand_misses();
+        if !self.core.quiescent() || !self.controller.quiescent_skip_allowed(outstanding) {
+            return;
+        }
+        // TimeKeeping::tick is a pure no-op strictly before its next
+        // harvest time, so cap the skip there.
+        let target = event_at.min(self.core.prefetch_harvest_at().unwrap_or(u64::MAX));
+        if target <= self.now {
+            return;
+        }
+        let from = self.now;
+        let ns = target - from;
+        // Snapshot the edge schedule before the controller batches it,
+        // so the trace replay below sees the pre-skip timeline.
+        let mode = self.controller.mode();
+        let period = mode.clock_period_ns();
+        let mut next_edge = self.controller.next_edge();
+        let (edges, vdd) = self.controller.skip_quiescent(from, ns);
+        self.power.record_leakage_span(ns, vdd);
+        self.power.record_idle_cycles(edges, vdd);
+        self.core.skip_idle_cycles(edges);
+        if let Some(trace) = self.trace.as_mut() {
+            for t in from..target {
+                let edge = t >= next_edge;
+                if edge {
+                    next_edge += period;
+                }
+                trace.push(TraceSample {
+                    ns: t,
+                    mode,
+                    vdd,
+                    edge,
+                });
+            }
+        }
+        self.now = target;
     }
 
     /// Advances the simulation by exactly one nanosecond without any
@@ -244,9 +322,10 @@ impl<S: InstStream> System<S> {
     fn step(&mut self) {
         let now = self.now;
         self.core.tick_mem(now);
-        for sig in self.core.mem_mut().drain_vsv_signals() {
-            self.controller.observe(&sig);
-        }
+        let controller = &mut self.controller;
+        self.core
+            .mem_mut()
+            .visit_vsv_signals(|sig| controller.observe(sig));
         let outstanding = self.core.mem().outstanding_demand_misses();
         let plan = self.controller.tick(now, outstanding);
         for _ in 0..self.controller.take_ramps() {

@@ -34,7 +34,7 @@ pub struct TraceSample {
 /// let samples: Vec<_> = t.iter().map(|s| s.ns).collect();
 /// assert_eq!(samples, vec![1, 2], "oldest sample dropped");
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModeTrace {
     samples: std::collections::VecDeque<TraceSample>,
     capacity: usize,

@@ -275,9 +275,10 @@ impl Generator {
                 src,
                 extra,
             } => {
-                let srcs: Vec<ArchReg> = Some(src).into_iter().chain(extra).collect();
+                let srcs = [src, extra.unwrap_or(src)];
+                let n = 1 + usize::from(extra.is_some());
                 self.pc += Pc::STEP;
-                Inst::compute(pc, op, dst, &srcs)
+                Inst::compute(pc, op, dst, &srcs[..n])
             }
             Planned::Load { dst, addr, base } => {
                 self.pc += Pc::STEP;

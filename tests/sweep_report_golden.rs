@@ -48,7 +48,7 @@ fn pinned_json() -> String {
 /// regenerate with:
 /// `cargo test -p vsv-repro --test sweep_report_golden -- --nocapture --ignored print_digest`
 /// and update this constant.
-const PINNED_DIGEST: u64 = 0x14a5_fba1_4cee_ff8a;
+const PINNED_DIGEST: u64 = 0x30b7_c227_d759_33b6;
 
 #[test]
 fn report_json_matches_pinned_digest() {

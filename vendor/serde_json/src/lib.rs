@@ -414,7 +414,13 @@ mod tests {
 
     #[test]
     fn floats_round_trip_exactly() {
-        for x in [0.5f64, -1.25, 1e300, std::f64::consts::PI, f64::MIN_POSITIVE] {
+        for x in [
+            0.5f64,
+            -1.25,
+            1e300,
+            std::f64::consts::PI,
+            f64::MIN_POSITIVE,
+        ] {
             let json = to_string(&x).expect("writes");
             let back: f64 = from_str(&json).expect("parses");
             assert_eq!(back.to_bits(), x.to_bits(), "{json}");
