@@ -19,7 +19,7 @@ use vsv::{
     default_workers, mean_comparison, Comparison, DownPolicy, Sweep, SweepJob, SystemConfig,
     UpPolicy, VsvConfig,
 };
-use vsv_bench::{announce_workers, experiment_from_env, rule};
+use vsv_bench::{announce_workers, experiment_from_env, results_or_die, rule};
 use vsv_workloads::{high_mr_names, twin};
 
 /// Mean comparison over the high-MR twins for one variant
@@ -33,7 +33,8 @@ fn high_mr_mean(var_cfg: SystemConfig) -> Comparison {
         .iter()
         .map(|name| twin(name).expect("suite twin"))
         .collect();
-    let runs = Sweep::over_grid(e, &twins, &[base_cfg, var_cfg]).run(default_workers());
+    let runs =
+        results_or_die(Sweep::over_grid(e, &twins, &[base_cfg, var_cfg]).report(default_workers()));
     let cs: Vec<Comparison> = runs
         .chunks(2)
         .map(|pair| Comparison::of(&pair[0], &pair[1]))
@@ -166,7 +167,7 @@ fn main() {
             [base_cfg, var_cfg].map(|config| SweepJob { params: p, config })
         })
         .collect();
-    let runs = Sweep::new(e, jobs).run(default_workers());
+    let runs = results_or_die(Sweep::new(e, jobs).report(default_workers()));
     for ((label, _), pair) in capacities.iter().zip(runs.chunks(2)) {
         let (base, run) = (&pair[0], &pair[1]);
         let c = Comparison::of(base, run);

@@ -6,7 +6,7 @@
 //! Scale via `VSV_INSTS` / `VSV_WARMUP`; threads via `VSV_WORKERS`.
 
 use vsv::{default_workers, mean_comparison, Comparison, Sweep, SystemConfig};
-use vsv_bench::{announce_workers, experiment_from_env, rule, CsvSink};
+use vsv_bench::{announce_workers, experiment_from_env, results_or_die, rule, CsvSink};
 use vsv_workloads::spec2k_twins;
 
 fn main() {
@@ -29,7 +29,7 @@ fn main() {
         SystemConfig::vsv_without_fsms(),
         SystemConfig::vsv_with_fsms(),
     ];
-    let runs = Sweep::over_grid(e, &spec2k_twins(), &configs).run(workers);
+    let runs = results_or_die(Sweep::over_grid(e, &spec2k_twins(), &configs).report(workers));
     let mut rows: Vec<_> = spec2k_twins()
         .iter()
         .zip(runs.chunks(3))

@@ -7,7 +7,7 @@
 //! Scale via `VSV_INSTS` / `VSV_WARMUP`; threads via `VSV_WORKERS`.
 
 use vsv::{default_workers, Comparison, DownPolicy, Sweep, SystemConfig, UpPolicy};
-use vsv_bench::{announce_workers, experiment_from_env, rule};
+use vsv_bench::{announce_workers, experiment_from_env, results_or_die, rule};
 use vsv_workloads::{high_mr_names, twin};
 
 fn main() {
@@ -73,7 +73,7 @@ fn main() {
         .iter()
         .map(|name| twin(name).expect("high-MR name is in the suite"))
         .collect();
-    let runs = Sweep::over_grid(e, &twins, &configs).run(workers);
+    let runs = results_or_die(Sweep::over_grid(e, &twins, &configs).report(workers));
     for (params, row) in twins.iter().zip(runs.chunks(configs.len())) {
         let base = &row[0];
         let cs: Vec<Comparison> = row[1..].iter().map(|r| Comparison::of(base, r)).collect();

@@ -6,7 +6,7 @@
 //! Scale via `VSV_INSTS` / `VSV_WARMUP`; threads via `VSV_WORKERS`.
 
 use vsv::{default_workers, mean_comparison, Comparison, Sweep, SystemConfig};
-use vsv_bench::{announce_workers, experiment_from_env, rule};
+use vsv_bench::{announce_workers, experiment_from_env, results_or_die, rule};
 use vsv_workloads::spec2k_twins;
 
 fn main() {
@@ -30,7 +30,7 @@ fn main() {
         SystemConfig::baseline().with_timekeeping(true),
         SystemConfig::vsv_with_fsms().with_timekeeping(true),
     ];
-    let runs = Sweep::over_grid(e, &spec2k_twins(), &configs).run(workers);
+    let runs = results_or_die(Sweep::over_grid(e, &spec2k_twins(), &configs).report(workers));
     let mut rows: Vec<_> = spec2k_twins()
         .iter()
         .zip(runs.chunks(4))

@@ -11,7 +11,7 @@
 //! Scale via `VSV_INSTS` / `VSV_WARMUP`; threads via `VSV_WORKERS`.
 
 use vsv::{default_workers, mean_comparison, Comparison, Sweep, SystemConfig};
-use vsv_bench::{announce_workers, experiment_from_env, rule};
+use vsv_bench::{announce_workers, experiment_from_env, results_or_die, rule};
 use vsv_workloads::spec2k_twins;
 
 fn main() {
@@ -28,7 +28,7 @@ fn main() {
         SystemConfig::baseline().with_timekeeping(true),
         SystemConfig::vsv_with_fsms().with_timekeeping(true),
     ];
-    let runs = Sweep::over_grid(e, &spec2k_twins(), &configs).run(workers);
+    let runs = results_or_die(Sweep::over_grid(e, &spec2k_twins(), &configs).report(workers));
     for quad in runs.chunks(4) {
         let (base, vsv, base_tk, vsv_tk) = (&quad[0], &quad[1], &quad[2], &quad[3]);
         let c = Comparison::of(base, vsv);

@@ -6,7 +6,7 @@
 //! Scale via `VSV_INSTS` / `VSV_WARMUP`; threads via `VSV_WORKERS`.
 
 use vsv::{default_workers, Sweep, SystemConfig};
-use vsv_bench::{announce_workers, experiment_from_env, rule, CsvSink};
+use vsv_bench::{announce_workers, experiment_from_env, results_or_die, rule, CsvSink};
 use vsv_workloads::{spec2k_twins, table2_reference};
 
 fn main() {
@@ -42,7 +42,7 @@ fn main() {
         SystemConfig::baseline(),
         SystemConfig::baseline().with_timekeeping(true),
     ];
-    let runs = Sweep::over_grid(e, &spec2k_twins(), &configs).run(workers);
+    let runs = results_or_die(Sweep::over_grid(e, &spec2k_twins(), &configs).report(workers));
     for ((params, paper), pair) in spec2k_twins().iter().zip(&refs).zip(runs.chunks(2)) {
         let (base, tk) = (&pair[0], &pair[1]);
         println!(

@@ -118,9 +118,44 @@ pub fn announce_workers(workers: usize) {
     );
 }
 
+/// Unwraps a sweep report into its grid-ordered results, printing
+/// every failed cell to stderr and exiting with status 1 if any cell
+/// failed. The experiment binaries regenerate whole tables/figures,
+/// so a partial grid would silently misalign rows — dying loudly with
+/// the per-cell diagnostics is the right behaviour for them (the CLI
+/// and library callers get the partial report instead).
+#[must_use]
+pub fn results_or_die(report: vsv::SweepReport) -> Vec<vsv::RunResult> {
+    let failed = report.failed_jobs();
+    if failed > 0 {
+        eprintln!("error: {failed} of {} sweep cells failed:", report.jobs);
+        for r in report.failures() {
+            if let Some(err) = r.outcome.error() {
+                eprintln!("  cell #{} ({}): {err}", r.job, r.workload);
+            }
+        }
+        std::process::exit(1);
+    }
+    report.into_results()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn results_or_die_passes_through_a_clean_report() {
+        use vsv::{Sweep, SystemConfig};
+        let e = Experiment {
+            warmup_instructions: 1_000,
+            instructions: 3_000,
+        };
+        let p = vsv_workloads::twin("gzip").expect("gzip exists");
+        let report = Sweep::over_grid(e, &[p], &[SystemConfig::baseline()]).report(1);
+        let runs = results_or_die(report);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].workload, "gzip");
+    }
 
     #[test]
     fn env_defaults() {

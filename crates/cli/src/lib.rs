@@ -94,6 +94,12 @@ pub enum Command {
         workers: usize,
         /// Emit the full `SweepReport` as JSON instead of text.
         json: bool,
+        /// Append per-cell JSONL records to this file as jobs finish.
+        checkpoint: Option<String>,
+        /// Resume a checkpointed sweep, skipping completed cells.
+        resume: Option<String>,
+        /// Arm an injected deadlock fault in grid cell N (testing/CI).
+        inject_fault: Option<usize>,
     },
     /// Print a mode strip (one char per ns) around VSV activity.
     Trace {
@@ -129,6 +135,9 @@ impl Command {
         let mut workers = 0usize;
         let mut ns = 2_000usize;
         let mut svg: Option<String> = None;
+        let mut checkpoint: Option<String> = None;
+        let mut resume: Option<String> = None;
+        let mut inject_fault: Option<usize> = None;
 
         let next_value = |flag: &str, it: &mut std::slice::Iter<String>| {
             it.next()
@@ -162,6 +171,15 @@ impl Command {
                         .map_err(|e| format!("--ns: {e}"))?;
                 }
                 "--svg" => svg = Some(next_value("--svg", &mut it)?),
+                "--checkpoint" => checkpoint = Some(next_value("--checkpoint", &mut it)?),
+                "--resume" => resume = Some(next_value("--resume", &mut it)?),
+                "--inject-fault" => {
+                    inject_fault = Some(
+                        next_value("--inject-fault", &mut it)?
+                            .parse()
+                            .map_err(|e| format!("--inject-fault: {e}"))?,
+                    );
+                }
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -185,14 +203,22 @@ impl Command {
                 workers,
                 json,
             }),
-            "sweep" => Ok(Command::Sweep {
-                twin: twin_name,
-                timekeeping,
-                insts,
-                warmup,
-                workers,
-                json,
-            }),
+            "sweep" => {
+                if checkpoint.is_some() && resume.is_some() {
+                    return Err("--checkpoint and --resume are mutually exclusive".to_owned());
+                }
+                Ok(Command::Sweep {
+                    twin: twin_name,
+                    timekeeping,
+                    insts,
+                    warmup,
+                    workers,
+                    json,
+                    checkpoint,
+                    resume,
+                    inject_fault,
+                })
+            }
             "trace" => Ok(Command::Trace {
                 twin: need_twin(twin_name)?,
                 ns,
@@ -214,7 +240,8 @@ USAGE:
   vsv-cli compare --twin NAME [--tk] [--insts N] [--warmup N]
                   [--workers N] [--json]
   vsv-cli sweep   [--twin NAME] [--tk] [--insts N] [--warmup N]
-                  [--workers N] [--json]
+                  [--workers N] [--json] [--checkpoint FILE | --resume FILE]
+                  [--inject-fault CELL]
   vsv-cli trace   --twin NAME [--ns N] [--svg FILE]
 
 Sweep-shaped commands (compare, sweep) execute on the parallel
@@ -222,21 +249,48 @@ deterministic sweep engine: results are in grid order and
 bit-identical for any worker count. --workers 0 (the default) uses
 VSV_WORKERS or the host's parallelism.
 
+A sweep never dies with its worst cell: failed cells (deadlock,
+invalid config, exhausted budget, panic) become per-cell failure
+records and the exit code is 1 (0 = all cells ok, 2 = usage error).
+--checkpoint FILE appends one JSONL record per finished cell;
+--resume FILE skips the cells already recorded there (tolerating a
+half-written final line from a crash) and re-runs only the rest.
+--inject-fault CELL arms a deterministic deadlock in grid cell CELL
+for exercising these paths (testing/CI).
+
 EXAMPLES:
   vsv-cli compare --twin mcf
   vsv-cli run --twin applu --config vsv-fsm --tk --json
   vsv-cli sweep --workers 4 --json
+  vsv-cli sweep --checkpoint sweep.jsonl   # then, after a crash:
+  vsv-cli sweep --resume sweep.jsonl
   vsv-cli trace --twin ammp --ns 500
 ";
 
 /// Executes a parsed command; returns the text to print.
 ///
+/// Equivalent to [`execute_with_exit`] with the exit code dropped —
+/// convenient for tests and embedding.
+///
 /// # Errors
 ///
-/// Returns a message for unknown twins.
+/// Returns a message for unknown twins and invalid flag combinations.
 pub fn execute(cmd: Command) -> Result<String, String> {
+    execute_with_exit(cmd).map(|(out, _)| out)
+}
+
+/// Executes a parsed command; returns the text to print plus the
+/// process exit code (0 = success, 1 = the sweep completed but some
+/// cells failed). Usage and I/O errors come back as `Err` and map to
+/// exit code 2 in the binary.
+///
+/// # Errors
+///
+/// Returns a message for unknown twins, invalid flag combinations,
+/// and checkpoint-file problems.
+pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
     match cmd {
-        Command::Help => Ok(USAGE.to_owned()),
+        Command::Help => Ok((USAGE.to_owned(), 0)),
         Command::List => {
             let mut out = String::new();
             out.push_str("twin       paper IPC  paper MR  paper MR(TK)\n");
@@ -246,7 +300,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                     r.name, r.ipc_base, r.mr_base, r.mr_tk
                 ));
             }
-            Ok(out)
+            Ok((out, 0))
         }
         Command::Run {
             twin: name,
@@ -261,11 +315,15 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 warmup_instructions: warmup,
                 instructions: insts,
             };
-            let result = e.run(&params, config.to_config(timekeeping));
+            let result = e
+                .try_run(&params, config.to_config(timekeeping))
+                .map_err(|err| err.to_string())?;
             if json {
-                serde_json::to_string_pretty(&result).map_err(|e| e.to_string())
+                serde_json::to_string_pretty(&result)
+                    .map(|s| (s, 0))
+                    .map_err(|e| e.to_string())
             } else {
-                Ok(result.to_string())
+                Ok((result.to_string(), 0))
             }
         }
         Command::Compare {
@@ -290,11 +348,15 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                     SystemConfig::vsv_with_fsms().with_timekeeping(timekeeping),
                 ],
             );
-            let mut results = sweep.run(resolve_workers(workers)).into_iter();
-            let (base, vsv_run) = (
-                results.next().expect("two jobs"),
-                results.next().expect("two jobs"),
-            );
+            let report = sweep.report(resolve_workers(workers));
+            if let Some(summary) = failure_summary(&report) {
+                return Err(summary);
+            }
+            let mut results = report.into_results().into_iter();
+            let (base, vsv_run) = match (results.next(), results.next()) {
+                (Some(b), Some(v)) => (b, v),
+                _ => return Err("compare produced fewer than two results".to_owned()),
+            };
             let cmp = Comparison::of(&base, &vsv_run);
             if json {
                 #[derive(serde::Serialize)]
@@ -308,9 +370,13 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                     vsv: vsv_run,
                     comparison: cmp,
                 })
+                .map(|s| (s, 0))
                 .map_err(|e| e.to_string())
             } else {
-                Ok(format!("baseline: {base}\nvsv     : {vsv_run}\n=> {cmp}\n"))
+                Ok((
+                    format!("baseline: {base}\nvsv     : {vsv_run}\n=> {cmp}\n"),
+                    0,
+                ))
             }
         }
         Command::Sweep {
@@ -320,6 +386,9 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             warmup,
             workers,
             json,
+            checkpoint,
+            resume,
+            inject_fault,
         } => {
             let params = match name {
                 Some(name) => vec![twin(&name).ok_or_else(|| unknown_twin(&name))?],
@@ -329,7 +398,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 warmup_instructions: warmup,
                 instructions: insts,
             };
-            let sweep = Sweep::over_grid(
+            let mut sweep = Sweep::over_grid(
                 e,
                 &params,
                 &[
@@ -337,9 +406,31 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                     SystemConfig::vsv_with_fsms().with_timekeeping(timekeeping),
                 ],
             );
-            let report = sweep.report(resolve_workers(workers));
+            if let Some(cell) = inject_fault {
+                let jobs = sweep.jobs_mut();
+                let cells = jobs.len();
+                let job = jobs
+                    .get_mut(cell)
+                    .ok_or_else(|| format!("--inject-fault {cell}: grid has only {cells} cells"))?;
+                job.config.inject_fault = Some(vsv::FaultKind::Deadlock);
+            }
+            let workers = resolve_workers(workers);
+            let report = if let Some(path) = resume {
+                sweep
+                    .resume(workers, std::path::Path::new(&path))
+                    .map_err(|e| format!("--resume {path}: {e}"))?
+            } else if let Some(path) = checkpoint {
+                sweep
+                    .report_with_checkpoint(workers, std::path::Path::new(&path))
+                    .map_err(|e| format!("--checkpoint {path}: {e}"))?
+            } else {
+                sweep.report(workers)
+            };
+            let code = if report.failed_jobs() > 0 { 1 } else { 0 };
             if json {
-                serde_json::to_string_pretty(&report).map_err(|e| e.to_string())
+                serde_json::to_string_pretty(&report)
+                    .map(|s| (s, code))
+                    .map_err(|e| e.to_string())
             } else {
                 let mut out = format!(
                     "{} jobs on {} workers ({:.1} ms wall)\n{:<10} {:>8} | {:>8} {:>8}\n",
@@ -352,14 +443,29 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                     "power%"
                 );
                 for pair in report.records.chunks(2) {
-                    let (base, vsv_run) = (&pair[0].result, &pair[1].result);
-                    let cmp = Comparison::of(base, vsv_run);
-                    out.push_str(&format!(
-                        "{:<10} {:>8.1} | {:>8.1} {:>8.1}\n",
-                        base.workload, base.mpki, cmp.perf_degradation_pct, cmp.power_saving_pct
-                    ));
+                    match (pair[0].result(), pair.get(1).and_then(|r| r.result())) {
+                        (Some(base), Some(vsv_run)) => {
+                            let cmp = Comparison::of(base, vsv_run);
+                            out.push_str(&format!(
+                                "{:<10} {:>8.1} | {:>8.1} {:>8.1}\n",
+                                base.workload,
+                                base.mpki,
+                                cmp.perf_degradation_pct,
+                                cmp.power_saving_pct
+                            ));
+                        }
+                        _ => {
+                            out.push_str(&format!(
+                                "{:<10} {:>8} | {:>8} {:>8}\n",
+                                pair[0].workload, "FAILED", "-", "-"
+                            ));
+                        }
+                    }
                 }
-                Ok(out)
+                if let Some(summary) = failure_summary(&report) {
+                    out.push_str(&summary);
+                }
+                Ok((out, code))
             }
         }
         Command::Trace {
@@ -384,9 +490,25 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 std::fs::write(&path, rendered).map_err(|e| format!("{path}: {e}"))?;
                 out.push_str(&format!("(svg timeline written to {path})\n"));
             }
-            Ok(out)
+            Ok((out, 0))
         }
     }
+}
+
+/// Renders a human-readable list of a report's failed cells, or
+/// `None` when every cell succeeded.
+fn failure_summary(report: &vsv::SweepReport) -> Option<String> {
+    let failed = report.failed_jobs();
+    if failed == 0 {
+        return None;
+    }
+    let mut out = format!("{failed} of {} sweep cells failed:\n", report.jobs);
+    for r in report.failures() {
+        if let Some(err) = r.outcome.error() {
+            out.push_str(&format!("  cell #{} ({}): {err}\n", r.job, r.workload));
+        }
+    }
+    Some(out)
 }
 
 /// Maps the `--workers` flag to a concrete thread count: 0 defers to
@@ -500,6 +622,20 @@ mod tests {
         assert!(out.contains("power saved"));
     }
 
+    fn sweep_cmd(twin: Option<&str>, workers: usize, json: bool) -> Command {
+        Command::Sweep {
+            twin: twin.map(str::to_owned),
+            timekeeping: false,
+            insts: 3_000,
+            warmup: 1_000,
+            workers,
+            json,
+            checkpoint: None,
+            resume: None,
+            inject_fault: None,
+        }
+    }
+
     #[test]
     fn parses_sweep_with_workers() {
         let cmd = Command::parse(&sv(&["sweep", "--workers", "4", "--json"])).expect("valid");
@@ -512,40 +648,116 @@ mod tests {
                 warmup: 100_000,
                 workers: 4,
                 json: true,
+                checkpoint: None,
+                resume: None,
+                inject_fault: None,
             }
         );
     }
 
     #[test]
+    fn parses_sweep_checkpoint_and_fault_flags() {
+        let cmd = Command::parse(&sv(&[
+            "sweep",
+            "--checkpoint",
+            "/tmp/ck.jsonl",
+            "--inject-fault",
+            "1",
+        ]))
+        .expect("valid");
+        let Command::Sweep {
+            checkpoint,
+            resume,
+            inject_fault,
+            ..
+        } = cmd
+        else {
+            panic!("expected a sweep command");
+        };
+        assert_eq!(checkpoint.as_deref(), Some("/tmp/ck.jsonl"));
+        assert_eq!(resume, None);
+        assert_eq!(inject_fault, Some(1));
+    }
+
+    #[test]
+    fn checkpoint_and_resume_are_mutually_exclusive() {
+        let err = Command::parse(&sv(&[
+            "sweep",
+            "--checkpoint",
+            "a.jsonl",
+            "--resume",
+            "b.jsonl",
+        ]))
+        .expect_err("conflicting flags");
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
     fn sweep_single_twin_text_has_one_row() {
-        let out = execute(Command::Sweep {
-            twin: Some("gzip".to_owned()),
-            timekeeping: false,
-            insts: 3_000,
-            warmup: 1_000,
-            workers: 2,
-            json: false,
-        })
-        .expect("runs");
+        let (out, code) = execute_with_exit(sweep_cmd(Some("gzip"), 2, false)).expect("runs");
+        assert_eq!(code, 0);
         assert!(out.contains("2 jobs"), "{out}");
         assert!(out.contains("gzip"), "{out}");
     }
 
     #[test]
     fn sweep_json_is_a_sweep_report() {
-        let out = execute(Command::Sweep {
-            twin: Some("gzip".to_owned()),
-            timekeeping: false,
-            insts: 3_000,
-            warmup: 1_000,
-            workers: 1,
-            json: true,
-        })
-        .expect("runs");
+        let out = execute(sweep_cmd(Some("gzip"), 1, true)).expect("runs");
         let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
         let records = v.get("records").and_then(|r| r.as_seq()).expect("records");
         assert_eq!(records.len(), 2);
         assert!(records[0].get("config_digest").is_some());
+    }
+
+    #[test]
+    fn injected_fault_yields_partial_report_and_exit_1() {
+        let mut cmd = sweep_cmd(Some("gzip"), 2, false);
+        if let Command::Sweep { inject_fault, .. } = &mut cmd {
+            *inject_fault = Some(1);
+        }
+        let (out, code) = execute_with_exit(cmd).expect("sweep still completes");
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("FAILED"), "{out}");
+        assert!(out.contains("1 of 2 sweep cells failed"), "{out}");
+        assert!(out.contains("deadlock"), "{out}");
+    }
+
+    #[test]
+    fn injected_fault_out_of_range_is_a_usage_error() {
+        let mut cmd = sweep_cmd(Some("gzip"), 1, false);
+        if let Command::Sweep { inject_fault, .. } = &mut cmd {
+            *inject_fault = Some(99);
+        }
+        let err = execute_with_exit(cmd).expect_err("out of range");
+        assert!(err.contains("grid has only 2 cells"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_then_resume_reproduces_the_report() {
+        let path = std::env::temp_dir().join("vsv-cli-checkpoint-roundtrip.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let file = path.display().to_string();
+
+        let mut cmd = sweep_cmd(Some("gzip"), 1, true);
+        if let Command::Sweep { checkpoint, .. } = &mut cmd {
+            *checkpoint = Some(file.clone());
+        }
+        let (first, code) = execute_with_exit(cmd).expect("checkpointed sweep runs");
+        assert_eq!(code, 0);
+
+        // Resuming from the now-complete checkpoint re-runs nothing
+        // and reproduces the same records.
+        let mut cmd = sweep_cmd(Some("gzip"), 1, true);
+        if let Command::Sweep { resume, .. } = &mut cmd {
+            *resume = Some(file);
+        }
+        let (second, code) = execute_with_exit(cmd).expect("resume runs");
+        assert_eq!(code, 0);
+
+        let a: serde_json::Value = serde_json::from_str(&first).expect("json");
+        let b: serde_json::Value = serde_json::from_str(&second).expect("json");
+        assert_eq!(a.get("records"), b.get("records"));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

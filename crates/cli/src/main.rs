@@ -1,10 +1,17 @@
 //! The `vsv-cli` binary. All logic lives in the library so it can be
 //! unit-tested; this file is arg collection and exit codes only.
+//!
+//! Exit codes: 0 = success, 1 = the sweep completed but some cells
+//! failed (the partial report was still printed), 2 = usage or I/O
+//! error.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match vsv_cli::Command::parse(&args).and_then(vsv_cli::execute) {
-        Ok(out) => print!("{out}"),
+    match vsv_cli::Command::parse(&args).and_then(vsv_cli::execute_with_exit) {
+        Ok((out, code)) => {
+            print!("{out}");
+            std::process::exit(code);
+        }
         Err(msg) => {
             eprintln!("error: {msg}\n\n{}", vsv_cli::USAGE);
             std::process::exit(2);

@@ -104,13 +104,24 @@ impl<S: InstStream> Core<S> {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg` fails [`CoreConfig::validate`].
+    /// Panics if `cfg` fails [`CoreConfig::validate`]; the fallible
+    /// form is [`Core::try_new`].
     #[must_use]
     pub fn new(cfg: CoreConfig, mem: Hierarchy, stream: S) -> Self {
-        if let Err(e) = cfg.validate() {
-            panic!("invalid core configuration: {e}");
-        }
-        Core {
+        Self::try_new(cfg, mem, stream)
+            .unwrap_or_else(|e| panic!("invalid core configuration: {e}"))
+    }
+
+    /// Builds a core over `mem`, fed by `stream`, validating `cfg`
+    /// first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`CoreConfig::validate`] message when `cfg` is
+    /// internally inconsistent.
+    pub fn try_new(cfg: CoreConfig, mem: Hierarchy, stream: S) -> Result<Self, String> {
+        cfg.validate()?;
+        Ok(Core {
             ruu: Ruu::new(cfg.ruu_entries, cfg.lsq_entries),
             fus: FuSet::new(&cfg),
             bpred: BranchPredictor::new(cfg.bpred),
@@ -136,7 +147,7 @@ impl<S: InstStream> Core<S> {
             ready_scratch: Vec::new(),
             writeback_scratch: Vec::new(),
             cfg,
-        }
+        })
     }
 
     /// Attaches a Time-Keeping prefetch engine (requires the hierarchy
@@ -1314,5 +1325,24 @@ mod disambiguation_tests {
             now += 1;
         }
         assert_eq!(core.stats().forwarded_loads, 1);
+    }
+
+    #[test]
+    fn try_new_returns_validation_errors() {
+        let mut cfg = CoreConfig::baseline();
+        cfg.lsq_entries = cfg.ruu_entries + 1;
+        let err = Core::try_new(
+            cfg,
+            Hierarchy::new(HierarchyConfig::baseline()),
+            VecStream::new(Vec::new()),
+        )
+        .expect_err("lsq > ruu is invalid");
+        assert!(err.contains("lsq_entries"), "{err}");
+        assert!(Core::try_new(
+            CoreConfig::baseline(),
+            Hierarchy::new(HierarchyConfig::baseline()),
+            VecStream::new(Vec::new()),
+        )
+        .is_ok());
     }
 }

@@ -50,13 +50,18 @@ impl Mode {
         Mode::RampUp,
     ];
 
-    /// Dense index into residency arrays.
+    /// Dense index into residency arrays (the position in
+    /// [`Mode::ALL`]).
     #[must_use]
     pub fn index(self) -> usize {
-        Mode::ALL
-            .iter()
-            .position(|m| *m == self)
-            .expect("exhaustive")
+        match self {
+            Mode::High => 0,
+            Mode::DownDistribute => 1,
+            Mode::RampDown => 2,
+            Mode::Low => 3,
+            Mode::UpDistribute => 4,
+            Mode::RampUp => 5,
+        }
     }
 
     /// Pipeline clock period in this mode, in nanoseconds.
@@ -449,6 +454,13 @@ impl VsvController {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn mode_index_matches_all_ordering() {
+        for (i, m) in Mode::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i, "{m:?}");
+        }
+    }
 
     fn detected(at: u64) -> VsvSignal {
         VsvSignal::L2MissDetected { demand: true, at }

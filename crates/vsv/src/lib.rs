@@ -25,7 +25,10 @@
 //! * [`runner`]/[`report`] — experiment driving and the paper's
 //!   metrics (performance degradation %, power saving %);
 //! * [`sweep`] — parallel deterministic execution of experiment
-//!   grids (every table/figure is one [`Sweep`]).
+//!   grids (every table/figure is one [`Sweep`]), with per-cell
+//!   fault isolation and JSONL checkpoint/resume;
+//! * [`error`] — the typed failure taxonomy ([`SimError`]) behind
+//!   the fault-tolerant sweep contract.
 //!
 //! The substrates live in sibling crates: `vsv-uarch` (8-way OoO
 //! core), `vsv-mem` (caches/MSHRs/bus/DRAM), `vsv-power`
@@ -49,8 +52,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code reports failures as typed `SimError`s (or reaches a
+// deliberate `panic!` in a documented thin wrapper); `.unwrap()` and
+// `.expect()` are reserved for test code. CI runs clippy with
+// `-D warnings`, promoting these to errors.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod controller;
+pub mod error;
 pub mod fsm;
 pub mod report;
 pub mod runner;
@@ -59,9 +68,14 @@ pub mod system;
 pub mod trace;
 
 pub use controller::{Mode, ModeStats, TickPlan, VsvConfig, VsvController};
+pub use error::{FaultKind, ModeTransition, SimError};
 pub use fsm::{DownFsm, DownPolicy, UpFsm, UpPolicy};
 pub use report::{mean_comparison, Comparison, RunResult};
 pub use runner::{ComparisonSpread, Experiment};
-pub use sweep::{config_digest, default_workers, JobRecord, Sweep, SweepJob, SweepReport};
+#[cfg(feature = "serde")]
+pub use sweep::CheckpointError;
+pub use sweep::{
+    config_digest, default_workers, JobOutcome, JobRecord, Sweep, SweepJob, SweepReport,
+};
 pub use system::{System, SystemConfig};
 pub use trace::{ModeTrace, TraceSample};

@@ -2,6 +2,7 @@
 
 use vsv_workloads::{Generator, WorkloadParams};
 
+use crate::error::SimError;
 use crate::report::{Comparison, RunResult};
 use crate::system::{System, SystemConfig};
 
@@ -37,12 +38,35 @@ impl Experiment {
     }
 
     /// Runs one workload under one configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`SimError`]; the fallible form is
+    /// [`Experiment::try_run`].
     #[must_use]
     pub fn run(&self, params: &WorkloadParams, cfg: SystemConfig) -> RunResult {
-        let mut sys = System::new(cfg, Generator::new(*params));
+        self.try_run(params, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs one workload under one configuration, returning failures
+    /// (invalid configuration, deadlock, exhausted budget, injected
+    /// fault) as typed errors instead of panicking. This is the entry
+    /// point [`crate::Sweep`] uses, so a bad grid cell becomes a
+    /// per-cell failure record rather than a dead sweep.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] raised during construction, warm-up, or the
+    /// measured window.
+    pub fn try_run(
+        &self,
+        params: &WorkloadParams,
+        cfg: SystemConfig,
+    ) -> Result<RunResult, SimError> {
+        let mut sys = System::try_new(cfg, Generator::new(*params))?;
         sys.set_workload_name(params.name);
-        sys.warm_up(self.warmup_instructions);
-        sys.run(self.instructions)
+        sys.try_warm_up(self.warmup_instructions)?;
+        sys.try_run(self.instructions)
     }
 
     /// Runs a (baseline, variant) pair over the same workload and
@@ -76,6 +100,20 @@ mod tests {
         assert_eq!(r.workload, "gzip");
         assert!((e.instructions..e.instructions + 8).contains(&r.instructions));
         assert!(r.ipc > 0.2);
+    }
+
+    #[test]
+    fn try_run_reports_typed_errors() {
+        let e = Experiment::quick();
+        let p = twin("gzip").expect("gzip exists");
+        let mut cfg = SystemConfig::baseline();
+        cfg.core.fetch_width = 0;
+        let err = e.try_run(&p, cfg).expect_err("invalid config");
+        assert_eq!(err.kind(), "invalid-config");
+        let cfg = SystemConfig::baseline().with_injected_fault(crate::FaultKind::Deadlock);
+        let err = e.try_run(&p, cfg).expect_err("fault armed");
+        assert_eq!(err.kind(), "deadlock");
+        assert!(e.try_run(&p, SystemConfig::baseline()).is_ok());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Parallel deterministic experiment sweeps.
+//! Parallel, deterministic, *fault-tolerant* experiment sweeps.
 //!
 //! Every table and figure of the paper is a *grid* of independent
 //! simulations: workload twins × system configurations. Each run owns
@@ -11,6 +11,26 @@
 //! count or the scheduling interleaving. `tests/sweep_equivalence.rs`
 //! pins that guarantee.
 //!
+//! # Fault tolerance
+//!
+//! A sweep never dies because one cell does. Each job runs behind
+//! [`std::panic::catch_unwind`]; a panicking job is retried once
+//! (bounded-retry policy for poisoned-state panics) and then recorded
+//! as [`JobOutcome::Failed`], alongside typed [`SimError`]s from
+//! [`Experiment::try_run`] (deadlocks, invalid configurations,
+//! exhausted budgets). The report always covers the whole grid, with
+//! per-cell failures as data — `tests/fault_tolerance.rs` pins that.
+//!
+//! # Checkpoint / resume
+//!
+//! [`Sweep::report_with_checkpoint`] appends one JSONL line per
+//! finished job to a checkpoint file (after a header pinning the grid
+//! shape and experiment scale); [`Sweep::resume`] validates the
+//! header and each record's config digest, skips completed cells
+//! (tolerating a half-written final line from a crash), re-runs the
+//! rest, and returns a [`SweepReport`] bit-identical — wall-clock
+//! fields aside — to an uninterrupted run.
+//!
 //! Worker count comes from the caller, the `VSV_WORKERS` environment
 //! variable, or the host's available parallelism, in that order — see
 //! [`default_workers`].
@@ -21,6 +41,7 @@ use std::time::Instant;
 
 use vsv_workloads::WorkloadParams;
 
+use crate::error::SimError;
 use crate::report::RunResult;
 use crate::runner::Experiment;
 use crate::system::SystemConfig;
@@ -34,8 +55,57 @@ pub struct SweepJob {
     pub config: SystemConfig,
 }
 
-/// Everything measured about one finished job. This is the unit the
-/// progress callback sees and the row type of [`SweepReport`].
+/// How one grid cell ended: a measured result, or a typed failure.
+// `Ok` is ~430 bytes larger than `Failed`, but boxing the result
+// would push a heap indirection (and a non-derivable serde shape for
+// the vendored stand-ins) onto the overwhelmingly common path to
+// slim the rare one — not worth it for a per-job record.
+#[allow(clippy::large_enum_variant)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// The simulation completed; the deterministic measured window.
+    Ok(RunResult),
+    /// The simulation failed. The sweep still completed every other
+    /// cell; this cell's failure is data, not a dead sweep.
+    Failed {
+        /// What went wrong.
+        error: SimError,
+        /// Run attempts made (2 when a panicking job was retried
+        /// once — the bounded-retry policy; 1 otherwise).
+        attempts: u32,
+    },
+}
+
+impl JobOutcome {
+    /// The measured result, if the cell succeeded.
+    #[must_use]
+    pub fn result(&self) -> Option<&RunResult> {
+        match self {
+            JobOutcome::Ok(r) => Some(r),
+            JobOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The failure, if the cell failed.
+    #[must_use]
+    pub fn error(&self) -> Option<&SimError> {
+        match self {
+            JobOutcome::Ok(_) => None,
+            JobOutcome::Failed { error, .. } => Some(error),
+        }
+    }
+
+    /// Whether the cell succeeded.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        matches!(self, JobOutcome::Ok(_))
+    }
+}
+
+/// Everything recorded about one finished job. This is the unit the
+/// progress callback sees, the row type of [`SweepReport`], and the
+/// line type of the JSONL checkpoint.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobRecord {
@@ -45,16 +115,24 @@ pub struct JobRecord {
     pub workload: String,
     /// FNV-1a digest of the job's full `SystemConfig`, as 16 hex
     /// digits. Two jobs share a digest exactly when they share a
-    /// configuration, so reports remain comparable across runs
-    /// without serializing the whole config.
+    /// configuration, so reports remain comparable across runs — and
+    /// checkpoint resume validates it before trusting a cached cell.
     pub config_digest: String,
-    /// The simulation outcome (deterministic: simulated time, energy,
-    /// counters — everything `tests/determinism.rs` pins).
-    pub result: RunResult,
+    /// How the cell ended (deterministic: simulated time, energy,
+    /// counters, or the typed failure).
+    pub outcome: JobOutcome,
     /// Host wall-clock nanoseconds this job took. **Not**
     /// deterministic; consumers that digest reports must zero it
     /// first (see `tests/sweep_report_golden.rs`).
     pub wall_ns: u64,
+}
+
+impl JobRecord {
+    /// The measured result, if the job succeeded.
+    #[must_use]
+    pub fn result(&self) -> Option<&RunResult> {
+        self.outcome.result()
+    }
 }
 
 /// The serializable outcome of a whole sweep, in grid order.
@@ -74,9 +152,53 @@ pub struct SweepReport {
 
 impl SweepReport {
     /// The bare results in grid order, consuming the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell failed — positional consumers (the figure
+    /// binaries) would silently misalign on a gap. Check
+    /// [`SweepReport::failures`] first when failures are survivable.
     #[must_use]
     pub fn into_results(self) -> Vec<RunResult> {
-        self.records.into_iter().map(|r| r.result).collect()
+        let failed: Vec<String> = self
+            .failures()
+            .map(|r| format!("#{} {} ({})", r.job, r.workload, summarize(&r.outcome)))
+            .collect();
+        if !failed.is_empty() {
+            panic!(
+                "{} of {} sweep cells failed: {}",
+                failed.len(),
+                self.jobs,
+                failed.join("; ")
+            );
+        }
+        self.records
+            .into_iter()
+            .filter_map(|r| match r.outcome {
+                JobOutcome::Ok(result) => Some(result),
+                JobOutcome::Failed { .. } => None,
+            })
+            .collect()
+    }
+
+    /// The failed records, in grid order.
+    pub fn failures(&self) -> impl Iterator<Item = &JobRecord> {
+        self.records.iter().filter(|r| !r.outcome.is_ok())
+    }
+
+    /// Number of failed cells.
+    #[must_use]
+    pub fn failed_jobs(&self) -> usize {
+        self.failures().count()
+    }
+}
+
+fn summarize(outcome: &JobOutcome) -> String {
+    match outcome {
+        JobOutcome::Ok(_) => "ok".to_owned(),
+        JobOutcome::Failed { error, attempts } => {
+            format!("{} after {attempts} attempt(s)", error.kind())
+        }
     }
 }
 
@@ -96,14 +218,23 @@ pub fn config_digest(cfg: &SystemConfig) -> String {
 
 /// Worker count policy: `VSV_WORKERS` if set to a positive integer,
 /// otherwise the host's available parallelism (falling back to 1).
+///
+/// A set-but-unparsable `VSV_WORKERS` (empty, non-numeric, or zero)
+/// emits a one-line stderr warning naming the bad value instead of
+/// silently using host parallelism.
 #[must_use]
 pub fn default_workers() -> usize {
-    if let Some(n) = std::env::var("VSV_WORKERS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        if n >= 1 {
-            return n;
+    match std::env::var("VSV_WORKERS") {
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => eprintln!(
+                "warning: ignoring VSV_WORKERS={raw:?} (expected a positive \
+                 integer); using host parallelism"
+            ),
+        },
+        Err(std::env::VarError::NotPresent) => {}
+        Err(e @ std::env::VarError::NotUnicode(_)) => {
+            eprintln!("warning: ignoring VSV_WORKERS ({e}); using host parallelism")
         }
     }
     std::thread::available_parallelism()
@@ -172,6 +303,12 @@ impl Sweep {
         &self.jobs
     }
 
+    /// Mutable access to the grid — used to arm per-cell knobs such
+    /// as [`SystemConfig::inject_fault`] on a chosen cell.
+    pub fn jobs_mut(&mut self) -> &mut [SweepJob] {
+        &mut self.jobs
+    }
+
     /// Number of jobs in the grid.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -187,6 +324,11 @@ impl Sweep {
     /// Runs the grid on `workers` threads and returns the bare
     /// results in grid order. See [`Sweep::run_with_progress`] for
     /// the execution model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell failed (see [`SweepReport::into_results`]);
+    /// use [`Sweep::report`] to handle per-cell failures as data.
     #[must_use]
     pub fn run(&self, workers: usize) -> Vec<RunResult> {
         self.run_with_progress(workers, |_| {}).into_results()
@@ -206,49 +348,73 @@ impl Sweep {
     ///
     /// Determinism: each job's [`RunResult`] depends only on its
     /// `(params, config)` and the experiment scale — every simulator
-    /// is owned by exactly one job — so the result vector is
-    /// bit-identical for any `workers >= 1` and equal to a serial
-    /// loop over [`Experiment::run`]. Only the `wall_ns` fields vary
-    /// between runs.
+    /// is owned by exactly one job — so on an all-success grid the
+    /// result vector is bit-identical for any `workers >= 1` and
+    /// equal to a serial loop over [`Experiment::run`]. Only the
+    /// `wall_ns` fields vary between runs.
+    ///
+    /// Fault isolation: a job that fails — typed [`SimError`] or a
+    /// caught panic (retried once) — becomes a
+    /// [`JobOutcome::Failed`] record; every other cell still runs.
     ///
     /// `workers` is clamped to `[1, len()]` (a degenerate clamp of 1
     /// for an empty grid).
-    ///
-    /// # Panics
-    ///
-    /// Propagates panics from the simulator (a panicking simulation
-    /// is a bug worth surfacing, not hiding).
     #[must_use]
     pub fn run_with_progress<F>(&self, workers: usize, progress: F) -> SweepReport
     where
         F: Fn(&JobRecord) + Sync,
     {
+        let preloaded = std::iter::repeat_with(|| None)
+            .take(self.jobs.len())
+            .collect();
+        self.run_grid(workers, preloaded, &|r| progress(r))
+    }
+
+    /// The shared execution engine: runs every grid index whose
+    /// `preloaded` slot is `None`, invokes `on_record` for each newly
+    /// finished job, and assembles the full grid-ordered report from
+    /// cached plus fresh records.
+    fn run_grid(
+        &self,
+        workers: usize,
+        mut preloaded: Vec<Option<JobRecord>>,
+        on_record: &(dyn Fn(&JobRecord) + Sync),
+    ) -> SweepReport {
+        debug_assert_eq!(preloaded.len(), self.jobs.len());
         let workers = workers.max(1).min(self.jobs.len().max(1));
         let sweep_start = Instant::now();
+        let done: Vec<bool> = preloaded.iter().map(Option::is_some).collect();
         let next = AtomicUsize::new(0);
-        let mut records: Vec<Option<JobRecord>> = Vec::with_capacity(self.jobs.len());
-        records.resize_with(self.jobs.len(), || None);
         // One lock per slot: workers write disjoint indices, so there
         // is no contention — the Mutex exists only to hand each worker
         // a &mut to its own slot through the shared borrow.
         let slots: Vec<Mutex<&mut Option<JobRecord>>> =
-            records.iter_mut().map(Mutex::new).collect();
+            preloaded.iter_mut().map(Mutex::new).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = self.jobs.get(i) else { break };
+                    if done[i] {
+                        continue;
+                    }
                     let job_start = Instant::now();
-                    let result = self.experiment.run(&job.params, job.config);
+                    let (outcome, _) = execute_job(&self.experiment, job);
                     let record = JobRecord {
                         job: i,
                         workload: job.params.name.to_owned(),
                         config_digest: config_digest(&job.config),
-                        result,
+                        outcome,
                         wall_ns: u64::try_from(job_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
                     };
-                    progress(&record);
-                    **slots[i].lock().expect("slot lock") = Some(record);
+                    on_record(&record);
+                    match slots[i].lock() {
+                        Ok(mut slot) => **slot = Some(record),
+                        // A slot mutex can only be poisoned by a panic
+                        // in on_record; the record is still ours to
+                        // write.
+                        Err(poisoned) => **poisoned.into_inner() = Some(record),
+                    }
                 });
             }
         });
@@ -257,13 +423,429 @@ impl Sweep {
             jobs: self.jobs.len(),
             workers,
             wall_ns: u64::try_from(sweep_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
-            records: records
+            records: preloaded
                 .into_iter()
-                .map(|r| r.expect("every slot filled"))
+                .enumerate()
+                .map(|(i, r)| r.unwrap_or_else(|| unreachable!("slot {i} unfilled")))
                 .collect(),
         }
     }
 }
+
+/// Runs one job behind a panic boundary with the bounded-retry
+/// policy: a typed [`SimError`] is final; a panic is retried exactly
+/// once (in case transient host state — not the deterministic model —
+/// poisoned the first attempt) and then recorded as
+/// [`SimError::Panic`]. Returns the outcome and the attempt count.
+fn execute_job(experiment: &Experiment, job: &SweepJob) -> (JobOutcome, u32) {
+    const MAX_ATTEMPTS: u32 = 2;
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            experiment.try_run(&job.params, job.config)
+        }));
+        match caught {
+            Ok(Ok(result)) => return (JobOutcome::Ok(result), attempts),
+            Ok(Err(error)) => return (JobOutcome::Failed { error, attempts }, attempts),
+            Err(payload) => {
+                if attempts >= MAX_ATTEMPTS {
+                    let error = SimError::Panic {
+                        // `&*` derefs the Box so the downcast sees the
+                        // payload, not the Box itself.
+                        message: panic_message(&*payload),
+                    };
+                    return (JobOutcome::Failed { error, attempts }, attempts);
+                }
+            }
+        }
+    }
+}
+
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(feature = "serde")]
+mod checkpoint {
+    //! JSONL checkpointing: a header line pinning the grid shape and
+    //! experiment scale, then one [`JobRecord`] line per finished
+    //! job, appended as jobs complete so a killed sweep loses at most
+    //! the in-flight cells.
+
+    use std::io::{Seek, Write};
+    use std::path::Path;
+    use std::sync::Mutex;
+
+    use super::{config_digest, JobRecord, Sweep, SweepReport};
+
+    /// First line of every checkpoint file: rejects resumes against a
+    /// different grid or experiment scale before any digest check.
+    #[derive(serde::Serialize, serde::Deserialize, Debug, PartialEq)]
+    struct CheckpointHeader {
+        version: u32,
+        jobs: usize,
+        warmup_instructions: u64,
+        instructions: u64,
+    }
+
+    const CHECKPOINT_VERSION: u32 = 1;
+
+    /// Why a checkpoint could not be written or resumed.
+    #[derive(Debug)]
+    pub enum CheckpointError {
+        /// Filesystem failure (open, append, truncate).
+        Io {
+            /// The checkpoint path.
+            path: String,
+            /// The underlying error.
+            error: String,
+        },
+        /// A non-final line failed to parse — the file is corrupt
+        /// beyond the crash-truncation the format tolerates.
+        Corrupt {
+            /// 1-based line number.
+            line: usize,
+            /// Parse error.
+            error: String,
+        },
+        /// The header does not match this sweep (different grid size,
+        /// experiment scale, or format version).
+        HeaderMismatch {
+            /// What differed.
+            reason: String,
+        },
+        /// A record's job index is outside this sweep's grid.
+        JobOutOfRange {
+            /// The out-of-range index.
+            job: usize,
+            /// The grid size.
+            jobs: usize,
+        },
+        /// A record's config digest does not match the sweep's
+        /// configuration for that cell — the checkpoint belongs to a
+        /// different grid.
+        DigestMismatch {
+            /// The grid cell.
+            job: usize,
+            /// Digest of this sweep's configuration.
+            expected: String,
+            /// Digest recorded in the checkpoint.
+            found: String,
+        },
+        /// A record's workload name does not match the sweep's
+        /// parameter point for that cell.
+        WorkloadMismatch {
+            /// The grid cell.
+            job: usize,
+            /// This sweep's workload name.
+            expected: String,
+            /// Name recorded in the checkpoint.
+            found: String,
+        },
+    }
+
+    impl std::fmt::Display for CheckpointError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                CheckpointError::Io { path, error } => {
+                    write!(f, "checkpoint io error at {path}: {error}")
+                }
+                CheckpointError::Corrupt { line, error } => {
+                    write!(f, "checkpoint corrupt at line {line}: {error}")
+                }
+                CheckpointError::HeaderMismatch { reason } => {
+                    write!(f, "checkpoint header mismatch: {reason}")
+                }
+                CheckpointError::JobOutOfRange { job, jobs } => {
+                    write!(f, "checkpoint record for job {job} outside grid of {jobs}")
+                }
+                CheckpointError::DigestMismatch {
+                    job,
+                    expected,
+                    found,
+                } => write!(
+                    f,
+                    "checkpoint config digest mismatch for job {job}: \
+                     sweep has {expected}, checkpoint has {found}"
+                ),
+                CheckpointError::WorkloadMismatch {
+                    job,
+                    expected,
+                    found,
+                } => write!(
+                    f,
+                    "checkpoint workload mismatch for job {job}: \
+                     sweep has {expected:?}, checkpoint has {found:?}"
+                ),
+            }
+        }
+    }
+
+    impl std::error::Error for CheckpointError {}
+
+    /// The validated prefix of an existing checkpoint file.
+    struct LoadedCheckpoint {
+        /// Cached records by grid index.
+        records: Vec<Option<JobRecord>>,
+        /// Byte length of the valid prefix (everything after is a
+        /// half-written crash tail to truncate away).
+        valid_len: u64,
+        /// Whether the valid prefix ends without a newline (a record
+        /// fully written but unterminated — the next append must
+        /// start on a fresh line).
+        needs_newline: bool,
+        /// Whether a valid header line was found.
+        has_header: bool,
+    }
+
+    impl Sweep {
+        /// Runs the grid like [`Sweep::report`] while appending one
+        /// JSONL [`JobRecord`] line per finished job to a fresh
+        /// checkpoint file at `path` (created or truncated).
+        ///
+        /// # Errors
+        ///
+        /// [`CheckpointError::Io`] if the file cannot be created or
+        /// written.
+        pub fn report_with_checkpoint(
+            &self,
+            workers: usize,
+            path: &Path,
+        ) -> Result<SweepReport, CheckpointError> {
+            let file = std::fs::File::create(path).map_err(|e| io_err(path, &e))?;
+            let preloaded = std::iter::repeat_with(|| None).take(self.len()).collect();
+            self.run_checkpointed(workers, path, file, true, preloaded)
+        }
+
+        /// Resumes an interrupted checkpointed sweep: validates the
+        /// header and every cached record's config digest against
+        /// this grid, truncates away a half-written final line,
+        /// re-runs only the missing cells (appending their records),
+        /// and returns the complete grid-ordered report —
+        /// bit-identical, wall-clock fields aside, to an
+        /// uninterrupted [`Sweep::report_with_checkpoint`] run.
+        ///
+        /// A missing or empty checkpoint file degenerates to a fresh
+        /// checkpointed run.
+        ///
+        /// # Errors
+        ///
+        /// [`CheckpointError`] on filesystem failures, a corrupt
+        /// non-tail line, or any header/digest/workload mismatch
+        /// (the checkpoint belongs to a different sweep).
+        pub fn resume(&self, workers: usize, path: &Path) -> Result<SweepReport, CheckpointError> {
+            let content = match std::fs::read_to_string(path) {
+                Ok(c) => c,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+                Err(e) => return Err(io_err(path, &e)),
+            };
+            let loaded = self.parse_checkpoint(&content)?;
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .write(true)
+                // Deliberately not `truncate(true)`: the valid prefix
+                // must survive; `set_len` below trims only the crash
+                // tail.
+                .truncate(false)
+                .open(path)
+                .map_err(|e| io_err(path, &e))?;
+            file.set_len(loaded.valid_len)
+                .map_err(|e| io_err(path, &e))?;
+            file.seek(std::io::SeekFrom::End(0))
+                .map_err(|e| io_err(path, &e))?;
+            if loaded.needs_newline {
+                file.write_all(b"\n").map_err(|e| io_err(path, &e))?;
+            }
+            self.run_checkpointed(workers, path, file, !loaded.has_header, loaded.records)
+        }
+
+        /// Parses and validates the readable prefix of a checkpoint
+        /// file against this sweep's grid.
+        fn parse_checkpoint(&self, content: &str) -> Result<LoadedCheckpoint, CheckpointError> {
+            let mut loaded = LoadedCheckpoint {
+                records: std::iter::repeat_with(|| None).take(self.len()).collect(),
+                valid_len: 0,
+                needs_newline: false,
+                has_header: false,
+            };
+            let chunks: Vec<&str> = content.split_inclusive('\n').collect();
+            for (idx, chunk) in chunks.iter().enumerate() {
+                let terminated = chunk.ends_with('\n');
+                let is_tail = idx + 1 == chunks.len() && !terminated;
+                let line = chunk.trim_end_matches(['\n', '\r']);
+                if line.is_empty() {
+                    loaded.valid_len += chunk.len() as u64;
+                    continue;
+                }
+                if !loaded.has_header {
+                    match serde_json::from_str::<CheckpointHeader>(line) {
+                        Ok(header) => {
+                            self.validate_header(&header)?;
+                            loaded.has_header = true;
+                            loaded.valid_len += chunk.len() as u64;
+                            loaded.needs_newline = !terminated;
+                            continue;
+                        }
+                        Err(e) if is_tail => {
+                            // A crash mid-header: drop it and start
+                            // fresh.
+                            let _ = e;
+                            return Ok(loaded);
+                        }
+                        Err(e) => {
+                            return Err(CheckpointError::Corrupt {
+                                line: idx + 1,
+                                error: e.to_string(),
+                            })
+                        }
+                    }
+                }
+                match serde_json::from_str::<JobRecord>(line) {
+                    Ok(record) => {
+                        self.validate_record(&record)?;
+                        // Duplicate lines for one job (possible after
+                        // repeated crash/resume cycles): last wins.
+                        let slot = record.job;
+                        loaded.records[slot] = Some(record);
+                        loaded.valid_len += chunk.len() as u64;
+                        loaded.needs_newline = !terminated;
+                    }
+                    Err(_) if is_tail => {
+                        // The half-written line a kill can leave
+                        // behind; the cell simply re-runs.
+                    }
+                    Err(e) => {
+                        return Err(CheckpointError::Corrupt {
+                            line: idx + 1,
+                            error: e.to_string(),
+                        })
+                    }
+                }
+            }
+            Ok(loaded)
+        }
+
+        fn validate_header(&self, header: &CheckpointHeader) -> Result<(), CheckpointError> {
+            let expected = CheckpointHeader {
+                version: CHECKPOINT_VERSION,
+                jobs: self.len(),
+                warmup_instructions: self.experiment.warmup_instructions,
+                instructions: self.experiment.instructions,
+            };
+            if *header != expected {
+                return Err(CheckpointError::HeaderMismatch {
+                    reason: format!("checkpoint has {header:?}, sweep expects {expected:?}"),
+                });
+            }
+            Ok(())
+        }
+
+        fn validate_record(&self, record: &JobRecord) -> Result<(), CheckpointError> {
+            let Some(job) = self.jobs().get(record.job) else {
+                return Err(CheckpointError::JobOutOfRange {
+                    job: record.job,
+                    jobs: self.len(),
+                });
+            };
+            let expected = config_digest(&job.config);
+            if record.config_digest != expected {
+                return Err(CheckpointError::DigestMismatch {
+                    job: record.job,
+                    expected,
+                    found: record.config_digest.clone(),
+                });
+            }
+            if record.workload != job.params.name {
+                return Err(CheckpointError::WorkloadMismatch {
+                    job: record.job,
+                    expected: job.params.name.to_owned(),
+                    found: record.workload.clone(),
+                });
+            }
+            Ok(())
+        }
+
+        /// Runs the missing cells, streaming each fresh record to the
+        /// checkpoint file (flushed per line, so a kill loses at most
+        /// the in-flight cells).
+        fn run_checkpointed(
+            &self,
+            workers: usize,
+            path: &Path,
+            file: std::fs::File,
+            write_header: bool,
+            preloaded: Vec<Option<JobRecord>>,
+        ) -> Result<SweepReport, CheckpointError> {
+            let mut writer = std::io::BufWriter::new(file);
+            if write_header {
+                let header = CheckpointHeader {
+                    version: CHECKPOINT_VERSION,
+                    jobs: self.len(),
+                    warmup_instructions: self.experiment.warmup_instructions,
+                    instructions: self.experiment.instructions,
+                };
+                append_line(&mut writer, &header).map_err(|e| io_string_err(path, &e))?;
+            }
+            let sink: Mutex<(std::io::BufWriter<std::fs::File>, Option<String>)> =
+                Mutex::new((writer, None));
+            let report = self.run_grid(workers, preloaded, &|record| {
+                let mut guard = match sink.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                let (writer, first_error) = &mut *guard;
+                if first_error.is_none() {
+                    if let Err(e) = append_line(writer, record) {
+                        *first_error = Some(e);
+                    }
+                }
+            });
+            let (_, error) = match sink.into_inner() {
+                Ok(pair) => pair,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            match error {
+                Some(e) => Err(io_string_err(path, &e)),
+                None => Ok(report),
+            }
+        }
+    }
+
+    /// Serializes `value` as one JSONL line and flushes it.
+    fn append_line<T: serde::Serialize>(
+        writer: &mut std::io::BufWriter<std::fs::File>,
+        value: &T,
+    ) -> Result<(), String> {
+        let json = serde_json::to_string(value).map_err(|e| e.to_string())?;
+        writeln!(writer, "{json}").map_err(|e| e.to_string())?;
+        writer.flush().map_err(|e| e.to_string())
+    }
+
+    fn io_err(path: &Path, e: &std::io::Error) -> CheckpointError {
+        CheckpointError::Io {
+            path: path.display().to_string(),
+            error: e.to_string(),
+        }
+    }
+
+    fn io_string_err(path: &Path, e: &str) -> CheckpointError {
+        CheckpointError::Io {
+            path: path.display().to_string(),
+            error: e.to_owned(),
+        }
+    }
+}
+
+#[cfg(feature = "serde")]
+pub use checkpoint::CheckpointError;
 
 #[cfg(test)]
 mod tests {
@@ -284,6 +866,7 @@ mod tests {
         let report = sweep.report(4);
         assert_eq!(report.jobs, 0);
         assert!(report.records.is_empty());
+        assert_eq!(report.failed_jobs(), 0);
     }
 
     #[test]
@@ -304,9 +887,10 @@ mod tests {
             report.records[0].config_digest,
             report.records[1].config_digest
         );
-        // Records carry their grid index.
+        // Records carry their grid index and all succeeded.
         for (i, r) in report.records.iter().enumerate() {
             assert_eq!(r.job, i);
+            assert!(r.outcome.is_ok());
         }
     }
 
@@ -349,5 +933,55 @@ mod tests {
     #[test]
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn typed_failure_is_recorded_not_propagated() {
+        let twins = [twin("gzip").expect("gzip")];
+        let mut sweep = Sweep::over_grid(
+            tiny(),
+            &twins,
+            &[SystemConfig::baseline(), SystemConfig::vsv_with_fsms()],
+        );
+        sweep.jobs_mut()[1].config.inject_fault = Some(crate::FaultKind::Deadlock);
+        let report = sweep.report(2);
+        assert_eq!(report.records.len(), 2);
+        assert!(report.records[0].outcome.is_ok());
+        match &report.records[1].outcome {
+            JobOutcome::Failed { error, attempts } => {
+                assert_eq!(error.kind(), "deadlock");
+                assert_eq!(*attempts, 1, "typed errors are final, not retried");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert_eq!(report.failed_jobs(), 1);
+    }
+
+    #[test]
+    fn panicking_cell_is_retried_once_then_recorded() {
+        let twins = [twin("gzip").expect("gzip")];
+        let mut sweep = Sweep::over_grid(tiny(), &twins, &[SystemConfig::baseline()]);
+        sweep.jobs_mut()[0].config.inject_fault = Some(crate::FaultKind::Panic);
+        let report = sweep.report(1);
+        match &report.records[0].outcome {
+            JobOutcome::Failed { error, attempts } => {
+                assert_eq!(error.kind(), "panic");
+                assert_eq!(*attempts, 2, "one bounded retry for panics");
+                assert!(
+                    error.to_string().contains("injected panic fault"),
+                    "{error}"
+                );
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep cells failed")]
+    fn into_results_panics_on_failure() {
+        let twins = [twin("gzip").expect("gzip")];
+        let mut sweep = Sweep::over_grid(tiny(), &twins, &[SystemConfig::baseline()]);
+        sweep.jobs_mut()[0].config.inject_fault = Some(crate::FaultKind::Deadlock);
+        let _ = sweep.report(1).into_results();
     }
 }

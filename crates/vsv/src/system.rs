@@ -7,9 +7,18 @@ use vsv_power::{ActivitySample, PowerAccountant, PowerConfig, StructureId};
 use vsv_prefetch::{TimeKeeping, TimeKeepingConfig};
 use vsv_uarch::{Core, CoreConfig, CoreStats, CycleActivity};
 
-use crate::controller::{ModeStats, VsvConfig, VsvController};
+use crate::controller::{Mode, ModeStats, VsvConfig, VsvController};
+use crate::error::{FaultKind, ModeTransition, SimError};
 use crate::report::RunResult;
 use crate::trace::{ModeTrace, TraceSample};
+
+/// Simulated nanoseconds without a commit before the watchdog
+/// declares a model deadlock (2 ms of simulated time).
+const DEADLOCK_WINDOW_NS: u64 = 2_000_000;
+
+/// How many controller mode transitions the always-on diagnostic ring
+/// retains for deadlock reports.
+const TRANSITION_RING_LEN: usize = 8;
 
 /// Configuration of the whole simulated system.
 #[derive(Debug, Clone, Copy)]
@@ -30,6 +39,17 @@ pub struct SystemConfig {
     /// are bit-identical either way (the equivalence suite proves it);
     /// the flag exists so tests can pin the ns-stepped reference path.
     pub fast_forward: bool,
+    /// Watchdog budget: hard ceiling on *simulated* nanoseconds per
+    /// [`System::run`]/[`System::warm_up`] window. A window that
+    /// exceeds it fails with [`SimError::BudgetExhausted`] instead of
+    /// simulating forever. `None` (the default) means unlimited;
+    /// `Some(0)` is rejected by [`SystemConfig::validate`].
+    pub max_sim_ns: Option<u64>,
+    /// Test-only fault injection: forces the next run window to fail
+    /// with the given [`FaultKind`], so sweep-engine error paths can
+    /// be exercised deterministically end to end. `None` (the
+    /// default) in production.
+    pub inject_fault: Option<FaultKind>,
 }
 
 impl SystemConfig {
@@ -44,6 +64,8 @@ impl SystemConfig {
             vsv: VsvConfig::disabled(),
             timekeeping: false,
             fast_forward: true,
+            max_sim_ns: None,
+            inject_fault: None,
         }
     }
 
@@ -87,6 +109,40 @@ impl SystemConfig {
         self.fast_forward = on;
         self
     }
+
+    /// Sets the per-window simulated-time watchdog budget (`None`
+    /// disables it — the default).
+    #[must_use]
+    pub fn with_max_sim_ns(mut self, limit: Option<u64>) -> Self {
+        self.max_sim_ns = limit;
+        self
+    }
+
+    /// Arms the test-only fault-injection hook: the next run window
+    /// fails with `kind` (see [`SystemConfig::inject_fault`]).
+    #[must_use]
+    pub fn with_injected_fault(mut self, kind: FaultKind) -> Self {
+        self.inject_fault = Some(kind);
+        self
+    }
+
+    /// Validates the whole configuration tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] describing the first
+    /// inconsistency (core widths/structures, power-model ranges, a
+    /// zero watchdog budget).
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.core.validate().map_err(SimError::invalid_config)?;
+        self.power.validate().map_err(SimError::invalid_config)?;
+        if self.max_sim_ns == Some(0) {
+            return Err(SimError::invalid_config(
+                "max_sim_ns must be nonzero when set (Some(0) exhausts instantly)",
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Snapshot of every counter we difference across a measurement
@@ -126,6 +182,13 @@ pub struct System<S> {
     workload: String,
     trace: Option<ModeTrace>,
     fast_forward: bool,
+    max_sim_ns: Option<u64>,
+    inject_fault: Option<FaultKind>,
+    // Always-on diagnostic ring: the last few controller mode
+    // transitions, so a deadlock error is a self-contained bug report
+    // even when full tracing is off. Bounded at TRANSITION_RING_LEN.
+    last_mode: Mode,
+    recent_transitions: std::collections::VecDeque<ModeTransition>,
 }
 
 impl<S: InstStream> System<S> {
@@ -133,9 +196,22 @@ impl<S: InstStream> System<S> {
     ///
     /// # Panics
     ///
-    /// Panics if any sub-configuration is invalid.
+    /// Panics if any sub-configuration is invalid; the fallible form
+    /// is [`System::try_new`].
     #[must_use]
     pub fn new(cfg: SystemConfig, stream: S) -> Self {
+        Self::try_new(cfg, stream).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the system over `stream`, validating the configuration
+    /// first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if any sub-configuration
+    /// fails [`SystemConfig::validate`].
+    pub fn try_new(cfg: SystemConfig, stream: S) -> Result<Self, SimError> {
+        cfg.validate()?;
         let mut core = Core::new(cfg.core, Hierarchy::new(cfg.mem), stream);
         if cfg.timekeeping {
             let l1d = cfg.mem.l1d;
@@ -155,7 +231,13 @@ impl<S: InstStream> System<S> {
             bus_transactions: 0,
             mode: controller.stats(),
         };
-        System {
+        let last_mode = controller.mode();
+        let mut recent_transitions = std::collections::VecDeque::with_capacity(TRANSITION_RING_LEN);
+        recent_transitions.push_back(ModeTransition {
+            at_ns: 0,
+            mode: last_mode,
+        });
+        Ok(System {
             core,
             controller,
             power: PowerAccountant::new(cfg.power),
@@ -164,7 +246,11 @@ impl<S: InstStream> System<S> {
             workload: String::new(),
             trace: None,
             fast_forward: cfg.fast_forward,
-        }
+            max_sim_ns: cfg.max_sim_ns,
+            inject_fault: cfg.inject_fault,
+            last_mode,
+            recent_transitions,
+        })
     }
 
     /// Names the workload in produced [`RunResult`]s.
@@ -213,8 +299,20 @@ impl<S: InstStream> System<S> {
     /// next [`System::run`] reports steady-state numbers (the paper
     /// warms caches during fast-forward, §5).
     pub fn warm_up(&mut self, instructions: u64) {
-        let _ = self.run_internal(instructions);
+        self.try_warm_up(instructions)
+            .unwrap_or_else(|e| panic!("warm-up failed: {e}"));
+    }
+
+    /// Fallible form of [`System::warm_up`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SimError`] that ended the warm-up window early
+    /// (deadlock, exhausted budget, injected fault).
+    pub fn try_warm_up(&mut self, instructions: u64) -> Result<(), SimError> {
+        let _ = self.run_internal(instructions)?;
         self.reset_measurement();
+        Ok(())
     }
 
     /// Runs `instructions` committed instructions and reports the
@@ -223,12 +321,42 @@ impl<S: InstStream> System<S> {
     /// # Panics
     ///
     /// Panics if the machine stops making forward progress (a model
-    /// deadlock — indicates a simulator bug).
+    /// deadlock — indicates a simulator bug) or exceeds its
+    /// [`SystemConfig::max_sim_ns`] budget; the fallible form is
+    /// [`System::try_run`].
     pub fn run(&mut self, instructions: u64) -> RunResult {
+        self.run_internal(instructions)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs `instructions` committed instructions and reports the
+    /// measured window, returning failures as typed [`SimError`]s
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] if no instruction commits for 2 ms of
+    /// simulated time; [`SimError::BudgetExhausted`] if the window
+    /// exceeds [`SystemConfig::max_sim_ns`]; the injected error when
+    /// [`SystemConfig::inject_fault`] is armed.
+    pub fn try_run(&mut self, instructions: u64) -> Result<RunResult, SimError> {
         self.run_internal(instructions)
     }
 
-    fn run_internal(&mut self, instructions: u64) -> RunResult {
+    fn run_internal(&mut self, instructions: u64) -> Result<RunResult, SimError> {
+        if let Some(kind) = self.inject_fault {
+            match kind {
+                // Same construction path as the real detector below,
+                // so the injected error is shaped exactly like a
+                // genuine one.
+                FaultKind::Deadlock => return Err(self.deadlock_error()),
+                FaultKind::Panic => panic!(
+                    "injected panic fault (SystemConfig::inject_fault) at t={}",
+                    self.now
+                ),
+            }
+        }
+        let window_start = self.now;
         let target = self.core.committed() + instructions;
         let mut last_committed = self.core.committed();
         let mut last_progress_at = self.now;
@@ -237,23 +365,37 @@ impl<S: InstStream> System<S> {
                 self.try_fast_forward();
             }
             self.step();
+            if let Some(limit) = self.max_sim_ns {
+                if self.now - window_start >= limit {
+                    return Err(SimError::BudgetExhausted {
+                        limit_ns: limit,
+                        at: self.now,
+                        committed: self.core.committed(),
+                        workload: self.workload.clone(),
+                    });
+                }
+            }
             let committed = self.core.committed();
             if committed != last_committed {
                 last_committed = committed;
                 last_progress_at = self.now;
-            } else {
-                assert!(
-                    self.now - last_progress_at < 2_000_000,
-                    "no commit progress for 2 ms of simulated time at t={} \
-                     (committed={committed}, workload={:?}, mode={:?}): \
-                     simulator deadlock",
-                    self.now,
-                    self.workload,
-                    self.controller.mode()
-                );
+            } else if self.now - last_progress_at >= DEADLOCK_WINDOW_NS {
+                return Err(self.deadlock_error());
             }
         }
-        self.finish_window()
+        Ok(self.finish_window())
+    }
+
+    /// Builds a [`SimError::Deadlock`] for the current machine state,
+    /// attaching the diagnostic transition ring.
+    fn deadlock_error(&self) -> SimError {
+        SimError::Deadlock {
+            at: self.now,
+            committed: self.core.committed(),
+            workload: self.workload.clone(),
+            mode: self.controller.mode(),
+            recent_transitions: self.recent_transitions.iter().copied().collect(),
+        }
     }
 
     /// Jumps `self.now` forward to the next scheduled memory event (or
@@ -328,6 +470,15 @@ impl<S: InstStream> System<S> {
             .visit_vsv_signals(|sig| controller.observe(sig));
         let outstanding = self.core.mem().outstanding_demand_misses();
         let plan = self.controller.tick(now, outstanding);
+        let mode = self.controller.mode();
+        if mode != self.last_mode {
+            self.last_mode = mode;
+            if self.recent_transitions.len() == TRANSITION_RING_LEN {
+                self.recent_transitions.pop_front();
+            }
+            self.recent_transitions
+                .push_back(ModeTransition { at_ns: now, mode });
+        }
         for _ in 0..self.controller.take_ramps() {
             self.power.record_ramp();
         }
@@ -611,6 +762,109 @@ mod tests {
             "window counts only measured insts (8-wide commit may overshoot): {}",
             r.instructions
         );
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error() {
+        let mut cfg = SystemConfig::baseline();
+        cfg.core.issue_width = 0;
+        let err = System::try_new(cfg, Generator::new(WorkloadParams::compute_bound("t")))
+            .expect_err("invalid");
+        assert_eq!(err.kind(), "invalid-config");
+        assert!(err.to_string().contains("issue_width"), "{err}");
+        let zero_budget = SystemConfig::baseline().with_max_sim_ns(Some(0));
+        assert!(zero_budget.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid configuration")]
+    fn new_still_panics_on_invalid_config() {
+        let mut cfg = SystemConfig::baseline();
+        cfg.core.issue_width = 0;
+        let _ = System::new(cfg, Generator::new(WorkloadParams::compute_bound("t")));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_a_typed_error() {
+        // A 50-ns budget cannot hold a 20k-instruction window.
+        let cfg = SystemConfig::baseline().with_max_sim_ns(Some(50));
+        let mut sys = System::new(cfg, Generator::new(WorkloadParams::compute_bound("t")));
+        sys.set_workload_name("budget");
+        let err = sys.try_run(20_000).expect_err("budget too small");
+        match err {
+            SimError::BudgetExhausted {
+                limit_ns, workload, ..
+            } => {
+                assert_eq!(limit_ns, 50);
+                assert_eq!(workload, "budget");
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        // A generous budget changes nothing.
+        let cfg = SystemConfig::baseline().with_max_sim_ns(Some(u64::MAX));
+        let mut sys = System::new(cfg, Generator::new(WorkloadParams::compute_bound("t")));
+        assert!(sys.try_run(5_000).is_ok());
+    }
+
+    #[test]
+    fn injected_deadlock_is_typed_and_carries_the_ring() {
+        let cfg = SystemConfig::vsv_with_fsms().with_injected_fault(crate::FaultKind::Deadlock);
+        let mut sys = System::new(cfg, Generator::new(memory_bound_params()));
+        sys.set_workload_name("membound");
+        let err = sys.try_warm_up(5_000).expect_err("fault armed");
+        match &err {
+            SimError::Deadlock {
+                workload,
+                recent_transitions,
+                ..
+            } => {
+                assert_eq!(workload, "membound");
+                assert!(
+                    !recent_transitions.is_empty(),
+                    "ring seeds the initial mode"
+                );
+                assert!(recent_transitions.len() <= 8);
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "injected panic fault")]
+    fn injected_panic_panics() {
+        let cfg = SystemConfig::baseline().with_injected_fault(crate::FaultKind::Panic);
+        let mut sys = System::new(cfg, Generator::new(WorkloadParams::compute_bound("t")));
+        let _ = sys.run(1_000);
+    }
+
+    #[test]
+    fn transition_ring_tracks_mode_changes() {
+        let mut sys = System::new(
+            SystemConfig::vsv_with_fsms(),
+            Generator::new(memory_bound_params()),
+        );
+        sys.warm_up(5_000);
+        let r = sys.run(20_000);
+        assert!(r.mode.down_transitions > 0, "memory-bound twin must dip");
+        // Force a deadlock report and check the ring came along.
+        sys.inject_fault = Some(crate::FaultKind::Deadlock);
+        let err = sys.try_run(1_000).expect_err("fault armed");
+        match err {
+            SimError::Deadlock {
+                recent_transitions, ..
+            } => {
+                assert!(
+                    recent_transitions.len() >= 2,
+                    "a run with mode activity fills the ring: {recent_transitions:?}"
+                );
+                assert!(recent_transitions.len() <= 8, "ring is bounded");
+                for pair in recent_transitions.windows(2) {
+                    assert!(pair[0].at_ns <= pair[1].at_ns, "oldest first");
+                    assert_ne!(pair[0].mode, pair[1].mode, "entries are transitions");
+                }
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
     }
 
     #[test]

@@ -48,7 +48,11 @@ fn pinned_json() -> String {
 /// regenerate with:
 /// `cargo test -p vsv-repro --test sweep_report_golden -- --nocapture --ignored print_digest`
 /// and update this constant.
-const PINNED_DIGEST: u64 = 0x30b7_c227_d759_33b6;
+// Last updated for the fault-tolerance PR: `JobRecord.result`
+// became `JobRecord.outcome` (a tagged `JobOutcome`), and
+// `SystemConfig` gained `max_sim_ns`/`inject_fault` (which shift
+// every `config_digest`).
+const PINNED_DIGEST: u64 = 0xce83_b23f_ad85_844b;
 
 #[test]
 fn report_json_matches_pinned_digest() {
@@ -90,7 +94,7 @@ fn report_shape_is_stable() {
         .get("records")
         .and_then(|r| r.as_array())
         .expect("records")[0];
-    for key in ["job", "workload", "config_digest", "result", "wall_ns"] {
+    for key in ["job", "workload", "config_digest", "outcome", "wall_ns"] {
         assert!(first.get(key).is_some(), "missing record key {key}");
     }
 }
