@@ -1,0 +1,199 @@
+//! Cross-policy DVS benchmark: every built-in [`PolicySpec`] against
+//! the disabled baseline over the SPEC2K twin mix, reporting energy,
+//! energy-delay product, slowdown and power savings per policy. Emits
+//! `BENCH_policy.json` via the in-tree serde.
+//!
+//! Usage: `cargo run --release -p vsv-bench --bin policy_compare`
+//! Scale via `VSV_INSTS` / `VSV_WARMUP`. Extra environment:
+//!
+//! * `VSV_POLICY_JSON` — output path (default `BENCH_policy.json` in
+//!   the working directory);
+//! * `VSV_WORKERS` — sweep worker threads (the grid runs on the
+//!   parallel deterministic sweep engine, so results are bit-identical
+//!   for any worker count).
+
+use vsv::{default_workers, Comparison, PolicySpec, Sweep, SystemConfig};
+use vsv_bench::{experiment_from_env, rule};
+use vsv_workloads::spec2k_twins;
+
+/// One (twin, policy) cell, relative to the same twin's baseline run.
+#[derive(Debug, Clone, serde::Serialize)]
+struct Record {
+    /// Workload (SPEC2K twin) name.
+    workload: String,
+    /// Policy name (`"disabled"` for the baseline row).
+    policy: String,
+    /// Simulated nanoseconds in the measured window.
+    elapsed_ns: u64,
+    /// Demand MPKI (to identify memory-bound twins).
+    mpki: f64,
+    /// Total energy in the measured window (mJ).
+    energy_mj: f64,
+    /// Energy-delay product (mJ·ms).
+    edp_mj_ms: f64,
+    /// Fraction of time at VDDL.
+    low_residency: f64,
+    /// Execution-time increase vs. the baseline (%).
+    slowdown_pct: f64,
+    /// Average-power saving vs. the baseline (%).
+    power_saving_pct: f64,
+}
+
+/// Means of one policy's per-twin metrics.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+struct PolicySummary {
+    /// Policy name.
+    policy: String,
+    /// Twins aggregated.
+    twins: usize,
+    /// Mean slowdown vs. baseline (%).
+    mean_slowdown_pct: f64,
+    /// Mean average-power saving vs. baseline (%).
+    mean_power_saving_pct: f64,
+    /// Mean EDP relative to baseline (1.0 = no change; < 1 better).
+    mean_edp_ratio: f64,
+    /// Mean low-mode residency.
+    mean_low_residency: f64,
+}
+
+fn summarize(policy: &str, rows: &[(Record, f64)]) -> PolicySummary {
+    let n = rows.len().max(1) as f64;
+    PolicySummary {
+        policy: policy.to_owned(),
+        twins: rows.len(),
+        mean_slowdown_pct: rows.iter().map(|(r, _)| r.slowdown_pct).sum::<f64>() / n,
+        mean_power_saving_pct: rows.iter().map(|(r, _)| r.power_saving_pct).sum::<f64>() / n,
+        mean_edp_ratio: rows
+            .iter()
+            .map(|(r, base_edp)| r.edp_mj_ms / base_edp)
+            .sum::<f64>()
+            / n,
+        mean_low_residency: rows.iter().map(|(r, _)| r.low_residency).sum::<f64>() / n,
+    }
+}
+
+/// The emitted report.
+#[derive(Debug, Clone, serde::Serialize)]
+struct Report {
+    /// Measured instructions per run.
+    instructions_per_run: u64,
+    /// Warm-up instructions per run.
+    warmup_per_run: u64,
+    /// Every (twin, policy) cell, twin-major in grid order.
+    records: Vec<Record>,
+    /// Per-policy means over all twins.
+    summaries: Vec<PolicySummary>,
+    /// Per-policy means restricted to memory-bound twins (baseline
+    /// MPKI > 4), where the policies actually differ.
+    memory_bound_summaries: Vec<PolicySummary>,
+}
+
+fn main() {
+    let e = experiment_from_env();
+    let twins = spec2k_twins();
+    let mut configs = vec![SystemConfig::baseline()];
+    configs.extend(
+        PolicySpec::ALL
+            .iter()
+            .map(|p| SystemConfig::with_policy(*p)),
+    );
+    let labels: Vec<&str> = std::iter::once("disabled")
+        .chain(PolicySpec::ALL.iter().map(|p| p.name()))
+        .collect();
+
+    println!(
+        "Policy compare: baseline + {} policies × {} twins ({} insts/run)",
+        PolicySpec::ALL.len(),
+        twins.len(),
+        e.instructions
+    );
+
+    let sweep = Sweep::over_grid(e, &twins, &configs);
+    let report = sweep.report(default_workers());
+    assert_eq!(report.failed_jobs(), 0, "policy sweep had failing cells");
+    let results = report.into_results();
+
+    println!(
+        "{:<10} {:<15} | {:>10} {:>11} | {:>9} {:>7} {:>6}",
+        "twin", "policy", "energy_mJ", "EDP(mJ·ms)", "slowdown%", "saved%", "low%"
+    );
+    rule(78);
+
+    let mut records = Vec::new();
+    // (record, baseline EDP of the same twin) per policy label.
+    let mut by_policy: Vec<Vec<(Record, f64)>> = vec![Vec::new(); labels.len()];
+    let mut mb_by_policy: Vec<Vec<(Record, f64)>> = vec![Vec::new(); labels.len()];
+    for (twin, chunk) in twins.iter().zip(results.chunks(labels.len())) {
+        let base = &chunk[0];
+        let base_edp = (base.energy_pj / 1e9) * base.elapsed_ns as f64 / 1e6;
+        for (slot, (label, r)) in labels.iter().zip(chunk).enumerate() {
+            let cmp = Comparison::of(base, r);
+            let energy_mj = r.energy_pj / 1e9;
+            let rec = Record {
+                workload: twin.name.to_string(),
+                policy: (*label).to_owned(),
+                elapsed_ns: r.elapsed_ns,
+                mpki: r.mpki,
+                energy_mj,
+                edp_mj_ms: energy_mj * r.elapsed_ns as f64 / 1e6,
+                low_residency: r.mode.low_residency(),
+                slowdown_pct: cmp.perf_degradation_pct,
+                power_saving_pct: cmp.power_saving_pct,
+            };
+            println!(
+                "{:<10} {:<15} | {:>10.4} {:>11.4} | {:>9.2} {:>7.2} {:>6.1}",
+                rec.workload,
+                rec.policy,
+                rec.energy_mj,
+                rec.edp_mj_ms,
+                rec.slowdown_pct,
+                rec.power_saving_pct,
+                rec.low_residency * 100.0,
+            );
+            by_policy[slot].push((rec.clone(), base_edp));
+            if base.mpki > 4.0 {
+                mb_by_policy[slot].push((rec.clone(), base_edp));
+            }
+            records.push(rec);
+        }
+    }
+
+    let summaries: Vec<PolicySummary> = labels
+        .iter()
+        .zip(&by_policy)
+        .map(|(l, rows)| summarize(l, rows))
+        .collect();
+    let memory_bound_summaries: Vec<PolicySummary> = labels
+        .iter()
+        .zip(&mb_by_policy)
+        .map(|(l, rows)| summarize(l, rows))
+        .collect();
+
+    rule(78);
+    println!(
+        "{:<15} | {:>9} {:>7} {:>9} {:>6}  (means over memory-bound twins)",
+        "policy", "slowdown%", "saved%", "EDPratio", "low%"
+    );
+    for s in &memory_bound_summaries {
+        println!(
+            "{:<15} | {:>9.2} {:>7.2} {:>9.3} {:>6.1}",
+            s.policy,
+            s.mean_slowdown_pct,
+            s.mean_power_saving_pct,
+            s.mean_edp_ratio,
+            s.mean_low_residency * 100.0,
+        );
+    }
+
+    let out = Report {
+        instructions_per_run: e.instructions,
+        warmup_per_run: e.warmup_instructions,
+        records,
+        summaries,
+        memory_bound_summaries,
+    };
+    let path = std::env::var("VSV_POLICY_JSON").unwrap_or_else(|_| "BENCH_policy.json".to_string());
+    let json = serde_json::to_string_pretty(&out).expect("report serializes");
+    std::fs::write(&path, json).expect("report written");
+    println!("wrote {path}");
+}

@@ -7,7 +7,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use vsv::{Comparison, Experiment, Sweep, System, SystemConfig};
+use vsv::{Comparison, Experiment, PolicySpec, Sweep, System, SystemConfig};
 use vsv_workloads::{spec2k_twins, table2_reference, twin, Generator};
 
 /// Which system configuration a run uses.
@@ -66,9 +66,14 @@ pub enum Command {
         json: bool,
     },
     /// Run baseline vs. VSV-with-FSMs and print the paper metrics.
+    /// With `--policies`, run baseline vs. each named DVS policy and
+    /// print a per-policy energy/EDP/slowdown table.
     Compare {
         /// Twin name.
         twin: String,
+        /// DVS policies to compare against the baseline (empty: the
+        /// classic two-sided compare against `dual-fsm`).
+        policies: Vec<PolicySpec>,
         /// Attach Time-Keeping to both sides.
         timekeeping: bool,
         /// Measured instructions.
@@ -84,6 +89,9 @@ pub enum Command {
     Sweep {
         /// Twin name; `None` sweeps the whole suite.
         twin: Option<String>,
+        /// DVS policy for the VSV side of the grid (`None`: the
+        /// default `dual-fsm`).
+        policy: Option<PolicySpec>,
         /// Attach Time-Keeping to both sides.
         timekeeping: bool,
         /// Measured instructions.
@@ -138,6 +146,8 @@ impl Command {
         let mut checkpoint: Option<String> = None;
         let mut resume: Option<String> = None;
         let mut inject_fault: Option<usize> = None;
+        let mut policy: Option<PolicySpec> = None;
+        let mut policies: Vec<PolicySpec> = Vec::new();
 
         let next_value = |flag: &str, it: &mut std::slice::Iter<String>| {
             it.next()
@@ -170,6 +180,13 @@ impl Command {
                         .parse()
                         .map_err(|e| format!("--ns: {e}"))?;
                 }
+                "--policy" => policy = Some(parse_policy(&next_value("--policy", &mut it)?)?),
+                "--policies" => {
+                    policies = next_value("--policies", &mut it)?
+                        .split(',')
+                        .map(parse_policy)
+                        .collect::<Result<_, _>>()?;
+                }
                 "--svg" => svg = Some(next_value("--svg", &mut it)?),
                 "--checkpoint" => checkpoint = Some(next_value("--checkpoint", &mut it)?),
                 "--resume" => resume = Some(next_value("--resume", &mut it)?),
@@ -197,6 +214,7 @@ impl Command {
             }),
             "compare" => Ok(Command::Compare {
                 twin: need_twin(twin_name)?,
+                policies,
                 timekeeping,
                 insts,
                 warmup,
@@ -209,6 +227,7 @@ impl Command {
                 }
                 Ok(Command::Sweep {
                     twin: twin_name,
+                    policy,
                     timekeeping,
                     insts,
                     warmup,
@@ -237,10 +256,11 @@ USAGE:
   vsv-cli list
   vsv-cli run     --twin NAME [--config baseline|vsv-fsm|vsv-nofsm]
                   [--tk] [--insts N] [--warmup N] [--json]
-  vsv-cli compare --twin NAME [--tk] [--insts N] [--warmup N]
-                  [--workers N] [--json]
-  vsv-cli sweep   [--twin NAME] [--tk] [--insts N] [--warmup N]
-                  [--workers N] [--json] [--checkpoint FILE | --resume FILE]
+  vsv-cli compare --twin NAME [--policies A,B,..] [--tk] [--insts N]
+                  [--warmup N] [--workers N] [--json]
+  vsv-cli sweep   [--twin NAME] [--policy NAME] [--tk] [--insts N]
+                  [--warmup N] [--workers N] [--json]
+                  [--checkpoint FILE | --resume FILE]
                   [--inject-fault CELL]
   vsv-cli trace   --twin NAME [--ns N] [--svg FILE]
 
@@ -258,8 +278,17 @@ half-written final line from a crash) and re-runs only the rest.
 --inject-fault CELL arms a deterministic deadlock in grid cell CELL
 for exercising these paths (testing/CI).
 
+DVS policies (for --policy / --policies): dual-fsm (the paper's,
+default), always-high (no-DVS control), always-low (static low
+voltage), immediate-down (ramp on every L2 miss), oracle-down
+(clairvoyant upper bound). compare --policies runs the baseline plus
+each named policy on the same twin and prints per-policy energy, EDP,
+slowdown and power savings.
+
 EXAMPLES:
   vsv-cli compare --twin mcf
+  vsv-cli compare --twin mcf --policies dual-fsm,immediate-down,oracle-down
+  vsv-cli sweep --policy always-high --json
   vsv-cli run --twin applu --config vsv-fsm --tk --json
   vsv-cli sweep --workers 4 --json
   vsv-cli sweep --checkpoint sweep.jsonl   # then, after a crash:
@@ -328,6 +357,7 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
         }
         Command::Compare {
             twin: name,
+            policies,
             timekeeping,
             insts,
             warmup,
@@ -339,6 +369,16 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
                 warmup_instructions: warmup,
                 instructions: insts,
             };
+            if !policies.is_empty() {
+                return cross_policy_compare(
+                    e,
+                    params,
+                    &policies,
+                    timekeeping,
+                    resolve_workers(workers),
+                    json,
+                );
+            }
             // A compare is a two-job sweep: baseline then variant.
             let sweep = Sweep::over_grid(
                 e,
@@ -381,6 +421,7 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
         }
         Command::Sweep {
             twin: name,
+            policy,
             timekeeping,
             insts,
             warmup,
@@ -398,12 +439,16 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
                 warmup_instructions: warmup,
                 instructions: insts,
             };
+            let vsv_side = match policy {
+                Some(p) => SystemConfig::with_policy(p),
+                None => SystemConfig::vsv_with_fsms(),
+            };
             let mut sweep = Sweep::over_grid(
                 e,
                 &params,
                 &[
                     SystemConfig::baseline().with_timekeeping(timekeeping),
-                    SystemConfig::vsv_with_fsms().with_timekeeping(timekeeping),
+                    vsv_side.with_timekeeping(timekeeping),
                 ],
             );
             if let Some(cell) = inject_fault {
@@ -495,6 +540,84 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
     }
 }
 
+/// One row of the cross-policy comparison: the paper's headline
+/// metrics plus energy-delay product, relative to the same baseline
+/// run.
+#[derive(Debug, serde::Serialize)]
+struct PolicyRow {
+    /// Policy name (`"disabled"` for the baseline row).
+    policy: String,
+    /// Simulated time for the measured window (ns).
+    elapsed_ns: u64,
+    /// Total energy for the measured window (mJ).
+    energy_mj: f64,
+    /// Energy-delay product (mJ·ms): lower is better on both axes.
+    edp_mj_ms: f64,
+    /// Execution-time increase vs. the baseline (%).
+    slowdown_pct: f64,
+    /// Average-power saving vs. the baseline (%).
+    power_saving_pct: f64,
+}
+
+/// Runs `baseline` plus one VSV config per requested policy on one
+/// twin (a `1 × (1 + P)` sweep grid) and renders the per-policy
+/// energy/EDP/slowdown table (or its JSON rows).
+fn cross_policy_compare(
+    e: Experiment,
+    params: vsv_workloads::WorkloadParams,
+    policies: &[PolicySpec],
+    timekeeping: bool,
+    workers: usize,
+    json: bool,
+) -> Result<(String, i32), String> {
+    let mut configs = vec![SystemConfig::baseline().with_timekeeping(timekeeping)];
+    configs.extend(
+        policies
+            .iter()
+            .map(|p| SystemConfig::with_policy(*p).with_timekeeping(timekeeping)),
+    );
+    let sweep = Sweep::over_grid(e, &[params], &configs);
+    let report = sweep.report(workers);
+    if let Some(summary) = failure_summary(&report) {
+        return Err(summary);
+    }
+    let results = report.into_results();
+    let (base, rest) = match results.split_first() {
+        Some(split) => split,
+        None => return Err("compare produced no results".to_owned()),
+    };
+    let row = |name: &str, r: &vsv::RunResult| {
+        let cmp = Comparison::of(base, r);
+        let energy_mj = r.energy_pj / 1e9;
+        PolicyRow {
+            policy: name.to_owned(),
+            elapsed_ns: r.elapsed_ns,
+            energy_mj,
+            edp_mj_ms: energy_mj * r.elapsed_ns as f64 / 1e6,
+            slowdown_pct: cmp.perf_degradation_pct,
+            power_saving_pct: cmp.power_saving_pct,
+        }
+    };
+    let mut rows = vec![row("disabled", base)];
+    rows.extend(policies.iter().zip(rest).map(|(p, r)| row(p.name(), r)));
+    if json {
+        return serde_json::to_string_pretty(&rows)
+            .map(|s| (s, 0))
+            .map_err(|e| e.to_string());
+    }
+    let mut out = format!(
+        "{:<15} {:>11} {:>10} {:>11} {:>10} {:>8}\n",
+        "policy", "elapsed_ns", "energy_mJ", "EDP(mJ·ms)", "slowdown%", "saved%"
+    );
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<15} {:>11} {:>10.4} {:>11.4} {:>10.2} {:>8.2}\n",
+            r.policy, r.elapsed_ns, r.energy_mj, r.edp_mj_ms, r.slowdown_pct, r.power_saving_pct
+        ));
+    }
+    Ok((out, 0))
+}
+
 /// Renders a human-readable list of a report's failed cells, or
 /// `None` when every cell succeeded.
 fn failure_summary(report: &vsv::SweepReport) -> Option<String> {
@@ -519,6 +642,16 @@ fn resolve_workers(flag: usize) -> usize {
     } else {
         flag
     }
+}
+
+/// Parses a `--policy`/`--policies` value; an unknown name is a usage
+/// error (exit code 2) that lists the valid spellings.
+fn parse_policy(s: impl AsRef<str>) -> Result<PolicySpec, String> {
+    let s = s.as_ref();
+    PolicySpec::parse(s).ok_or_else(|| {
+        let names: Vec<&str> = PolicySpec::ALL.iter().map(|p| p.name()).collect();
+        format!("unknown policy '{s}'; valid policies: {}", names.join(", "))
+    })
 }
 
 fn unknown_twin(name: &str) -> String {
@@ -611,6 +744,7 @@ mod tests {
     fn compare_text_mentions_both_sides() {
         let out = execute(Command::Compare {
             twin: "gzip".to_owned(),
+            policies: Vec::new(),
             timekeeping: false,
             insts: 3_000,
             warmup: 1_000,
@@ -625,6 +759,7 @@ mod tests {
     fn sweep_cmd(twin: Option<&str>, workers: usize, json: bool) -> Command {
         Command::Sweep {
             twin: twin.map(str::to_owned),
+            policy: None,
             timekeeping: false,
             insts: 3_000,
             warmup: 1_000,
@@ -643,6 +778,7 @@ mod tests {
             cmd,
             Command::Sweep {
                 twin: None,
+                policy: None,
                 timekeeping: false,
                 insts: 300_000,
                 warmup: 100_000,
@@ -758,6 +894,97 @@ mod tests {
         let b: serde_json::Value = serde_json::from_str(&second).expect("json");
         assert_eq!(a.get("records"), b.get("records"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parses_sweep_policy_and_compare_policies() {
+        let cmd = Command::parse(&sv(&["sweep", "--policy", "oracle-down"])).expect("valid");
+        let Command::Sweep { policy, .. } = cmd else {
+            panic!("expected a sweep command");
+        };
+        assert_eq!(policy, Some(PolicySpec::OracleDown));
+
+        let cmd = Command::parse(&sv(&[
+            "compare",
+            "--twin",
+            "mcf",
+            "--policies",
+            "dual-fsm,immediate-down",
+        ]))
+        .expect("valid");
+        let Command::Compare { policies, .. } = cmd else {
+            panic!("expected a compare command");
+        };
+        assert_eq!(
+            policies,
+            vec![PolicySpec::DualFsm, PolicySpec::ImmediateDown]
+        );
+    }
+
+    #[test]
+    fn unknown_policy_is_a_usage_error_listing_the_valid_names() {
+        for args in [
+            sv(&["sweep", "--policy", "warp-speed"]),
+            sv(&[
+                "compare",
+                "--twin",
+                "mcf",
+                "--policies",
+                "dual-fsm,warp-speed",
+            ]),
+        ] {
+            let err = Command::parse(&args).expect_err("unknown policy");
+            assert!(err.contains("unknown policy 'warp-speed'"), "{err}");
+            for spec in PolicySpec::ALL {
+                assert!(err.contains(spec.name()), "{err} missing {}", spec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn cross_policy_compare_prints_one_row_per_policy() {
+        let (out, code) = execute_with_exit(Command::Compare {
+            twin: "gzip".to_owned(),
+            policies: vec![PolicySpec::AlwaysHigh, PolicySpec::ImmediateDown],
+            timekeeping: false,
+            insts: 3_000,
+            warmup: 1_000,
+            workers: 2,
+            json: false,
+        })
+        .expect("runs");
+        assert_eq!(code, 0);
+        for name in ["disabled", "always-high", "immediate-down"] {
+            assert!(out.contains(name), "{out}");
+        }
+        assert!(out.contains("EDP"), "{out}");
+    }
+
+    #[test]
+    fn cross_policy_compare_json_rows_carry_the_metrics() {
+        let out = execute(Command::Compare {
+            twin: "gzip".to_owned(),
+            policies: vec![PolicySpec::DualFsm],
+            timekeeping: false,
+            insts: 3_000,
+            warmup: 1_000,
+            workers: 1,
+            json: true,
+        })
+        .expect("runs");
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        let rows = v.as_seq().expect("array of rows");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0].get("policy").and_then(|p| p.as_str()),
+            Some("disabled")
+        );
+        assert_eq!(
+            rows[1].get("policy").and_then(|p| p.as_str()),
+            Some("dual-fsm")
+        );
+        assert!(rows[1].get("edp_mj_ms").is_some());
+        assert!(rows[1].get("slowdown_pct").is_some());
     }
 
     #[test]

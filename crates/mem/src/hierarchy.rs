@@ -103,6 +103,14 @@ pub enum VsvSignal {
         demand: bool,
         /// Detection time in nanoseconds.
         at: u64,
+        /// Provable lower bound on the miss's return time: the
+        /// already-scheduled DRAM data-ready time for this miss's L2
+        /// block (the response bus transfer can only add delay).
+        /// `None` when no schedule exists yet (the L2 MSHR file was
+        /// full and the allocation went to the retry queue). Only an
+        /// oracle consumer may act on this — it is simulator
+        /// knowledge, not an implementable hardware signal.
+        earliest_return: Option<u64>,
     },
     /// An L2 miss's data returned to the processor.
     L2MissReturned {
@@ -248,6 +256,9 @@ pub struct Hierarchy {
     // function cannot affect simulated results (see `crate::fx`).
     waiters: FxHashMap<u64, Waiter>,
     waiter_index: FxHashMap<(Side, Addr), u64>,
+    // Scheduled DRAM data-ready time per in-flight L2 miss, so merged
+    // misses can report the same return bound as their primary.
+    inflight_return: FxHashMap<Addr, u64>,
     next_waiter: u64,
     next_token: u64,
     completions: Vec<Completion>,
@@ -282,6 +293,7 @@ impl Hierarchy {
             retry: VecDeque::new(),
             waiters: FxHashMap::default(),
             waiter_index: FxHashMap::default(),
+            inflight_return: FxHashMap::default(),
             next_waiter: 0,
             next_token: 0,
             completions: Vec::new(),
@@ -377,7 +389,7 @@ impl Hierarchy {
                 break;
             }
             self.retry.pop_front();
-            self.start_l2_miss(now, waiter, l2_block);
+            let _ = self.start_l2_miss(now, waiter, l2_block);
         }
         loop {
             let mut ready = std::mem::take(&mut self.event_scratch);
@@ -622,12 +634,21 @@ impl Hierarchy {
         } else {
             self.stats.l2_prefetch_misses += 1;
         }
-        self.vsv_signals
-            .push(VsvSignal::L2MissDetected { demand, at: now });
-        self.start_l2_miss(now, waiter, l2_block);
+        // `start_l2_miss` pushes no VSV signals, so starting the miss
+        // first (to learn its scheduled return time) keeps the signal
+        // stream identical.
+        let earliest_return = self.start_l2_miss(now, waiter, l2_block);
+        self.vsv_signals.push(VsvSignal::L2MissDetected {
+            demand,
+            at: now,
+            earliest_return,
+        });
     }
 
-    fn start_l2_miss(&mut self, now: u64, waiter: u64, l2_block: Addr) {
+    /// Starts (or merges into) the L2 miss for `l2_block`, returning
+    /// the scheduled DRAM data-ready time when one is known — the
+    /// lower bound carried by [`VsvSignal::L2MissDetected`].
+    fn start_l2_miss(&mut self, now: u64, waiter: u64, l2_block: Addr) -> Option<u64> {
         let demand = self.waiters.get(&waiter).is_some_and(|w| w.demand);
         match self.l2_mshr.allocate(l2_block, waiter, demand) {
             MshrOutcome::Primary => {
@@ -638,10 +659,13 @@ impl Hierarchy {
                 let (_, req_done) = self.bus.schedule(now, 0);
                 let data_ready = self.dram.access(req_done);
                 self.events.push(data_ready, Event::DramDone { l2_block });
+                self.inflight_return.insert(l2_block, data_ready);
+                Some(data_ready)
             }
-            MshrOutcome::Merged => {}
+            MshrOutcome::Merged => self.inflight_return.get(&l2_block).copied(),
             MshrOutcome::Full => {
                 self.retry.push_back((waiter, l2_block));
+                None
             }
         }
     }
@@ -655,6 +679,7 @@ impl Hierarchy {
     fn l2_fill(&mut self, l2_block: Addr) {
         let now = self.now;
         self.stats.memory_refills += 1;
+        self.inflight_return.remove(&l2_block);
         if let Some(victim) = self.l2.fill(l2_block) {
             // Dirty L2 eviction: write back over the bus to memory.
             let (_, wb_done) = self.bus.schedule(now, self.cfg.l2.block_bytes);
@@ -811,11 +836,53 @@ mod tests {
         let signals = mem.drain_vsv_signals();
         assert!(signals
             .iter()
-            .any(|s| matches!(s, VsvSignal::L2MissDetected { demand: true, at } if *at == 12)));
+            .any(|s| matches!(s, VsvSignal::L2MissDetected { demand: true, at, .. } if *at == 12)));
         assert!(signals.iter().any(|s| matches!(
             s,
             VsvSignal::L2MissReturned { demand: true, at, outstanding_demand: 0 } if *at == c.at
         )));
+        // The detection carries the scheduled DRAM data-ready time — a
+        // provable lower bound on (and here strictly before) the
+        // actual return, which adds the response bus transfer.
+        let bound = signals
+            .iter()
+            .find_map(|s| match s {
+                VsvSignal::L2MissDetected {
+                    earliest_return, ..
+                } => Some(*earliest_return),
+                VsvSignal::L2MissReturned { .. } => None,
+            })
+            .expect("a detection was emitted");
+        assert_eq!(bound, Some(12 + 4 + 100), "req beat + DRAM latency");
+        assert!(bound.expect("scheduled") < c.at);
+    }
+
+    #[test]
+    fn merged_miss_reports_the_primary_return_bound() {
+        let mut mem = Hierarchy::new(HierarchyConfig::baseline());
+        // Two L1 blocks in the same L2 block (64B L2 / 32B L1): the
+        // second detection merges into the first's L2 MSHR entry and
+        // must report the same scheduled return time.
+        let L1Outcome::Miss(_) = mem.access_data(0, Addr(0x800), AccessKind::Read) else {
+            panic!();
+        };
+        let L1Outcome::Miss(tok) = mem.access_data(1, Addr(0x820), AccessKind::Read) else {
+            panic!("sibling L1 block should miss separately");
+        };
+        let _ = run_until_complete(&mut mem, tok, 500);
+        let bounds: Vec<Option<u64>> = mem
+            .drain_vsv_signals()
+            .iter()
+            .filter_map(|s| match s {
+                VsvSignal::L2MissDetected {
+                    earliest_return, ..
+                } => Some(*earliest_return),
+                VsvSignal::L2MissReturned { .. } => None,
+            })
+            .collect();
+        assert_eq!(bounds.len(), 2, "both probes detect the miss");
+        assert!(bounds[0].is_some());
+        assert_eq!(bounds[0], bounds[1], "merged miss shares the bound");
     }
 
     #[test]

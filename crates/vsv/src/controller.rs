@@ -1,22 +1,28 @@
 //! The VSV mode controller: the cycle-accurate state machine over
 //! power modes and transitions (paper §4, Figures 2 and 3).
 //!
-//! Timeline of a high→low transition (Figure 2): after the down-FSM
+//! Timeline of a high→low transition (Figure 2): after the policy
 //! decides, the control signal travels 2 ns to the clock-tree root and
 //! the slower clock propagates for 2 ns — the processor still runs at
 //! full speed and VDDH during these 4 ns — then the 12 ns VDD ramp
 //! runs with the processor at half speed and falling voltage.
 //!
-//! Timeline of a low→high transition (Figure 3): after the up-FSM
+//! Timeline of a low→high transition (Figure 3): after the policy
 //! decides, the control signal travels 2 ns (half speed, VDDL), the
 //! 12 ns VDD ramp-up runs at half speed, and the full-speed clock
 //! distribution overlaps the ramp's last 2 ns, so full speed resumes
 //! exactly when VDDH is reached.
+//!
+//! *Which* transitions to take is delegated to a [`DvsPolicy`]
+//! (selected by [`VsvConfig::policy`]); *how* they unfold — phase
+//! boundaries, ramp voltages, the 66 nJ ramp charges — stays here, so
+//! every policy pays the same honest circuit costs.
 
 use vsv_mem::VsvSignal;
 use vsv_power::TechParams;
 
-use crate::fsm::{DownFsm, DownPolicy, UpFsm, UpPolicy};
+use crate::fsm::{DownPolicy, UpPolicy};
+use crate::policy::{Decision, DvsPolicy, PolicySpec, PolicyStats};
 
 /// The controller's operating mode.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -41,7 +47,7 @@ pub enum Mode {
 
 impl Mode {
     /// All modes, for residency accounting.
-    pub const ALL: [Mode; 6] = [
+    pub const ALL: [Mode; Mode::COUNT] = [
         Mode::High,
         Mode::DownDistribute,
         Mode::RampDown,
@@ -50,18 +56,16 @@ impl Mode {
         Mode::RampUp,
     ];
 
-    /// Dense index into residency arrays (the position in
-    /// [`Mode::ALL`]).
+    /// Number of modes (the residency-array length).
+    pub const COUNT: usize = 6;
+
+    /// Dense index into residency arrays: the declaration-order
+    /// discriminant, which is also the position in [`Mode::ALL`]
+    /// (pinned by a compile-time assertion below, so adding a mode
+    /// cannot silently desync residency accounting).
     #[must_use]
-    pub fn index(self) -> usize {
-        match self {
-            Mode::High => 0,
-            Mode::DownDistribute => 1,
-            Mode::RampDown => 2,
-            Mode::Low => 3,
-            Mode::UpDistribute => 4,
-            Mode::RampUp => 5,
-        }
+    pub const fn index(self) -> usize {
+        self as usize
     }
 
     /// Pipeline clock period in this mode, in nanoseconds.
@@ -74,16 +78,27 @@ impl Mode {
     }
 }
 
-/// VSV configuration: policies plus circuit timing.
+// `Mode::ALL` must enumerate every mode in index order.
+const _: () = {
+    let mut i = 0;
+    while i < Mode::COUNT {
+        assert!(Mode::ALL[i].index() == i, "Mode::ALL out of index order");
+        i += 1;
+    }
+};
+
+/// VSV configuration: decision policy plus circuit timing.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VsvConfig {
     /// Master switch; `false` models the baseline processor (always
     /// full speed, VDDH).
     pub enabled: bool,
-    /// High→low gating policy.
+    /// Decision policy (which transitions to take, and when).
+    pub policy: PolicySpec,
+    /// High→low gating for [`PolicySpec::DualFsm`].
     pub down: DownPolicy,
-    /// Low→high gating policy.
+    /// Low→high gating for [`PolicySpec::DualFsm`].
     pub up: UpPolicy,
     /// Technology constants (voltages, ramp rate, ramp energy).
     pub tech: TechParams,
@@ -99,6 +114,7 @@ impl VsvConfig {
     pub fn disabled() -> Self {
         VsvConfig {
             enabled: false,
+            policy: PolicySpec::DualFsm,
             down: DownPolicy::default_monitor(),
             up: UpPolicy::default_monitor(),
             tech: TechParams::baseline(),
@@ -118,13 +134,25 @@ impl VsvConfig {
     }
 
     /// VSV without the FSMs: down on every detected demand miss, up on
-    /// every demand return (Figure 4's white bars).
+    /// every demand return (Figure 4's white bars). Equivalent to
+    /// [`PolicySpec::ImmediateDown`].
     #[must_use]
     pub fn without_fsms() -> Self {
         VsvConfig {
             enabled: true,
             down: DownPolicy::Immediate,
             up: UpPolicy::FirstReturn,
+            ..Self::disabled()
+        }
+    }
+
+    /// VSV under a named policy (FSM thresholds and circuit timing at
+    /// the defaults).
+    #[must_use]
+    pub fn with_policy(policy: PolicySpec) -> Self {
+        VsvConfig {
+            enabled: true,
+            policy,
             ..Self::disabled()
         }
     }
@@ -151,7 +179,7 @@ pub struct TickPlan {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ModeStats {
     /// Nanoseconds spent in each [`Mode`], by [`Mode::index`].
-    pub ns_in_mode: [u64; 6],
+    pub ns_in_mode: [u64; Mode::COUNT],
     /// High→low transitions started.
     pub down_transitions: u64,
     /// Low→high transitions started.
@@ -185,8 +213,7 @@ pub struct VsvController {
     phase_end: u64,
     ramp_start: u64,
     next_edge: u64,
-    down: DownFsm,
-    up: UpFsm,
+    policy: Box<dyn DvsPolicy>,
     pending_ramps: u64,
     stats: ModeStats,
 }
@@ -200,8 +227,7 @@ impl VsvController {
             phase_end: 0,
             ramp_start: 0,
             next_edge: 0,
-            down: DownFsm::new(cfg.down),
-            up: UpFsm::new(cfg.up),
+            policy: cfg.policy.build(&cfg),
             pending_ramps: 0,
             stats: ModeStats::default(),
             cfg,
@@ -226,47 +252,37 @@ impl VsvController {
         self.stats
     }
 
-    /// The down-FSM (for trigger/expiry statistics).
+    /// The policy's trigger/decline counters.
     #[must_use]
-    pub fn down_fsm(&self) -> &DownFsm {
-        &self.down
+    pub fn policy_stats(&self) -> PolicyStats {
+        self.policy.stats()
     }
 
-    /// The up-FSM (for trigger/expiry statistics).
+    /// The active policy's stable name.
     #[must_use]
-    pub fn up_fsm(&self) -> &UpFsm {
-        &self.up
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
     }
 
-    /// Consumes an L2 signal from the hierarchy. Prefetch-only misses
-    /// never arm the FSMs (§4.2).
+    /// Consumes an L2 signal from the hierarchy, forwarding it to the
+    /// policy.
     pub fn observe(&mut self, sig: &VsvSignal) {
         if !self.cfg.enabled {
             return;
         }
-        match *sig {
-            VsvSignal::L2MissDetected { demand, .. } => {
-                if demand && self.mode == Mode::High {
-                    self.down.arm();
-                }
-            }
-            VsvSignal::L2MissReturned {
-                demand,
-                at,
-                outstanding_demand,
-            } => {
-                if demand && self.mode == Mode::Low && self.up.on_return(outstanding_demand) {
-                    self.start_up(at);
-                }
-            }
-        }
+        let at = match *sig {
+            VsvSignal::L2MissDetected { at, .. } | VsvSignal::L2MissReturned { at, .. } => at,
+        };
+        let d = self.policy.on_signal(sig, self.mode);
+        self.apply(d, at);
     }
 
     /// Advances the controller to nanosecond `now` and plans the tick.
     /// `outstanding_demand` is the hierarchy's count of in-flight L2
-    /// demand misses (used for the all-returned safety transition).
+    /// demand misses (forwarded to the policy).
     pub fn tick(&mut self, now: u64, outstanding_demand: usize) -> TickPlan {
         // Phase boundaries.
+        let mut entered = None;
         while self.mode != Mode::High && self.mode != Mode::Low && now >= self.phase_end {
             match self.mode {
                 Mode::DownDistribute => {
@@ -277,6 +293,7 @@ impl VsvController {
                 }
                 Mode::RampDown => {
                     self.mode = Mode::Low;
+                    entered = Some(Mode::Low);
                 }
                 Mode::UpDistribute => {
                     self.mode = Mode::RampUp;
@@ -286,29 +303,21 @@ impl VsvController {
                 }
                 Mode::RampUp => {
                     self.mode = Mode::High;
-                    // Misses that were detected mid-transition still
-                    // deserve monitoring once we are back at speed.
-                    if outstanding_demand > 0 {
-                        self.down.arm();
-                    }
+                    entered = Some(Mode::High);
                 }
                 Mode::High | Mode::Low => unreachable!("loop guard"),
             }
         }
 
-        // All misses returned while we were heading down or sitting
-        // low: nothing left to wait for, so go back up.
-        if self.mode == Mode::Low && outstanding_demand == 0 {
-            self.start_up(now);
-        }
-
-        // The L2 miss signal (Figure 1) is a level: it stays asserted
-        // while a demand miss is outstanding, so the down-FSM keeps
-        // monitoring for a zero-issue run for as long as the pipeline
-        // might yet run dry — not just for one window after the
-        // detection edge.
-        if self.cfg.enabled && self.mode == Mode::High && outstanding_demand > 0 {
-            self.down.refresh();
+        if self.cfg.enabled {
+            if let Some(m) = entered {
+                let d = self.policy.on_mode_entered(m, now, outstanding_demand);
+                self.apply(d, now);
+            }
+            if matches!(self.mode, Mode::High | Mode::Low) {
+                let d = self.policy.on_tick(now, outstanding_demand, self.mode);
+                self.apply(d, now);
+            }
         }
 
         self.stats.ns_in_mode[self.mode.index()] += 1;
@@ -329,14 +338,9 @@ impl VsvController {
         if !self.cfg.enabled {
             return;
         }
-        match self.mode {
-            Mode::High if self.down.on_cycle(issued) => {
-                self.start_down(now);
-            }
-            Mode::Low if self.up.on_cycle(issued) => {
-                self.start_up(now);
-            }
-            _ => {}
+        if matches!(self.mode, Mode::High | Mode::Low) {
+            let d = self.policy.on_cycle(issued, self.mode);
+            self.apply(d, now);
         }
     }
 
@@ -361,13 +365,8 @@ impl VsvController {
     ///
     /// * disabled controller: always (the mode is pinned to
     ///   [`Mode::High`] and `on_cycle` is a no-op);
-    /// * [`Mode::High`]: no outstanding demand miss (else `tick`
-    ///   refreshes the down-FSM every nanosecond) and the down-FSM
-    ///   unarmed (else idle edges advance its zero-issue run);
-    /// * [`Mode::Low`]: a demand miss still outstanding (else `tick`
-    ///   starts the up transition) and the up-FSM unable to trigger on
-    ///   an idle cycle (its window, if open, merely drains — batched
-    ///   exactly by [`UpFsm::skip_idle_cycles`]);
+    /// * steady modes: the policy's [`DvsPolicy::idle_skip_allowed`]
+    ///   verdict;
     /// * any transition mode: never (phase boundaries and ramp
     ///   voltages are per-nanosecond affairs).
     #[must_use]
@@ -376,8 +375,7 @@ impl VsvController {
             return true;
         }
         match self.mode {
-            Mode::High => outstanding_demand == 0 && !self.down.is_armed(),
-            Mode::Low => outstanding_demand > 0 && !self.up.would_trigger_on_idle(),
+            Mode::High | Mode::Low => self.policy.idle_skip_allowed(self.mode, outstanding_demand),
             _ => false,
         }
     }
@@ -385,7 +383,7 @@ impl VsvController {
     /// Batch-applies `ns` nanoseconds starting at `from`, each of which
     /// would have been a zero-issue, signal-free tick (the caller must
     /// have checked [`VsvController::quiescent_skip_allowed`]). Updates
-    /// mode residency, the edge schedule and the up-FSM exactly as the
+    /// mode residency, the edge schedule and the policy exactly as the
     /// per-nanosecond path would, and returns the number of pipeline
     /// edges in the window together with the (constant) effective
     /// supply voltage.
@@ -405,21 +403,32 @@ impl VsvController {
         };
         self.stats.ns_in_mode[self.mode.index()] += ns;
         self.next_edge += edges * period;
-        if self.cfg.enabled && self.mode == Mode::Low {
-            self.up.skip_idle_cycles(edges);
+        if self.cfg.enabled {
+            self.policy.skip_idle_cycles(edges, self.mode);
         }
         (edges, self.cycle_voltage(from))
     }
 
     // ---- internals -------------------------------------------------
 
+    /// Applies a policy decision, dropping it unless it is actionable
+    /// from the current mode (ramp-down from [`Mode::High`], ramp-up
+    /// from [`Mode::Low`]).
+    fn apply(&mut self, decision: Decision, at: u64) {
+        match decision {
+            Decision::Hold => {}
+            Decision::RampDown if self.mode == Mode::High => self.start_down(at),
+            Decision::RampUp if self.mode == Mode::Low => self.start_up(at),
+            Decision::RampDown | Decision::RampUp => {}
+        }
+    }
+
     fn start_down(&mut self, now: u64) {
         debug_assert_eq!(self.mode, Mode::High);
         self.mode = Mode::DownDistribute;
         self.phase_end = now + self.cfg.ctrl_distribute_ns + self.cfg.clock_tree_ns;
         self.stats.down_transitions += 1;
-        self.down.disarm();
-        self.up.disarm();
+        self.policy.on_transition_start();
     }
 
     fn start_up(&mut self, now: u64) {
@@ -427,8 +436,7 @@ impl VsvController {
         self.mode = Mode::UpDistribute;
         self.phase_end = now + self.cfg.ctrl_distribute_ns;
         self.stats.up_transitions += 1;
-        self.down.disarm();
-        self.up.disarm();
+        self.policy.on_transition_start();
     }
 
     /// The per-cycle effective voltage at `now` (§5.2: the average of
@@ -463,7 +471,11 @@ mod tests {
     }
 
     fn detected(at: u64) -> VsvSignal {
-        VsvSignal::L2MissDetected { demand: true, at }
+        VsvSignal::L2MissDetected {
+            demand: true,
+            at,
+            earliest_return: None,
+        }
     }
 
     fn returned(at: u64, outstanding: usize) -> VsvSignal {
@@ -567,12 +579,12 @@ mod tests {
         // The level-triggered miss signal keeps the window refreshed
         // while the miss is outstanding, so it does not expire — but
         // a busy pipeline must never trigger it either.
-        assert_eq!(c.down_fsm().triggers(), 0);
+        assert_eq!(c.policy_stats().down_triggers, 0);
         assert_eq!(c.stats().down_transitions, 0);
         // Once the miss returns (signal de-asserts), the window runs
         // out and expires without triggering.
         drive(&mut c, 30, 15, 4, 0);
-        assert_eq!(c.down_fsm().expiries(), 1);
+        assert_eq!(c.policy_stats().down_expiries, 1);
     }
 
     #[test]
@@ -630,6 +642,7 @@ mod tests {
         c.observe(&VsvSignal::L2MissDetected {
             demand: false,
             at: 0,
+            earliest_return: None,
         });
         let modes = drive(&mut c, 0, 30, 0, 1);
         assert!(modes.iter().all(|m| *m == Mode::High));
@@ -646,7 +659,7 @@ mod tests {
         c.observe(&returned(40, 1));
         let modes = drive(&mut c, 40, 40, 0, 1);
         assert!(modes.iter().all(|m| *m == Mode::Low));
-        assert_eq!(c.up_fsm().expiries(), 1);
+        assert_eq!(c.policy_stats().up_expiries, 1);
     }
 
     #[test]
@@ -669,5 +682,50 @@ mod tests {
         let total: u64 = c.stats().ns_in_mode.iter().sum();
         assert_eq!(total, 100);
         assert!(c.stats().low_residency() > 0.5);
+    }
+
+    #[test]
+    fn oracle_policy_ignores_unprovable_misses_and_takes_long_ones() {
+        let mut c = VsvController::new(VsvConfig::with_policy(PolicySpec::OracleDown));
+        // No scheduled return known: the oracle declines every stall
+        // cycle.
+        c.observe(&detected(0));
+        let modes = drive(&mut c, 0, 30, 0, 1);
+        assert!(modes.iter().all(|m| *m == Mode::High));
+        assert_eq!(c.policy_stats().down_triggers, 0);
+        // A return provably beyond the 30 ns round trip: dive at once.
+        c.observe(&VsvSignal::L2MissDetected {
+            demand: true,
+            at: 30,
+            earliest_return: Some(200),
+        });
+        let modes = drive(&mut c, 30, 30, 0, 1);
+        assert_eq!(*modes.last().unwrap(), Mode::Low);
+        assert_eq!(c.policy_stats().down_triggers, 1);
+    }
+
+    #[test]
+    fn always_low_policy_camps_low_even_with_nothing_outstanding() {
+        let mut c = VsvController::new(VsvConfig::with_policy(PolicySpec::AlwaysLow));
+        let modes = drive(&mut c, 0, 60, 4, 0);
+        assert_eq!(modes[0], Mode::DownDistribute, "dives on the first tick");
+        assert_eq!(*modes.last().unwrap(), Mode::Low);
+        assert_eq!(c.stats().down_transitions, 1);
+        assert_eq!(c.stats().up_transitions, 0);
+    }
+
+    #[test]
+    fn always_high_policy_never_transitions() {
+        let mut c = VsvController::new(VsvConfig::with_policy(PolicySpec::AlwaysHigh));
+        c.observe(&detected(0));
+        c.observe(&VsvSignal::L2MissDetected {
+            demand: true,
+            at: 1,
+            earliest_return: Some(1000),
+        });
+        let modes = drive(&mut c, 0, 50, 0, 2);
+        assert!(modes.iter().all(|m| *m == Mode::High));
+        assert_eq!(c.take_ramps(), 0);
+        assert_eq!(c.policy_stats(), PolicyStats::default());
     }
 }

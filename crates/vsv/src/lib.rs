@@ -18,6 +18,9 @@
 //! ## Crate map
 //!
 //! * [`fsm`] — the down/up monitors and their policies;
+//! * [`policy`] — the pluggable [`DvsPolicy`] decision layer
+//!   (the paper's dual FSMs, naive baselines, and an oracle upper
+//!   bound, selectable by [`PolicySpec`]);
 //! * [`controller`] — the mode state machine with the Figure 2/3
 //!   transition timelines;
 //! * [`system`] — the composed simulator (core + memory + prefetcher +
@@ -61,6 +64,7 @@
 pub mod controller;
 pub mod error;
 pub mod fsm;
+pub mod policy;
 pub mod report;
 pub mod runner;
 pub mod sweep;
@@ -70,6 +74,7 @@ pub mod trace;
 pub use controller::{Mode, ModeStats, TickPlan, VsvConfig, VsvController};
 pub use error::{FaultKind, ModeTransition, SimError};
 pub use fsm::{DownFsm, DownPolicy, UpFsm, UpPolicy};
+pub use policy::{Decision, DvsPolicy, PolicySpec, PolicyStats};
 pub use report::{mean_comparison, Comparison, RunResult};
 pub use runner::{ComparisonSpread, Experiment};
 #[cfg(feature = "serde")]

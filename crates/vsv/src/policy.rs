@@ -1,0 +1,680 @@
+//! Pluggable DVS decision policies behind the [`DvsPolicy`] trait.
+//!
+//! The paper's contribution is one *point* in the DVS-policy design
+//! space: issue-rate-monitoring dual FSMs (§4.2/§4.4). This module
+//! makes that space explorable. A policy observes per-cycle evidence —
+//! L2 miss signals, issue counts, the outstanding-miss count, the
+//! current [`Mode`] — and emits [`Decision`]s; the
+//! [`crate::VsvController`] keeps sole ownership of the circuit-level
+//! transition timeline (2 ns control + 2 ns clock-tree distribution,
+//! 12 ns supply ramps, the 66 nJ per-ramp charge), so every policy
+//! pays honest transition costs.
+//!
+//! Five policies are built in, selectable by [`PolicySpec`]:
+//!
+//! | name             | down on                         | up on |
+//! |------------------|---------------------------------|-------|
+//! | `dual-fsm`       | zero-issue run after a miss     | issuing run / sole return |
+//! | `always-high`    | never                           | — |
+//! | `always-low`     | immediately, unconditionally    | never |
+//! | `immediate-down` | every detected demand miss      | first return |
+//! | `oracle-down`    | miss whose stall provably       | last return |
+//! |                  | outlasts the round trip         |       |
+//!
+//! `dual-fsm` is the default and is bit-identical to the pre-policy
+//! controller (`tests/policy_equivalence.rs` pins this).
+//! `always-high` is the no-DVS control, `always-low` the static
+//! low-voltage floor, `immediate-down` the naive scheme the FSMs
+//! exist to beat, and `oracle-down` an upper bound that reads the
+//! simulator's scheduled miss-return times — knowledge no hardware
+//! policy has.
+
+use vsv_mem::VsvSignal;
+
+use crate::controller::Mode;
+use crate::fsm::{DownFsm, DownPolicy, UpFsm, UpPolicy};
+
+/// What a policy wants the controller to do right now. The controller
+/// applies a decision only when it is actionable (ramp-down from
+/// [`Mode::High`], ramp-up from [`Mode::Low`]); anything else is
+/// dropped, so policies need not track transition phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Decision {
+    /// Stay in the current mode.
+    #[default]
+    Hold,
+    /// Start the high→low transition (Figure 2 timeline).
+    RampDown,
+    /// Start the low→high transition (Figure 3 timeline).
+    RampUp,
+}
+
+/// Trigger/decline counters every policy reports, mirroring the dual
+/// FSMs' bookkeeping so [`crate::RunResult`] keeps its shape across
+/// policies.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyStats {
+    /// Ramp-down decisions emitted.
+    pub down_triggers: u64,
+    /// Ramp-down opportunities examined and declined (for `dual-fsm`:
+    /// monitoring windows that expired on a busy pipeline).
+    pub down_expiries: u64,
+    /// Ramp-up decisions emitted.
+    pub up_triggers: u64,
+    /// Ramp-up opportunities examined and declined (for `dual-fsm`:
+    /// windows that expired on an idle pipeline).
+    pub up_expiries: u64,
+}
+
+/// A DVS decision policy.
+///
+/// The controller drives a policy with, per nanosecond: one
+/// [`DvsPolicy::on_signal`] call per hierarchy signal, one
+/// [`DvsPolicy::on_tick`] while in a steady mode, and — on pipeline
+/// clock edges — one [`DvsPolicy::on_cycle`] with the cycle's issue
+/// count. [`DvsPolicy::on_mode_entered`] fires when a transition
+/// completes. Policies must be deterministic: decisions may depend
+/// only on the evidence fed through these hooks.
+pub trait DvsPolicy: std::fmt::Debug + Send {
+    /// Stable policy name (the `--policy` spelling).
+    fn name(&self) -> &'static str;
+
+    /// Consumes one L2 signal from the hierarchy. `at` inside the
+    /// signal is the decision time the controller will apply any
+    /// returned transition at.
+    fn on_signal(&mut self, sig: &VsvSignal, mode: Mode) -> Decision;
+
+    /// One nanosecond in a steady mode ([`Mode::High`] or
+    /// [`Mode::Low`]; the controller owns transition phases).
+    fn on_tick(&mut self, now: u64, outstanding_demand: usize, mode: Mode) -> Decision;
+
+    /// The issue count of the pipeline cycle that just ran (edge
+    /// ticks only, steady modes only).
+    fn on_cycle(&mut self, issued: u32, mode: Mode) -> Decision;
+
+    /// A transition completed and `mode` (always a steady mode) was
+    /// entered at time `now` with `outstanding_demand` misses still
+    /// in flight.
+    fn on_mode_entered(&mut self, mode: Mode, now: u64, outstanding_demand: usize) -> Decision;
+
+    /// A transition is starting (the controller accepted a decision).
+    /// Policies drop any armed monitors here — evidence gathered in
+    /// the old mode does not carry across a transition.
+    fn on_transition_start(&mut self) {}
+
+    /// Whether a window of zero-issue, signal-free nanoseconds in
+    /// `mode` may be batch-applied without consulting the policy per
+    /// nanosecond — true exactly when every [`DvsPolicy::on_tick`] /
+    /// [`DvsPolicy::on_cycle`] pair in such a window would return
+    /// [`Decision::Hold`] and mutate nothing beyond what
+    /// [`DvsPolicy::skip_idle_cycles`] batch-applies. Powers the
+    /// quiescent-stall fast-forward; `tests/policy_equivalence.rs`
+    /// cross-checks it against the stepped path for every built-in.
+    fn idle_skip_allowed(&self, mode: Mode, outstanding_demand: usize) -> bool;
+
+    /// Batch-applies `edges` idle (zero-issue) pipeline cycles in
+    /// `mode` — the bulk counterpart of that many
+    /// `on_cycle(0, mode)` calls (the caller has checked
+    /// [`DvsPolicy::idle_skip_allowed`]).
+    fn skip_idle_cycles(&mut self, edges: u64, mode: Mode) {
+        let _ = (edges, mode);
+    }
+
+    /// Cumulative trigger/decline counters.
+    fn stats(&self) -> PolicyStats;
+
+    /// Clones the policy with its current state (the controller is
+    /// [`Clone`]).
+    fn clone_box(&self) -> Box<dyn DvsPolicy>;
+}
+
+impl Clone for Box<dyn DvsPolicy> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Selector for the built-in policies — the [`Copy`] handle that
+/// travels through [`crate::SystemConfig`], sweep grids, and report
+/// schemas. [`crate::VsvConfig::policy`] holds one;
+/// [`PolicySpec::build`] instantiates the live policy at controller
+/// construction.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PolicySpec {
+    /// The paper's dual issue-rate-monitoring FSMs (the default),
+    /// parameterized by [`crate::VsvConfig::down`] /
+    /// [`crate::VsvConfig::up`].
+    #[default]
+    DualFsm,
+    /// Never leave [`Mode::High`]: the no-DVS baseline with the
+    /// controller enabled (pins the policy layer's overhead to zero).
+    AlwaysHigh,
+    /// Ramp down immediately and never come back up: the static
+    /// low-voltage floor.
+    AlwaysLow,
+    /// Ramp down on every detected demand miss, up on the first
+    /// return — the paper's "without FSMs" scheme as a named policy.
+    ImmediateDown,
+    /// Ramp down only when the simulator's scheduled return time
+    /// proves the stall outlasts the round-trip transition cost; ramp
+    /// up when the last miss returns. An upper bound on achievable
+    /// savings, not an implementable policy.
+    OracleDown,
+}
+
+impl PolicySpec {
+    /// Every built-in, in `--policy` listing order.
+    pub const ALL: [PolicySpec; 5] = [
+        PolicySpec::DualFsm,
+        PolicySpec::AlwaysHigh,
+        PolicySpec::AlwaysLow,
+        PolicySpec::ImmediateDown,
+        PolicySpec::OracleDown,
+    ];
+
+    /// The stable command-line name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicySpec::DualFsm => "dual-fsm",
+            PolicySpec::AlwaysHigh => "always-high",
+            PolicySpec::AlwaysLow => "always-low",
+            PolicySpec::ImmediateDown => "immediate-down",
+            PolicySpec::OracleDown => "oracle-down",
+        }
+    }
+
+    /// Parses a command-line name ([`PolicySpec::name`] spellings).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.name() == s)
+    }
+
+    /// Instantiates the live policy for a configuration (`cfg`
+    /// supplies the FSM thresholds for [`PolicySpec::DualFsm`] and
+    /// the circuit timing for [`PolicySpec::OracleDown`]'s round-trip
+    /// cost).
+    #[must_use]
+    pub fn build(self, cfg: &crate::controller::VsvConfig) -> Box<dyn DvsPolicy> {
+        match self {
+            PolicySpec::DualFsm => Box::new(DualFsmPolicy::new("dual-fsm", cfg.down, cfg.up)),
+            PolicySpec::AlwaysHigh => Box::new(AlwaysHigh),
+            PolicySpec::AlwaysLow => Box::new(AlwaysLow::default()),
+            PolicySpec::ImmediateDown => Box::new(DualFsmPolicy::new(
+                "immediate-down",
+                DownPolicy::Immediate,
+                UpPolicy::FirstReturn,
+            )),
+            PolicySpec::OracleDown => Box::new(OracleDown::new(
+                cfg.ctrl_distribute_ns + cfg.clock_tree_ns + cfg.ramp_ns() // down
+                    + cfg.ctrl_distribute_ns + cfg.ramp_ns(), // up
+            )),
+        }
+    }
+}
+
+// ---- dual-fsm (and immediate-down) ---------------------------------
+
+/// The paper's policy: [`DownFsm`]/[`UpFsm`] issue-rate monitors plus
+/// the level-triggered refresh and all-returned safety rules the
+/// controller used to hard-wire. With [`DownPolicy::Immediate`] /
+/// [`UpPolicy::FirstReturn`] it doubles as `immediate-down`.
+#[derive(Debug, Clone)]
+pub struct DualFsmPolicy {
+    name: &'static str,
+    down: DownFsm,
+    up: UpFsm,
+}
+
+impl DualFsmPolicy {
+    /// Builds the policy around the two monitors.
+    #[must_use]
+    pub fn new(name: &'static str, down: DownPolicy, up: UpPolicy) -> Self {
+        DualFsmPolicy {
+            name,
+            down: DownFsm::new(down),
+            up: UpFsm::new(up),
+        }
+    }
+}
+
+impl DvsPolicy for DualFsmPolicy {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn on_signal(&mut self, sig: &VsvSignal, mode: Mode) -> Decision {
+        match *sig {
+            VsvSignal::L2MissDetected { demand, .. } => {
+                // Prefetch-only misses never arm the FSMs (§4.2).
+                if demand && mode == Mode::High {
+                    self.down.arm();
+                }
+                Decision::Hold
+            }
+            VsvSignal::L2MissReturned {
+                demand,
+                outstanding_demand,
+                ..
+            } => {
+                if demand && mode == Mode::Low && self.up.on_return(outstanding_demand) {
+                    Decision::RampUp
+                } else {
+                    Decision::Hold
+                }
+            }
+        }
+    }
+
+    fn on_tick(&mut self, _now: u64, outstanding_demand: usize, mode: Mode) -> Decision {
+        // All misses returned while we were heading down or sitting
+        // low: nothing left to wait for, so go back up.
+        if mode == Mode::Low && outstanding_demand == 0 {
+            return Decision::RampUp;
+        }
+        // The L2 miss signal (Figure 1) is a level: it stays asserted
+        // while a demand miss is outstanding, so the down-FSM keeps
+        // monitoring for a zero-issue run for as long as the pipeline
+        // might yet run dry — not just for one window after the
+        // detection edge.
+        if mode == Mode::High && outstanding_demand > 0 {
+            self.down.refresh();
+        }
+        Decision::Hold
+    }
+
+    fn on_cycle(&mut self, issued: u32, mode: Mode) -> Decision {
+        match mode {
+            Mode::High if self.down.on_cycle(issued) => Decision::RampDown,
+            Mode::Low if self.up.on_cycle(issued) => Decision::RampUp,
+            _ => Decision::Hold,
+        }
+    }
+
+    fn on_mode_entered(&mut self, mode: Mode, _now: u64, outstanding_demand: usize) -> Decision {
+        // Misses that were detected mid-transition still deserve
+        // monitoring once we are back at speed.
+        if mode == Mode::High && outstanding_demand > 0 {
+            self.down.arm();
+        }
+        Decision::Hold
+    }
+
+    fn on_transition_start(&mut self) {
+        self.down.disarm();
+        self.up.disarm();
+    }
+
+    fn idle_skip_allowed(&self, mode: Mode, outstanding_demand: usize) -> bool {
+        match mode {
+            // High: no outstanding miss (else every tick refreshes
+            // the down-FSM) and the down-FSM unarmed (else idle edges
+            // advance its zero-issue run).
+            Mode::High => outstanding_demand == 0 && !self.down.is_armed(),
+            // Low: a miss still outstanding (else on_tick ramps up)
+            // and the up-FSM unable to trigger on an idle cycle (its
+            // window, if open, merely drains — batched exactly by
+            // `UpFsm::skip_idle_cycles`).
+            Mode::Low => outstanding_demand > 0 && !self.up.would_trigger_on_idle(),
+            _ => false,
+        }
+    }
+
+    fn skip_idle_cycles(&mut self, edges: u64, mode: Mode) {
+        if mode == Mode::Low {
+            self.up.skip_idle_cycles(edges);
+        }
+    }
+
+    fn stats(&self) -> PolicyStats {
+        PolicyStats {
+            down_triggers: self.down.triggers(),
+            down_expiries: self.down.expiries(),
+            up_triggers: self.up.triggers(),
+            up_expiries: self.up.expiries(),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn DvsPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+// ---- always-high ---------------------------------------------------
+
+/// Never transitions: the enabled-but-inert control. A run under this
+/// policy must be indistinguishable from the disabled baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysHigh;
+
+impl DvsPolicy for AlwaysHigh {
+    fn name(&self) -> &'static str {
+        "always-high"
+    }
+    fn on_signal(&mut self, _sig: &VsvSignal, _mode: Mode) -> Decision {
+        Decision::Hold
+    }
+    fn on_tick(&mut self, _now: u64, _outstanding: usize, _mode: Mode) -> Decision {
+        Decision::Hold
+    }
+    fn on_cycle(&mut self, _issued: u32, _mode: Mode) -> Decision {
+        Decision::Hold
+    }
+    fn on_mode_entered(&mut self, _mode: Mode, _now: u64, _outstanding: usize) -> Decision {
+        Decision::Hold
+    }
+    fn idle_skip_allowed(&self, _mode: Mode, _outstanding: usize) -> bool {
+        true
+    }
+    fn stats(&self) -> PolicyStats {
+        PolicyStats::default()
+    }
+    fn clone_box(&self) -> Box<dyn DvsPolicy> {
+        Box::new(*self)
+    }
+}
+
+// ---- always-low ----------------------------------------------------
+
+/// Ramps down on the first enabled tick and camps in [`Mode::Low`]
+/// forever: the static half-speed, low-voltage floor. Maximum
+/// theoretical supply savings, unbounded slowdown — the other end of
+/// the design space from [`AlwaysHigh`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysLow {
+    downs: u64,
+}
+
+impl DvsPolicy for AlwaysLow {
+    fn name(&self) -> &'static str {
+        "always-low"
+    }
+    fn on_signal(&mut self, _sig: &VsvSignal, _mode: Mode) -> Decision {
+        Decision::Hold
+    }
+    fn on_tick(&mut self, _now: u64, _outstanding: usize, mode: Mode) -> Decision {
+        if mode == Mode::High {
+            self.downs += 1;
+            Decision::RampDown
+        } else {
+            Decision::Hold
+        }
+    }
+    fn on_cycle(&mut self, _issued: u32, _mode: Mode) -> Decision {
+        Decision::Hold
+    }
+    fn on_mode_entered(&mut self, mode: Mode, _now: u64, _outstanding: usize) -> Decision {
+        // Unreachable in practice (we never ramp up), but a policy
+        // must be self-consistent under any controller state.
+        if mode == Mode::High {
+            self.downs += 1;
+            Decision::RampDown
+        } else {
+            Decision::Hold
+        }
+    }
+    fn idle_skip_allowed(&self, mode: Mode, _outstanding: usize) -> bool {
+        // High is never skippable: the very next tick ramps down.
+        mode == Mode::Low
+    }
+    fn stats(&self) -> PolicyStats {
+        PolicyStats {
+            down_triggers: self.downs,
+            ..PolicyStats::default()
+        }
+    }
+    fn clone_box(&self) -> Box<dyn DvsPolicy> {
+        Box::new(*self)
+    }
+}
+
+// ---- oracle-down ---------------------------------------------------
+
+/// The clairvoyant upper bound: ramps down on the first zero-issue
+/// cycle during which some demand miss's already-scheduled DRAM
+/// return time proves the stall will outlast the full round-trip
+/// transition cost (down distribution + ramp + up distribution +
+/// ramp ≈ 30 ns), and ramps up only when the last demand miss has
+/// returned. It never dives while the pipeline still issues (unlike
+/// `immediate-down`), never waits out a monitoring window (unlike
+/// `dual-fsm`), and never pays a mispredicted round trip on a stall
+/// too short to refund it — knowledge no hardware policy has.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleDown {
+    /// Round-trip transition cost (ns): a stall shorter than this
+    /// cannot pay for its own transitions.
+    round_trip_ns: u64,
+    /// Latest scheduled demand-return time seen so far. With every
+    /// demand miss returned this is ≤ now, so it cannot trigger.
+    latest_known_return: u64,
+    /// Time of the last steady-mode tick (the controller calls
+    /// `on_tick` before any `on_cycle` of the same nanosecond).
+    last_now: u64,
+    stats: PolicyStats,
+}
+
+impl OracleDown {
+    /// Builds the oracle for a given round-trip transition cost.
+    #[must_use]
+    pub fn new(round_trip_ns: u64) -> Self {
+        OracleDown {
+            round_trip_ns,
+            latest_known_return: 0,
+            last_now: 0,
+            stats: PolicyStats::default(),
+        }
+    }
+
+    /// Whether some known demand return is provably far enough out to
+    /// refund a round trip started now.
+    fn stall_pays(&self) -> bool {
+        self.latest_known_return.saturating_sub(self.last_now) >= self.round_trip_ns
+    }
+}
+
+impl DvsPolicy for OracleDown {
+    fn name(&self) -> &'static str {
+        "oracle-down"
+    }
+
+    fn on_signal(&mut self, sig: &VsvSignal, mode: Mode) -> Decision {
+        match *sig {
+            VsvSignal::L2MissDetected {
+                demand,
+                earliest_return,
+                ..
+            } => {
+                // Prefetch misses never stall the pipeline; only
+                // demand returns may justify a dive.
+                if demand {
+                    if let Some(ret) = earliest_return {
+                        self.latest_known_return = self.latest_known_return.max(ret);
+                    }
+                }
+                Decision::Hold
+            }
+            VsvSignal::L2MissReturned {
+                demand,
+                outstanding_demand,
+                ..
+            } => {
+                if demand && mode == Mode::Low && outstanding_demand == 0 {
+                    self.stats.up_triggers += 1;
+                    Decision::RampUp
+                } else {
+                    Decision::Hold
+                }
+            }
+        }
+    }
+
+    fn on_tick(&mut self, now: u64, outstanding_demand: usize, mode: Mode) -> Decision {
+        self.last_now = now;
+        // Safety rule shared with the paper's policy: nothing left to
+        // wait for (e.g. the last miss returned mid-transition), so
+        // go back up.
+        if mode == Mode::Low && outstanding_demand == 0 {
+            Decision::RampUp
+        } else {
+            Decision::Hold
+        }
+    }
+
+    fn on_cycle(&mut self, issued: u32, mode: Mode) -> Decision {
+        if mode != Mode::High || issued > 0 {
+            return Decision::Hold;
+        }
+        if self.stall_pays() {
+            self.stats.down_triggers += 1;
+            Decision::RampDown
+        } else {
+            // A stalled cycle the oracle declines to convert: either
+            // no demand return is scheduled (MSHR-full retry) or the
+            // remaining stall is too short to refund the trip.
+            if self.latest_known_return > self.last_now {
+                self.stats.down_expiries += 1;
+            }
+            Decision::Hold
+        }
+    }
+
+    fn on_mode_entered(&mut self, _mode: Mode, now: u64, _outstanding: usize) -> Decision {
+        self.last_now = now;
+        // Even with misses still in flight, wait for the pipeline to
+        // actually run dry: the next zero-issue cycle dives.
+        Decision::Hold
+    }
+
+    fn idle_skip_allowed(&self, mode: Mode, outstanding_demand: usize) -> bool {
+        match mode {
+            // High with a demand miss in flight: a zero-issue cycle
+            // may dive, so every cycle must be stepped. With nothing
+            // outstanding every known return is in the past and
+            // `on_cycle` provably holds.
+            Mode::High => outstanding_demand == 0,
+            // Low: on_tick ramps up the moment nothing is
+            // outstanding.
+            Mode::Low => outstanding_demand > 0,
+            _ => false,
+        }
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+
+    fn clone_box(&self) -> Box<dyn DvsPolicy> {
+        Box::new(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detected(at: u64, earliest_return: Option<u64>) -> VsvSignal {
+        VsvSignal::L2MissDetected {
+            demand: true,
+            at,
+            earliest_return,
+        }
+    }
+
+    #[test]
+    fn spec_names_round_trip() {
+        for spec in PolicySpec::ALL {
+            assert_eq!(PolicySpec::parse(spec.name()), Some(spec), "{spec:?}");
+        }
+        assert_eq!(PolicySpec::parse("bogus"), None);
+        assert_eq!(PolicySpec::default(), PolicySpec::DualFsm);
+    }
+
+    #[test]
+    fn built_policies_report_their_spec_name() {
+        let cfg = crate::VsvConfig::with_fsms();
+        for spec in PolicySpec::ALL {
+            assert_eq!(spec.build(&cfg).name(), spec.name());
+        }
+    }
+
+    #[test]
+    fn oracle_declines_short_stalls_and_takes_long_ones() {
+        let mut o = OracleDown::new(30);
+        let _ = o.on_tick(100, 1, Mode::High);
+        // Return in 10 ns: a zero-issue cycle is not worth the trip.
+        let _ = o.on_signal(&detected(100, Some(110)), Mode::High);
+        assert_eq!(o.on_cycle(0, Mode::High), Decision::Hold);
+        assert_eq!(o.stats().down_expiries, 1);
+        // Return in 80 ns: provably worth it — but never while the
+        // pipeline still issues.
+        let _ = o.on_signal(&detected(100, Some(180)), Mode::High);
+        assert_eq!(o.on_cycle(4, Mode::High), Decision::Hold);
+        assert_eq!(o.on_cycle(0, Mode::High), Decision::RampDown);
+        assert_eq!(o.stats().down_triggers, 1);
+        assert_eq!(o.stats().down_expiries, 1);
+    }
+
+    #[test]
+    fn oracle_holds_on_unscheduled_stalls() {
+        // MSHR-full retry: the miss has no scheduled return yet, so
+        // nothing is provable and the oracle stays put.
+        let mut o = OracleDown::new(30);
+        let _ = o.on_tick(50, 1, Mode::High);
+        let _ = o.on_signal(&detected(50, None), Mode::High);
+        assert_eq!(o.on_cycle(0, Mode::High), Decision::Hold);
+        assert_eq!(o.stats().down_triggers, 0);
+    }
+
+    #[test]
+    fn oracle_waits_for_the_last_return() {
+        let mut o = OracleDown::new(30);
+        let ret = |outstanding| VsvSignal::L2MissReturned {
+            demand: true,
+            at: 0,
+            outstanding_demand: outstanding,
+        };
+        assert_eq!(o.on_signal(&ret(2), Mode::Low), Decision::Hold);
+        assert_eq!(o.on_signal(&ret(0), Mode::Low), Decision::RampUp);
+        assert_eq!(o.stats().up_triggers, 1);
+    }
+
+    #[test]
+    fn oracle_redips_on_the_next_stall_cycle_after_reaching_high() {
+        let mut o = OracleDown::new(30);
+        let _ = o.on_signal(&detected(0, Some(500)), Mode::High);
+        // Reaching High with the miss still 400 ns out: the very next
+        // zero-issue cycle dives again.
+        assert_eq!(o.on_mode_entered(Mode::High, 100, 1), Decision::Hold);
+        assert_eq!(o.on_cycle(0, Mode::High), Decision::RampDown);
+        // Near the return the remaining stall no longer pays.
+        let mut o = OracleDown::new(30);
+        let _ = o.on_signal(&detected(0, Some(500)), Mode::High);
+        assert_eq!(o.on_mode_entered(Mode::High, 490, 1), Decision::Hold);
+        assert_eq!(o.on_cycle(0, Mode::High), Decision::Hold);
+    }
+
+    #[test]
+    fn always_low_dives_and_stays() {
+        let mut p = AlwaysLow::default();
+        assert_eq!(p.on_tick(0, 0, Mode::High), Decision::RampDown);
+        assert_eq!(p.on_tick(50, 0, Mode::Low), Decision::Hold);
+        assert!(!p.idle_skip_allowed(Mode::High, 0));
+        assert!(p.idle_skip_allowed(Mode::Low, 0));
+        assert_eq!(p.stats().down_triggers, 1);
+    }
+
+    #[test]
+    fn always_high_holds_everywhere() {
+        let mut p = AlwaysHigh;
+        assert_eq!(
+            p.on_signal(&detected(0, Some(999)), Mode::High),
+            Decision::Hold
+        );
+        assert_eq!(p.on_tick(0, 5, Mode::High), Decision::Hold);
+        assert_eq!(p.on_cycle(0, Mode::High), Decision::Hold);
+        assert!(p.idle_skip_allowed(Mode::High, 7));
+        assert_eq!(p.stats(), PolicyStats::default());
+    }
+}

@@ -118,6 +118,9 @@ pub struct JobRecord {
     /// configuration, so reports remain comparable across runs — and
     /// checkpoint resume validates it before trusting a cached cell.
     pub config_digest: String,
+    /// DVS policy the job's configuration runs under
+    /// ([`SystemConfig::policy_name`]: `"disabled"` for the baseline).
+    pub policy: String,
     /// How the cell ended (deterministic: simulated time, energy,
     /// counters, or the typed failure).
     pub outcome: JobOutcome,
@@ -404,6 +407,7 @@ impl Sweep {
                         job: i,
                         workload: job.params.name.to_owned(),
                         config_digest: config_digest(&job.config),
+                        policy: job.config.policy_name().to_owned(),
                         outcome,
                         wall_ns: u64::try_from(job_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
                     };

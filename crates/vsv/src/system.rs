@@ -9,6 +9,7 @@ use vsv_uarch::{Core, CoreConfig, CoreStats, CycleActivity};
 
 use crate::controller::{Mode, ModeStats, VsvConfig, VsvController};
 use crate::error::{FaultKind, ModeTransition, SimError};
+use crate::policy::PolicySpec;
 use crate::report::RunResult;
 use crate::trace::{ModeTrace, TraceSample};
 
@@ -85,6 +86,29 @@ impl SystemConfig {
         SystemConfig {
             vsv: VsvConfig::without_fsms(),
             ..Self::baseline()
+        }
+    }
+
+    /// Baseline plus VSV under a named decision policy (FSM
+    /// thresholds and circuit timing at the defaults; for
+    /// [`PolicySpec::DualFsm`] this is [`SystemConfig::vsv_with_fsms`]).
+    #[must_use]
+    pub fn with_policy(policy: PolicySpec) -> Self {
+        SystemConfig {
+            vsv: VsvConfig::with_policy(policy),
+            ..Self::baseline()
+        }
+    }
+
+    /// The policy name this configuration runs under, for report
+    /// schemas: `"disabled"` for the baseline, the
+    /// [`PolicySpec::name`] otherwise.
+    #[must_use]
+    pub fn policy_name(&self) -> &'static str {
+        if self.vsv.enabled {
+            self.vsv.policy.name()
+        } else {
+            "disabled"
         }
     }
 
@@ -568,10 +592,10 @@ impl<S: InstStream> System<S> {
             energy: self.power.breakdown(),
             avg_power_w: self.power.average_power_w(elapsed_ns),
             mode,
-            down_triggers: self.controller.down_fsm().triggers(),
-            down_expiries: self.controller.down_fsm().expiries(),
-            up_triggers: self.controller.up_fsm().triggers(),
-            up_expiries: self.controller.up_fsm().expiries(),
+            down_triggers: self.controller.policy_stats().down_triggers,
+            down_expiries: self.controller.policy_stats().down_expiries,
+            up_triggers: self.controller.policy_stats().up_triggers,
+            up_expiries: self.controller.policy_stats().up_expiries,
             zero_issue_cycles: core.zero_issue_cycles - a.core.zero_issue_cycles,
             mispredicts: core.mispredicts - a.core.mispredicts,
             branches: core.branches - a.core.branches,

@@ -285,6 +285,7 @@ fn controller_skip_matches_ticked_loop() {
         c.observe(&vsv_mem::VsvSignal::L2MissDetected {
             demand: true,
             at: 0,
+            earliest_return: None,
         });
         for now in 0..40 {
             let plan = c.tick(now, 2);
@@ -318,7 +319,10 @@ fn controller_skip_matches_ticked_loop() {
         assert_eq!(batched.next_edge(), stepped.next_edge(), "ns={ns}");
         assert_eq!(batched.stats(), stepped.stats(), "ns={ns}");
         assert_eq!(batched.mode(), stepped.mode());
-        assert_eq!(batched.up_fsm().expiries(), stepped.up_fsm().expiries());
+        assert_eq!(
+            batched.policy_stats().up_expiries,
+            stepped.policy_stats().up_expiries
+        );
     }
     // Disabled controller (the baseline): pure edge arithmetic.
     for ns in [1u64, 9, 100] {

@@ -48,11 +48,12 @@ fn pinned_json() -> String {
 /// regenerate with:
 /// `cargo test -p vsv-repro --test sweep_report_golden -- --nocapture --ignored print_digest`
 /// and update this constant.
-// Last updated for the fault-tolerance PR: `JobRecord.result`
-// became `JobRecord.outcome` (a tagged `JobOutcome`), and
-// `SystemConfig` gained `max_sim_ns`/`inject_fault` (which shift
-// every `config_digest`).
-const PINNED_DIGEST: u64 = 0xce83_b23f_ad85_844b;
+// Last updated for the policy-subsystem PR: `JobRecord` gained the
+// `policy` name field and `VsvConfig` gained `policy: PolicySpec`
+// (which shifts every `config_digest`). Simulated results are
+// bit-identical (the default `dual-fsm` policy reproduces the
+// pre-policy controller exactly; `tests/policy_equivalence.rs`).
+const PINNED_DIGEST: u64 = 0xfb98_0913_455b_091b;
 
 #[test]
 fn report_json_matches_pinned_digest() {
@@ -94,9 +95,28 @@ fn report_shape_is_stable() {
         .get("records")
         .and_then(|r| r.as_array())
         .expect("records")[0];
-    for key in ["job", "workload", "config_digest", "outcome", "wall_ns"] {
+    for key in [
+        "job",
+        "workload",
+        "config_digest",
+        "policy",
+        "outcome",
+        "wall_ns",
+    ] {
         assert!(first.get(key).is_some(), "missing record key {key}");
     }
+    assert_eq!(
+        first.get("policy").and_then(|p| p.as_str()),
+        Some("disabled")
+    );
+    assert_eq!(
+        v.get("records")
+            .and_then(|r| r.as_array())
+            .expect("records")[1]
+            .get("policy")
+            .and_then(|p| p.as_str()),
+        Some("dual-fsm")
+    );
 }
 
 #[test]
