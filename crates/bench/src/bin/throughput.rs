@@ -10,7 +10,10 @@
 //!   `BENCH_throughput.json` in the working directory);
 //! * `VSV_THROUGHPUT_BASELINE` — committed sim-ns/sec reference for
 //!   the fast-forward-on aggregate; the run exits nonzero if measured
-//!   throughput falls more than 30% below it (the CI perf-smoke gate);
+//!   throughput falls more than 30% below it (the CI perf-smoke gate).
+//!   Fast-forward-on runs attach a null trace sink (`NullSink` at the
+//!   `events` level), so the gate also bounds the cost of the
+//!   observability instrumentation on the hot loop;
 //! * `VSV_THROUGHPUT_REPS` — timing repetitions per point (default 3);
 //!   each point reports its fastest repetition, the standard guard
 //!   against scheduler and frequency noise.
@@ -20,7 +23,7 @@
 
 use std::time::Instant;
 
-use vsv::{Experiment, SystemConfig};
+use vsv::{Experiment, NullSink, SystemConfig, TraceLevel};
 use vsv_bench::{experiment_from_env, rule};
 use vsv_workloads::spec2k_twins;
 
@@ -41,6 +44,11 @@ struct Record {
     config: String,
     /// Whether the quiescent-stall fast-forward was enabled.
     fast_forward: bool,
+    /// Whether a [`NullSink`] trace sink was attached during the run.
+    /// Fast-forward-on runs attach one at the `events` level, so the
+    /// gate measures (and the equality assert below proves bit-exact)
+    /// the instrumented hot loop, not a trace-free special case.
+    null_sink: bool,
     /// Simulated nanoseconds in the measured window (warm-up included
     /// in the timing, excluded from the window).
     sim_ns: u64,
@@ -120,11 +128,22 @@ fn timed_run(
     params: &vsv_workloads::WorkloadParams,
     cfg: SystemConfig,
     reps: u32,
+    null_sink: bool,
 ) -> Record {
     let mut best: Option<Record> = None;
     for _ in 0..reps.max(1) {
         let start = Instant::now();
-        let result = e.run(params, cfg);
+        let result = if null_sink {
+            e.try_run_instrumented(
+                params,
+                cfg,
+                Some((TraceLevel::Events, Box::new(NullSink), None)),
+            )
+            .unwrap_or_else(|err| panic!("{err}"))
+            .0
+        } else {
+            e.run(params, cfg)
+        };
         let wall = start.elapsed();
         let wall_ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX).max(1);
         let secs = wall_ns as f64 / 1e9;
@@ -132,6 +151,7 @@ fn timed_run(
             workload: params.name.to_string(),
             config: String::new(),
             fast_forward: cfg.fast_forward,
+            null_sink,
             sim_ns: result.elapsed_ns,
             instructions: result.instructions,
             mpki: result.mpki,
@@ -174,14 +194,14 @@ fn main() {
     let mut mb_off = Aggregate::default();
     for params in spec2k_twins() {
         for (label, cfg) in configs {
-            let mut on = timed_run(e, &params, cfg.with_fast_forward(true), reps);
+            let mut on = timed_run(e, &params, cfg.with_fast_forward(true), reps, true);
             on.config = label.to_string();
-            let mut off = timed_run(e, &params, cfg.with_fast_forward(false), reps);
+            let mut off = timed_run(e, &params, cfg.with_fast_forward(false), reps, false);
             off.config = label.to_string();
             assert_eq!(
                 (on.sim_ns, on.instructions),
                 (off.sim_ns, off.instructions),
-                "fast-forward changed simulated results for {}",
+                "fast-forward + null trace sink changed simulated results for {}",
                 params.name
             );
             println!(

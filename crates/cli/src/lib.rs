@@ -108,6 +108,11 @@ pub enum Command {
         resume: Option<String>,
         /// Arm an injected deadlock fault in grid cell N (testing/CI).
         inject_fault: Option<usize>,
+        /// Write per-job structured JSONL event traces (concatenated
+        /// in grid order) to this file.
+        trace: Option<String>,
+        /// Verbosity of the `--trace` stream.
+        trace_level: vsv::TraceLevel,
     },
     /// Print a mode strip (one char per ns) around VSV activity.
     Trace {
@@ -117,6 +122,12 @@ pub enum Command {
         ns: usize,
         /// Also write an SVG timeline to this path.
         svg: Option<String>,
+    },
+    /// Parse a JSONL event trace (from `sweep --trace`) and render
+    /// per-job residency timelines and event counts.
+    TraceSummarize {
+        /// Path to the JSONL trace file.
+        input: String,
     },
     /// Print usage.
     Help,
@@ -134,6 +145,16 @@ impl Command {
         let Some(cmd) = it.next() else {
             return Ok(Command::Help);
         };
+        // `trace summarize` is the one two-word command: consume the
+        // subcommand word before the flag loop.
+        let mut summarize = false;
+        if cmd == "trace" {
+            let mut peek = it.clone();
+            if peek.next().map(String::as_str) == Some("summarize") {
+                summarize = true;
+                it = peek;
+            }
+        }
         let mut twin_name: Option<String> = None;
         let mut config = ConfigKind::Baseline;
         let mut timekeeping = false;
@@ -148,6 +169,9 @@ impl Command {
         let mut inject_fault: Option<usize> = None;
         let mut policy: Option<PolicySpec> = None;
         let mut policies: Vec<PolicySpec> = Vec::new();
+        let mut trace: Option<String> = None;
+        let mut trace_level: Option<vsv::TraceLevel> = None;
+        let mut input: Option<String> = None;
 
         let next_value = |flag: &str, it: &mut std::slice::Iter<String>| {
             it.next()
@@ -190,6 +214,16 @@ impl Command {
                 "--svg" => svg = Some(next_value("--svg", &mut it)?),
                 "--checkpoint" => checkpoint = Some(next_value("--checkpoint", &mut it)?),
                 "--resume" => resume = Some(next_value("--resume", &mut it)?),
+                "--trace" => trace = Some(next_value("--trace", &mut it)?),
+                "--trace-level" => {
+                    let raw = next_value("--trace-level", &mut it)?;
+                    trace_level = Some(vsv::TraceLevel::parse(&raw).ok_or_else(|| {
+                        format!(
+                            "unknown trace level '{raw}' (expected transitions | events | full)"
+                        )
+                    })?);
+                }
+                "--input" => input = Some(next_value("--input", &mut it)?),
                 "--inject-fault" => {
                     inject_fault = Some(
                         next_value("--inject-fault", &mut it)?
@@ -225,6 +259,14 @@ impl Command {
                 if checkpoint.is_some() && resume.is_some() {
                     return Err("--checkpoint and --resume are mutually exclusive".to_owned());
                 }
+                if trace.is_some() && (checkpoint.is_some() || resume.is_some()) {
+                    // Traces are produced whole per job; resuming from
+                    // a checkpoint would leave holes in the stream.
+                    return Err("--trace cannot be combined with --checkpoint/--resume".to_owned());
+                }
+                if trace_level.is_some() && trace.is_none() {
+                    return Err("--trace-level requires --trace".to_owned());
+                }
                 Ok(Command::Sweep {
                     twin: twin_name,
                     policy,
@@ -236,8 +278,13 @@ impl Command {
                     checkpoint,
                     resume,
                     inject_fault,
+                    trace,
+                    trace_level: trace_level.unwrap_or(vsv::TraceLevel::Events),
                 })
             }
+            "trace" if summarize => Ok(Command::TraceSummarize {
+                input: input.ok_or_else(|| "--input is required".to_owned())?,
+            }),
             "trace" => Ok(Command::Trace {
                 twin: need_twin(twin_name)?,
                 ns,
@@ -260,9 +307,11 @@ USAGE:
                   [--warmup N] [--workers N] [--json]
   vsv-cli sweep   [--twin NAME] [--policy NAME] [--tk] [--insts N]
                   [--warmup N] [--workers N] [--json]
-                  [--checkpoint FILE | --resume FILE]
+                  [--checkpoint FILE | --resume FILE | --trace FILE]
+                  [--trace-level transitions|events|full]
                   [--inject-fault CELL]
   vsv-cli trace   --twin NAME [--ns N] [--svg FILE]
+  vsv-cli trace summarize --input FILE
 
 Sweep-shaped commands (compare, sweep) execute on the parallel
 deterministic sweep engine: results are in grid order and
@@ -277,6 +326,14 @@ records and the exit code is 1 (0 = all cells ok, 2 = usage error).
 half-written final line from a crash) and re-runs only the rest.
 --inject-fault CELL arms a deterministic deadlock in grid cell CELL
 for exercising these paths (testing/CI).
+
+Observability: sweep --trace FILE writes one structured JSONL event
+per line (schema: docs/observability.md), per job in grid order —
+byte-identical across runs and worker counts. --trace-level picks the
+verbosity: transitions (mode changes + windows), events (adds FSM
+arm/fire/expiry, L2 miss detect/return, fast-forward batches; the
+default), full (adds one sample per simulated ns — large). trace
+summarize renders a per-job residency timeline from such a file.
 
 DVS policies (for --policy / --policies): dual-fsm (the paper's,
 default), always-high (no-DVS control), always-low (static low
@@ -294,6 +351,8 @@ EXAMPLES:
   vsv-cli sweep --checkpoint sweep.jsonl   # then, after a crash:
   vsv-cli sweep --resume sweep.jsonl
   vsv-cli trace --twin ammp --ns 500
+  vsv-cli sweep --twin mcf --trace mcf.jsonl
+  vsv-cli trace summarize --input mcf.jsonl
 ";
 
 /// Executes a parsed command; returns the text to print.
@@ -430,6 +489,8 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
             checkpoint,
             resume,
             inject_fault,
+            trace,
+            trace_level,
         } => {
             let params = match name {
                 Some(name) => vec![twin(&name).ok_or_else(|| unknown_twin(&name))?],
@@ -460,7 +521,20 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
                 job.config.inject_fault = Some(vsv::FaultKind::Deadlock);
             }
             let workers = resolve_workers(workers);
-            let report = if let Some(path) = resume {
+            let mut trace_note = None;
+            let report = if let Some(path) = trace {
+                let (report, traces) = sweep.report_traced(workers, trace_level);
+                // Grid-order concatenation: identical bytes for any
+                // worker count.
+                let bytes: Vec<u8> = traces.concat();
+                std::fs::write(&path, &bytes).map_err(|e| format!("--trace {path}: {e}"))?;
+                trace_note = Some(format!(
+                    "({} bytes of {} JSONL trace written to {path})\n",
+                    bytes.len(),
+                    trace_level.name()
+                ));
+                report
+            } else if let Some(path) = resume {
                 sweep
                     .resume(workers, std::path::Path::new(&path))
                     .map_err(|e| format!("--resume {path}: {e}"))?
@@ -507,11 +581,19 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
                         }
                     }
                 }
+                if let Some(note) = trace_note {
+                    out.push_str(&note);
+                }
                 if let Some(summary) = failure_summary(&report) {
                     out.push_str(&summary);
                 }
                 Ok((out, code))
             }
+        }
+        Command::TraceSummarize { input } => {
+            let data =
+                std::fs::read_to_string(&input).map_err(|e| format!("--input {input}: {e}"))?;
+            summarize_trace(&data).map(|out| (out, 0))
         }
         Command::Trace {
             twin: name,
@@ -616,6 +698,140 @@ fn cross_policy_compare(
         ));
     }
     Ok((out, 0))
+}
+
+/// One job's accumulated state while summarizing a JSONL trace.
+#[derive(Default)]
+struct JobTraceSummary {
+    /// `(job, workload, policy)` from the `job_start` header, if seen.
+    header: Option<(u64, String, String)>,
+    /// `(at, mode)` of every `mode_entered`, in stream order.
+    timeline: Vec<(u64, vsv::Mode)>,
+    /// Event counts by [`vsv::TraceEvent::kind`].
+    counts: std::collections::BTreeMap<&'static str, u64>,
+    /// `(at, instructions)` of the last `window_closed`, if any.
+    window: Option<(u64, u64)>,
+}
+
+/// Parses a JSONL event trace (the `sweep --trace` output format,
+/// schema in `docs/observability.md`) and renders, per job, the event
+/// counts, a `mode@ns` transition timeline, and mode-residency
+/// percentages.
+fn summarize_trace(data: &str) -> Result<String, String> {
+    let mut jobs: Vec<JobTraceSummary> = Vec::new();
+    for (lineno, line) in data.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event: vsv::TraceEvent = serde_json::from_str(line)
+            .map_err(|e| format!("line {}: not a trace event: {e}", lineno + 1))?;
+        if let vsv::TraceEvent::JobStart {
+            job,
+            workload,
+            policy,
+            ..
+        } = &event
+        {
+            jobs.push(JobTraceSummary {
+                header: Some((*job, workload.clone(), policy.clone())),
+                ..JobTraceSummary::default()
+            });
+            continue;
+        }
+        if jobs.is_empty() {
+            // Headerless stream (e.g. a hand-captured single run).
+            jobs.push(JobTraceSummary::default());
+        }
+        let current = jobs.last_mut().expect("pushed above");
+        *current.counts.entry(event.kind()).or_insert(0) += 1;
+        match event {
+            vsv::TraceEvent::ModeEntered { at, mode, .. } => current.timeline.push((at, mode)),
+            vsv::TraceEvent::WindowClosed {
+                at, instructions, ..
+            } => current.window = Some((at, instructions)),
+            _ => {}
+        }
+    }
+    if jobs.is_empty() {
+        return Err("trace contains no events".to_owned());
+    }
+
+    const TIMELINE_CAP: usize = 24;
+    let mut out = String::new();
+    out.push_str("H=high d=down-distribute D=ramp-down L=low u=up-distribute U=ramp-up\n");
+    for summary in &jobs {
+        match &summary.header {
+            Some((job, workload, policy)) => {
+                out.push_str(&format!("job {job}  {workload}  policy={policy}\n"));
+            }
+            None => out.push_str("job ?  (no job_start header)\n"),
+        }
+        let total: u64 = summary.counts.values().sum();
+        let by_kind: Vec<String> = summary
+            .counts
+            .iter()
+            .map(|(kind, n)| format!("{kind} {n}"))
+            .collect();
+        out.push_str(&format!("  events: {total}  ({})\n", by_kind.join(", ")));
+        if summary.timeline.is_empty() {
+            continue;
+        }
+        let shown = summary.timeline.len().min(TIMELINE_CAP);
+        let strip: Vec<String> = summary.timeline[..shown]
+            .iter()
+            .map(|(at, mode)| format!("{}@{at}", mode.strip_char()))
+            .collect();
+        let more = summary.timeline.len() - shown;
+        out.push_str(&format!(
+            "  timeline: {}{}\n",
+            strip.join(" "),
+            if more > 0 {
+                format!(" … (+{more} more)")
+            } else {
+                String::new()
+            }
+        ));
+        // Residency: each mode holds from its entry to the next entry;
+        // the final segment ends at the window close (or the last
+        // entry, contributing nothing, if the trace has no close).
+        let end = summary
+            .window
+            .map(|(at, _)| at)
+            .unwrap_or(summary.timeline[summary.timeline.len() - 1].0);
+        let mut ns_in_mode = [0u64; vsv::Mode::COUNT];
+        for (i, (at, mode)) in summary.timeline.iter().enumerate() {
+            let next = summary
+                .timeline
+                .get(i + 1)
+                .map(|(n, _)| *n)
+                .unwrap_or(end)
+                .max(*at);
+            ns_in_mode[mode.index()] += next - at;
+        }
+        let span: u64 = ns_in_mode.iter().sum();
+        if span > 0 {
+            let residency: Vec<String> = vsv::Mode::ALL
+                .iter()
+                .filter(|m| ns_in_mode[m.index()] > 0)
+                .map(|m| {
+                    format!(
+                        "{} {:.1}%",
+                        m.strip_char(),
+                        ns_in_mode[m.index()] as f64 * 100.0 / span as f64
+                    )
+                })
+                .collect();
+            let window = summary
+                .window
+                .map(|(_, insts)| format!("  ({insts} instructions)"))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "  residency over {span} ns: {}{window}\n",
+                residency.join("  ")
+            ));
+        }
+    }
+    Ok(out)
 }
 
 /// Renders a human-readable list of a report's failed cells, or
@@ -768,6 +984,8 @@ mod tests {
             checkpoint: None,
             resume: None,
             inject_fault: None,
+            trace: None,
+            trace_level: vsv::TraceLevel::Events,
         }
     }
 
@@ -787,6 +1005,8 @@ mod tests {
                 checkpoint: None,
                 resume: None,
                 inject_fault: None,
+                trace: None,
+                trace_level: vsv::TraceLevel::Events,
             }
         );
     }
@@ -893,6 +1113,84 @@ mod tests {
         let a: serde_json::Value = serde_json::from_str(&first).expect("json");
         let b: serde_json::Value = serde_json::from_str(&second).expect("json");
         assert_eq!(a.get("records"), b.get("records"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parses_sweep_trace_flags() {
+        let cmd = Command::parse(&sv(&[
+            "sweep",
+            "--twin",
+            "gzip",
+            "--trace",
+            "/tmp/t.jsonl",
+            "--trace-level",
+            "full",
+        ]))
+        .expect("valid");
+        let Command::Sweep {
+            trace, trace_level, ..
+        } = cmd
+        else {
+            panic!("expected a sweep command");
+        };
+        assert_eq!(trace.as_deref(), Some("/tmp/t.jsonl"));
+        assert_eq!(trace_level, vsv::TraceLevel::Full);
+
+        let err = Command::parse(&sv(&[
+            "sweep",
+            "--trace",
+            "t.jsonl",
+            "--checkpoint",
+            "c.jsonl",
+        ]))
+        .expect_err("incompatible");
+        assert!(err.contains("--trace cannot be combined"), "{err}");
+        let err =
+            Command::parse(&sv(&["sweep", "--trace-level", "events"])).expect_err("needs --trace");
+        assert!(err.contains("--trace-level requires --trace"), "{err}");
+        let err = Command::parse(&sv(&["sweep", "--trace", "t", "--trace-level", "loud"]))
+            .expect_err("bad level");
+        assert!(err.contains("unknown trace level"), "{err}");
+    }
+
+    #[test]
+    fn parses_trace_summarize() {
+        let cmd =
+            Command::parse(&sv(&["trace", "summarize", "--input", "t.jsonl"])).expect("valid");
+        assert_eq!(
+            cmd,
+            Command::TraceSummarize {
+                input: "t.jsonl".to_owned()
+            }
+        );
+        let err = Command::parse(&sv(&["trace", "summarize"])).expect_err("needs input");
+        assert!(err.contains("--input is required"), "{err}");
+    }
+
+    #[test]
+    fn sweep_trace_then_summarize_renders_a_timeline() {
+        let path = std::env::temp_dir().join("vsv-cli-trace-summarize.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let file = path.display().to_string();
+
+        let mut cmd = sweep_cmd(Some("mcf"), 2, false);
+        if let Command::Sweep { trace, .. } = &mut cmd {
+            *trace = Some(file.clone());
+        }
+        let (out, code) = execute_with_exit(cmd).expect("traced sweep runs");
+        assert_eq!(code, 0);
+        assert!(out.contains("JSONL trace written"), "{out}");
+
+        let (summary, code) =
+            execute_with_exit(Command::TraceSummarize { input: file }).expect("summarize runs");
+        assert_eq!(code, 0);
+        // Both grid cells (baseline + vsv) are summarized, and the VSV
+        // cell's timeline shows ramp activity on the mcf twin.
+        assert!(summary.contains("policy=disabled"), "{summary}");
+        assert!(summary.contains("policy=dual-fsm"), "{summary}");
+        assert!(summary.contains("residency over"), "{summary}");
+        assert!(summary.contains("L "), "expected Low residency: {summary}");
         let _ = std::fs::remove_file(&path);
     }
 

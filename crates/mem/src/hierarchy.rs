@@ -123,6 +123,19 @@ pub enum VsvSignal {
     },
 }
 
+impl VsvSignal {
+    /// The simulated time (ns) the signal was raised. Structured
+    /// tracing maps these signals one-to-one onto `miss_detected` /
+    /// `miss_returned` events (schema: `docs/observability.md` at the
+    /// repository root).
+    #[must_use]
+    pub fn at(&self) -> u64 {
+        match *self {
+            VsvSignal::L2MissDetected { at, .. } | VsvSignal::L2MissReturned { at, .. } => at,
+        }
+    }
+}
+
 /// Which L1-side structure a refill feeds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum Side {

@@ -23,6 +23,7 @@ use vsv_power::TechParams;
 
 use crate::fsm::{DownPolicy, UpPolicy};
 use crate::policy::{Decision, DvsPolicy, PolicySpec, PolicyStats};
+use crate::trace::{vdd_mv, FsmId, TraceEvent, TraceLevel};
 
 /// The controller's operating mode.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -74,6 +75,21 @@ impl Mode {
         match self {
             Mode::High | Mode::DownDistribute => 1,
             _ => 2,
+        }
+    }
+
+    /// The one-character rendering used in timeline strips: `H` high,
+    /// `d`/`D` down-distribute/ramp-down, `L` low, `u`/`U`
+    /// up-distribute/ramp-up.
+    #[must_use]
+    pub fn strip_char(self) -> char {
+        match self {
+            Mode::High => 'H',
+            Mode::DownDistribute => 'd',
+            Mode::RampDown => 'D',
+            Mode::Low => 'L',
+            Mode::UpDistribute => 'u',
+            Mode::RampUp => 'U',
         }
     }
 }
@@ -216,6 +232,13 @@ pub struct VsvController {
     policy: Box<dyn DvsPolicy>,
     pending_ramps: u64,
     stats: ModeStats,
+    // Structured-trace plumbing (see `crate::trace`). `trace_level`
+    // is `None` — and everything below is dormant, costing one branch
+    // per tick — unless `crate::System::set_event_sink` turned it on.
+    trace_level: Option<TraceLevel>,
+    events: Vec<TraceEvent>,
+    traced_policy: PolicyStats,
+    traced_armed: (bool, bool),
 }
 
 impl VsvController {
@@ -230,8 +253,117 @@ impl VsvController {
             policy: cfg.policy.build(&cfg),
             pending_ramps: 0,
             stats: ModeStats::default(),
+            trace_level: None,
+            events: Vec::new(),
+            traced_policy: PolicyStats::default(),
+            traced_armed: (false, false),
             cfg,
         }
+    }
+
+    /// Turns structured event emission on (at `level`, with `now` the
+    /// current simulated time) or off. Events accumulate in an
+    /// internal buffer the owner drains with
+    /// [`VsvController::drain_trace_events`]; turning tracing on
+    /// re-baselines the FSM fire/expiry diffing so only activity after
+    /// this call is reported, and seeds the stream with a
+    /// [`TraceEvent::ModeEntered`] for the current mode so consumers
+    /// can reconstruct residency from the first event.
+    pub fn set_tracing(&mut self, level: Option<TraceLevel>, now: u64) {
+        self.trace_level = level;
+        self.events.clear();
+        self.traced_policy = self.policy.stats();
+        self.traced_armed = self.policy.armed();
+        if level.is_some() {
+            self.events.push(TraceEvent::ModeEntered {
+                at: now,
+                mode: self.mode,
+                vdd_mv: self.mode_entry_mv(self.mode),
+            });
+        }
+    }
+
+    /// The structured-trace level in force, if tracing is on.
+    #[must_use]
+    pub fn trace_level(&self) -> Option<TraceLevel> {
+        self.trace_level
+    }
+
+    /// Drains the buffered structured events (oldest first).
+    pub fn drain_trace_events(&mut self) -> std::vec::Drain<'_, TraceEvent> {
+        self.events.drain(..)
+    }
+
+    /// Whether any structured events are buffered.
+    #[must_use]
+    pub fn has_trace_events(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// The supply rail (mV) a mode starts at: VDDH for the high side
+    /// of the timeline, VDDL for the low side.
+    fn mode_entry_mv(&self, mode: Mode) -> u32 {
+        let t = &self.cfg.tech;
+        vdd_mv(match mode {
+            Mode::High | Mode::DownDistribute | Mode::RampDown => t.vddh,
+            Mode::Low | Mode::UpDistribute | Mode::RampUp => t.vddl,
+        })
+    }
+
+    /// Emits FSM fire/expiry/arm events by diffing the policy's
+    /// cumulative [`PolicyStats`] (and armed flags) against the last
+    /// synced snapshot — so every policy gets FSM-level tracing
+    /// without implementing any trace hook. Called after each policy
+    /// invocation while tracing at [`TraceLevel::Events`] or above.
+    fn sync_policy_trace(&mut self, at: u64) {
+        if self.trace_level < Some(TraceLevel::Events) {
+            return;
+        }
+        let armed = self.policy.armed();
+        if armed.0 && !self.traced_armed.0 {
+            self.events.push(TraceEvent::FsmArmed {
+                at,
+                fsm: FsmId::Down,
+            });
+        }
+        if armed.1 && !self.traced_armed.1 {
+            self.events
+                .push(TraceEvent::FsmArmed { at, fsm: FsmId::Up });
+        }
+        self.traced_armed = armed;
+        let stats = self.policy.stats();
+        let deltas = [
+            (
+                stats.down_triggers - self.traced_policy.down_triggers,
+                true,
+                FsmId::Down,
+            ),
+            (
+                stats.down_expiries - self.traced_policy.down_expiries,
+                false,
+                FsmId::Down,
+            ),
+            (
+                stats.up_triggers - self.traced_policy.up_triggers,
+                true,
+                FsmId::Up,
+            ),
+            (
+                stats.up_expiries - self.traced_policy.up_expiries,
+                false,
+                FsmId::Up,
+            ),
+        ];
+        for (n, fired, fsm) in deltas {
+            for _ in 0..n {
+                self.events.push(if fired {
+                    TraceEvent::FsmFired { at, fsm }
+                } else {
+                    TraceEvent::FsmExpired { at, fsm }
+                });
+            }
+        }
+        self.traced_policy = stats;
     }
 
     /// The configuration in force.
@@ -267,13 +399,36 @@ impl VsvController {
     /// Consumes an L2 signal from the hierarchy, forwarding it to the
     /// policy.
     pub fn observe(&mut self, sig: &VsvSignal) {
+        // Miss traffic is traced even with DVS disabled, so baseline
+        // traces show the same L2 activity a VSV run would react to.
+        if self.trace_level >= Some(TraceLevel::Events) {
+            self.events.push(match *sig {
+                VsvSignal::L2MissDetected {
+                    demand,
+                    at,
+                    earliest_return,
+                } => TraceEvent::MissDetected {
+                    at,
+                    demand,
+                    earliest_return,
+                },
+                VsvSignal::L2MissReturned {
+                    demand,
+                    at,
+                    outstanding_demand,
+                } => TraceEvent::MissReturned {
+                    at,
+                    demand,
+                    outstanding_demand: outstanding_demand as u64,
+                },
+            });
+        }
         if !self.cfg.enabled {
             return;
         }
-        let at = match *sig {
-            VsvSignal::L2MissDetected { at, .. } | VsvSignal::L2MissReturned { at, .. } => at,
-        };
+        let at = sig.at();
         let d = self.policy.on_signal(sig, self.mode);
+        self.sync_policy_trace(at);
         self.apply(d, at);
     }
 
@@ -284,6 +439,7 @@ impl VsvController {
         // Phase boundaries.
         let mut entered = None;
         while self.mode != Mode::High && self.mode != Mode::Low && now >= self.phase_end {
+            let boundary = self.phase_end;
             match self.mode {
                 Mode::DownDistribute => {
                     self.mode = Mode::RampDown;
@@ -307,15 +463,24 @@ impl VsvController {
                 }
                 Mode::High | Mode::Low => unreachable!("loop guard"),
             }
+            if self.trace_level.is_some() {
+                self.events.push(TraceEvent::ModeEntered {
+                    at: boundary,
+                    mode: self.mode,
+                    vdd_mv: self.mode_entry_mv(self.mode),
+                });
+            }
         }
 
         if self.cfg.enabled {
             if let Some(m) = entered {
                 let d = self.policy.on_mode_entered(m, now, outstanding_demand);
+                self.sync_policy_trace(now);
                 self.apply(d, now);
             }
             if matches!(self.mode, Mode::High | Mode::Low) {
                 let d = self.policy.on_tick(now, outstanding_demand, self.mode);
+                self.sync_policy_trace(now);
                 self.apply(d, now);
             }
         }
@@ -340,6 +505,7 @@ impl VsvController {
         }
         if matches!(self.mode, Mode::High | Mode::Low) {
             let d = self.policy.on_cycle(issued, self.mode);
+            self.sync_policy_trace(now);
             self.apply(d, now);
         }
     }
@@ -405,6 +571,9 @@ impl VsvController {
         self.next_edge += edges * period;
         if self.cfg.enabled {
             self.policy.skip_idle_cycles(edges, self.mode);
+            // FSM windows that expired inside the batch are stamped at
+            // the batch end (the intra-window time is not observable).
+            self.sync_policy_trace(from + ns);
         }
         (edges, self.cycle_voltage(from))
     }
@@ -429,6 +598,13 @@ impl VsvController {
         self.phase_end = now + self.cfg.ctrl_distribute_ns + self.cfg.clock_tree_ns;
         self.stats.down_transitions += 1;
         self.policy.on_transition_start();
+        if self.trace_level.is_some() {
+            self.events.push(TraceEvent::ModeEntered {
+                at: now,
+                mode: Mode::DownDistribute,
+                vdd_mv: self.mode_entry_mv(Mode::DownDistribute),
+            });
+        }
     }
 
     fn start_up(&mut self, now: u64) {
@@ -437,6 +613,13 @@ impl VsvController {
         self.phase_end = now + self.cfg.ctrl_distribute_ns;
         self.stats.up_transitions += 1;
         self.policy.on_transition_start();
+        if self.trace_level.is_some() {
+            self.events.push(TraceEvent::ModeEntered {
+                at: now,
+                mode: Mode::UpDistribute,
+                vdd_mv: self.mode_entry_mv(Mode::UpDistribute),
+            });
+        }
     }
 
     /// The per-cycle effective voltage at `now` (§5.2: the average of

@@ -31,7 +31,12 @@
 //!   grids (every table/figure is one [`Sweep`]), with per-cell
 //!   fault isolation and JSONL checkpoint/resume;
 //! * [`error`] — the typed failure taxonomy ([`SimError`]) behind
-//!   the fault-tolerant sweep contract.
+//!   the fault-tolerant sweep contract;
+//! * [`trace`]/[`metrics`] — structured observability: typed
+//!   [`TraceEvent`]s delivered to pluggable [`TraceSink`]s, and the
+//!   always-on [`MetricsRegistry`] of counters/histograms that merges
+//!   deterministically across sweep workers (schema reference:
+//!   `docs/observability.md`).
 //!
 //! The substrates live in sibling crates: `vsv-uarch` (8-way OoO
 //! core), `vsv-mem` (caches/MSHRs/bus/DRAM), `vsv-power`
@@ -64,6 +69,7 @@
 pub mod controller;
 pub mod error;
 pub mod fsm;
+pub mod metrics;
 pub mod policy;
 pub mod report;
 pub mod runner;
@@ -74,6 +80,7 @@ pub mod trace;
 pub use controller::{Mode, ModeStats, TickPlan, VsvConfig, VsvController};
 pub use error::{FaultKind, ModeTransition, SimError};
 pub use fsm::{DownFsm, DownPolicy, UpFsm, UpPolicy};
+pub use metrics::{CounterId, MetricsRegistry};
 pub use policy::{Decision, DvsPolicy, PolicySpec, PolicyStats};
 pub use report::{mean_comparison, Comparison, RunResult};
 pub use runner::{ComparisonSpread, Experiment};
@@ -83,4 +90,9 @@ pub use sweep::{
     config_digest, default_workers, JobOutcome, JobRecord, Sweep, SweepJob, SweepReport,
 };
 pub use system::{System, SystemConfig};
-pub use trace::{ModeTrace, TraceSample};
+#[cfg(feature = "serde")]
+pub use trace::JsonlSink;
+pub use trace::{
+    vdd_mv, FsmId, ModeTrace, NullSink, RingSink, SharedBuf, TraceEvent, TraceLevel, TraceSample,
+    TraceSink,
+};

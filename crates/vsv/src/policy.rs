@@ -124,6 +124,15 @@ pub trait DvsPolicy: std::fmt::Debug + Send {
     /// Cumulative trigger/decline counters.
     fn stats(&self) -> PolicyStats;
 
+    /// Whether the policy's (down, up) evidence monitors are currently
+    /// armed — i.e. mid-window, gathering evidence toward a trigger.
+    /// Structured tracing diffs this to emit
+    /// [`crate::trace::TraceEvent::FsmArmed`]; policies without an
+    /// arm/fire shape keep the default `(false, false)`.
+    fn armed(&self) -> (bool, bool) {
+        (false, false)
+    }
+
     /// Clones the policy with its current state (the controller is
     /// [`Clone`]).
     fn clone_box(&self) -> Box<dyn DvsPolicy>;
@@ -335,6 +344,10 @@ impl DvsPolicy for DualFsmPolicy {
             up_triggers: self.up.triggers(),
             up_expiries: self.up.expiries(),
         }
+    }
+
+    fn armed(&self) -> (bool, bool) {
+        (self.down.is_armed(), self.up.is_armed())
     }
 
     fn clone_box(&self) -> Box<dyn DvsPolicy> {

@@ -3,8 +3,10 @@
 use vsv_workloads::{Generator, WorkloadParams};
 
 use crate::error::SimError;
+use crate::metrics::MetricsRegistry;
 use crate::report::{Comparison, RunResult};
 use crate::system::{System, SystemConfig};
+use crate::trace::{TraceEvent, TraceLevel, TraceSink};
 
 /// Simulation-length policy for an experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +69,80 @@ impl Experiment {
         sys.set_workload_name(params.name);
         sys.try_warm_up(self.warmup_instructions)?;
         sys.try_run(self.instructions)
+    }
+
+    /// [`Experiment::try_run`] plus the measured window's
+    /// [`MetricsRegistry`], optionally delivering structured
+    /// [`TraceEvent`]s to `sink` during the measured window (the
+    /// warm-up is never traced, so traces start at the measurement
+    /// anchor). The sink is flushed and dropped before returning.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] raised during construction, warm-up, or the
+    /// measured window.
+    pub fn try_run_instrumented(
+        &self,
+        params: &WorkloadParams,
+        cfg: SystemConfig,
+        sink: Option<(TraceLevel, Box<dyn TraceSink>, Option<TraceEvent>)>,
+    ) -> Result<(RunResult, MetricsRegistry), SimError> {
+        let mut sys = System::try_new(cfg, Generator::new(*params))?;
+        sys.set_workload_name(params.name);
+        sys.try_warm_up(self.warmup_instructions)?;
+        if let Some((level, mut sink, header)) = sink {
+            if let Some(header) = &header {
+                // The header (a `job_start`) precedes the seeding
+                // `mode_entered`, so record it before attaching.
+                sink.record(header);
+            }
+            sys.set_event_sink(level, sink);
+        }
+        let result = sys.try_run(self.instructions);
+        drop(sys.take_event_sink());
+        let result = result?;
+        Ok((result, sys.window_metrics().clone()))
+    }
+
+    /// [`Experiment::try_run`] plus the measured window's
+    /// [`MetricsRegistry`], with no trace sink attached.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] raised during construction, warm-up, or the
+    /// measured window.
+    pub fn try_run_with_metrics(
+        &self,
+        params: &WorkloadParams,
+        cfg: SystemConfig,
+    ) -> Result<(RunResult, MetricsRegistry), SimError> {
+        self.try_run_instrumented(params, cfg, None)
+    }
+
+    /// Runs one workload with a JSONL trace of the measured window:
+    /// returns the result, the window's metrics, and the trace bytes
+    /// (one serialized [`TraceEvent`] per line, starting with
+    /// `header` if given). The byte stream is deterministic: the same
+    /// `params`/`cfg`/`header` produce identical bytes on every run.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] raised during construction, warm-up, or the
+    /// measured window. (The trace itself cannot fail: it serializes
+    /// plain values into memory.)
+    #[cfg(feature = "serde")]
+    pub fn try_run_traced(
+        &self,
+        params: &WorkloadParams,
+        cfg: SystemConfig,
+        level: TraceLevel,
+        header: Option<TraceEvent>,
+    ) -> Result<(RunResult, MetricsRegistry, Vec<u8>), SimError> {
+        let buf = crate::trace::SharedBuf::default();
+        let sink = crate::trace::JsonlSink::new(buf.clone());
+        let (result, metrics) =
+            self.try_run_instrumented(params, cfg, Some((level, Box::new(sink), header)))?;
+        Ok((result, metrics, buf.take()))
     }
 
     /// Runs a (baseline, variant) pair over the same workload and

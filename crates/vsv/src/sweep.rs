@@ -42,9 +42,11 @@ use std::time::Instant;
 use vsv_workloads::WorkloadParams;
 
 use crate::error::SimError;
+use crate::metrics::MetricsRegistry;
 use crate::report::RunResult;
 use crate::runner::Experiment;
 use crate::system::SystemConfig;
+use crate::trace::TraceLevel;
 
 /// One cell of an experiment grid: a workload under a configuration.
 #[derive(Debug, Clone, Copy)]
@@ -124,6 +126,9 @@ pub struct JobRecord {
     /// How the cell ended (deterministic: simulated time, energy,
     /// counters, or the typed failure).
     pub outcome: JobOutcome,
+    /// The measured window's [`MetricsRegistry`] (deterministic;
+    /// schema in `docs/observability.md`). Empty for failed cells.
+    pub metrics: MetricsRegistry,
     /// Host wall-clock nanoseconds this job took. **Not**
     /// deterministic; consumers that digest reports must zero it
     /// first (see `tests/sweep_report_golden.rs`).
@@ -149,6 +154,10 @@ pub struct SweepReport {
     /// Host wall-clock nanoseconds for the whole sweep. Not
     /// deterministic (see [`JobRecord::wall_ns`]).
     pub wall_ns: u64,
+    /// Every record's [`JobRecord::metrics`] merged in grid order —
+    /// bit-identical for any worker count (see
+    /// [`MetricsRegistry::merge`]).
+    pub metrics: MetricsRegistry,
     /// One record per job, in grid order.
     pub records: Vec<JobRecord>,
 }
@@ -373,6 +382,23 @@ impl Sweep {
         self.run_grid(workers, preloaded, &|r| progress(r))
     }
 
+    /// Runs the grid with per-job JSONL traces at `level`: alongside
+    /// the report, returns one byte buffer per job in grid order,
+    /// each holding that job's serialized [`crate::TraceEvent`]
+    /// stream (headed by a `job_start` line). Buffers are
+    /// deterministic and independent of the worker count —
+    /// concatenating them in grid order yields the same bytes
+    /// whether the sweep ran on 1 thread or 40. Failed cells get an
+    /// empty buffer.
+    #[cfg(feature = "serde")]
+    #[must_use]
+    pub fn report_traced(&self, workers: usize, level: TraceLevel) -> (SweepReport, Vec<Vec<u8>>) {
+        let preloaded = std::iter::repeat_with(|| None)
+            .take(self.jobs.len())
+            .collect();
+        self.run_grid_traced(workers, preloaded, &|_| {}, Some(level))
+    }
+
     /// The shared execution engine: runs every grid index whose
     /// `preloaded` slot is `None`, invokes `on_record` for each newly
     /// finished job, and assembles the full grid-ordered report from
@@ -380,9 +406,22 @@ impl Sweep {
     fn run_grid(
         &self,
         workers: usize,
-        mut preloaded: Vec<Option<JobRecord>>,
+        preloaded: Vec<Option<JobRecord>>,
         on_record: &(dyn Fn(&JobRecord) + Sync),
     ) -> SweepReport {
+        self.run_grid_traced(workers, preloaded, on_record, None).0
+    }
+
+    /// [`Sweep::run_grid`] plus optional per-job JSONL tracing: with
+    /// `trace` set, each freshly-run job also produces its trace
+    /// bytes (grid-ordered, empty for preloaded or failed cells).
+    fn run_grid_traced(
+        &self,
+        workers: usize,
+        mut preloaded: Vec<Option<JobRecord>>,
+        on_record: &(dyn Fn(&JobRecord) + Sync),
+        trace: Option<TraceLevel>,
+    ) -> (SweepReport, Vec<Vec<u8>>) {
         debug_assert_eq!(preloaded.len(), self.jobs.len());
         let workers = workers.max(1).min(self.jobs.len().max(1));
         let sweep_start = Instant::now();
@@ -393,6 +432,8 @@ impl Sweep {
         // a &mut to its own slot through the shared borrow.
         let slots: Vec<Mutex<&mut Option<JobRecord>>> =
             preloaded.iter_mut().map(Mutex::new).collect();
+        let mut traces: Vec<Vec<u8>> = vec![Vec::new(); self.jobs.len()];
+        let trace_slots: Vec<Mutex<&mut Vec<u8>>> = traces.iter_mut().map(Mutex::new).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -402,13 +443,15 @@ impl Sweep {
                         continue;
                     }
                     let job_start = Instant::now();
-                    let (outcome, _) = execute_job(&self.experiment, job);
+                    let (outcome, metrics, trace_bytes, _) =
+                        execute_job(&self.experiment, job, i, trace);
                     let record = JobRecord {
                         job: i,
                         workload: job.params.name.to_owned(),
                         config_digest: config_digest(&job.config),
                         policy: job.config.policy_name().to_owned(),
                         outcome,
+                        metrics,
                         wall_ns: u64::try_from(job_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
                     };
                     on_record(&record);
@@ -419,20 +462,38 @@ impl Sweep {
                         // write.
                         Err(poisoned) => **poisoned.into_inner() = Some(record),
                     }
+                    if !trace_bytes.is_empty() {
+                        match trace_slots[i].lock() {
+                            Ok(mut slot) => **slot = trace_bytes,
+                            Err(poisoned) => **poisoned.into_inner() = trace_bytes,
+                        }
+                    }
                 });
             }
         });
         drop(slots);
-        SweepReport {
-            jobs: self.jobs.len(),
-            workers,
-            wall_ns: u64::try_from(sweep_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
-            records: preloaded
-                .into_iter()
-                .enumerate()
-                .map(|(i, r)| r.unwrap_or_else(|| unreachable!("slot {i} unfilled")))
-                .collect(),
+        drop(trace_slots);
+        let records: Vec<JobRecord> = preloaded
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|| unreachable!("slot {i} unfilled")))
+            .collect();
+        // Merge single-threaded, in grid order: bit-identical for any
+        // worker count.
+        let mut metrics = MetricsRegistry::default();
+        for r in &records {
+            metrics.merge(&r.metrics);
         }
+        (
+            SweepReport {
+                jobs: self.jobs.len(),
+                workers,
+                wall_ns: u64::try_from(sweep_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                metrics,
+                records,
+            },
+            traces,
+        )
     }
 }
 
@@ -441,17 +502,47 @@ impl Sweep {
 /// once (in case transient host state — not the deterministic model —
 /// poisoned the first attempt) and then recorded as
 /// [`SimError::Panic`]. Returns the outcome and the attempt count.
-fn execute_job(experiment: &Experiment, job: &SweepJob) -> (JobOutcome, u32) {
+fn execute_job(
+    experiment: &Experiment,
+    job: &SweepJob,
+    index: usize,
+    trace: Option<TraceLevel>,
+) -> (JobOutcome, MetricsRegistry, Vec<u8>, u32) {
+    #[cfg(not(feature = "serde"))]
+    let _ = (index, trace);
     const MAX_ATTEMPTS: u32 = 2;
     let mut attempts = 0;
     loop {
         attempts += 1;
+        // A retried attempt rebuilds its trace buffer from scratch, so
+        // a panic on the first attempt cannot leave half a trace.
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            experiment.try_run(&job.params, job.config)
+            #[cfg(feature = "serde")]
+            if let Some(level) = trace {
+                let header = crate::trace::TraceEvent::JobStart {
+                    job: index as u64,
+                    workload: job.params.name.to_owned(),
+                    policy: job.config.policy_name().to_owned(),
+                    config_digest: config_digest(&job.config),
+                };
+                return experiment.try_run_traced(&job.params, job.config, level, Some(header));
+            }
+            experiment
+                .try_run_with_metrics(&job.params, job.config)
+                .map(|(result, metrics)| (result, metrics, Vec::new()))
         }));
         match caught {
-            Ok(Ok(result)) => return (JobOutcome::Ok(result), attempts),
-            Ok(Err(error)) => return (JobOutcome::Failed { error, attempts }, attempts),
+            Ok(Ok((result, metrics, trace_bytes))) => {
+                return (JobOutcome::Ok(result), metrics, trace_bytes, attempts)
+            }
+            Ok(Err(error)) => {
+                return (
+                    JobOutcome::Failed { error, attempts },
+                    MetricsRegistry::default(),
+                    Vec::new(),
+                    attempts,
+                )
+            }
             Err(payload) => {
                 if attempts >= MAX_ATTEMPTS {
                     let error = SimError::Panic {
@@ -459,7 +550,12 @@ fn execute_job(experiment: &Experiment, job: &SweepJob) -> (JobOutcome, u32) {
                         // payload, not the Box itself.
                         message: panic_message(&*payload),
                     };
-                    return (JobOutcome::Failed { error, attempts }, attempts);
+                    return (
+                        JobOutcome::Failed { error, attempts },
+                        MetricsRegistry::default(),
+                        Vec::new(),
+                        attempts,
+                    );
                 }
             }
         }
@@ -500,7 +596,9 @@ mod checkpoint {
         instructions: u64,
     }
 
-    const CHECKPOINT_VERSION: u32 = 1;
+    // v2: `JobRecord` gained its `metrics` registry (PR 5); v1 files
+    // no longer round-trip and are rejected by the version check.
+    const CHECKPOINT_VERSION: u32 = 2;
 
     /// Why a checkpoint could not be written or resumed.
     #[derive(Debug)]

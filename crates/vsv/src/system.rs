@@ -2,16 +2,17 @@
 //! model + VSV controller, advanced on a shared nanosecond clock.
 
 use vsv_isa::InstStream;
-use vsv_mem::{Hierarchy, HierarchyConfig, HierarchyStats};
+use vsv_mem::{Hierarchy, HierarchyConfig, HierarchyStats, VsvSignal};
 use vsv_power::{ActivitySample, PowerAccountant, PowerConfig, StructureId};
 use vsv_prefetch::{TimeKeeping, TimeKeepingConfig};
 use vsv_uarch::{Core, CoreConfig, CoreStats, CycleActivity};
 
 use crate::controller::{Mode, ModeStats, VsvConfig, VsvController};
 use crate::error::{FaultKind, ModeTransition, SimError};
-use crate::policy::PolicySpec;
+use crate::metrics::{CounterId, MetricsRegistry};
+use crate::policy::{PolicySpec, PolicyStats};
 use crate::report::RunResult;
-use crate::trace::{ModeTrace, TraceSample};
+use crate::trace::{vdd_mv, ModeTrace, TraceEvent, TraceLevel, TraceSample, TraceSink};
 
 /// Simulated nanoseconds without a commit before the watchdog
 /// declares a model deadlock (2 ms of simulated time).
@@ -180,6 +181,7 @@ struct Anchors {
     dram_accesses: u64,
     bus_transactions: u64,
     mode: ModeStats,
+    policy: PolicyStats,
 }
 
 /// The composed simulator.
@@ -205,6 +207,14 @@ pub struct System<S> {
     anchors: Anchors,
     workload: String,
     trace: Option<ModeTrace>,
+    // Structured observability (see `crate::trace` / `crate::metrics`):
+    // the always-on registry plus an optional event sink. `metrics`
+    // accumulates the in-progress window; `window_metrics` holds the
+    // last closed window's registry (what reports consume). With no
+    // sink attached, the whole layer costs one branch per step.
+    metrics: MetricsRegistry,
+    window_metrics: MetricsRegistry,
+    event_sink: Option<(TraceLevel, Box<dyn TraceSink>)>,
     fast_forward: bool,
     max_sim_ns: Option<u64>,
     inject_fault: Option<FaultKind>,
@@ -254,6 +264,7 @@ impl<S: InstStream> System<S> {
             dram_accesses: 0,
             bus_transactions: 0,
             mode: controller.stats(),
+            policy: controller.policy_stats(),
         };
         let last_mode = controller.mode();
         let mut recent_transitions = std::collections::VecDeque::with_capacity(TRANSITION_RING_LEN);
@@ -269,6 +280,9 @@ impl<S: InstStream> System<S> {
             anchors,
             workload: String::new(),
             trace: None,
+            metrics: MetricsRegistry::default(),
+            window_metrics: MetricsRegistry::default(),
+            event_sink: None,
             fast_forward: cfg.fast_forward,
             max_sim_ns: cfg.max_sim_ns,
             inject_fault: cfg.inject_fault,
@@ -298,6 +312,71 @@ impl<S: InstStream> System<S> {
     #[must_use]
     pub fn trace(&self) -> Option<&ModeTrace> {
         self.trace.as_ref()
+    }
+
+    /// Attaches a structured [`TraceSink`] at `level`: from now on the
+    /// simulation delivers typed [`TraceEvent`]s to it (schema:
+    /// `docs/observability.md`). The stream is seeded with a
+    /// `mode_entered` event for the current mode. Replaces any sink
+    /// already attached (discarding it unflushed); detach with
+    /// [`System::take_event_sink`].
+    pub fn set_event_sink(&mut self, level: TraceLevel, sink: Box<dyn TraceSink>) {
+        self.controller.set_tracing(Some(level), self.now);
+        self.event_sink = Some((level, sink));
+        self.flush_trace_events();
+    }
+
+    /// Delivers `event` to the attached sink, if any — the hook
+    /// callers use for out-of-band events such as
+    /// [`TraceEvent::JobStart`] headers. A no-op with no sink.
+    pub fn emit_trace_event(&mut self, event: &TraceEvent) {
+        if let Some((_, sink)) = self.event_sink.as_mut() {
+            self.metrics.inc(CounterId::TraceEvents);
+            sink.record(event);
+        }
+    }
+
+    /// Detaches and returns the structured event sink, flushing it and
+    /// turning event emission off. `None` if no sink was attached.
+    pub fn take_event_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.flush_trace_events();
+        self.controller.set_tracing(None, self.now);
+        self.event_sink.take().map(|(_, mut sink)| {
+            sink.flush();
+            sink
+        })
+    }
+
+    /// The metrics registry of the last closed measurement window
+    /// (what [`System::run`] measured); empty before the first window
+    /// closes.
+    #[must_use]
+    pub fn window_metrics(&self) -> &MetricsRegistry {
+        &self.window_metrics
+    }
+
+    /// The metrics registry of the window in progress (accumulating
+    /// since the last window closed).
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Drains the controller's buffered structured events into the
+    /// attached sink. A no-op with no sink; with one, called at every
+    /// step and window boundary so sink output stays in emission
+    /// order.
+    fn flush_trace_events(&mut self) {
+        let Some((_, sink)) = self.event_sink.as_mut() else {
+            return;
+        };
+        if !self.controller.has_trace_events() {
+            return;
+        }
+        for ev in self.controller.drain_trace_events() {
+            self.metrics.inc(CounterId::TraceEvents);
+            sink.record(&ev);
+        }
     }
 
     /// Current simulated time (ns).
@@ -455,7 +534,11 @@ impl<S: InstStream> System<S> {
         let mode = self.controller.mode();
         let period = mode.clock_period_ns();
         let mut next_edge = self.controller.next_edge();
+        let next_edge0 = next_edge;
         let (edges, vdd) = self.controller.skip_quiescent(from, ns);
+        self.metrics.inc(CounterId::FastForwardBatches);
+        self.metrics.add(CounterId::FastForwardNs, ns);
+        self.metrics.observe_ff_span(ns);
         self.power.record_leakage_span(ns, vdd);
         self.power.record_idle_cycles(edges, vdd);
         self.core.skip_idle_cycles(edges);
@@ -471,6 +554,40 @@ impl<S: InstStream> System<S> {
                     vdd,
                     edge,
                 });
+            }
+        }
+        if self.event_sink.is_some() {
+            if let Some((level, sink)) = self.event_sink.as_mut() {
+                if *level >= TraceLevel::Events {
+                    self.metrics.inc(CounterId::TraceEvents);
+                    sink.record(&TraceEvent::FastForward {
+                        from,
+                        to: target,
+                        edges,
+                    });
+                }
+            }
+            // FSM windows that expired inside the batch were stamped at
+            // the batch end by the controller; deliver them after the
+            // batch marker.
+            self.flush_trace_events();
+            if let Some((TraceLevel::Full, sink)) = self.event_sink.as_mut() {
+                // Replay the skipped span sample by sample, mirroring
+                // the ModeTrace replay above.
+                let mut e = next_edge0;
+                for t in from..target {
+                    let edge = t >= e;
+                    if edge {
+                        e += period;
+                    }
+                    self.metrics.inc(CounterId::TraceEvents);
+                    sink.record(&TraceEvent::Sample {
+                        at: t,
+                        mode,
+                        vdd_mv: vdd_mv(vdd),
+                        edge,
+                    });
+                }
             }
         }
         self.now = target;
@@ -489,9 +606,18 @@ impl<S: InstStream> System<S> {
         let now = self.now;
         self.core.tick_mem(now);
         let controller = &mut self.controller;
-        self.core
-            .mem_mut()
-            .visit_vsv_signals(|sig| controller.observe(sig));
+        let metrics = &mut self.metrics;
+        self.core.mem_mut().visit_vsv_signals(|sig| {
+            match *sig {
+                VsvSignal::L2MissDetected { demand, .. } => metrics.inc(if demand {
+                    CounterId::DemandMissDetects
+                } else {
+                    CounterId::PrefetchMissDetects
+                }),
+                VsvSignal::L2MissReturned { .. } => metrics.inc(CounterId::MissReturns),
+            }
+            controller.observe(sig);
+        });
         let outstanding = self.core.mem().outstanding_demand_misses();
         let plan = self.controller.tick(now, outstanding);
         let mode = self.controller.mode();
@@ -503,8 +629,12 @@ impl<S: InstStream> System<S> {
             self.recent_transitions
                 .push_back(ModeTransition { at_ns: now, mode });
         }
-        for _ in 0..self.controller.take_ramps() {
-            self.power.record_ramp();
+        let ramps = self.controller.take_ramps();
+        if ramps > 0 {
+            self.metrics.add(CounterId::SupplyRamps, ramps);
+            for _ in 0..ramps {
+                self.power.record_ramp();
+            }
         }
         self.power.record_leakage_ns(plan.vdd);
         if plan.pipeline_edge {
@@ -520,7 +650,26 @@ impl<S: InstStream> System<S> {
                 edge: plan.pipeline_edge,
             });
         }
+        if self.event_sink.is_some() {
+            self.flush_trace_events();
+            self.emit_sample(now, plan.vdd, plan.pipeline_edge);
+        }
         self.now += 1;
+    }
+
+    /// Delivers a per-nanosecond [`TraceEvent::Sample`] when the sink
+    /// runs at [`TraceLevel::Full`].
+    fn emit_sample(&mut self, at: u64, vdd: f64, edge: bool) {
+        let mode = self.controller.mode();
+        if let Some((TraceLevel::Full, sink)) = self.event_sink.as_mut() {
+            self.metrics.inc(CounterId::TraceEvents);
+            sink.record(&TraceEvent::Sample {
+                at,
+                mode,
+                vdd_mv: vdd_mv(vdd),
+                edge,
+            });
+        }
     }
 
     /// Re-anchors every counter at "now" and zeroes the energy
@@ -537,6 +686,7 @@ impl<S: InstStream> System<S> {
             dram_accesses: self.core.mem().dram_accesses(),
             bus_transactions: self.core.mem().bus().transactions(),
             mode: self.controller.stats(),
+            policy: self.controller.policy_stats(),
         };
     }
 
@@ -566,6 +716,50 @@ impl<S: InstStream> System<S> {
             down_transitions: mode_now.down_transitions - a.mode.down_transitions,
             up_transitions: mode_now.up_transitions - a.mode.up_transitions,
         };
+
+        let issue_histogram = {
+            let mut h = core.issue_histogram;
+            for (b, old) in h.buckets.iter_mut().zip(a.core.issue_histogram.buckets) {
+                *b -= old;
+            }
+            h
+        };
+
+        // Fold the window's deltas into the metrics registry, then
+        // close it out: the registry becomes this window's
+        // `window_metrics` and a fresh one starts accumulating.
+        let pstats = self.controller.policy_stats();
+        self.metrics
+            .add(CounterId::DownTransitions, mode.down_transitions);
+        self.metrics
+            .add(CounterId::UpTransitions, mode.up_transitions);
+        self.metrics.add(
+            CounterId::PolicyDownFires,
+            pstats.down_triggers - a.policy.down_triggers,
+        );
+        self.metrics.add(
+            CounterId::PolicyDownDeclines,
+            pstats.down_expiries - a.policy.down_expiries,
+        );
+        self.metrics.add(
+            CounterId::PolicyUpFires,
+            pstats.up_triggers - a.policy.up_triggers,
+        );
+        self.metrics.add(
+            CounterId::PolicyUpDeclines,
+            pstats.up_expiries - a.policy.up_expiries,
+        );
+        self.metrics.inc(CounterId::Windows);
+        self.metrics.fold_issue_buckets(&issue_histogram.buckets);
+        if self.event_sink.is_some() {
+            self.flush_trace_events();
+            self.emit_trace_event(&TraceEvent::WindowClosed {
+                at: self.now,
+                instructions: committed,
+                issue_buckets: issue_histogram.buckets,
+            });
+        }
+        self.window_metrics = std::mem::take(&mut self.metrics);
 
         let result = RunResult {
             workload: self.workload.clone(),
@@ -599,13 +793,7 @@ impl<S: InstStream> System<S> {
             zero_issue_cycles: core.zero_issue_cycles - a.core.zero_issue_cycles,
             mispredicts: core.mispredicts - a.core.mispredicts,
             branches: core.branches - a.core.branches,
-            issue_histogram: {
-                let mut h = core.issue_histogram;
-                for (b, old) in h.buckets.iter_mut().zip(a.core.issue_histogram.buckets) {
-                    *b -= old;
-                }
-                h
-            },
+            issue_histogram,
         };
         self.reset_measurement();
         result

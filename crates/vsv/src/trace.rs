@@ -1,11 +1,428 @@
-//! Bounded mode/voltage tracing — the data behind Figure 2/3-style
-//! timeline plots.
+//! Structured tracing: typed [`TraceEvent`]s delivered to a pluggable
+//! [`TraceSink`], plus the original bounded per-nanosecond
+//! [`ModeTrace`] ring behind Figure 2/3-style timeline plots.
 //!
-//! Tracing is off by default (it costs a few bytes per simulated
-//! nanosecond). Enable it with [`crate::System::enable_trace`]; the
-//! trace is a ring buffer, so long runs keep the most recent window.
+//! Both layers are off by default and cost nothing while off. The
+//! event layer is enabled with [`crate::System::set_event_sink`] at a
+//! chosen [`TraceLevel`]; the sample ring with
+//! [`crate::System::enable_trace`]. Event emission sites and the full
+//! field-by-field schema are documented in `docs/observability.md`.
+//!
+//! Determinism contract: for a fixed configuration and experiment
+//! scale, the event stream is a pure function of the simulation — the
+//! JSONL a [`JsonlSink`] writes is byte-identical across runs and
+//! across sweep worker counts (`tests/trace_determinism.rs` pins
+//! this).
 
 use crate::controller::Mode;
+
+/// Verbosity of the structured event stream. Levels are cumulative:
+/// each includes everything below it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceLevel {
+    /// Mode entries and window closes only — enough to reconstruct a
+    /// residency timeline.
+    Transitions,
+    /// Plus FSM arm/fire/expiry, L2 miss detect/return, and
+    /// fast-forward batches (the default for `--trace`).
+    Events,
+    /// Plus one [`TraceEvent::Sample`] per simulated nanosecond.
+    /// Expensive; for short diagnostic windows.
+    Full,
+}
+
+impl TraceLevel {
+    /// The stable command-line spelling.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceLevel::Transitions => "transitions",
+            TraceLevel::Events => "events",
+            TraceLevel::Full => "full",
+        }
+    }
+
+    /// Parses a command-line spelling ([`TraceLevel::name`]).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        [
+            TraceLevel::Transitions,
+            TraceLevel::Events,
+            TraceLevel::Full,
+        ]
+        .into_iter()
+        .find(|l| l.name() == s)
+    }
+}
+
+/// Which issue-rate monitor an FSM event refers to.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsmId {
+    /// The high→low monitor ([`crate::DownFsm`]).
+    Down,
+    /// The low→high monitor ([`crate::UpFsm`]).
+    Up,
+}
+
+/// One structured trace event. All times are simulated nanoseconds;
+/// voltages are millivolts (integers, so JSONL bytes are
+/// float-formatting-proof). See `docs/observability.md` for the
+/// emission site of every variant.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// Start-of-job marker a sweep writes before a job's events, so a
+    /// concatenated multi-job JSONL file is self-describing.
+    JobStart {
+        /// Grid index of the job.
+        job: u64,
+        /// Workload name.
+        workload: String,
+        /// DVS policy name (`"disabled"` for the baseline).
+        policy: String,
+        /// FNV-1a digest of the job's `SystemConfig`
+        /// ([`crate::config_digest`]).
+        config_digest: String,
+    },
+    /// The controller entered `mode` at time `at` (every Figure 2/3
+    /// sub-phase appears: distribute, ramp, steady).
+    ModeEntered {
+        /// Entry time (ns).
+        at: u64,
+        /// The mode entered.
+        mode: Mode,
+        /// Variable-domain supply at entry, millivolts.
+        vdd_mv: u32,
+    },
+    /// An issue-rate monitor armed (started watching for its
+    /// trigger condition).
+    FsmArmed {
+        /// Arm time (ns).
+        at: u64,
+        /// Which monitor.
+        fsm: FsmId,
+    },
+    /// The policy fired a transition decision (maps to
+    /// [`crate::PolicyStats`] trigger counters).
+    FsmFired {
+        /// Fire time (ns).
+        at: u64,
+        /// Which monitor (down = ramp-down decision, up = ramp-up).
+        fsm: FsmId,
+    },
+    /// A monitoring opportunity expired without firing (maps to
+    /// [`crate::PolicyStats`] expiry counters).
+    FsmExpired {
+        /// Expiry time (ns).
+        at: u64,
+        /// Which monitor.
+        fsm: FsmId,
+    },
+    /// An L2 miss was detected, one hit-latency after reaching the
+    /// L2 (mirrors `vsv_mem::VsvSignal::L2MissDetected`).
+    MissDetected {
+        /// Detection time (ns).
+        at: u64,
+        /// Whether a demand access waits on the miss.
+        demand: bool,
+        /// Provable lower bound on the return time (simulator
+        /// knowledge; `None` when the L2 MSHR file was full).
+        earliest_return: Option<u64>,
+    },
+    /// An L2 miss's data returned to the processor.
+    MissReturned {
+        /// Return time (ns).
+        at: u64,
+        /// Whether a demand access was waiting on the miss.
+        demand: bool,
+        /// Demand misses still outstanding after this return.
+        outstanding_demand: u64,
+    },
+    /// A quiescent-stall fast-forward batch: time jumped from `from`
+    /// to `to` with `edges` idle pipeline edges batch-applied.
+    FastForward {
+        /// First skipped nanosecond.
+        from: u64,
+        /// First nanosecond *not* skipped.
+        to: u64,
+        /// Idle pipeline edges in the window.
+        edges: u64,
+    },
+    /// A measurement window closed.
+    WindowClosed {
+        /// Close time (ns).
+        at: u64,
+        /// Instructions committed in the window.
+        instructions: u64,
+        /// The window's per-cycle issue histogram
+        /// (`vsv_uarch::IssueHistogram::buckets` delta; `[8]` = 8 or
+        /// wider).
+        issue_buckets: [u64; 9],
+    },
+    /// One nanosecond of controller state ([`TraceLevel::Full`]
+    /// only) — the event-stream twin of [`TraceSample`].
+    Sample {
+        /// Simulation time (ns).
+        at: u64,
+        /// Controller mode.
+        mode: Mode,
+        /// Effective variable-domain supply, millivolts.
+        vdd_mv: u32,
+        /// Whether a pipeline clock edge fired.
+        edge: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The minimum [`TraceLevel`] at which this event is emitted.
+    #[must_use]
+    pub fn level(&self) -> TraceLevel {
+        match self {
+            TraceEvent::JobStart { .. }
+            | TraceEvent::ModeEntered { .. }
+            | TraceEvent::WindowClosed { .. } => TraceLevel::Transitions,
+            TraceEvent::FsmArmed { .. }
+            | TraceEvent::FsmFired { .. }
+            | TraceEvent::FsmExpired { .. }
+            | TraceEvent::MissDetected { .. }
+            | TraceEvent::MissReturned { .. }
+            | TraceEvent::FastForward { .. } => TraceLevel::Events,
+            TraceEvent::Sample { .. } => TraceLevel::Full,
+        }
+    }
+
+    /// The stable variant name (the JSONL object key).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::JobStart { .. } => "JobStart",
+            TraceEvent::ModeEntered { .. } => "ModeEntered",
+            TraceEvent::FsmArmed { .. } => "FsmArmed",
+            TraceEvent::FsmFired { .. } => "FsmFired",
+            TraceEvent::FsmExpired { .. } => "FsmExpired",
+            TraceEvent::MissDetected { .. } => "MissDetected",
+            TraceEvent::MissReturned { .. } => "MissReturned",
+            TraceEvent::FastForward { .. } => "FastForward",
+            TraceEvent::WindowClosed { .. } => "WindowClosed",
+            TraceEvent::Sample { .. } => "Sample",
+        }
+    }
+}
+
+/// Converts a supply voltage in volts to integer millivolts (the
+/// trace-schema representation).
+#[must_use]
+pub fn vdd_mv(vdd: f64) -> u32 {
+    let mv = (vdd * 1000.0).round();
+    if mv <= 0.0 {
+        0
+    } else if mv >= f64::from(u32::MAX) {
+        u32::MAX
+    } else {
+        // Rounded and range-checked just above.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        {
+            mv as u32
+        }
+    }
+}
+
+/// A destination for [`TraceEvent`]s. Implementations must be cheap
+/// per call — the simulator records events from inside its stepping
+/// loop (though only at event sites, never per nanosecond below
+/// [`TraceLevel::Full`]).
+pub trait TraceSink: Send + std::fmt::Debug {
+    /// Receives one event. Level filtering has already happened: the
+    /// sink sees exactly the events at or below the configured
+    /// [`TraceLevel`].
+    fn record(&mut self, event: &TraceEvent);
+
+    /// Flushes any buffered output (called when the sink is detached;
+    /// a no-op for in-memory sinks).
+    fn flush(&mut self) {}
+}
+
+/// Discards every event: the zero-cost sink for proving the
+/// instrumented hot loop is within noise of the uninstrumented one
+/// (`crates/bench/src/bin/throughput.rs` gates this).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _event: &TraceEvent) {}
+}
+
+/// A bounded in-memory ring of events: long runs keep the most
+/// recent window, like [`ModeTrace`] but for the structured stream.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    events: std::collections::VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be nonzero");
+        RingSink {
+            events: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Iterates oldest → newest.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Events currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events dropped off the front so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event.clone());
+    }
+}
+
+/// A shareable in-memory byte buffer implementing [`std::io::Write`]:
+/// hand a clone to a [`JsonlSink`] moved into the simulator, keep one
+/// handle, and [`SharedBuf::take`] the bytes after the run.
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    /// Takes the accumulated bytes, leaving the buffer empty.
+    #[must_use]
+    pub fn take(&self) -> Vec<u8> {
+        match self.0.lock() {
+            Ok(mut b) => std::mem::take(&mut *b),
+            Err(poisoned) => std::mem::take(&mut *poisoned.into_inner()),
+        }
+    }
+
+    /// Bytes accumulated so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self.0.lock() {
+            Ok(b) => b.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self.0.lock() {
+            Ok(mut b) => b.extend_from_slice(buf),
+            Err(poisoned) => poisoned.into_inner().extend_from_slice(buf),
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Writes one JSON object per event, newline-terminated (JSONL). The
+/// serialization is deterministic, so for a fixed configuration the
+/// emitted bytes are identical across runs and worker counts.
+///
+/// Write or serialization failures are latched into
+/// [`JsonlSink::error`] instead of panicking (the simulator must not
+/// die because a trace disk filled up); subsequent events are
+/// dropped.
+#[cfg(feature = "serde")]
+pub struct JsonlSink<W: std::io::Write + Send> {
+    writer: W,
+    error: Option<String>,
+}
+
+#[cfg(feature = "serde")]
+impl<W: std::io::Write + Send> JsonlSink<W> {
+    /// Builds the sink over a writer.
+    #[must_use]
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            error: None,
+        }
+    }
+
+    /// The first write/serialization error, if any occurred.
+    #[must_use]
+    pub fn error(&self) -> Option<&str> {
+        self.error.as_deref()
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<W: std::io::Write + Send> std::fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<W: std::io::Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        match serde_json::to_string(event) {
+            Ok(json) => {
+                if let Err(e) = writeln!(self.writer, "{json}") {
+                    self.error = Some(e.to_string());
+                }
+            }
+            Err(e) => self.error = Some(e.to_string()),
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Err(e) = self.writer.flush() {
+            if self.error.is_none() {
+                self.error = Some(e.to_string());
+            }
+        }
+    }
+}
 
 /// One nanosecond of controller state.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -110,17 +527,7 @@ impl ModeTrace {
     /// debugging sessions.
     #[must_use]
     pub fn strip(&self) -> String {
-        self.samples
-            .iter()
-            .map(|s| match s.mode {
-                Mode::High => 'H',
-                Mode::DownDistribute => 'd',
-                Mode::RampDown => 'D',
-                Mode::Low => 'L',
-                Mode::UpDistribute => 'u',
-                Mode::RampUp => 'U',
-            })
-            .collect()
+        self.samples.iter().map(|s| s.mode.strip_char()).collect()
     }
 }
 
@@ -189,5 +596,127 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_capacity_panics() {
         let _ = ModeTrace::new(0);
+    }
+}
+
+#[cfg(test)]
+mod event_tests {
+    use super::*;
+
+    fn fired(at: u64) -> TraceEvent {
+        TraceEvent::FsmFired {
+            at,
+            fsm: FsmId::Down,
+        }
+    }
+
+    #[test]
+    fn levels_are_cumulative_and_parse_round_trips() {
+        assert!(TraceLevel::Transitions < TraceLevel::Events);
+        assert!(TraceLevel::Events < TraceLevel::Full);
+        for l in [
+            TraceLevel::Transitions,
+            TraceLevel::Events,
+            TraceLevel::Full,
+        ] {
+            assert_eq!(TraceLevel::parse(l.name()), Some(l));
+        }
+        assert_eq!(TraceLevel::parse("verbose"), None);
+    }
+
+    #[test]
+    fn event_levels_and_kinds_are_consistent() {
+        let sample = TraceEvent::Sample {
+            at: 0,
+            mode: Mode::High,
+            vdd_mv: 1800,
+            edge: true,
+        };
+        assert_eq!(sample.level(), TraceLevel::Full);
+        assert_eq!(sample.kind(), "Sample");
+        let entered = TraceEvent::ModeEntered {
+            at: 4,
+            mode: Mode::RampDown,
+            vdd_mv: 1800,
+        };
+        assert_eq!(entered.level(), TraceLevel::Transitions);
+        assert_eq!(fired(9).level(), TraceLevel::Events);
+    }
+
+    #[test]
+    fn vdd_mv_rounds_to_millivolts() {
+        assert_eq!(vdd_mv(1.8), 1800);
+        assert_eq!(vdd_mv(1.2), 1200);
+        assert_eq!(vdd_mv(1.2345), 1235);
+        assert_eq!(vdd_mv(-0.5), 0);
+    }
+
+    #[test]
+    fn ring_sink_caps_and_counts_drops() {
+        let mut ring = RingSink::new(2);
+        for at in 0..5 {
+            ring.record(&fired(at));
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 3);
+        let ats: Vec<u64> = ring
+            .events()
+            .map(|e| match e {
+                TraceEvent::FsmFired { at, .. } => *at,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(ats, vec![3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_ring_panics() {
+        let _ = RingSink::new(0);
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let mut null = NullSink;
+        null.record(&fired(1));
+        null.flush();
+    }
+
+    #[test]
+    fn shared_buf_takes_written_bytes() {
+        use std::io::Write as _;
+        let buf = SharedBuf::default();
+        let mut handle = buf.clone();
+        handle.write_all(b"hello").expect("in-memory write");
+        assert_eq!(buf.len(), 5);
+        assert_eq!(buf.take(), b"hello");
+        assert!(buf.is_empty());
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event_and_round_trips() {
+        let buf = SharedBuf::default();
+        let mut sink = JsonlSink::new(buf.clone());
+        sink.record(&fired(7));
+        sink.record(&TraceEvent::MissDetected {
+            at: 9,
+            demand: true,
+            earliest_return: Some(120),
+        });
+        sink.flush();
+        assert!(sink.error().is_none());
+        let text = String::from_utf8(buf.take()).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let back: TraceEvent = serde_json::from_str(lines[1]).expect("parses");
+        assert_eq!(
+            back,
+            TraceEvent::MissDetected {
+                at: 9,
+                demand: true,
+                earliest_return: Some(120),
+            }
+        );
     }
 }

@@ -48,12 +48,13 @@ fn pinned_json() -> String {
 /// regenerate with:
 /// `cargo test -p vsv-repro --test sweep_report_golden -- --nocapture --ignored print_digest`
 /// and update this constant.
-// Last updated for the policy-subsystem PR: `JobRecord` gained the
-// `policy` name field and `VsvConfig` gained `policy: PolicySpec`
-// (which shifts every `config_digest`). Simulated results are
-// bit-identical (the default `dual-fsm` policy reproduces the
-// pre-policy controller exactly; `tests/policy_equivalence.rs`).
-const PINNED_DIGEST: u64 = 0xfb98_0913_455b_091b;
+// Last updated for the observability PR: `JobRecord` and
+// `SweepReport` gained `metrics` fields (the per-window
+// `MetricsRegistry` counters/histograms and their deterministic
+// grid-order merge). Simulated results are bit-identical — every
+// pre-existing field of every record is unchanged; only the new
+// `metrics` objects were added (`tests/trace_determinism.rs`).
+const PINNED_DIGEST: u64 = 0xce26_883f_b636_7496;
 
 #[test]
 fn report_json_matches_pinned_digest() {
@@ -88,7 +89,7 @@ fn report_shape_is_stable() {
     );
     let v: serde_json::Value =
         serde_json::from_str(&serde_json::to_string(&report).expect("json")).expect("parses");
-    for key in ["jobs", "workers", "wall_ns", "records"] {
+    for key in ["jobs", "workers", "wall_ns", "metrics", "records"] {
         assert!(v.get(key).is_some(), "missing top-level key {key}");
     }
     let first = &v
@@ -101,6 +102,7 @@ fn report_shape_is_stable() {
         "config_digest",
         "policy",
         "outcome",
+        "metrics",
         "wall_ns",
     ] {
         assert!(first.get(key).is_some(), "missing record key {key}");
