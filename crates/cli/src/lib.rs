@@ -74,6 +74,10 @@ pub enum Command {
         /// DVS policies to compare against the baseline (empty: the
         /// classic two-sided compare against `dual-fsm`).
         policies: Vec<PolicySpec>,
+        /// Voltage-ladder depths to compare (one `ladder-fsm` row per
+        /// depth; empty: no ladder axis). Mutually exclusive with
+        /// `policies`.
+        ladders: Vec<usize>,
         /// Attach Time-Keeping to both sides.
         timekeeping: bool,
         /// Measured instructions.
@@ -92,6 +96,9 @@ pub enum Command {
         /// DVS policy for the VSV side of the grid (`None`: the
         /// default `dual-fsm`).
         policy: Option<PolicySpec>,
+        /// Voltage-ladder depth for the VSV side (`None`: the paper's
+        /// two rails).
+        ladder: Option<usize>,
         /// Attach Time-Keeping to both sides.
         timekeeping: bool,
         /// Measured instructions.
@@ -169,6 +176,8 @@ impl Command {
         let mut inject_fault: Option<usize> = None;
         let mut policy: Option<PolicySpec> = None;
         let mut policies: Vec<PolicySpec> = Vec::new();
+        let mut ladder: Option<usize> = None;
+        let mut ladders: Vec<usize> = Vec::new();
         let mut trace: Option<String> = None;
         let mut trace_level: Option<vsv::TraceLevel> = None;
         let mut input: Option<String> = None;
@@ -211,6 +220,15 @@ impl Command {
                         .map(parse_policy)
                         .collect::<Result<_, _>>()?;
                 }
+                "--ladder" => {
+                    ladder = Some(parse_ladder_depth(&next_value("--ladder", &mut it)?)?);
+                }
+                "--ladders" => {
+                    ladders = next_value("--ladders", &mut it)?
+                        .split(',')
+                        .map(parse_ladder_depth)
+                        .collect::<Result<_, _>>()?;
+                }
                 "--svg" => svg = Some(next_value("--svg", &mut it)?),
                 "--checkpoint" => checkpoint = Some(next_value("--checkpoint", &mut it)?),
                 "--resume" => resume = Some(next_value("--resume", &mut it)?),
@@ -246,15 +264,21 @@ impl Command {
                 warmup,
                 json,
             }),
-            "compare" => Ok(Command::Compare {
-                twin: need_twin(twin_name)?,
-                policies,
-                timekeeping,
-                insts,
-                warmup,
-                workers,
-                json,
-            }),
+            "compare" => {
+                if !ladders.is_empty() && !policies.is_empty() {
+                    return Err("--ladders and --policies are mutually exclusive".to_owned());
+                }
+                Ok(Command::Compare {
+                    twin: need_twin(twin_name)?,
+                    policies,
+                    ladders,
+                    timekeeping,
+                    insts,
+                    warmup,
+                    workers,
+                    json,
+                })
+            }
             "sweep" => {
                 if checkpoint.is_some() && resume.is_some() {
                     return Err("--checkpoint and --resume are mutually exclusive".to_owned());
@@ -270,6 +294,7 @@ impl Command {
                 Ok(Command::Sweep {
                     twin: twin_name,
                     policy,
+                    ladder,
                     timekeeping,
                     insts,
                     warmup,
@@ -303,10 +328,10 @@ USAGE:
   vsv-cli list
   vsv-cli run     --twin NAME [--config baseline|vsv-fsm|vsv-nofsm]
                   [--tk] [--insts N] [--warmup N] [--json]
-  vsv-cli compare --twin NAME [--policies A,B,..] [--tk] [--insts N]
-                  [--warmup N] [--workers N] [--json]
-  vsv-cli sweep   [--twin NAME] [--policy NAME] [--tk] [--insts N]
-                  [--warmup N] [--workers N] [--json]
+  vsv-cli compare --twin NAME [--policies A,B,.. | --ladders D1,D2,..]
+                  [--tk] [--insts N] [--warmup N] [--workers N] [--json]
+  vsv-cli sweep   [--twin NAME] [--policy NAME] [--ladder N] [--tk]
+                  [--insts N] [--warmup N] [--workers N] [--json]
                   [--checkpoint FILE | --resume FILE | --trace FILE]
                   [--trace-level transitions|events|full]
                   [--inject-fault CELL]
@@ -338,13 +363,22 @@ summarize renders a per-job residency timeline from such a file.
 DVS policies (for --policy / --policies): dual-fsm (the paper's,
 default), always-high (no-DVS control), always-low (static low
 voltage), immediate-down (ramp on every L2 miss), oracle-down
-(clairvoyant upper bound). compare --policies runs the baseline plus
-each named policy on the same twin and prints per-policy energy, EDP,
-slowdown and power savings.
+(clairvoyant upper bound), ladder-fsm (the dual FSMs generalized to
+step down an N-level voltage ladder). compare --policies runs the
+baseline plus each named policy on the same twin and prints
+per-policy energy, EDP, slowdown and power savings.
+
+Voltage ladders: --ladder N runs the VSV side on a uniform N-level
+ladder between VDDL and VDDH (depth 2 = the paper's two rails, the
+default; depth 1 = always-VDDH). compare --ladders D1,D2,.. runs the
+baseline plus one ladder-fsm row per depth — the EDP-vs-depth
+frontier on one twin.
 
 EXAMPLES:
   vsv-cli compare --twin mcf
   vsv-cli compare --twin mcf --policies dual-fsm,immediate-down,oracle-down
+  vsv-cli compare --twin mcf --ladders 1,2,4
+  vsv-cli sweep --policy ladder-fsm --ladder 4 --json
   vsv-cli sweep --policy always-high --json
   vsv-cli run --twin applu --config vsv-fsm --tk --json
   vsv-cli sweep --workers 4 --json
@@ -417,6 +451,7 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
         Command::Compare {
             twin: name,
             policies,
+            ladders,
             timekeeping,
             insts,
             warmup,
@@ -428,6 +463,16 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
                 warmup_instructions: warmup,
                 instructions: insts,
             };
+            if !ladders.is_empty() {
+                return cross_ladder_compare(
+                    e,
+                    params,
+                    &ladders,
+                    timekeeping,
+                    resolve_workers(workers),
+                    json,
+                );
+            }
             if !policies.is_empty() {
                 return cross_policy_compare(
                     e,
@@ -481,6 +526,7 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
         Command::Sweep {
             twin: name,
             policy,
+            ladder,
             timekeeping,
             insts,
             warmup,
@@ -500,10 +546,13 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
                 warmup_instructions: warmup,
                 instructions: insts,
             };
-            let vsv_side = match policy {
+            let mut vsv_side = match policy {
                 Some(p) => SystemConfig::with_policy(p),
                 None => SystemConfig::vsv_with_fsms(),
             };
+            if let Some(depth) = ladder {
+                vsv_side = vsv_side.with_ladder_depth(depth);
+            }
             let mut sweep = Sweep::over_grid(
                 e,
                 &params,
@@ -700,6 +749,70 @@ fn cross_policy_compare(
     Ok((out, 0))
 }
 
+/// Runs `baseline` plus one `ladder-fsm` VSV config per requested
+/// ladder depth on one twin (a `1 × (1 + D)` sweep grid) and renders
+/// the EDP-vs-depth table (or its JSON rows).
+fn cross_ladder_compare(
+    e: Experiment,
+    params: vsv_workloads::WorkloadParams,
+    depths: &[usize],
+    timekeeping: bool,
+    workers: usize,
+    json: bool,
+) -> Result<(String, i32), String> {
+    let mut configs = vec![SystemConfig::baseline().with_timekeeping(timekeeping)];
+    configs.extend(depths.iter().map(|&d| {
+        SystemConfig::with_policy(PolicySpec::LadderFsm)
+            .with_ladder_depth(d)
+            .with_timekeeping(timekeeping)
+    }));
+    let sweep = Sweep::over_grid(e, &[params], &configs);
+    let report = sweep.report(workers);
+    if let Some(summary) = failure_summary(&report) {
+        return Err(summary);
+    }
+    let results = report.into_results();
+    let (base, rest) = match results.split_first() {
+        Some(split) => split,
+        None => return Err("compare produced no results".to_owned()),
+    };
+    let row = |name: String, r: &vsv::RunResult| {
+        let cmp = Comparison::of(base, r);
+        let energy_mj = r.energy_pj / 1e9;
+        PolicyRow {
+            policy: name,
+            elapsed_ns: r.elapsed_ns,
+            energy_mj,
+            edp_mj_ms: energy_mj * r.elapsed_ns as f64 / 1e6,
+            slowdown_pct: cmp.perf_degradation_pct,
+            power_saving_pct: cmp.power_saving_pct,
+        }
+    };
+    let mut rows = vec![row("disabled".to_owned(), base)];
+    rows.extend(
+        depths
+            .iter()
+            .zip(rest)
+            .map(|(d, r)| row(format!("ladder-fsm@d{d}"), r)),
+    );
+    if json {
+        return serde_json::to_string_pretty(&rows)
+            .map(|s| (s, 0))
+            .map_err(|e| e.to_string());
+    }
+    let mut out = format!(
+        "{:<15} {:>11} {:>10} {:>11} {:>10} {:>8}\n",
+        "ladder", "elapsed_ns", "energy_mJ", "EDP(mJ·ms)", "slowdown%", "saved%"
+    );
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<15} {:>11} {:>10.4} {:>11.4} {:>10.2} {:>8.2}\n",
+            r.policy, r.elapsed_ns, r.energy_mj, r.edp_mj_ms, r.slowdown_pct, r.power_saving_pct
+        ));
+    }
+    Ok((out, 0))
+}
+
 /// One job's accumulated state while summarizing a JSONL trace.
 #[derive(Default)]
 struct JobTraceSummary {
@@ -870,6 +983,21 @@ fn parse_policy(s: impl AsRef<str>) -> Result<PolicySpec, String> {
     })
 }
 
+/// Parses a `--ladder`/`--ladders` value; depth bounds are checked
+/// here so a typo is a usage error (exit code 2) rather than a failed
+/// sweep cell.
+fn parse_ladder_depth(s: impl AsRef<str>) -> Result<usize, String> {
+    let s = s.as_ref();
+    let depth: usize = s.parse().map_err(|e| format!("ladder depth '{s}': {e}"))?;
+    if depth == 0 || depth > vsv::MAX_LADDER_DEPTH {
+        return Err(format!(
+            "ladder depth '{s}': expected 1..={}",
+            vsv::MAX_LADDER_DEPTH
+        ));
+    }
+    Ok(depth)
+}
+
 fn unknown_twin(name: &str) -> String {
     let names: Vec<&str> = spec2k_twins().iter().map(|p| p.name).collect();
     format!("unknown twin '{name}'; known twins: {}", names.join(", "))
@@ -961,6 +1089,7 @@ mod tests {
         let out = execute(Command::Compare {
             twin: "gzip".to_owned(),
             policies: Vec::new(),
+            ladders: Vec::new(),
             timekeeping: false,
             insts: 3_000,
             warmup: 1_000,
@@ -976,6 +1105,7 @@ mod tests {
         Command::Sweep {
             twin: twin.map(str::to_owned),
             policy: None,
+            ladder: None,
             timekeeping: false,
             insts: 3_000,
             warmup: 1_000,
@@ -997,6 +1127,7 @@ mod tests {
             Command::Sweep {
                 twin: None,
                 policy: None,
+                ladder: None,
                 timekeeping: false,
                 insts: 300_000,
                 warmup: 100_000,
@@ -1244,6 +1375,7 @@ mod tests {
         let (out, code) = execute_with_exit(Command::Compare {
             twin: "gzip".to_owned(),
             policies: vec![PolicySpec::AlwaysHigh, PolicySpec::ImmediateDown],
+            ladders: Vec::new(),
             timekeeping: false,
             insts: 3_000,
             warmup: 1_000,
@@ -1263,6 +1395,7 @@ mod tests {
         let out = execute(Command::Compare {
             twin: "gzip".to_owned(),
             policies: vec![PolicySpec::DualFsm],
+            ladders: Vec::new(),
             timekeeping: false,
             insts: 3_000,
             warmup: 1_000,
@@ -1283,6 +1416,75 @@ mod tests {
         );
         assert!(rows[1].get("edp_mj_ms").is_some());
         assert!(rows[1].get("slowdown_pct").is_some());
+    }
+
+    #[test]
+    fn parses_ladder_flags() {
+        let cmd = Command::parse(&sv(&["sweep", "--policy", "ladder-fsm", "--ladder", "4"]))
+            .expect("valid");
+        let Command::Sweep { policy, ladder, .. } = cmd else {
+            panic!("expected a sweep command");
+        };
+        assert_eq!(policy, Some(PolicySpec::LadderFsm));
+        assert_eq!(ladder, Some(4));
+
+        let cmd = Command::parse(&sv(&["compare", "--twin", "mcf", "--ladders", "1,2,4"]))
+            .expect("valid");
+        let Command::Compare { ladders, .. } = cmd else {
+            panic!("expected a compare command");
+        };
+        assert_eq!(ladders, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn ladder_depth_bounds_are_usage_errors() {
+        for bad in ["0", "9", "two", ""] {
+            let err = Command::parse(&sv(&["sweep", "--ladder", bad])).expect_err("bad depth");
+            assert!(err.contains("ladder depth"), "{err}");
+        }
+        let err = Command::parse(&sv(&["compare", "--twin", "mcf", "--ladders", "2,0"]))
+            .expect_err("bad depth in list");
+        assert!(err.contains("expected 1..=8"), "{err}");
+    }
+
+    #[test]
+    fn ladders_and_policies_are_mutually_exclusive() {
+        let err = Command::parse(&sv(&[
+            "compare",
+            "--twin",
+            "mcf",
+            "--policies",
+            "dual-fsm",
+            "--ladders",
+            "2,4",
+        ]))
+        .expect_err("conflicting axes");
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn cross_ladder_compare_prints_one_row_per_depth() {
+        let (out, code) = execute_with_exit(Command::Compare {
+            twin: "mcf".to_owned(),
+            policies: Vec::new(),
+            ladders: vec![1, 2, 4],
+            timekeeping: false,
+            insts: 3_000,
+            warmup: 1_000,
+            workers: 2,
+            json: false,
+        })
+        .expect("runs");
+        assert_eq!(code, 0);
+        for name in [
+            "disabled",
+            "ladder-fsm@d1",
+            "ladder-fsm@d2",
+            "ladder-fsm@d4",
+        ] {
+            assert!(out.contains(name), "{out}");
+        }
+        assert!(out.contains("EDP"), "{out}");
     }
 
     #[test]

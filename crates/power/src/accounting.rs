@@ -400,10 +400,19 @@ impl PowerAccountant {
         self.leakage_pj += (var + fixed) * 1e3;
     }
 
-    /// Charges one supply ramp (either direction): the 66 nJ
-    /// dual-network transition energy.
+    /// Charges one full-swing supply ramp (either direction): the
+    /// 66 nJ dual-network transition energy.
     pub fn record_ramp(&mut self) {
-        self.ramp_pj += self.cfg.tech.ramp_energy_pj;
+        self.record_ramp_scaled(1.0);
+    }
+
+    /// Charges one supply-ramp step covering `scale` of the full
+    /// VDDH↔VDDL swing. A ladder step between intermediate rails
+    /// moves proportionally less charge between the networks, so it
+    /// pays a proportional share of the 66 nJ; `scale = 1.0` is the
+    /// full-swing [`PowerAccountant::record_ramp`].
+    pub fn record_ramp_scaled(&mut self, scale: f64) {
+        self.ramp_pj += self.cfg.tech.ramp_energy_pj * scale;
         self.ramps += 1;
     }
 

@@ -17,9 +17,26 @@
 //! (selected by [`VsvConfig::policy`]); *how* they unfold — phase
 //! boundaries, ramp voltages, the 66 nJ ramp charges — stays here, so
 //! every policy pays the same honest circuit costs.
+//!
+//! # N-level ladders
+//!
+//! The supply runs on a [`VoltageLadder`]: an ordered set of operating
+//! points from VDDH (level 0) down toward VDDL
+//! ([`VsvConfig::ladder`]). The paper's two rails are the depth-2
+//! ladder and remain a bit-identical special case
+//! (`tests/ladder_equivalence.rs`). Transitions always move *one
+//! adjacent step* at a time along the Figure 2/3 timeline — control
+//! distribution, then a constant-dV/dt ramp sized to the step's
+//! voltage swing — and the controller *sequences* multi-step moves:
+//! a policy retargets (via [`Decision::Level`]) and the in-flight
+//! step completes before the next one starts, so a descent can
+//! reverse mid-ramp without ever leaving the timeline. [`Mode::High`]
+//! means "settled at level 0", [`Mode::Low`] "settled at any lower
+//! level"; clock periods per level come from the calibrated
+//! [`VoltageCurve`].
 
 use vsv_mem::VsvSignal;
-use vsv_power::TechParams;
+use vsv_power::{TechParams, VoltageCurve, VoltageLadder, MAX_LADDER_DEPTH};
 
 use crate::fsm::{DownPolicy, UpPolicy};
 use crate::policy::{Decision, DvsPolicy, PolicySpec, PolicyStats};
@@ -29,14 +46,19 @@ use crate::trace::{vdd_mv, FsmId, TraceEvent, TraceLevel};
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Mode {
-    /// Full speed, VDDH (the default).
+    /// Full speed, VDDH — settled at ladder level 0 (the default).
     High,
-    /// Slower-clock distribution before a down-ramp: still full speed
-    /// and VDDH for 4 ns (2 ns control + 2 ns clock tree).
+    /// Slower-clock distribution before a down-step: still at the
+    /// departing level's speed and voltage (4 ns when leaving full
+    /// speed — 2 ns control + 2 ns clock tree — else 2 ns control
+    /// only).
     DownDistribute,
-    /// VDD ramping down: half speed, falling voltage (12 ns).
+    /// VDD ramping down one ladder step: the destination level's
+    /// speed, falling voltage (12 ns for the full 2-rail swing;
+    /// proportionally less per ladder step).
     RampDown,
-    /// Half speed, VDDL.
+    /// Settled at a reduced rail (any ladder level below 0; VDDL on
+    /// the 2-rail ladder). Half speed under the paper's calibration.
     Low,
     /// Control-signal distribution before an up-ramp: half speed,
     /// VDDL for 2 ns.
@@ -69,7 +91,11 @@ impl Mode {
         self as usize
     }
 
-    /// Pipeline clock period in this mode, in nanoseconds.
+    /// Pipeline clock period in this mode on the paper's 2-rail
+    /// ladder, in nanoseconds. Deeper ladders have per-*level*
+    /// periods ([`VsvController::current_period_ns`]); this
+    /// mode-only view stays exact for depth 2 because every level
+    /// below 0 quantizes to the half-speed clock.
     #[must_use]
     pub fn clock_period_ns(self) -> u64 {
         match self {
@@ -118,6 +144,10 @@ pub struct VsvConfig {
     pub up: UpPolicy,
     /// Technology constants (voltages, ramp rate, ramp energy).
     pub tech: TechParams,
+    /// The supply's operating points (the paper's two rails by
+    /// default). Validated against `tech` by
+    /// [`crate::SystemConfig::validate`].
+    pub ladder: VoltageLadder,
     /// Control-signal distribution latency (paper: 2 ns).
     pub ctrl_distribute_ns: u64,
     /// Clock-tree propagation latency (paper: 2 ns).
@@ -128,12 +158,14 @@ impl VsvConfig {
     /// The baseline processor: VSV disabled.
     #[must_use]
     pub fn disabled() -> Self {
+        let tech = TechParams::baseline();
         VsvConfig {
             enabled: false,
             policy: PolicySpec::DualFsm,
             down: DownPolicy::default_monitor(),
             up: UpPolicy::default_monitor(),
-            tech: TechParams::baseline(),
+            ladder: VoltageLadder::paper_rails(&tech),
+            tech,
             ctrl_distribute_ns: 2,
             clock_tree_ns: 2,
         }
@@ -173,7 +205,24 @@ impl VsvConfig {
         }
     }
 
-    /// The VDD ramp duration (12 ns for the paper's constants).
+    /// The same configuration on `ladder` instead of the 2-rail
+    /// default.
+    #[must_use]
+    pub fn with_ladder(self, ladder: VoltageLadder) -> Self {
+        VsvConfig { ladder, ..self }
+    }
+
+    /// The same configuration on a uniform `depth`-level ladder
+    /// between the technology's rails ([`VoltageLadder::uniform`]).
+    #[must_use]
+    pub fn with_ladder_depth(self, depth: usize) -> Self {
+        let ladder = VoltageLadder::uniform(&self.tech, depth);
+        VsvConfig { ladder, ..self }
+    }
+
+    /// The full-swing VDD ramp duration (12 ns for the paper's
+    /// constants). Per-step ramps on deeper ladders are shorter
+    /// ([`VoltageLadder::step_ramp_ns`]).
     #[must_use]
     pub fn ramp_ns(&self) -> u64 {
         self.tech.ramp_time_ns()
@@ -196,9 +245,11 @@ pub struct TickPlan {
 pub struct ModeStats {
     /// Nanoseconds spent in each [`Mode`], by [`Mode::index`].
     pub ns_in_mode: [u64; Mode::COUNT],
-    /// High→low transitions started.
+    /// Downward ladder steps started (on the 2-rail ladder, high→low
+    /// transitions).
     pub down_transitions: u64,
-    /// Low→high transitions started.
+    /// Upward ladder steps started (on the 2-rail ladder, low→high
+    /// transitions).
     pub up_transitions: u64,
 }
 
@@ -226,11 +277,27 @@ impl ModeStats {
 pub struct VsvController {
     cfg: VsvConfig,
     mode: Mode,
+    /// Last settled ladder level (stays at the departing level while a
+    /// step is in flight; updated when the step's ramp completes).
+    level: usize,
+    /// Destination level of the in-flight step (`level ± 1`); only
+    /// meaningful in transition modes.
+    step_to: usize,
+    /// Level the controller is sequencing toward. Policies retarget
+    /// this at any time; steps chain one at a time until
+    /// `level == target`.
+    target: usize,
+    /// Per-level pipeline clock periods, precomputed from the
+    /// calibrated [`VoltageCurve`] at construction.
+    periods: [u64; MAX_LADDER_DEPTH],
     phase_end: u64,
     ramp_start: u64,
     next_edge: u64,
     policy: Box<dyn DvsPolicy>,
     pending_ramps: u64,
+    /// Energy share (fraction of the full-swing 66 nJ) of each ramp
+    /// begun since the last drain, in start order.
+    pending_ramp_scales: Vec<f64>,
     stats: ModeStats,
     // Structured-trace plumbing (see `crate::trace`). `trace_level`
     // is `None` — and everything below is dormant, costing one branch
@@ -242,16 +309,26 @@ pub struct VsvController {
 }
 
 impl VsvController {
-    /// Creates a controller in the high-power mode.
+    /// Creates a controller in the high-power mode (ladder level 0).
     #[must_use]
     pub fn new(cfg: VsvConfig) -> Self {
+        let curve = VoltageCurve::from_tech(&cfg.tech);
+        let mut periods = [0u64; MAX_LADDER_DEPTH];
+        for (k, p) in periods.iter_mut().enumerate().take(cfg.ladder.depth()) {
+            *p = curve.clock_period_ns(cfg.ladder.voltage(k));
+        }
         VsvController {
             mode: Mode::High,
+            level: 0,
+            step_to: 0,
+            target: 0,
+            periods,
             phase_end: 0,
             ramp_start: 0,
             next_edge: 0,
             policy: cfg.policy.build(&cfg),
             pending_ramps: 0,
+            pending_ramp_scales: Vec::new(),
             stats: ModeStats::default(),
             trace_level: None,
             events: Vec::new(),
@@ -300,14 +377,14 @@ impl VsvController {
         !self.events.is_empty()
     }
 
-    /// The supply rail (mV) a mode starts at: VDDH for the high side
-    /// of the timeline, VDDL for the low side.
-    fn mode_entry_mv(&self, mode: Mode) -> u32 {
-        let t = &self.cfg.tech;
-        vdd_mv(match mode {
-            Mode::High | Mode::DownDistribute | Mode::RampDown => t.vddh,
-            Mode::Low | Mode::UpDistribute | Mode::RampUp => t.vddl,
-        })
+    /// The supply rail (mV) a mode starts at: the rail of the last
+    /// settled ladder level. A step's distribute and ramp phases start
+    /// at the departing level's rail; completions update `level`
+    /// before the event is stamped, so settle events carry the
+    /// arrival rail. On the 2-rail ladder this reproduces the old
+    /// VDDH-for-the-high-side / VDDL-for-the-low-side rule exactly.
+    fn mode_entry_mv(&self, _mode: Mode) -> u32 {
+        vdd_mv(self.cfg.ladder.voltage(self.level))
     }
 
     /// Emits FSM fire/expiry/arm events by diffing the policy's
@@ -378,6 +455,38 @@ impl VsvController {
         self.mode
     }
 
+    /// The last settled ladder level (0 = VDDH). While a step is in
+    /// flight this is still the departing level.
+    #[must_use]
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// The ladder level the controller is currently sequencing toward
+    /// (equals [`VsvController::level`] when settled with no pending
+    /// retarget).
+    #[must_use]
+    pub fn target_level(&self) -> usize {
+        self.target
+    }
+
+    /// The pipeline clock period (ns) in force right now: the current
+    /// level's period in steady and distribute modes, the destination
+    /// level's during a down-ramp (the slower clock was distributed
+    /// first, Figure 2), the departing level's during an up-ramp
+    /// (full speed resumes only at VDDH, Figure 3). Reduces to
+    /// [`Mode::clock_period_ns`] on the 2-rail ladder.
+    #[must_use]
+    pub fn current_period_ns(&self) -> u64 {
+        match self.mode {
+            Mode::High | Mode::Low | Mode::DownDistribute | Mode::UpDistribute => {
+                self.periods[self.level]
+            }
+            Mode::RampDown => self.periods[self.step_to],
+            Mode::RampUp => self.periods[self.level],
+        }
+    }
+
     /// Residency/transition counters.
     #[must_use]
     pub fn stats(&self) -> ModeStats {
@@ -441,25 +550,19 @@ impl VsvController {
         while self.mode != Mode::High && self.mode != Mode::Low && now >= self.phase_end {
             let boundary = self.phase_end;
             match self.mode {
-                Mode::DownDistribute => {
-                    self.mode = Mode::RampDown;
-                    self.ramp_start = self.phase_end;
-                    self.phase_end += self.cfg.ramp_ns();
-                    self.pending_ramps += 1;
-                }
-                Mode::RampDown => {
-                    self.mode = Mode::Low;
-                    entered = Some(Mode::Low);
-                }
-                Mode::UpDistribute => {
-                    self.mode = Mode::RampUp;
-                    self.ramp_start = self.phase_end;
-                    self.phase_end += self.cfg.ramp_ns();
-                    self.pending_ramps += 1;
-                }
-                Mode::RampUp => {
-                    self.mode = Mode::High;
-                    entered = Some(Mode::High);
+                Mode::DownDistribute => self.enter_ramp(Mode::RampDown, boundary),
+                Mode::UpDistribute => self.enter_ramp(Mode::RampUp, boundary),
+                Mode::RampDown | Mode::RampUp => {
+                    // The step settles: the destination level becomes
+                    // current before the event is stamped, so the
+                    // settle event carries the arrival rail.
+                    self.level = self.step_to;
+                    self.mode = if self.level == 0 {
+                        Mode::High
+                    } else {
+                        Mode::Low
+                    };
+                    entered = Some(self.mode);
                 }
                 Mode::High | Mode::Low => unreachable!("loop guard"),
             }
@@ -474,6 +577,7 @@ impl VsvController {
 
         if self.cfg.enabled {
             if let Some(m) = entered {
+                self.policy.on_level(self.level);
                 let d = self.policy.on_mode_entered(m, now, outstanding_demand);
                 self.sync_policy_trace(now);
                 self.apply(d, now);
@@ -483,13 +587,27 @@ impl VsvController {
                 self.sync_policy_trace(now);
                 self.apply(d, now);
             }
+            // Multi-step sequencing: if the policy's hooks left us
+            // settled short of the target, chain the next step now —
+            // the same tick the previous one completed on. A chained
+            // step is the continuation of a decision that was already
+            // distributed while the previous step was in flight, so it
+            // skips the control latency (a fresh policy decision pays
+            // it; see `start_down_step`/`start_up_step`).
+            if matches!(self.mode, Mode::High | Mode::Low) && self.target != self.level {
+                if self.target > self.level {
+                    self.start_down_step(now, true);
+                } else {
+                    self.start_up_step(now, true);
+                }
+            }
         }
 
         self.stats.ns_in_mode[self.mode.index()] += 1;
 
         let pipeline_edge = now >= self.next_edge;
         if pipeline_edge {
-            self.next_edge = now + self.mode.clock_period_ns();
+            self.next_edge = now + self.current_period_ns();
         }
         TickPlan {
             pipeline_edge,
@@ -510,10 +628,21 @@ impl VsvController {
         }
     }
 
-    /// Takes the number of supply ramps begun since the last call (for
-    /// the 66 nJ-per-ramp energy charge).
+    /// Takes the number of supply ramps begun since the last call.
+    /// Energy accounting should use
+    /// [`VsvController::drain_ramp_scales`] instead, which also
+    /// reports each ramp's share of the full-swing charge.
     pub fn take_ramps(&mut self) -> u64 {
         std::mem::take(&mut self.pending_ramps)
+    }
+
+    /// Drains the energy share (fraction of the full-swing 66 nJ
+    /// charge; `1.0` per ramp on the 2-rail ladder) of every supply
+    /// ramp begun since the last call, in start order.
+    pub fn drain_ramp_scales(&mut self, mut f: impl FnMut(f64)) {
+        for scale in self.pending_ramp_scales.drain(..) {
+            f(scale);
+        }
     }
 
     /// The time (ns) of the next pipeline clock edge.
@@ -559,7 +688,7 @@ impl VsvController {
             "skip in a transition mode"
         );
         debug_assert!(self.next_edge >= from, "edge schedule in the past");
-        let period = self.mode.clock_period_ns();
+        let period = self.current_period_ns();
         let end = from + ns;
         // Edges fire at next_edge, next_edge + period, ... < end.
         let edges = if self.next_edge >= end {
@@ -580,63 +709,147 @@ impl VsvController {
 
     // ---- internals -------------------------------------------------
 
-    /// Applies a policy decision, dropping it unless it is actionable
-    /// from the current mode (ramp-down from [`Mode::High`], ramp-up
-    /// from [`Mode::Low`]).
+    /// The in-flight step's higher (shallower) endpoint — the step
+    /// index into the ladder's per-step geometry.
+    fn step_index(&self) -> usize {
+        self.level.min(self.step_to)
+    }
+
+    /// The in-flight step's ramp duration (the full 12 ns on the
+    /// 2-rail ladder; proportionally less per step on deeper ones).
+    fn step_ramp_ns(&self) -> u64 {
+        self.cfg
+            .ladder
+            .step_ramp_ns(self.step_index(), &self.cfg.tech)
+    }
+
+    /// The in-flight step's share of the full-swing ramp charge.
+    fn step_energy_scale(&self) -> f64 {
+        self.cfg
+            .ladder
+            .step_energy_scale(self.step_index(), &self.cfg.tech)
+    }
+
+    /// Applies a policy decision. In a steady mode the decision
+    /// resolves to a target level (clamped to the ladder bottom) and
+    /// the first step toward it starts immediately; mid-transition,
+    /// only [`Decision::Level`] is meaningful — it *retargets* the
+    /// sequencer (the in-flight step completes, then chains toward
+    /// the new target: reversal mid-ramp), while the relative
+    /// [`Decision::RampDown`] / [`Decision::RampUp`] are dropped
+    /// exactly as before.
     fn apply(&mut self, decision: Decision, at: u64) {
-        match decision {
-            Decision::Hold => {}
-            Decision::RampDown if self.mode == Mode::High => self.start_down(at),
-            Decision::RampUp if self.mode == Mode::Low => self.start_up(at),
-            Decision::RampDown | Decision::RampUp => {}
+        let steady = matches!(self.mode, Mode::High | Mode::Low);
+        let desired = match decision {
+            Decision::Hold => return,
+            Decision::RampDown if steady => self.level + 1,
+            Decision::RampUp if steady => 0,
+            Decision::Level(l) => l as usize,
+            Decision::RampDown | Decision::RampUp => return,
+        };
+        self.target = desired.min(self.cfg.ladder.bottom());
+        if steady {
+            if self.target > self.level {
+                self.start_down_step(at, false);
+            } else if self.target < self.level {
+                self.start_up_step(at, false);
+            }
         }
     }
 
-    fn start_down(&mut self, now: u64) {
-        debug_assert_eq!(self.mode, Mode::High);
-        self.mode = Mode::DownDistribute;
-        self.phase_end = now + self.cfg.ctrl_distribute_ns + self.cfg.clock_tree_ns;
+    /// Enters a ramp phase at `at`: books the phase boundary and the
+    /// ramp's energy accounting.
+    fn enter_ramp(&mut self, mode: Mode, at: u64) {
+        self.mode = mode;
+        self.ramp_start = at;
+        self.phase_end = at + self.step_ramp_ns();
+        self.pending_ramps += 1;
+        self.pending_ramp_scales.push(self.step_energy_scale());
+    }
+
+    /// Starts the one-level step down from the settled `level`
+    /// (Figure 2 timeline). Leaving full speed pays control + clock
+    /// tree distribution; steps between already-slow levels pay only
+    /// the control latency (no clock retiming is needed when the
+    /// quantized period does not change). A `chained` step — the
+    /// sequencer continuing a decision distributed while the previous
+    /// step was in flight — skips the control latency too, and with
+    /// nothing left to distribute enters its ramp directly.
+    fn start_down_step(&mut self, now: u64, chained: bool) {
+        debug_assert!(matches!(self.mode, Mode::High | Mode::Low));
+        debug_assert!(self.level < self.cfg.ladder.bottom());
+        self.step_to = self.level + 1;
+        let retime = if self.periods[self.level] == self.periods[self.step_to] {
+            0
+        } else {
+            self.cfg.clock_tree_ns
+        };
+        let latency = if chained {
+            retime
+        } else {
+            self.cfg.ctrl_distribute_ns + retime
+        };
         self.stats.down_transitions += 1;
         self.policy.on_transition_start();
+        if latency > 0 {
+            self.mode = Mode::DownDistribute;
+            self.phase_end = now + latency;
+        } else {
+            self.enter_ramp(Mode::RampDown, now);
+        }
         if self.trace_level.is_some() {
             self.events.push(TraceEvent::ModeEntered {
                 at: now,
-                mode: Mode::DownDistribute,
-                vdd_mv: self.mode_entry_mv(Mode::DownDistribute),
+                mode: self.mode,
+                vdd_mv: self.mode_entry_mv(self.mode),
             });
         }
     }
 
-    fn start_up(&mut self, now: u64) {
-        debug_assert_eq!(self.mode, Mode::Low);
-        self.mode = Mode::UpDistribute;
-        self.phase_end = now + self.cfg.ctrl_distribute_ns;
+    /// Starts the one-level step up from the settled `level` (Figure 3
+    /// timeline: the faster clock's distribution overlaps the ramp's
+    /// tail, so only the control latency precedes the ramp). A
+    /// `chained` continuation step has already had its decision
+    /// distributed and enters the ramp directly.
+    fn start_up_step(&mut self, now: u64, chained: bool) {
+        debug_assert!(matches!(self.mode, Mode::High | Mode::Low));
+        debug_assert!(self.level > 0);
+        self.step_to = self.level - 1;
         self.stats.up_transitions += 1;
         self.policy.on_transition_start();
+        if chained {
+            self.enter_ramp(Mode::RampUp, now);
+        } else {
+            self.mode = Mode::UpDistribute;
+            self.phase_end = now + self.cfg.ctrl_distribute_ns;
+        }
         if self.trace_level.is_some() {
             self.events.push(TraceEvent::ModeEntered {
                 at: now,
-                mode: Mode::UpDistribute,
-                vdd_mv: self.mode_entry_mv(Mode::UpDistribute),
+                mode: self.mode,
+                vdd_mv: self.mode_entry_mv(self.mode),
             });
         }
     }
 
     /// The per-cycle effective voltage at `now` (§5.2: the average of
-    /// the supply at the beginning and end of the cycle while ramping).
+    /// the supply at the beginning and end of the cycle while
+    /// ramping). Steady and distribute modes sit on the settled
+    /// level's rail; ramps interpolate between the step's endpoints.
     fn cycle_voltage(&self, now: u64) -> f64 {
-        let t = &self.cfg.tech;
-        let ramp = self.cfg.ramp_ns() as f64;
+        let lad = &self.cfg.ladder;
         match self.mode {
-            Mode::High | Mode::DownDistribute => t.vddh,
-            Mode::Low | Mode::UpDistribute => t.vddl,
-            Mode::RampDown => {
-                let mid = (now - self.ramp_start) as f64 + 1.0;
-                t.ramp_voltage(t.vddh, t.vddl, mid / ramp)
+            Mode::High | Mode::Low | Mode::DownDistribute | Mode::UpDistribute => {
+                lad.voltage(self.level)
             }
-            Mode::RampUp => {
+            Mode::RampDown | Mode::RampUp => {
+                let ramp = self.step_ramp_ns() as f64;
                 let mid = (now - self.ramp_start) as f64 + 1.0;
-                t.ramp_voltage(t.vddl, t.vddh, mid / ramp)
+                self.cfg.tech.ramp_voltage(
+                    lad.voltage(self.level),
+                    lad.voltage(self.step_to),
+                    mid / ramp,
+                )
             }
         }
     }

@@ -118,6 +118,21 @@ impl DownFsm {
         self.policy
     }
 
+    /// Replaces the gating policy (ladder policies scale the evidence
+    /// threshold with the depth of the step being considered). Takes
+    /// effect from the next monitored cycle; trigger/expiry counters
+    /// persist. An open `Monitor` window keeps its remaining cycles
+    /// and zero-issue run.
+    pub fn set_policy(&mut self, policy: DownPolicy) {
+        self.policy = policy;
+        if !matches!(policy, DownPolicy::Monitor { .. }) {
+            self.window = None;
+        }
+        if !matches!(policy, DownPolicy::Immediate) {
+            self.pending_immediate = false;
+        }
+    }
+
     /// Arms the monitor (an L2 demand miss was detected). Re-arming
     /// restarts the window: fresh misses renew the evidence.
     pub fn arm(&mut self) {

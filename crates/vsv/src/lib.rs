@@ -19,10 +19,13 @@
 //!
 //! * [`fsm`] — the down/up monitors and their policies;
 //! * [`policy`] — the pluggable [`DvsPolicy`] decision layer
-//!   (the paper's dual FSMs, naive baselines, and an oracle upper
-//!   bound, selectable by [`PolicySpec`]);
+//!   (the paper's dual FSMs, naive baselines, an oracle upper
+//!   bound, and the N-level `ladder-fsm`, selectable by
+//!   [`PolicySpec`]);
 //! * [`controller`] — the mode state machine with the Figure 2/3
-//!   transition timelines;
+//!   transition timelines, sequencing steps along the configured
+//!   [`VoltageLadder`] (the paper's two rails are the depth-2
+//!   special case);
 //! * [`system`] — the composed simulator (core + memory + prefetcher +
 //!   power + controller on one nanosecond clock);
 //! * [`runner`]/[`report`] — experiment driving and the paper's
@@ -81,7 +84,7 @@ pub use controller::{Mode, ModeStats, TickPlan, VsvConfig, VsvController};
 pub use error::{FaultKind, ModeTransition, SimError};
 pub use fsm::{DownFsm, DownPolicy, UpFsm, UpPolicy};
 pub use metrics::{CounterId, MetricsRegistry};
-pub use policy::{Decision, DvsPolicy, PolicySpec, PolicyStats};
+pub use policy::{Decision, DvsPolicy, LadderFsmPolicy, PolicySpec, PolicyStats};
 pub use report::{mean_comparison, Comparison, RunResult};
 pub use runner::{ComparisonSpread, Experiment};
 #[cfg(feature = "serde")]
@@ -96,3 +99,4 @@ pub use trace::{
     vdd_mv, FsmId, ModeTrace, NullSink, RingSink, SharedBuf, TraceEvent, TraceLevel, TraceSample,
     TraceSink,
 };
+pub use vsv_power::{VoltageCurve, VoltageLadder, MAX_LADDER_DEPTH};

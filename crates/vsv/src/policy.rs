@@ -34,19 +34,30 @@ use vsv_mem::VsvSignal;
 use crate::controller::Mode;
 use crate::fsm::{DownFsm, DownPolicy, UpFsm, UpPolicy};
 
-/// What a policy wants the controller to do right now. The controller
-/// applies a decision only when it is actionable (ramp-down from
-/// [`Mode::High`], ramp-up from [`Mode::Low`]); anything else is
-/// dropped, so policies need not track transition phases.
+/// What a policy wants the controller to do right now. Steady-mode
+/// decisions are applied immediately ([`Decision::RampDown`] /
+/// [`Decision::RampUp`] move one ladder step, [`Decision::Level`]
+/// retargets an absolute level and the controller sequences the
+/// steps); a non-[`Decision::Hold`] decision arriving mid-transition
+/// only *retargets* — the in-flight step completes, then the
+/// controller chains toward the new target (reversal mid-ramp).
+/// Policies need not track transition phases.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Decision {
-    /// Stay in the current mode.
+    /// Stay on the current trajectory.
     #[default]
     Hold,
-    /// Start the high→low transition (Figure 2 timeline).
+    /// Step one ladder level down (the full high→low transition on
+    /// the paper's 2-rail ladder; Figure 2 timeline).
     RampDown,
-    /// Start the low→high transition (Figure 3 timeline).
+    /// Return to level 0 (the low→high transition on the 2-rail
+    /// ladder; Figure 3 timeline).
     RampUp,
+    /// Target an absolute ladder level (0 = VDDH; clamped to the
+    /// ladder bottom). `Level(0)` is equivalent to
+    /// [`Decision::RampUp`]; on a 2-rail ladder `Level(1)` is
+    /// equivalent to [`Decision::RampDown`].
+    Level(u8),
 }
 
 /// Trigger/decline counters every policy reports, mirroring the dual
@@ -102,6 +113,14 @@ pub trait DvsPolicy: std::fmt::Debug + Send {
     /// Policies drop any armed monitors here — evidence gathered in
     /// the old mode does not carry across a transition.
     fn on_transition_start(&mut self) {}
+
+    /// The supply settled at ladder `level` (0 = VDDH). Fires on every
+    /// completed ramp step, just before the accompanying
+    /// [`DvsPolicy::on_mode_entered`]. Ladder-aware policies track
+    /// their position here; mode-only policies keep the default no-op.
+    fn on_level(&mut self, level: usize) {
+        let _ = level;
+    }
 
     /// Whether a window of zero-issue, signal-free nanoseconds in
     /// `mode` may be batch-applied without consulting the policy per
@@ -171,16 +190,23 @@ pub enum PolicySpec {
     /// up when the last miss returns. An upper bound on achievable
     /// savings, not an implementable policy.
     OracleDown,
+    /// The dual-FSM logic generalized to the N-level ladder: step
+    /// down one level per expired-evidence window while a demand miss
+    /// is outstanding, return to VDDH on miss-return pressure. On the
+    /// 2-rail ladder this degenerates to [`PolicySpec::DualFsm`]-like
+    /// behavior; at depth 1 it can never leave VDDH.
+    LadderFsm,
 }
 
 impl PolicySpec {
     /// Every built-in, in `--policy` listing order.
-    pub const ALL: [PolicySpec; 5] = [
+    pub const ALL: [PolicySpec; 6] = [
         PolicySpec::DualFsm,
         PolicySpec::AlwaysHigh,
         PolicySpec::AlwaysLow,
         PolicySpec::ImmediateDown,
         PolicySpec::OracleDown,
+        PolicySpec::LadderFsm,
     ];
 
     /// The stable command-line name.
@@ -192,6 +218,7 @@ impl PolicySpec {
             PolicySpec::AlwaysLow => "always-low",
             PolicySpec::ImmediateDown => "immediate-down",
             PolicySpec::OracleDown => "oracle-down",
+            PolicySpec::LadderFsm => "ladder-fsm",
         }
     }
 
@@ -210,7 +237,7 @@ impl PolicySpec {
         match self {
             PolicySpec::DualFsm => Box::new(DualFsmPolicy::new("dual-fsm", cfg.down, cfg.up)),
             PolicySpec::AlwaysHigh => Box::new(AlwaysHigh),
-            PolicySpec::AlwaysLow => Box::new(AlwaysLow::default()),
+            PolicySpec::AlwaysLow => Box::new(AlwaysLow::new(cfg.ladder.bottom())),
             PolicySpec::ImmediateDown => Box::new(DualFsmPolicy::new(
                 "immediate-down",
                 DownPolicy::Immediate,
@@ -220,6 +247,9 @@ impl PolicySpec {
                 cfg.ctrl_distribute_ns + cfg.clock_tree_ns + cfg.ramp_ns() // down
                     + cfg.ctrl_distribute_ns + cfg.ramp_ns(), // up
             )),
+            PolicySpec::LadderFsm => {
+                Box::new(LadderFsmPolicy::new(cfg.down, cfg.up, cfg.ladder.bottom()))
+            }
         }
     }
 }
@@ -391,13 +421,37 @@ impl DvsPolicy for AlwaysHigh {
 
 // ---- always-low ----------------------------------------------------
 
-/// Ramps down on the first enabled tick and camps in [`Mode::Low`]
-/// forever: the static half-speed, low-voltage floor. Maximum
-/// theoretical supply savings, unbounded slowdown — the other end of
-/// the design space from [`AlwaysHigh`].
-#[derive(Debug, Clone, Copy, Default)]
+/// Dives to the ladder bottom on the first enabled tick and camps
+/// there forever: the static half-speed, low-voltage floor (on
+/// deeper ladders, the lowest configured rail). Maximum theoretical
+/// supply savings, unbounded slowdown — the other end of the design
+/// space from [`AlwaysHigh`].
+#[derive(Debug, Clone, Copy)]
 pub struct AlwaysLow {
+    bottom: usize,
     downs: u64,
+}
+
+impl Default for AlwaysLow {
+    /// The paper's 2-rail ladder: bottom is level 1 (VDDL).
+    fn default() -> Self {
+        AlwaysLow::new(1)
+    }
+}
+
+impl AlwaysLow {
+    /// Builds the policy targeting ladder level `bottom`.
+    #[must_use]
+    pub fn new(bottom: usize) -> Self {
+        AlwaysLow { bottom, downs: 0 }
+    }
+
+    /// The bottom-of-ladder target decision (on a 2-rail ladder,
+    /// `Level(1)` — exactly the old unconditional ramp-down).
+    fn dive(&mut self) -> Decision {
+        self.downs += 1;
+        Decision::Level(self.bottom as u8)
+    }
 }
 
 impl DvsPolicy for AlwaysLow {
@@ -408,9 +462,8 @@ impl DvsPolicy for AlwaysLow {
         Decision::Hold
     }
     fn on_tick(&mut self, _now: u64, _outstanding: usize, mode: Mode) -> Decision {
-        if mode == Mode::High {
-            self.downs += 1;
-            Decision::RampDown
+        if mode == Mode::High && self.bottom > 0 {
+            self.dive()
         } else {
             Decision::Hold
         }
@@ -421,16 +474,17 @@ impl DvsPolicy for AlwaysLow {
     fn on_mode_entered(&mut self, mode: Mode, _now: u64, _outstanding: usize) -> Decision {
         // Unreachable in practice (we never ramp up), but a policy
         // must be self-consistent under any controller state.
-        if mode == Mode::High {
-            self.downs += 1;
-            Decision::RampDown
+        if mode == Mode::High && self.bottom > 0 {
+            self.dive()
         } else {
             Decision::Hold
         }
     }
     fn idle_skip_allowed(&self, mode: Mode, _outstanding: usize) -> bool {
-        // High is never skippable: the very next tick ramps down.
-        mode == Mode::Low
+        // High is never skippable (the very next tick dives) — except
+        // on the degenerate depth-1 ladder, where there is nowhere to
+        // dive to.
+        mode == Mode::Low || self.bottom == 0
     }
     fn stats(&self) -> PolicyStats {
         PolicyStats {
@@ -440,6 +494,213 @@ impl DvsPolicy for AlwaysLow {
     }
     fn clone_box(&self) -> Box<dyn DvsPolicy> {
         Box::new(*self)
+    }
+}
+
+// ---- ladder-fsm ----------------------------------------------------
+
+/// The dual-FSM logic generalized to the N-level ladder (ROADMAP's
+/// "N-level policies" item): each expired zero-issue evidence window
+/// steps the supply down *one* level, so sustained memory-bound
+/// stalls descend toward VDDL step by step while marginal stalls only
+/// pay a shallow, quickly-reversed dip; miss-return pressure (the
+/// up-FSM's issuing-run or sole-return rule) retargets straight back
+/// to VDDH, reversing a descent even mid-ramp. On a depth-1 ladder
+/// there is nowhere to step, so the policy is inert (identical to
+/// [`AlwaysHigh`] — `tests/fsm_edges.rs` pins this).
+#[derive(Debug, Clone)]
+pub struct LadderFsmPolicy {
+    down: DownFsm,
+    up: UpFsm,
+    /// The unscaled down policy the ladder variants are derived from
+    /// (see [`LadderFsmPolicy::scaled_down`]).
+    base_down: DownPolicy,
+    /// Last settled ladder level (kept current by
+    /// [`DvsPolicy::on_level`]).
+    level: usize,
+    /// Deepest ladder level (`depth − 1`).
+    bottom: usize,
+}
+
+impl LadderFsmPolicy {
+    /// Builds the policy around the two monitors for a ladder whose
+    /// deepest level is `bottom`. `down` is the evidence rule for the
+    /// *full* descent; per-step thresholds are scaled from it.
+    #[must_use]
+    pub fn new(down: DownPolicy, up: UpPolicy, bottom: usize) -> Self {
+        let mut policy = LadderFsmPolicy {
+            down: DownFsm::new(down),
+            up: UpFsm::new(up),
+            base_down: down,
+            level: 0,
+            bottom,
+        };
+        policy.down = DownFsm::new(policy.scaled_down(0));
+        policy
+    }
+
+    /// The down policy gating the step that leaves `level`: the base
+    /// monitor threshold is scaled by the fraction of the ladder the
+    /// step commits to, `ceil(threshold · (level + 1) / bottom)`, at
+    /// least 1. Evidence is proportional to voltage commitment — the
+    /// first step off a deep ladder risks little and fires almost
+    /// immediately (chasing the stalls `immediate-down` captures),
+    /// while the step onto the bottom rail demands the full base
+    /// threshold. On a 2-rail ladder the sole step *is* the full
+    /// commitment, so this reduces to the base policy exactly and the
+    /// paper configuration is untouched. [`DownPolicy::Immediate`]
+    /// passes through unscaled.
+    fn scaled_down(&self, level: usize) -> DownPolicy {
+        match self.base_down {
+            DownPolicy::Monitor { threshold, period } if self.bottom > 0 => {
+                let t = (threshold as usize * (level + 1)).div_ceil(self.bottom);
+                DownPolicy::Monitor {
+                    threshold: t.max(1) as u32,
+                    period,
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Whether another down step exists below the current level.
+    fn can_descend(&self) -> bool {
+        self.level < self.bottom
+    }
+}
+
+impl DvsPolicy for LadderFsmPolicy {
+    fn name(&self) -> &'static str {
+        "ladder-fsm"
+    }
+
+    fn on_signal(&mut self, sig: &VsvSignal, mode: Mode) -> Decision {
+        match *sig {
+            VsvSignal::L2MissDetected { demand, .. } => {
+                // Prefetch-only misses never arm the monitors (§4.2).
+                // Unlike the 2-rail policy, a detection at an
+                // intermediate level (steady Low) also arms: more
+                // evidence can justify another step down.
+                if demand && self.can_descend() && matches!(mode, Mode::High | Mode::Low) {
+                    self.down.arm();
+                }
+                Decision::Hold
+            }
+            VsvSignal::L2MissReturned {
+                demand,
+                outstanding_demand,
+                ..
+            } => {
+                // Return pressure targets VDDH directly (not one step
+                // up): the paper's up-FSM rules, applied from any
+                // depth. The up-FSM is consulted whenever a `Level(0)`
+                // retarget could change the outcome: settled below
+                // VDDH, or mid-*descent* from a level already below
+                // VDDH (the step in flight settles two or more levels
+                // down — reversing it is the ladder's mid-ramp
+                // escape). A descent leaving level 0 settles at
+                // level 1, where the steady-state rules take over next
+                // tick — exactly the 2-rail behaviour, which keeps the
+                // depth-2 ladder's FSM counters bit-identical to
+                // `dual-fsm`; and an in-flight *up* step is already
+                // headed to VDDH, so a retarget is a no-op.
+                let reversible = match mode {
+                    Mode::Low => true,
+                    Mode::DownDistribute | Mode::RampDown => self.level >= 1,
+                    Mode::High | Mode::UpDistribute | Mode::RampUp => false,
+                };
+                if demand && self.level > 0 && reversible && self.up.on_return(outstanding_demand) {
+                    Decision::Level(0)
+                } else {
+                    Decision::Hold
+                }
+            }
+        }
+    }
+
+    fn on_tick(&mut self, _now: u64, outstanding_demand: usize, mode: Mode) -> Decision {
+        // All misses returned: nothing left to overlap, go home.
+        if mode == Mode::Low && outstanding_demand == 0 {
+            return Decision::Level(0);
+        }
+        // The level-triggered refresh rule, active at every level
+        // that still has a step below it.
+        if outstanding_demand > 0 && self.can_descend() && matches!(mode, Mode::High | Mode::Low) {
+            self.down.refresh();
+        }
+        Decision::Hold
+    }
+
+    fn on_cycle(&mut self, issued: u32, mode: Mode) -> Decision {
+        match mode {
+            Mode::High if self.down.on_cycle(issued) => Decision::RampDown,
+            Mode::Low => {
+                if self.up.on_cycle(issued) {
+                    return Decision::Level(0);
+                }
+                if self.can_descend() && self.down.on_cycle(issued) {
+                    return Decision::RampDown;
+                }
+                Decision::Hold
+            }
+            _ => Decision::Hold,
+        }
+    }
+
+    fn on_mode_entered(&mut self, _mode: Mode, _now: u64, outstanding_demand: usize) -> Decision {
+        // Misses detected mid-transition still deserve monitoring once
+        // the supply settles — at any level with a step left below.
+        if outstanding_demand > 0 && self.can_descend() {
+            self.down.arm();
+        }
+        Decision::Hold
+    }
+
+    fn on_transition_start(&mut self) {
+        self.down.disarm();
+        self.up.disarm();
+    }
+
+    fn on_level(&mut self, level: usize) {
+        if level != self.level {
+            self.level = level;
+            self.down.set_policy(self.scaled_down(level));
+        }
+    }
+
+    fn idle_skip_allowed(&self, mode: Mode, outstanding_demand: usize) -> bool {
+        match mode {
+            // Same reasoning as the 2-rail policy, except the down-FSM
+            // can also be armed at intermediate levels.
+            Mode::High => outstanding_demand == 0 && !self.down.is_armed(),
+            Mode::Low => {
+                outstanding_demand > 0 && !self.down.is_armed() && !self.up.would_trigger_on_idle()
+            }
+            _ => false,
+        }
+    }
+
+    fn skip_idle_cycles(&mut self, edges: u64, mode: Mode) {
+        if mode == Mode::Low {
+            self.up.skip_idle_cycles(edges);
+        }
+    }
+
+    fn stats(&self) -> PolicyStats {
+        PolicyStats {
+            down_triggers: self.down.triggers(),
+            down_expiries: self.down.expiries(),
+            up_triggers: self.up.triggers(),
+            up_expiries: self.up.expiries(),
+        }
+    }
+
+    fn armed(&self) -> (bool, bool) {
+        (self.down.is_armed(), self.up.is_armed())
+    }
+
+    fn clone_box(&self) -> Box<dyn DvsPolicy> {
+        Box::new(self.clone())
     }
 }
 
@@ -671,11 +932,131 @@ mod tests {
     #[test]
     fn always_low_dives_and_stays() {
         let mut p = AlwaysLow::default();
-        assert_eq!(p.on_tick(0, 0, Mode::High), Decision::RampDown);
+        // On the default 2-rail ladder the dive targets level 1 —
+        // exactly the old unconditional ramp-down.
+        assert_eq!(p.on_tick(0, 0, Mode::High), Decision::Level(1));
         assert_eq!(p.on_tick(50, 0, Mode::Low), Decision::Hold);
         assert!(!p.idle_skip_allowed(Mode::High, 0));
         assert!(p.idle_skip_allowed(Mode::Low, 0));
         assert_eq!(p.stats().down_triggers, 1);
+    }
+
+    #[test]
+    fn always_low_on_a_depth_one_ladder_is_inert() {
+        let mut p = AlwaysLow::new(0);
+        assert_eq!(p.on_tick(0, 0, Mode::High), Decision::Hold);
+        assert!(p.idle_skip_allowed(Mode::High, 0), "nowhere to dive");
+        assert_eq!(p.stats().down_triggers, 0);
+    }
+
+    #[test]
+    fn ladder_fsm_steps_down_one_level_per_expired_window() {
+        let mut p = LadderFsmPolicy::new(
+            crate::DownPolicy::Monitor {
+                threshold: 2,
+                period: 10,
+            },
+            crate::UpPolicy::Monitor {
+                threshold: 2,
+                period: 10,
+            },
+            3,
+        );
+        // A demand miss arms the monitor in High...
+        let _ = p.on_signal(&detected(0, None), Mode::High);
+        assert!(p.armed().0);
+        // ...and the first step commits only a third of the swing, so
+        // its scaled threshold is ceil(2·1/3) = 1: one zero-issue
+        // cycle steps down exactly one level.
+        assert_eq!(p.on_cycle(0, Mode::High), Decision::RampDown);
+        p.on_transition_start();
+        p.on_level(1);
+        // At level 1 (steady Low) a fresh detection arms again — the
+        // descent can continue one window at a time, now needing
+        // ceil(2·2/3) = 2 cycles of evidence.
+        let _ = p.on_signal(&detected(20, None), Mode::Low);
+        assert_eq!(p.on_cycle(0, Mode::Low), Decision::Hold);
+        assert_eq!(p.on_cycle(0, Mode::Low), Decision::RampDown);
+        assert_eq!(p.stats().down_triggers, 2);
+    }
+
+    #[test]
+    fn ladder_fsm_down_threshold_scales_with_commitment() {
+        let thresholds = |bottom: usize| -> Vec<u32> {
+            let p = LadderFsmPolicy::new(
+                crate::DownPolicy::default_monitor(),
+                crate::UpPolicy::default_monitor(),
+                bottom,
+            );
+            (0..bottom)
+                .map(|k| match p.scaled_down(k) {
+                    crate::DownPolicy::Monitor { threshold, .. } => threshold,
+                    crate::DownPolicy::Immediate => unreachable!("monitor base stays a monitor"),
+                })
+                .collect()
+        };
+        // The 2-rail ladder's sole step is the full commitment: the
+        // paper's threshold 3 survives exactly.
+        assert_eq!(thresholds(1), [3]);
+        assert_eq!(thresholds(2), [2, 3]);
+        assert_eq!(thresholds(3), [1, 2, 3]);
+        assert_eq!(thresholds(7), [1, 1, 2, 2, 3, 3, 3]);
+        // Immediate has no threshold to scale.
+        let p = LadderFsmPolicy::new(
+            crate::DownPolicy::Immediate,
+            crate::UpPolicy::default_monitor(),
+            3,
+        );
+        assert_eq!(p.scaled_down(1), crate::DownPolicy::Immediate);
+    }
+
+    #[test]
+    fn ladder_fsm_return_pressure_targets_level_zero_from_any_depth() {
+        let mut p = LadderFsmPolicy::new(
+            crate::DownPolicy::Monitor {
+                threshold: 2,
+                period: 10,
+            },
+            crate::UpPolicy::Monitor {
+                threshold: 2,
+                period: 10,
+            },
+            3,
+        );
+        p.on_level(2);
+        let sole_return = VsvSignal::L2MissReturned {
+            demand: true,
+            at: 100,
+            outstanding_demand: 0,
+        };
+        // Sole return two levels down: straight back to VDDH, not one
+        // step up — and with no mode gate, so it also fires mid-ramp.
+        assert_eq!(
+            p.on_signal(&sole_return, Mode::RampDown),
+            Decision::Level(0)
+        );
+    }
+
+    #[test]
+    fn ladder_fsm_is_inert_on_a_depth_one_ladder() {
+        let mut p = LadderFsmPolicy::new(
+            crate::DownPolicy::Monitor {
+                threshold: 2,
+                period: 10,
+            },
+            crate::UpPolicy::Monitor {
+                threshold: 2,
+                period: 10,
+            },
+            0,
+        );
+        let _ = p.on_signal(&detected(0, None), Mode::High);
+        assert_eq!(p.armed(), (false, false), "nowhere to step: never arms");
+        for _ in 0..50 {
+            assert_eq!(p.on_cycle(0, Mode::High), Decision::Hold);
+        }
+        assert_eq!(p.stats(), PolicyStats::default());
+        assert!(p.idle_skip_allowed(Mode::High, 0));
     }
 
     #[test]

@@ -123,6 +123,9 @@ pub struct JobRecord {
     /// DVS policy the job's configuration runs under
     /// ([`SystemConfig::policy_name`]: `"disabled"` for the baseline).
     pub policy: String,
+    /// Voltage-ladder depth of the job's configuration (2 for the
+    /// paper's two rails; 1 is the degenerate always-VDDH ladder).
+    pub ladder: usize,
     /// How the cell ended (deterministic: simulated time, energy,
     /// counters, or the typed failure).
     pub outcome: JobOutcome,
@@ -309,6 +312,22 @@ impl Sweep {
         Sweep { experiment, jobs }
     }
 
+    /// The ladder-depth axis: for each parameter point, `base`
+    /// rebuilt on a uniform ladder of every depth in `depths`
+    /// (params-major, like [`Sweep::over_grid`]). Row `i` corresponds
+    /// to `params[i / depths.len()]` at `depths[i % depths.len()]`.
+    #[must_use]
+    pub fn over_ladder_depths(
+        experiment: Experiment,
+        params: &[WorkloadParams],
+        base: SystemConfig,
+        depths: &[usize],
+    ) -> Self {
+        let configs: Vec<SystemConfig> =
+            depths.iter().map(|&d| base.with_ladder_depth(d)).collect();
+        Self::over_grid(experiment, params, &configs)
+    }
+
     /// The grid, in order.
     #[must_use]
     pub fn jobs(&self) -> &[SweepJob] {
@@ -450,6 +469,7 @@ impl Sweep {
                         workload: job.params.name.to_owned(),
                         config_digest: config_digest(&job.config),
                         policy: job.config.policy_name().to_owned(),
+                        ladder: job.config.vsv.ladder.depth(),
                         outcome,
                         metrics,
                         wall_ns: u64::try_from(job_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
@@ -596,9 +616,10 @@ mod checkpoint {
         instructions: u64,
     }
 
-    // v2: `JobRecord` gained its `metrics` registry (PR 5); v1 files
-    // no longer round-trip and are rejected by the version check.
-    const CHECKPOINT_VERSION: u32 = 2;
+    // v2: `JobRecord` gained its `metrics` registry (PR 5); v3: the
+    // `ladder` depth field (N-level voltage ladders). Older files no
+    // longer round-trip and are rejected by the version check.
+    const CHECKPOINT_VERSION: u32 = 3;
 
     /// Why a checkpoint could not be written or resumed.
     #[derive(Debug)]

@@ -151,16 +151,29 @@ impl SystemConfig {
         self
     }
 
+    /// Replaces the VSV voltage ladder with a uniform `depth`-level
+    /// one between the technology's rails (depth 2 is the paper's
+    /// two-rail configuration; see [`vsv_power::VoltageLadder`]).
+    #[must_use]
+    pub fn with_ladder_depth(mut self, depth: usize) -> Self {
+        self.vsv = self.vsv.with_ladder_depth(depth);
+        self
+    }
+
     /// Validates the whole configuration tree.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] describing the first
     /// inconsistency (core widths/structures, power-model ranges, a
-    /// zero watchdog budget).
+    /// malformed voltage ladder, a zero watchdog budget).
     pub fn validate(&self) -> Result<(), SimError> {
         self.core.validate().map_err(SimError::invalid_config)?;
         self.power.validate().map_err(SimError::invalid_config)?;
+        self.vsv
+            .ladder
+            .validate(&self.vsv.tech)
+            .map_err(SimError::invalid_config)?;
         if self.max_sim_ns == Some(0) {
             return Err(SimError::invalid_config(
                 "max_sim_ns must be nonzero when set (Some(0) exhausts instantly)",
@@ -532,7 +545,7 @@ impl<S: InstStream> System<S> {
         // Snapshot the edge schedule before the controller batches it,
         // so the trace replay below sees the pre-skip timeline.
         let mode = self.controller.mode();
-        let period = mode.clock_period_ns();
+        let period = self.controller.current_period_ns();
         let mut next_edge = self.controller.next_edge();
         let next_edge0 = next_edge;
         let (edges, vdd) = self.controller.skip_quiescent(from, ns);
@@ -632,9 +645,9 @@ impl<S: InstStream> System<S> {
         let ramps = self.controller.take_ramps();
         if ramps > 0 {
             self.metrics.add(CounterId::SupplyRamps, ramps);
-            for _ in 0..ramps {
-                self.power.record_ramp();
-            }
+            let power = &mut self.power;
+            self.controller
+                .drain_ramp_scales(|scale| power.record_ramp_scaled(scale));
         }
         self.power.record_leakage_ns(plan.vdd);
         if plan.pipeline_edge {

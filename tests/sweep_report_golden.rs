@@ -48,13 +48,12 @@ fn pinned_json() -> String {
 /// regenerate with:
 /// `cargo test -p vsv-repro --test sweep_report_golden -- --nocapture --ignored print_digest`
 /// and update this constant.
-// Last updated for the observability PR: `JobRecord` and
-// `SweepReport` gained `metrics` fields (the per-window
-// `MetricsRegistry` counters/histograms and their deterministic
-// grid-order merge). Simulated results are bit-identical — every
-// pre-existing field of every record is unchanged; only the new
-// `metrics` objects were added (`tests/trace_determinism.rs`).
-const PINNED_DIGEST: u64 = 0xce26_883f_b636_7496;
+// Last updated for the voltage-ladder PR: `JobRecord` gained its
+// `ladder` depth field (2 for both of this sweep's jobs — the paper's
+// rails). Simulated results are bit-identical — the two-rail
+// configuration is the depth-2 ladder special case, pinned by
+// `tests/ladder_equivalence.rs`; only the new field was added.
+const PINNED_DIGEST: u64 = 0xeda4_698e_b93d_4e88;
 
 #[test]
 fn report_json_matches_pinned_digest() {
@@ -101,6 +100,7 @@ fn report_shape_is_stable() {
         "workload",
         "config_digest",
         "policy",
+        "ladder",
         "outcome",
         "metrics",
         "wall_ns",
@@ -110,6 +110,11 @@ fn report_shape_is_stable() {
     assert_eq!(
         first.get("policy").and_then(|p| p.as_str()),
         Some("disabled")
+    );
+    assert_eq!(
+        first.get("ladder").and_then(|l| l.as_u64()),
+        Some(2),
+        "both jobs run the paper's two-rail (depth-2) ladder"
     );
     assert_eq!(
         v.get("records")
