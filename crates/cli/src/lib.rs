@@ -7,7 +7,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use vsv::{Comparison, Experiment, PolicySpec, Sweep, System, SystemConfig};
+// `resolve_workers` lives in the engine crate so the CLI, the bench
+// binaries, and campaign shard processes share one `--workers`
+// semantics.
+use vsv::{
+    resolve_workers, Campaign, Comparison, Experiment, MergeOptions, PolicySpec, Sweep, System,
+    SystemConfig,
+};
 use vsv_workloads::{spec2k_twins, table2_reference, twin, Generator};
 
 /// Which system configuration a run uses.
@@ -42,6 +48,60 @@ impl ConfigKind {
             ConfigKind::VsvNoFsm => SystemConfig::vsv_without_fsms(),
         };
         base.with_timekeeping(timekeeping)
+    }
+}
+
+/// The grid-defining flags shared by `sweep` and every `campaign`
+/// subcommand: the same flags must rebuild the same grid in every
+/// shard process and in the merge, or the campaign's header/digest
+/// validation rejects the files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSpec {
+    /// Twin name; `None` spans the whole suite.
+    pub twin: Option<String>,
+    /// DVS policy for the VSV side of the grid (`None`: `dual-fsm`).
+    pub policy: Option<PolicySpec>,
+    /// Voltage-ladder depth for the VSV side (`None`: two rails).
+    pub ladder: Option<usize>,
+    /// Attach Time-Keeping to both sides.
+    pub timekeeping: bool,
+    /// Measured instructions.
+    pub insts: u64,
+    /// Warm-up instructions.
+    pub warmup: u64,
+}
+
+impl GridSpec {
+    /// Builds the baseline-vs-VSV sweep grid these flags describe
+    /// (one twin or the whole suite, params-major).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unknown twin name.
+    pub fn to_sweep(&self) -> Result<Sweep, String> {
+        let params = match &self.twin {
+            Some(name) => vec![twin(name).ok_or_else(|| unknown_twin(name))?],
+            None => spec2k_twins(),
+        };
+        let e = Experiment {
+            warmup_instructions: self.warmup,
+            instructions: self.insts,
+        };
+        let mut vsv_side = match self.policy {
+            Some(p) => SystemConfig::with_policy(p),
+            None => SystemConfig::vsv_with_fsms(),
+        };
+        if let Some(depth) = self.ladder {
+            vsv_side = vsv_side.with_ladder_depth(depth);
+        }
+        Ok(Sweep::over_grid(
+            e,
+            &params,
+            &[
+                SystemConfig::baseline().with_timekeeping(self.timekeeping),
+                vsv_side.with_timekeeping(self.timekeeping),
+            ],
+        ))
     }
 }
 
@@ -136,6 +196,49 @@ pub enum Command {
         /// Path to the JSONL trace file.
         input: String,
     },
+    /// Show how a campaign partitions the grid into shards.
+    CampaignPlan {
+        /// The grid being sharded.
+        grid: GridSpec,
+        /// Number of shards.
+        shards: usize,
+        /// Emit the plan as JSON instead of text.
+        json: bool,
+    },
+    /// Run one shard of a campaign as a checkpoint-writing sweep
+    /// process (the unit a fleet scheduler launches K times).
+    CampaignRun {
+        /// The grid being sharded (must match every other shard).
+        grid: GridSpec,
+        /// This process's shard index (0-based).
+        shard: usize,
+        /// Total shards in the campaign.
+        shards: usize,
+        /// Worker threads (0 = `VSV_WORKERS` / host parallelism).
+        workers: usize,
+        /// Shard checkpoint file to write (and resume from).
+        out: String,
+        /// Start over instead of resuming an existing shard file.
+        fresh: bool,
+        /// Arm an injected deadlock fault in *global* grid cell N
+        /// (a no-op unless the cell belongs to this shard).
+        inject_fault: Option<usize>,
+    },
+    /// Stream-merge K finalized shard files into the full-grid
+    /// report.
+    CampaignMerge {
+        /// The grid the shards were run against.
+        grid: GridSpec,
+        /// Total shards in the campaign.
+        shards: usize,
+        /// Worker count to stamp into the merged report (pass what a
+        /// single-process run would have used to reproduce its bytes).
+        workers: usize,
+        /// The K shard files, in shard order.
+        inputs: Vec<String>,
+        /// Where to write the merged report JSON.
+        out: String,
+    },
     /// Print usage.
     Help,
 }
@@ -152,14 +255,28 @@ impl Command {
         let Some(cmd) = it.next() else {
             return Ok(Command::Help);
         };
-        // `trace summarize` is the one two-word command: consume the
-        // subcommand word before the flag loop.
+        // `trace summarize` and the `campaign` verbs are the two-word
+        // commands: consume the subcommand word before the flag loop.
         let mut summarize = false;
         if cmd == "trace" {
             let mut peek = it.clone();
             if peek.next().map(String::as_str) == Some("summarize") {
                 summarize = true;
                 it = peek;
+            }
+        }
+        let mut campaign_sub: Option<String> = None;
+        if cmd == "campaign" {
+            match it.next() {
+                Some(sub) if ["plan", "run", "merge"].contains(&sub.as_str()) => {
+                    campaign_sub = Some(sub.clone());
+                }
+                Some(other) => {
+                    return Err(format!(
+                        "unknown campaign subcommand '{other}' (expected plan | run | merge)"
+                    ))
+                }
+                None => return Err("campaign needs a subcommand: plan | run | merge".to_owned()),
             }
         }
         let mut twin_name: Option<String> = None;
@@ -181,6 +298,11 @@ impl Command {
         let mut trace: Option<String> = None;
         let mut trace_level: Option<vsv::TraceLevel> = None;
         let mut input: Option<String> = None;
+        let mut shards: Option<usize> = None;
+        let mut shard_raw: Option<String> = None;
+        let mut out: Option<String> = None;
+        let mut inputs: Vec<String> = Vec::new();
+        let mut fresh = false;
 
         let next_value = |flag: &str, it: &mut std::slice::Iter<String>| {
             it.next()
@@ -242,6 +364,22 @@ impl Command {
                     })?);
                 }
                 "--input" => input = Some(next_value("--input", &mut it)?),
+                "--shards" => {
+                    shards = Some(
+                        next_value("--shards", &mut it)?
+                            .parse()
+                            .map_err(|e| format!("--shards: {e}"))?,
+                    );
+                }
+                "--shard" => shard_raw = Some(next_value("--shard", &mut it)?),
+                "--out" => out = Some(next_value("--out", &mut it)?),
+                "--inputs" => {
+                    inputs = next_value("--inputs", &mut it)?
+                        .split(',')
+                        .map(str::to_owned)
+                        .collect();
+                }
+                "--fresh" => fresh = true,
                 "--inject-fault" => {
                     inject_fault = Some(
                         next_value("--inject-fault", &mut it)?
@@ -307,6 +445,65 @@ impl Command {
                     trace_level: trace_level.unwrap_or(vsv::TraceLevel::Events),
                 })
             }
+            "campaign" => {
+                let grid = GridSpec {
+                    twin: twin_name,
+                    policy,
+                    ladder,
+                    timekeeping,
+                    insts,
+                    warmup,
+                };
+                match campaign_sub.as_deref() {
+                    Some("plan") => Ok(Command::CampaignPlan {
+                        grid,
+                        shards: shards.ok_or_else(|| "--shards is required".to_owned())?,
+                        json,
+                    }),
+                    Some("run") => {
+                        let raw = shard_raw
+                            .ok_or_else(|| "--shard is required (0-based, e.g. 1/3)".to_owned())?;
+                        let (shard, inline_shards) = parse_shard(&raw)?;
+                        let shards = match (shards, inline_shards) {
+                            (Some(k), Some(n)) if k != n => {
+                                return Err(format!("--shard {raw} disagrees with --shards {k}"))
+                            }
+                            (Some(k), _) => k,
+                            (None, Some(n)) => n,
+                            (None, None) => {
+                                return Err(
+                                    "total shard count is required: --shard I/N or --shards N"
+                                        .to_owned(),
+                                )
+                            }
+                        };
+                        Ok(Command::CampaignRun {
+                            grid,
+                            shard,
+                            shards,
+                            workers,
+                            out: out.ok_or_else(|| "--out is required".to_owned())?,
+                            fresh,
+                            inject_fault,
+                        })
+                    }
+                    Some("merge") => {
+                        if inputs.is_empty() {
+                            return Err(
+                                "--inputs is required (comma-separated, in shard order)".to_owned()
+                            );
+                        }
+                        Ok(Command::CampaignMerge {
+                            grid,
+                            shards: shards.unwrap_or(inputs.len()),
+                            workers,
+                            inputs,
+                            out: out.ok_or_else(|| "--out is required".to_owned())?,
+                        })
+                    }
+                    _ => unreachable!("campaign subcommand validated above"),
+                }
+            }
             "trace" if summarize => Ok(Command::TraceSummarize {
                 input: input.ok_or_else(|| "--input is required".to_owned())?,
             }),
@@ -337,6 +534,11 @@ USAGE:
                   [--inject-fault CELL]
   vsv-cli trace   --twin NAME [--ns N] [--svg FILE]
   vsv-cli trace summarize --input FILE
+  vsv-cli campaign plan  --shards K [grid flags]
+  vsv-cli campaign run   --shard I/K --out FILE [--fresh] [--workers N]
+                  [--inject-fault CELL] [grid flags]
+  vsv-cli campaign merge --inputs A,B,.. --out FILE [--shards K]
+                  [--workers N] [grid flags]
 
 Sweep-shaped commands (compare, sweep) execute on the parallel
 deterministic sweep engine: results are in grid order and
@@ -374,6 +576,18 @@ default; depth 1 = always-VDDH). compare --ladders D1,D2,.. runs the
 baseline plus one ladder-fsm row per depth — the EDP-vs-depth
 frontier on one twin.
 
+Campaigns scale one sweep across K processes (or machines): the grid
+flags (--twin/--policy/--ladder/--tk/--insts/--warmup) define the
+grid and must be identical in every subcommand. plan shows the
+partition (cell g belongs to shard g mod K — interleaved, so K need
+not divide the cell count). run executes one shard as an ordinary
+checkpointed sweep: kill it and run again to resume (--fresh starts
+over), exit codes match sweep. merge stream-reads the K shard files
+in grid order, validates headers and per-cell digests, and writes a
+SweepReport bit-identical (wall-clock fields aside) to the
+single-process `sweep --json` run, in O(1) memory. Pass merge the
+--workers the single-process run would use to reproduce its bytes.
+
 EXAMPLES:
   vsv-cli compare --twin mcf
   vsv-cli compare --twin mcf --policies dual-fsm,immediate-down,oracle-down
@@ -387,6 +601,10 @@ EXAMPLES:
   vsv-cli trace --twin ammp --ns 500
   vsv-cli sweep --twin mcf --trace mcf.jsonl
   vsv-cli trace summarize --input mcf.jsonl
+  vsv-cli campaign plan --shards 3
+  vsv-cli campaign run --shard 0/3 --out shard-0.jsonl   # x3, any order
+  vsv-cli campaign merge --inputs shard-0.jsonl,shard-1.jsonl,shard-2.jsonl \\
+                         --out report.json
 ";
 
 /// Executes a parsed command; returns the text to print.
@@ -538,37 +756,16 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
             trace,
             trace_level,
         } => {
-            let params = match name {
-                Some(name) => vec![twin(&name).ok_or_else(|| unknown_twin(&name))?],
-                None => spec2k_twins(),
+            let grid = GridSpec {
+                twin: name,
+                policy,
+                ladder,
+                timekeeping,
+                insts,
+                warmup,
             };
-            let e = Experiment {
-                warmup_instructions: warmup,
-                instructions: insts,
-            };
-            let mut vsv_side = match policy {
-                Some(p) => SystemConfig::with_policy(p),
-                None => SystemConfig::vsv_with_fsms(),
-            };
-            if let Some(depth) = ladder {
-                vsv_side = vsv_side.with_ladder_depth(depth);
-            }
-            let mut sweep = Sweep::over_grid(
-                e,
-                &params,
-                &[
-                    SystemConfig::baseline().with_timekeeping(timekeeping),
-                    vsv_side.with_timekeeping(timekeeping),
-                ],
-            );
-            if let Some(cell) = inject_fault {
-                let jobs = sweep.jobs_mut();
-                let cells = jobs.len();
-                let job = jobs
-                    .get_mut(cell)
-                    .ok_or_else(|| format!("--inject-fault {cell}: grid has only {cells} cells"))?;
-                job.config.inject_fault = Some(vsv::FaultKind::Deadlock);
-            }
+            let mut sweep = grid.to_sweep()?;
+            arm_fault(&mut sweep, inject_fault)?;
             let workers = resolve_workers(workers);
             let mut trace_note = None;
             let report = if let Some(path) = trace {
@@ -638,6 +835,107 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
                 }
                 Ok((out, code))
             }
+        }
+        Command::CampaignPlan { grid, shards, json } => {
+            let campaign = Campaign::new(grid.to_sweep()?, shards).map_err(|e| e.to_string())?;
+            if json {
+                #[derive(serde::Serialize)]
+                struct PlanRow {
+                    shard: usize,
+                    cells: usize,
+                    grid_cells: Vec<usize>,
+                }
+                let rows: Vec<PlanRow> = (0..shards)
+                    .map(|s| PlanRow {
+                        shard: s,
+                        cells: campaign.shard_len(s),
+                        grid_cells: campaign.shard_cells(s).collect(),
+                    })
+                    .collect();
+                return serde_json::to_string_pretty(&rows)
+                    .map(|s| (s, 0))
+                    .map_err(|e| e.to_string());
+            }
+            let mut out = format!(
+                "{} cells over {shards} shard(s), interleaved by grid index\n",
+                campaign.sweep().len()
+            );
+            for s in 0..shards {
+                let cells: Vec<String> = campaign.shard_cells(s).map(|c| c.to_string()).collect();
+                out.push_str(&format!(
+                    "shard {s}/{shards}: {:>3} cells  [{}]\n",
+                    campaign.shard_len(s),
+                    cells.join(",")
+                ));
+            }
+            out.push_str(
+                "run each shard with:  campaign run --shard I/N --out shard-I.jsonl (+ the \
+                 same grid flags)\n",
+            );
+            Ok((out, 0))
+        }
+        Command::CampaignRun {
+            grid,
+            shard,
+            shards,
+            workers,
+            out,
+            fresh,
+            inject_fault,
+        } => {
+            let mut sweep = grid.to_sweep()?;
+            arm_fault(&mut sweep, inject_fault)?;
+            let campaign = Campaign::new(sweep, shards).map_err(|e| e.to_string())?;
+            let report = campaign
+                .run_shard(
+                    shard,
+                    resolve_workers(workers),
+                    std::path::Path::new(&out),
+                    fresh,
+                )
+                .map_err(|e| format!("campaign run --out {out}: {e}"))?;
+            let code = if report.failed_jobs() > 0 { 1 } else { 0 };
+            let mut text = format!(
+                "shard {shard}/{shards}: {} cell(s) on {} worker(s) ({:.1} ms wall) -> {out}\n",
+                report.jobs,
+                report.workers,
+                report.wall_ns as f64 / 1e6,
+            );
+            if let Some(summary) = failure_summary(&report) {
+                text.push_str(&summary);
+            }
+            Ok((text, code))
+        }
+        Command::CampaignMerge {
+            grid,
+            shards,
+            workers,
+            inputs,
+            out,
+        } => {
+            let campaign = Campaign::new(grid.to_sweep()?, shards).map_err(|e| e.to_string())?;
+            let paths: Vec<std::path::PathBuf> =
+                inputs.iter().map(std::path::PathBuf::from).collect();
+            let summary = campaign
+                .merge_files(
+                    &paths,
+                    &MergeOptions {
+                        workers: resolve_workers(workers),
+                    },
+                    std::path::Path::new(&out),
+                )
+                .map_err(|e| format!("campaign merge --out {out}: {e}"))?;
+            let code = if summary.failed > 0 { 1 } else { 0 };
+            Ok((
+                format!(
+                    "merged {} shard(s): {} cell(s), {} failed ({:.1} ms wall) -> {out}\n",
+                    summary.shards,
+                    summary.cells,
+                    summary.failed,
+                    summary.wall_ns as f64 / 1e6,
+                ),
+                code,
+            ))
         }
         Command::TraceSummarize { input } => {
             let data =
@@ -947,6 +1245,19 @@ fn summarize_trace(data: &str) -> Result<String, String> {
     Ok(out)
 }
 
+/// Arms a deterministic deadlock fault in global grid cell `cell`
+/// (the `--inject-fault` flag, testing/CI).
+fn arm_fault(sweep: &mut Sweep, cell: Option<usize>) -> Result<(), String> {
+    let Some(cell) = cell else { return Ok(()) };
+    let jobs = sweep.jobs_mut();
+    let cells = jobs.len();
+    let job = jobs
+        .get_mut(cell)
+        .ok_or_else(|| format!("--inject-fault {cell}: grid has only {cells} cells"))?;
+    job.config.inject_fault = Some(vsv::FaultKind::Deadlock);
+    Ok(())
+}
+
 /// Renders a human-readable list of a report's failed cells, or
 /// `None` when every cell succeeded.
 fn failure_summary(report: &vsv::SweepReport) -> Option<String> {
@@ -963,13 +1274,16 @@ fn failure_summary(report: &vsv::SweepReport) -> Option<String> {
     Some(out)
 }
 
-/// Maps the `--workers` flag to a concrete thread count: 0 defers to
-/// [`vsv::default_workers`] (`VSV_WORKERS` or host parallelism).
-fn resolve_workers(flag: usize) -> usize {
-    if flag == 0 {
-        vsv::default_workers()
-    } else {
-        flag
+/// Parses a `--shard` value: `I` or `I/N` (0-based shard index,
+/// total shard count).
+fn parse_shard(raw: &str) -> Result<(usize, Option<usize>), String> {
+    let parse_part = |part: &str, what: &str| {
+        part.parse::<usize>()
+            .map_err(|e| format!("--shard {what} '{part}': {e}"))
+    };
+    match raw.split_once('/') {
+        Some((i, n)) => Ok((parse_part(i, "index")?, Some(parse_part(n, "total")?))),
+        None => Ok((parse_part(raw, "index")?, None)),
     }
 }
 
@@ -1496,5 +1810,169 @@ mod tests {
         })
         .expect("runs");
         assert!(out.contains('H') || out.contains('L'));
+    }
+
+    fn mcf_grid() -> GridSpec {
+        GridSpec {
+            twin: Some("mcf".to_owned()),
+            policy: None,
+            ladder: None,
+            timekeeping: false,
+            insts: 3_000,
+            warmup: 1_000,
+        }
+    }
+
+    #[test]
+    fn parses_campaign_run_with_inline_shard_syntax() {
+        let cmd = Command::parse(&sv(&[
+            "campaign", "run", "--twin", "mcf", "--shard", "1/3", "--insts", "3000", "--warmup",
+            "1000", "--out", "s1.jsonl", "--fresh",
+        ]))
+        .expect("valid");
+        assert_eq!(
+            cmd,
+            Command::CampaignRun {
+                grid: mcf_grid(),
+                shard: 1,
+                shards: 3,
+                workers: 0,
+                out: "s1.jsonl".to_owned(),
+                fresh: true,
+                inject_fault: None,
+            }
+        );
+        // `--shard I` with an explicit `--shards N` is the same thing.
+        let split = Command::parse(&sv(&[
+            "campaign", "run", "--twin", "mcf", "--shard", "1", "--shards", "3", "--insts", "3000",
+            "--warmup", "1000", "--out", "s1.jsonl", "--fresh",
+        ]))
+        .expect("valid");
+        assert_eq!(cmd, split);
+    }
+
+    #[test]
+    fn campaign_usage_errors() {
+        // Subcommand is mandatory and closed.
+        assert!(Command::parse(&sv(&["campaign"])).is_err());
+        assert!(Command::parse(&sv(&["campaign", "frobnicate"])).is_err());
+        // plan needs a shard count; run needs a shard position and an
+        // output; merge needs inputs and an output.
+        assert!(Command::parse(&sv(&["campaign", "plan"])).is_err());
+        assert!(Command::parse(&sv(&["campaign", "run", "--out", "s.jsonl"])).is_err());
+        assert!(Command::parse(&sv(&["campaign", "run", "--shard", "0"])).is_err());
+        assert!(Command::parse(&sv(&["campaign", "merge", "--out", "m.json"])).is_err());
+        assert!(
+            Command::parse(&sv(&["campaign", "merge", "--inputs", "a.jsonl,b.jsonl"])).is_err()
+        );
+        // An inline total that disagrees with --shards is caught.
+        let err = Command::parse(&sv(&[
+            "campaign", "run", "--shard", "1/3", "--shards", "4", "--out", "s.jsonl",
+        ]))
+        .expect_err("conflicting totals");
+        assert!(err.contains("disagrees"), "{err}");
+        // Malformed shard positions are usage errors.
+        for bad in ["", "x", "1/", "/3", "1/3/5"] {
+            assert!(
+                Command::parse(&sv(&[
+                    "campaign", "run", "--shard", bad, "--out", "s.jsonl"
+                ]))
+                .is_err(),
+                "--shard {bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_plan_covers_the_grid_once() {
+        // The 2-cell mcf grid over 3 shards: shard 2 is legitimately
+        // empty, and the union of all shards is each cell exactly once.
+        let (text, code) = execute_with_exit(Command::CampaignPlan {
+            grid: mcf_grid(),
+            shards: 3,
+            json: false,
+        })
+        .expect("plans");
+        assert_eq!(code, 0);
+        assert!(text.contains("2 cells over 3 shard(s)"), "{text}");
+
+        let (json, code) = execute_with_exit(Command::CampaignPlan {
+            grid: mcf_grid(),
+            shards: 3,
+            json: true,
+        })
+        .expect("plans");
+        assert_eq!(code, 0);
+        let rows: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+        let rows = rows.as_array().expect("array of shards");
+        assert_eq!(rows.len(), 3);
+        let mut cells: Vec<u64> = rows
+            .iter()
+            .flat_map(|r| r.get("grid_cells").and_then(|c| c.as_array()).unwrap())
+            .map(|c| c.as_u64().unwrap())
+            .collect();
+        cells.sort_unstable();
+        assert_eq!(cells, [0, 1]);
+    }
+
+    #[test]
+    fn campaign_run_and_merge_round_trip() {
+        let dir = std::env::temp_dir().join("vsv-cli-campaign-roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let shard_paths: Vec<String> = (0..2)
+            .map(|s| dir.join(format!("shard-{s}.jsonl")).display().to_string())
+            .collect();
+        for (s, path) in shard_paths.iter().enumerate() {
+            let (text, code) = execute_with_exit(Command::CampaignRun {
+                grid: mcf_grid(),
+                shard: s,
+                shards: 2,
+                workers: 1,
+                out: path.clone(),
+                fresh: true,
+                inject_fault: None,
+            })
+            .expect("shard runs");
+            assert_eq!(code, 0, "{text}");
+            assert!(text.contains(&format!("shard {s}/2")), "{text}");
+        }
+        let merged = dir.join("merged.json").display().to_string();
+        let (text, code) = execute_with_exit(Command::CampaignMerge {
+            grid: mcf_grid(),
+            shards: 2,
+            workers: 1,
+            inputs: shard_paths,
+            out: merged.clone(),
+        })
+        .expect("merges");
+        assert_eq!(code, 0, "{text}");
+        let report: vsv::SweepReport =
+            serde_json::from_str(&std::fs::read_to_string(&merged).expect("merged report written"))
+                .expect("merged report parses");
+        assert_eq!(report.jobs, 2);
+        assert_eq!(report.failed_jobs(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn campaign_run_reports_injected_faults_with_exit_1() {
+        let dir = std::env::temp_dir().join("vsv-cli-campaign-fault");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        // Global cell 1 (mcf under VSV) belongs to shard 1 of 2.
+        let (text, code) = execute_with_exit(Command::CampaignRun {
+            grid: mcf_grid(),
+            shard: 1,
+            shards: 2,
+            workers: 1,
+            out: dir.join("shard-1.jsonl").display().to_string(),
+            fresh: true,
+            inject_fault: Some(1),
+        })
+        .expect("shard runs to completion despite the fault");
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("deadlock"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,786 @@
+//! Multi-process sweep campaigns: sharding, shard execution, and the
+//! streaming O(1) merge.
+//!
+//! A [`crate::Sweep`] is bounded by one process: one machine's cores,
+//! one heap holding every [`JobRecord`]. A [`Campaign`] turns the
+//! same grid into a fleet-sized object under a trivial
+//! `shard-id/total-shards` contract:
+//!
+//! * **plan** — the grid is partitioned into `K` shards *interleaved
+//!   by grid index*: global cell `g` belongs to shard `g % K`, and
+//!   shard `s`'s local cell `j` is global cell `g = s + j·K`. The
+//!   mapping is a bijection fixed by `(s, K)` alone, so any process
+//!   anywhere can compute its share without coordination, and the
+//!   interleaving load-balances params-major grids (consecutive
+//!   cells — the same workload under different configs — land on
+//!   different shards).
+//! * **run** — each shard executes as an *ordinary* checkpointed
+//!   sweep over its sub-grid ([`Campaign::run_shard`]), writing the
+//!   schema-v4 JSONL checkpoint whose header stamps the shard
+//!   position; killed shards resume through the existing
+//!   checkpoint/resume path. A completed shard file is *finalized*
+//!   into local grid order (records are appended in completion
+//!   order while running), which is what makes the K-way merge a
+//!   single forward pass.
+//! * **merge** — [`Campaign::merge_to_writer`] stream-reads the `K`
+//!   files in grid order (cell `g` comes from reader `g % K`),
+//!   validates each shard header and each record's workload and
+//!   config digest against the planned grid, rewrites the local job
+//!   index to the global one, folds metrics through the same
+//!   [`ReportAggregator`] the in-process sweep uses, and emits a
+//!   [`SweepReport`] JSON document **byte-identical** (wall-clock
+//!   fields aside) to `serde_json::to_string_pretty` of the
+//!   single-process [`crate::Sweep::report`]. Memory is O(1) in
+//!   cells: `K` buffered readers plus one in-flight record plus the
+//!   running aggregate — never the grid's records.
+//!
+//! Byte fidelity rests on two properties pinned elsewhere: the JSON
+//! codec round-trips every scalar exactly (integers stay integers,
+//! floats are shortest-round-trip — `vendor/serde_json`), and struct
+//! fields serialize in declaration order, so re-serializing a parsed
+//! [`JobRecord`] reproduces the bytes the single-process writer
+//! would have produced. `tests/campaign_equivalence.rs` pins the
+//! end-to-end guarantee.
+//!
+//! Top-level `wall_ns` is the one deliberate divergence: a merged
+//! report has no single-process wall time, so it carries `0` (the
+//! merge's own wall time lives in [`MergeSummary::wall_ns`]).
+//! Comparisons zero wall-clock fields anyway — the determinism
+//! contract in `docs/observability.md`.
+
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use crate::sweep::{
+    append_line, config_digest, grid_summary_over, validate_header_against, CheckpointError,
+    CheckpointHeader, JobRecord, ReportAggregator, Sweep, SweepReport, CHECKPOINT_VERSION,
+};
+
+/// A sweep grid partitioned into `K` interleaved shards.
+///
+/// ```
+/// use vsv::{Campaign, Experiment, Sweep, SystemConfig};
+/// use vsv_workloads::twin;
+///
+/// let twins = [twin("gzip").unwrap(), twin("ammp").unwrap(), twin("mcf").unwrap()];
+/// let configs = [SystemConfig::baseline(), SystemConfig::vsv_with_fsms()];
+/// let sweep = Sweep::over_grid(
+///     Experiment { warmup_instructions: 500, instructions: 2_000 },
+///     &twins,
+///     &configs,
+/// );
+/// // 6 cells over 4 shards: interleaved, so 4 does not have to
+/// // divide 6 — shards 0 and 1 get 2 cells, shards 2 and 3 get 1.
+/// let campaign = Campaign::new(sweep, 4).unwrap();
+/// assert_eq!(campaign.shard_cells(0).collect::<Vec<_>>(), [0, 4]);
+/// assert_eq!(campaign.shard_cells(3).collect::<Vec<_>>(), [3]);
+/// assert_eq!((0..4).map(|s| campaign.shard_len(s)).sum::<usize>(), 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    sweep: Sweep,
+    shards: usize,
+}
+
+/// Options for [`Campaign::merge_to_writer`].
+#[derive(Debug, Clone)]
+pub struct MergeOptions {
+    /// Worker count to stamp into the merged report's `workers`
+    /// field. Clamped exactly like [`crate::Sweep::report`] clamps
+    /// its argument, so passing the same value the single-process
+    /// comparison run used reproduces its bytes.
+    pub workers: usize,
+}
+
+/// What a merge did: the aggregate counts a caller needs for exit
+/// codes and logging without re-parsing the merged document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeSummary {
+    /// Cells merged (the full grid).
+    pub cells: usize,
+    /// Cells whose outcome was [`crate::JobOutcome::Failed`].
+    pub failed: usize,
+    /// Shard files consumed.
+    pub shards: usize,
+    /// Host wall-clock nanoseconds the merge took. Not deterministic.
+    pub wall_ns: u64,
+}
+
+/// Why a campaign operation failed.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// A campaign needs at least one shard.
+    InvalidShardCount {
+        /// The rejected count.
+        shards: usize,
+    },
+    /// A shard index at or beyond the shard count.
+    ShardOutOfRange {
+        /// The rejected index.
+        shard: usize,
+        /// The campaign's shard count.
+        shards: usize,
+    },
+    /// Merge was handed the wrong number of input files.
+    InputCount {
+        /// The campaign's shard count.
+        expected: usize,
+        /// Files supplied.
+        found: usize,
+    },
+    /// A shard run or header validation failed in the checkpoint
+    /// layer.
+    Checkpoint(CheckpointError),
+    /// Filesystem failure.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error.
+        error: String,
+    },
+    /// A shard file line failed to parse.
+    ShardCorrupt {
+        /// The shard whose file is corrupt.
+        shard: usize,
+        /// 1-based line number.
+        line: usize,
+        /// Parse error.
+        error: String,
+    },
+    /// A shard file ended before yielding its share of the grid.
+    MissingCell {
+        /// The global grid cell that has no record.
+        cell: usize,
+        /// The shard that should have held it.
+        shard: usize,
+    },
+    /// A record does not belong at its position: wrong local index
+    /// (an unfinalized, completion-ordered file), wrong workload, or
+    /// wrong config digest.
+    RecordMismatch {
+        /// The global grid cell being merged.
+        cell: usize,
+        /// The shard the record came from.
+        shard: usize,
+        /// What differed.
+        reason: String,
+    },
+    /// A shard file holds more records than its share of the grid.
+    TrailingData {
+        /// The shard with extra records.
+        shard: usize,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::InvalidShardCount { shards } => {
+                write!(f, "campaign shard count must be >= 1, got {shards}")
+            }
+            CampaignError::ShardOutOfRange { shard, shards } => {
+                write!(f, "shard {shard} outside campaign of {shards} shard(s)")
+            }
+            CampaignError::InputCount { expected, found } => write!(
+                f,
+                "campaign merge needs exactly {expected} shard file(s), got {found}"
+            ),
+            CampaignError::Checkpoint(e) => write!(f, "{e}"),
+            CampaignError::Io { path, error } => {
+                write!(f, "campaign io error at {path}: {error}")
+            }
+            CampaignError::ShardCorrupt { shard, line, error } => {
+                write!(f, "shard {shard} file corrupt at line {line}: {error}")
+            }
+            CampaignError::MissingCell { cell, shard } => write!(
+                f,
+                "shard {shard} file ended before grid cell {cell} (incomplete shard run?)"
+            ),
+            CampaignError::RecordMismatch {
+                cell,
+                shard,
+                reason,
+            } => write!(
+                f,
+                "shard {shard} record does not match grid cell {cell}: {reason}"
+            ),
+            CampaignError::TrailingData { shard } => write!(
+                f,
+                "shard {shard} file holds records beyond its share of the grid"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<CheckpointError> for CampaignError {
+    fn from(e: CheckpointError) -> Self {
+        CampaignError::Checkpoint(e)
+    }
+}
+
+impl Campaign {
+    /// A campaign over `sweep`'s grid, partitioned into `shards`
+    /// interleaved shards. `shards` may exceed the cell count — the
+    /// surplus shards are simply empty.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::InvalidShardCount`] if `shards` is zero.
+    pub fn new(sweep: Sweep, shards: usize) -> Result<Self, CampaignError> {
+        if shards == 0 {
+            return Err(CampaignError::InvalidShardCount { shards });
+        }
+        Ok(Campaign { sweep, shards })
+    }
+
+    /// The underlying full-grid sweep.
+    #[must_use]
+    pub fn sweep(&self) -> &Sweep {
+        &self.sweep
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The global grid indices owned by `shard`: `shard`,
+    /// `shard + K`, `shard + 2K`, …
+    pub fn shard_cells(&self, shard: usize) -> impl Iterator<Item = usize> + '_ {
+        (shard..self.sweep.len()).step_by(self.shards)
+    }
+
+    /// Number of cells `shard` owns.
+    #[must_use]
+    pub fn shard_len(&self, shard: usize) -> usize {
+        if shard >= self.sweep.len() {
+            0
+        } else {
+            (self.sweep.len() - shard).div_ceil(self.shards)
+        }
+    }
+
+    fn check_shard(&self, shard: usize) -> Result<(), CampaignError> {
+        if shard >= self.shards {
+            return Err(CampaignError::ShardOutOfRange {
+                shard,
+                shards: self.shards,
+            });
+        }
+        Ok(())
+    }
+
+    /// The ordinary [`Sweep`] over `shard`'s cells, in local grid
+    /// order (local cell `j` is global cell `shard + j·K`).
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::ShardOutOfRange`] if `shard >= shards`.
+    pub fn shard_sweep(&self, shard: usize) -> Result<Sweep, CampaignError> {
+        self.check_shard(shard)?;
+        let jobs = self
+            .sweep
+            .jobs()
+            .iter()
+            .skip(shard)
+            .step_by(self.shards)
+            .copied()
+            .collect();
+        Ok(Sweep::new(self.sweep.experiment, jobs))
+    }
+
+    /// Runs (or resumes) one shard as a checkpointed sweep writing to
+    /// `path`, then finalizes the file into local grid order so the
+    /// merge can consume it in one forward pass.
+    ///
+    /// With `fresh` false (the default campaign behavior), an
+    /// existing file at `path` is resumed through the standard
+    /// checkpoint validation — a finalized complete file is a valid
+    /// checkpoint, so re-running a finished shard is an idempotent
+    /// no-op (cells are cached, the file is re-finalized). With
+    /// `fresh` true the file is recreated and every cell re-runs.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::ShardOutOfRange`], or any
+    /// [`CampaignError::Checkpoint`]/[`CampaignError::Io`] from the
+    /// run or the finalize rewrite.
+    pub fn run_shard(
+        &self,
+        shard: usize,
+        workers: usize,
+        path: &Path,
+        fresh: bool,
+    ) -> Result<SweepReport, CampaignError> {
+        let sub = self.shard_sweep(shard)?;
+        let report = if fresh {
+            sub.report_with_checkpoint_sharded(workers, path, shard, self.shards)?
+        } else {
+            sub.resume_sharded(workers, path, shard, self.shards)?
+        };
+        self.write_shard_file(shard, &report.records, path)?;
+        Ok(report)
+    }
+
+    /// Writes a complete, finalized shard file: the v4 header
+    /// followed by one compact JSONL [`JobRecord`] line per cell in
+    /// local grid order, atomically (written to `<path>.tmp`, then
+    /// renamed). Each record is validated against the planned grid
+    /// before writing — this is also how the memory benchmark
+    /// synthesizes large shard files without simulating every cell.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::RecordMismatch`]/[`CampaignError::MissingCell`]/
+    /// [`CampaignError::TrailingData`] if `records` is not exactly
+    /// the shard's share of the grid, or [`CampaignError::Io`].
+    pub fn write_shard_file(
+        &self,
+        shard: usize,
+        records: &[JobRecord],
+        path: &Path,
+    ) -> Result<(), CampaignError> {
+        self.check_shard(shard)?;
+        let expected = self.shard_len(shard);
+        if records.len() < expected {
+            return Err(CampaignError::MissingCell {
+                cell: shard + records.len() * self.shards,
+                shard,
+            });
+        }
+        if records.len() > expected {
+            return Err(CampaignError::TrailingData { shard });
+        }
+        for (j, record) in records.iter().enumerate() {
+            let cell = shard + j * self.shards;
+            self.validate_shard_record(record, j, cell, shard)?;
+        }
+        let tmp = path.with_file_name(match path.file_name().and_then(|n| n.to_str()) {
+            Some(name) => format!("{name}.tmp"),
+            None => "shard.tmp".to_owned(),
+        });
+        let file = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, &e))?;
+        let mut writer = std::io::BufWriter::new(file);
+        append_line(&mut writer, &self.shard_header(shard)).map_err(|e| io_string_err(&tmp, &e))?;
+        for record in records {
+            append_line(&mut writer, record).map_err(|e| io_string_err(&tmp, &e))?;
+        }
+        drop(writer);
+        std::fs::rename(&tmp, path).map_err(|e| io_err(path, &e))?;
+        Ok(())
+    }
+
+    /// The v4 checkpoint header `shard`'s file must carry — computed
+    /// from a strided *view* of the full grid, identical to what
+    /// [`Campaign::shard_sweep`]'s own checkpoint run stamps, but
+    /// without cloning the shard's jobs. The merge validates `K` of
+    /// these, so borrowing keeps merge memory free of grid copies.
+    fn shard_header(&self, shard: usize) -> CheckpointHeader {
+        CheckpointHeader {
+            version: CHECKPOINT_VERSION,
+            jobs: self.shard_len(shard),
+            warmup_instructions: self.sweep.experiment.warmup_instructions,
+            instructions: self.sweep.experiment.instructions,
+            shard,
+            shards: self.shards,
+            grid: grid_summary_over(
+                self.sweep
+                    .jobs()
+                    .iter()
+                    .skip(shard)
+                    .step_by(self.shards.max(1)),
+            ),
+        }
+    }
+
+    /// Validates that `record` (with local index `local`) belongs at
+    /// global grid cell `cell`.
+    fn validate_shard_record(
+        &self,
+        record: &JobRecord,
+        local: usize,
+        cell: usize,
+        shard: usize,
+    ) -> Result<(), CampaignError> {
+        let mismatch = |reason: String| CampaignError::RecordMismatch {
+            cell,
+            shard,
+            reason,
+        };
+        if record.job != local {
+            return Err(mismatch(format!(
+                "local index {} where {local} belongs (file not in grid order — \
+                 finalize incomplete?)",
+                record.job
+            )));
+        }
+        let job = &self.sweep.jobs()[cell];
+        if record.workload != job.params.name {
+            return Err(mismatch(format!(
+                "workload {:?}, grid has {:?}",
+                record.workload, job.params.name
+            )));
+        }
+        let expected = config_digest(&job.config);
+        if record.config_digest != expected {
+            return Err(mismatch(format!(
+                "config digest {}, grid has {expected}",
+                record.config_digest
+            )));
+        }
+        Ok(())
+    }
+
+    /// Stream-merges the `K` finalized shard files (`inputs[s]` is
+    /// shard `s`'s file) into the full-grid [`SweepReport`] JSON
+    /// document, written to `out` as it is produced.
+    ///
+    /// The output is byte-identical to
+    /// `serde_json::to_string_pretty(&report)` of the equivalent
+    /// single-process [`crate::Sweep::report`] run, except the
+    /// top-level `wall_ns` (here `0`) and the per-record `wall_ns`
+    /// values (each shard's real timings — zero them for comparison,
+    /// per the determinism contract). Memory is O(1) in cells: `K`
+    /// buffered readers, one in-flight record, one running
+    /// [`ReportAggregator`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`CampaignError`]: wrong input count, header/record
+    /// validation failures, corrupt/short/overlong files, or I/O.
+    pub fn merge_to_writer<W: Write>(
+        &self,
+        inputs: &[PathBuf],
+        opts: &MergeOptions,
+        out: &mut W,
+    ) -> Result<MergeSummary, CampaignError> {
+        let start = Instant::now();
+        if inputs.len() != self.shards {
+            return Err(CampaignError::InputCount {
+                expected: self.shards,
+                found: inputs.len(),
+            });
+        }
+        let mut readers = Vec::with_capacity(self.shards);
+        for (shard, path) in inputs.iter().enumerate() {
+            let mut reader = ShardReader::open(shard, path)?;
+            let line = reader.next_line()?.ok_or(CampaignError::ShardCorrupt {
+                shard,
+                line: 0,
+                error: "empty file (missing header line)".to_owned(),
+            })?;
+            let header: CheckpointHeader =
+                serde_json::from_str(&line).map_err(|e| CampaignError::ShardCorrupt {
+                    shard,
+                    line: reader.lineno,
+                    error: e.to_string(),
+                })?;
+            validate_header_against(&self.shard_header(shard), &header)?;
+            readers.push(reader);
+        }
+        let cells = self.sweep.len();
+        // Mirrors the `run_grid` clamp so the stamped field matches a
+        // single-process run handed the same worker count.
+        let workers = opts.workers.max(1).min(cells.max(1));
+        let mut aggregate = ReportAggregator::new();
+        write_fmt(out, format_args!("{{\n  \"jobs\": {cells},"))?;
+        write_fmt(out, format_args!("\n  \"workers\": {workers},"))?;
+        write_fmt(out, format_args!("\n  \"wall_ns\": 0,"))?;
+        write_fmt(out, format_args!("\n  \"records\": ["))?;
+        for cell in 0..cells {
+            let shard = cell % self.shards;
+            let line = readers[shard]
+                .next_line()?
+                .ok_or(CampaignError::MissingCell { cell, shard })?;
+            let mut record: JobRecord =
+                serde_json::from_str(&line).map_err(|e| CampaignError::ShardCorrupt {
+                    shard,
+                    line: readers[shard].lineno,
+                    error: e.to_string(),
+                })?;
+            self.validate_shard_record(&record, cell / self.shards, cell, shard)?;
+            record.job = cell;
+            aggregate.fold(&record);
+            let pretty =
+                serde_json::to_string_pretty(&record).map_err(|e| CampaignError::ShardCorrupt {
+                    shard,
+                    line: readers[shard].lineno,
+                    error: e.to_string(),
+                })?;
+            write_fmt(
+                out,
+                format_args!("{}\n    ", if cell == 0 { "" } else { "," }),
+            )?;
+            write_block(out, &pretty, "    ")?;
+        }
+        for reader in &mut readers {
+            if reader.next_line()?.is_some() {
+                return Err(CampaignError::TrailingData {
+                    shard: reader.shard,
+                });
+            }
+        }
+        if cells > 0 {
+            write_fmt(out, format_args!("\n  "))?;
+        }
+        write_fmt(out, format_args!("],\n  \"metrics\": "))?;
+        let metrics_pretty =
+            serde_json::to_string_pretty(aggregate.metrics()).map_err(|e| CampaignError::Io {
+                path: "<merge output>".to_owned(),
+                error: e.to_string(),
+            })?;
+        write_block(out, &metrics_pretty, "  ")?;
+        write_fmt(out, format_args!("\n}}"))?;
+        Ok(MergeSummary {
+            cells,
+            failed: aggregate.failed(),
+            shards: self.shards,
+            wall_ns: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        })
+    }
+
+    /// [`Campaign::merge_to_writer`] into a file (buffered, flushed).
+    ///
+    /// # Errors
+    ///
+    /// See [`Campaign::merge_to_writer`].
+    pub fn merge_files(
+        &self,
+        inputs: &[PathBuf],
+        opts: &MergeOptions,
+        out_path: &Path,
+    ) -> Result<MergeSummary, CampaignError> {
+        let file = std::fs::File::create(out_path).map_err(|e| io_err(out_path, &e))?;
+        let mut writer = std::io::BufWriter::new(file);
+        let summary = self.merge_to_writer(inputs, opts, &mut writer)?;
+        writer.flush().map_err(|e| io_err(out_path, &e))?;
+        Ok(summary)
+    }
+
+    /// [`Campaign::merge_to_writer`] into a `String` — the
+    /// convenience the equivalence tests compare byte-for-byte
+    /// against `serde_json::to_string_pretty` of the single-process
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// See [`Campaign::merge_to_writer`].
+    pub fn merge_to_string(
+        &self,
+        inputs: &[PathBuf],
+        opts: &MergeOptions,
+    ) -> Result<(String, MergeSummary), CampaignError> {
+        let mut buf = Vec::new();
+        let summary = self.merge_to_writer(inputs, opts, &mut buf)?;
+        let text = String::from_utf8(buf).map_err(|e| CampaignError::Io {
+            path: "<merge output>".to_owned(),
+            error: e.to_string(),
+        })?;
+        Ok((text, summary))
+    }
+
+    /// The *buffered* merge: materializes the full merged
+    /// [`SweepReport`] in memory by parsing the streamed document.
+    /// O(cells) memory by construction — this is the reference
+    /// implementation the memory benchmark contrasts with the
+    /// streaming path, and what a consumer that needs the typed
+    /// report does.
+    ///
+    /// # Errors
+    ///
+    /// See [`Campaign::merge_to_writer`].
+    pub fn merge_report(
+        &self,
+        inputs: &[PathBuf],
+        opts: &MergeOptions,
+    ) -> Result<(SweepReport, MergeSummary), CampaignError> {
+        let (text, summary) = self.merge_to_string(inputs, opts)?;
+        let report: SweepReport = serde_json::from_str(&text).map_err(|e| CampaignError::Io {
+            path: "<merge output>".to_owned(),
+            error: e.to_string(),
+        })?;
+        Ok((report, summary))
+    }
+}
+
+/// One shard file being consumed line-at-a-time.
+struct ShardReader {
+    shard: usize,
+    path: String,
+    reader: std::io::BufReader<std::fs::File>,
+    lineno: usize,
+}
+
+impl ShardReader {
+    fn open(shard: usize, path: &Path) -> Result<Self, CampaignError> {
+        let file = std::fs::File::open(path).map_err(|e| io_err(path, &e))?;
+        Ok(ShardReader {
+            shard,
+            path: path.display().to_string(),
+            reader: std::io::BufReader::new(file),
+            lineno: 0,
+        })
+    }
+
+    /// The next non-empty line, or `None` at EOF.
+    fn next_line(&mut self) -> Result<Option<String>, CampaignError> {
+        loop {
+            let mut line = String::new();
+            let n = self
+                .reader
+                .read_line(&mut line)
+                .map_err(|e| CampaignError::Io {
+                    path: self.path.clone(),
+                    error: e.to_string(),
+                })?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.lineno += 1;
+            let trimmed = line.trim_end_matches(['\n', '\r']);
+            if !trimmed.is_empty() {
+                line.truncate(trimmed.len());
+                return Ok(Some(line));
+            }
+        }
+    }
+}
+
+/// Writes a pretty-printed sub-document produced at depth 0,
+/// re-indented to its embedding depth: every line after the first
+/// gains `indent`. JSON strings cannot contain raw newlines, so
+/// every `\n` in `pretty` is structural and the rewrite is exact.
+fn write_block<W: Write>(out: &mut W, pretty: &str, indent: &str) -> Result<(), CampaignError> {
+    for (i, segment) in pretty.split('\n').enumerate() {
+        if i > 0 {
+            write_bytes(out, b"\n")?;
+            write_bytes(out, indent.as_bytes())?;
+        }
+        write_bytes(out, segment.as_bytes())?;
+    }
+    Ok(())
+}
+
+fn write_bytes<W: Write>(out: &mut W, bytes: &[u8]) -> Result<(), CampaignError> {
+    out.write_all(bytes).map_err(|e| CampaignError::Io {
+        path: "<merge output>".to_owned(),
+        error: e.to_string(),
+    })
+}
+
+fn write_fmt<W: Write>(out: &mut W, args: std::fmt::Arguments<'_>) -> Result<(), CampaignError> {
+    out.write_fmt(args).map_err(|e| CampaignError::Io {
+        path: "<merge output>".to_owned(),
+        error: e.to_string(),
+    })
+}
+
+fn io_err(path: &Path, e: &std::io::Error) -> CampaignError {
+    CampaignError::Io {
+        path: path.display().to_string(),
+        error: e.to_string(),
+    }
+}
+
+fn io_string_err(path: &Path, e: &str) -> CampaignError {
+    CampaignError::Io {
+        path: path.display().to_string(),
+        error: e.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Experiment;
+    use crate::system::SystemConfig;
+    use vsv_workloads::twin;
+
+    fn tiny_sweep() -> Sweep {
+        let twins = [twin("gzip").expect("gzip"), twin("ammp").expect("ammp")];
+        let configs = [SystemConfig::baseline(), SystemConfig::vsv_with_fsms()];
+        Sweep::over_grid(
+            Experiment {
+                warmup_instructions: 500,
+                instructions: 2_000,
+            },
+            &twins,
+            &configs,
+        )
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("vsv-campaign-unit-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        match Campaign::new(tiny_sweep(), 0) {
+            Err(CampaignError::InvalidShardCount { shards: 0 }) => {}
+            other => panic!("expected InvalidShardCount, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shard_partition_is_an_interleaved_bijection() {
+        let campaign = Campaign::new(tiny_sweep(), 3).expect("3 shards");
+        let mut seen = vec![false; campaign.sweep().len()];
+        for s in 0..3 {
+            let sub = campaign.shard_sweep(s).expect("in range");
+            assert_eq!(sub.len(), campaign.shard_len(s));
+            for (j, cell) in campaign.shard_cells(s).enumerate() {
+                assert_eq!(cell, s + j * 3);
+                assert!(!seen[cell], "cell {cell} assigned twice");
+                seen[cell] = true;
+                // The shard's local job is the global grid's job.
+                assert_eq!(
+                    config_digest(&sub.jobs()[j].config),
+                    config_digest(&campaign.sweep().jobs()[cell].config),
+                );
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every cell assigned");
+    }
+
+    #[test]
+    fn shards_may_exceed_cells() {
+        let campaign = Campaign::new(tiny_sweep(), 9).expect("9 shards over 4 cells");
+        assert_eq!(campaign.shard_len(3), 1);
+        assert_eq!(campaign.shard_len(4), 0);
+        assert_eq!((0..9).map(|s| campaign.shard_len(s)).sum::<usize>(), 4);
+        let empty = campaign.shard_sweep(7).expect("in range");
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_shard_is_rejected() {
+        let campaign = Campaign::new(tiny_sweep(), 2).expect("2 shards");
+        match campaign.shard_sweep(2) {
+            Err(CampaignError::ShardOutOfRange {
+                shard: 2,
+                shards: 2,
+            }) => {}
+            other => panic!("expected ShardOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_rejects_wrong_input_count() {
+        let campaign = Campaign::new(tiny_sweep(), 2).expect("2 shards");
+        let result =
+            campaign.merge_to_string(&[temp_path("only-one.jsonl")], &MergeOptions { workers: 1 });
+        match result {
+            Err(CampaignError::InputCount {
+                expected: 2,
+                found: 1,
+            }) => {}
+            other => panic!("expected InputCount, got {other:?}"),
+        }
+    }
+}

@@ -33,6 +33,10 @@
 //! * [`sweep`] — parallel deterministic execution of experiment
 //!   grids (every table/figure is one [`Sweep`]), with per-cell
 //!   fault isolation and JSONL checkpoint/resume;
+//! * [`campaign`] — multi-process scale-out of a sweep: a grid
+//!   partitioned into K interleaved shards, each run as an ordinary
+//!   checkpointed sweep process, stream-merged back into a report
+//!   bit-identical to the single-process run with O(1) merge memory;
 //! * [`error`] — the typed failure taxonomy ([`SimError`]) behind
 //!   the fault-tolerant sweep contract;
 //! * [`trace`]/[`metrics`] — structured observability: typed
@@ -69,6 +73,8 @@
 // `-D warnings`, promoting these to errors.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+#[cfg(feature = "serde")]
+pub mod campaign;
 pub mod controller;
 pub mod error;
 pub mod fsm;
@@ -80,6 +86,8 @@ pub mod sweep;
 pub mod system;
 pub mod trace;
 
+#[cfg(feature = "serde")]
+pub use campaign::{Campaign, CampaignError, MergeOptions, MergeSummary};
 pub use controller::{Mode, ModeStats, TickPlan, VsvConfig, VsvController};
 pub use error::{FaultKind, ModeTransition, SimError};
 pub use fsm::{DownFsm, DownPolicy, UpFsm, UpPolicy};
@@ -90,7 +98,8 @@ pub use runner::{ComparisonSpread, Experiment};
 #[cfg(feature = "serde")]
 pub use sweep::CheckpointError;
 pub use sweep::{
-    config_digest, default_workers, JobOutcome, JobRecord, Sweep, SweepJob, SweepReport,
+    config_digest, default_workers, resolve_workers, JobOutcome, JobRecord, ReportAggregator,
+    Sweep, SweepJob, SweepReport,
 };
 pub use system::{System, SystemConfig};
 #[cfg(feature = "serde")]

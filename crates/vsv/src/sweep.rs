@@ -25,11 +25,22 @@
 //!
 //! [`Sweep::report_with_checkpoint`] appends one JSONL line per
 //! finished job to a checkpoint file (after a header pinning the grid
-//! shape and experiment scale); [`Sweep::resume`] validates the
-//! header and each record's config digest, skips completed cells
-//! (tolerating a half-written final line from a crash), re-runs the
-//! rest, and returns a [`SweepReport`] bit-identical — wall-clock
-//! fields aside — to an uninterrupted run.
+//! shape, grid dimensions, and experiment scale); [`Sweep::resume`]
+//! validates the header and each record's config digest, skips
+//! completed cells (tolerating a half-written final line from a
+//! crash), re-runs the rest, and returns a [`SweepReport`]
+//! bit-identical — wall-clock fields aside — to an uninterrupted run.
+//! A checkpoint whose grid *dimensions* (workloads × policies ×
+//! ladders × FSM thresholds) disagree with the sweep is rejected with
+//! the typed [`CheckpointError::GridMismatch`] before any per-record
+//! digest check.
+//!
+//! The same checkpoint format (schema v4, which added the grid
+//! summary and the `shard`/`shards` pair to the header) is the wire
+//! format of multi-process campaigns: [`crate::campaign`] partitions
+//! a grid into K interleaved shards, runs each as an ordinary
+//! checkpointed sweep process, and stream-merges the K files back
+//! into one [`SweepReport`] bit-identical to the single-process run.
 //!
 //! Worker count comes from the caller, the `VSV_WORKERS` environment
 //! variable, or the host's available parallelism, in that order — see
@@ -157,12 +168,15 @@ pub struct SweepReport {
     /// Host wall-clock nanoseconds for the whole sweep. Not
     /// deterministic (see [`JobRecord::wall_ns`]).
     pub wall_ns: u64,
-    /// Every record's [`JobRecord::metrics`] merged in grid order —
-    /// bit-identical for any worker count (see
-    /// [`MetricsRegistry::merge`]).
-    pub metrics: MetricsRegistry,
     /// One record per job, in grid order.
     pub records: Vec<JobRecord>,
+    /// Every record's [`JobRecord::metrics`] merged in grid order —
+    /// bit-identical for any worker count (see
+    /// [`MetricsRegistry::merge`]). Serialized *after* `records` so
+    /// streaming producers — the in-process [`ReportAggregator`] fold
+    /// and the campaign merge — can emit the aggregate once the
+    /// record stream ends, holding one record at a time.
+    pub metrics: MetricsRegistry,
 }
 
 impl SweepReport {
@@ -205,6 +219,66 @@ impl SweepReport {
     #[must_use]
     pub fn failed_jobs(&self) -> usize {
         self.failures().count()
+    }
+}
+
+/// Streaming fold of [`JobRecord`]s into the aggregate half of a
+/// [`SweepReport`]: record and failure counts plus the grid-ordered
+/// metrics merge, one record at a time — O(1) memory in cells.
+///
+/// Both the in-process sweep assembly ([`Sweep::report`] and
+/// friends) and the multi-process campaign merge
+/// ([`crate::campaign`]) aggregate through this same type, so a
+/// merged K-shard report is guaranteed to aggregate bit-identically
+/// to a single-process run: there is exactly one fold order (grid
+/// order) and one fold implementation.
+#[derive(Debug, Clone, Default)]
+pub struct ReportAggregator {
+    folded: usize,
+    failed: usize,
+    metrics: MetricsRegistry,
+}
+
+impl ReportAggregator {
+    /// An empty aggregate.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one record into the aggregate. Call in grid order: the
+    /// counter sums are commutative, but grid order is the pinned
+    /// convention (see `docs/observability.md`).
+    pub fn fold(&mut self, record: &JobRecord) {
+        self.folded += 1;
+        if !record.outcome.is_ok() {
+            self.failed += 1;
+        }
+        self.metrics.merge(&record.metrics);
+    }
+
+    /// Records folded so far.
+    #[must_use]
+    pub fn folded(&self) -> usize {
+        self.folded
+    }
+
+    /// Failed records folded so far.
+    #[must_use]
+    pub fn failed(&self) -> usize {
+        self.failed
+    }
+
+    /// The running metrics merge.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Consumes the aggregate, yielding the merged metrics.
+    #[must_use]
+    pub fn into_metrics(self) -> MetricsRegistry {
+        self.metrics
     }
 }
 
@@ -255,6 +329,23 @@ pub fn default_workers() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Resolves a `--workers N`-style flag value: `0` means "pick for
+/// me" and defers to [`default_workers`] (the `VSV_WORKERS`-then-host
+/// policy, including its stderr warning for unparsable values); any
+/// positive value wins as-is.
+///
+/// This is the single worker-count policy shared by the CLI, the
+/// bench binaries, and campaign shard processes — one place, one
+/// semantics.
+#[must_use]
+pub fn resolve_workers(flag: usize) -> usize {
+    if flag == 0 {
+        default_workers()
+    } else {
+        flag
+    }
 }
 
 /// A grid of independent simulation jobs plus the experiment scale to
@@ -493,24 +584,25 @@ impl Sweep {
         });
         drop(slots);
         drop(trace_slots);
+        // Single streaming fold, in grid order: bit-identical for any
+        // worker count, and the same fold the campaign merge uses.
+        let mut aggregate = ReportAggregator::new();
         let records: Vec<JobRecord> = preloaded
             .into_iter()
             .enumerate()
-            .map(|(i, r)| r.unwrap_or_else(|| unreachable!("slot {i} unfilled")))
+            .map(|(i, r)| {
+                let record = r.unwrap_or_else(|| unreachable!("slot {i} unfilled"));
+                aggregate.fold(&record);
+                record
+            })
             .collect();
-        // Merge single-threaded, in grid order: bit-identical for any
-        // worker count.
-        let mut metrics = MetricsRegistry::default();
-        for r in &records {
-            metrics.merge(&r.metrics);
-        }
         (
             SweepReport {
                 jobs: self.jobs.len(),
                 workers,
                 wall_ns: u64::try_from(sweep_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                metrics,
                 records,
+                metrics: aggregate.into_metrics(),
             },
             traces,
         )
@@ -604,22 +696,57 @@ mod checkpoint {
     use std::path::Path;
     use std::sync::Mutex;
 
-    use super::{config_digest, JobRecord, Sweep, SweepReport};
+    use super::{config_digest, JobRecord, Sweep, SweepJob, SweepReport};
+
+    /// Dimension summary of a sweep grid, carried in every checkpoint
+    /// header since schema v4. The human-readable axes (distinct
+    /// workloads, policies, ladder depths, FSM policies) make a
+    /// [`CheckpointError::GridMismatch`] explain *which* dimension
+    /// drifted; `grid_digest` pins the exact per-cell
+    /// (workload, config) sequence, so two grids summarize equal iff
+    /// they are cell-for-cell identical.
+    #[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
+    pub(crate) struct GridSummary {
+        /// Cell count (mirrors the header's `jobs`, keeping the
+        /// summary self-contained).
+        pub(crate) cells: usize,
+        /// Distinct workload names, sorted, comma-joined.
+        pub(crate) workloads: String,
+        /// Distinct DVS policy names, sorted, comma-joined.
+        pub(crate) policies: String,
+        /// Distinct voltage-ladder depths, sorted, comma-joined.
+        pub(crate) ladders: String,
+        /// Distinct down/up FSM policy pairs (threshold × window),
+        /// sorted, `;`-joined.
+        pub(crate) fsm: String,
+        /// FNV-1a over every cell's `workload:config_digest` pair in
+        /// grid order, as 16 hex digits.
+        pub(crate) grid_digest: String,
+    }
 
     /// First line of every checkpoint file: rejects resumes against a
     /// different grid or experiment scale before any digest check.
-    #[derive(serde::Serialize, serde::Deserialize, Debug, PartialEq)]
-    struct CheckpointHeader {
-        version: u32,
-        jobs: usize,
-        warmup_instructions: u64,
-        instructions: u64,
+    /// Since v4 it also carries the [`GridSummary`] and the
+    /// `shard`/`shards` pair placing the file inside a campaign
+    /// (`0/1` for a plain single-process sweep).
+    #[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
+    pub(crate) struct CheckpointHeader {
+        pub(crate) version: u32,
+        pub(crate) jobs: usize,
+        pub(crate) warmup_instructions: u64,
+        pub(crate) instructions: u64,
+        pub(crate) shard: usize,
+        pub(crate) shards: usize,
+        pub(crate) grid: GridSummary,
     }
 
     // v2: `JobRecord` gained its `metrics` registry (PR 5); v3: the
-    // `ladder` depth field (N-level voltage ladders). Older files no
-    // longer round-trip and are rejected by the version check.
-    const CHECKPOINT_VERSION: u32 = 3;
+    // `ladder` depth field (N-level voltage ladders); v4: the header
+    // gained the grid-dimension summary and the campaign shard
+    // contract, and `SweepReport` moved `metrics` after `records` for
+    // single-pass streaming merges. Older files no longer round-trip
+    // and are rejected by the version check.
+    pub(crate) const CHECKPOINT_VERSION: u32 = 4;
 
     /// Why a checkpoint could not be written or resumed.
     #[derive(Debug)]
@@ -640,9 +767,18 @@ mod checkpoint {
             error: String,
         },
         /// The header does not match this sweep (different grid size,
-        /// experiment scale, or format version).
+        /// experiment scale, shard position, or format version).
         HeaderMismatch {
             /// What differed.
+            reason: String,
+        },
+        /// The header's grid-dimension summary does not match this
+        /// sweep: same cell count and scale, but a different
+        /// workloads × policies × ladders × FSM-threshold grid. Caught
+        /// at the header, before any per-record digest check, instead
+        /// of producing a silently misaligned report.
+        GridMismatch {
+            /// Which dimension differed, checkpoint vs. sweep.
             reason: String,
         },
         /// A record's job index is outside this sweep's grid.
@@ -687,6 +823,9 @@ mod checkpoint {
                 CheckpointError::HeaderMismatch { reason } => {
                     write!(f, "checkpoint header mismatch: {reason}")
                 }
+                CheckpointError::GridMismatch { reason } => {
+                    write!(f, "checkpoint grid mismatch: {reason}")
+                }
                 CheckpointError::JobOutOfRange { job, jobs } => {
                     write!(f, "checkpoint record for job {job} outside grid of {jobs}")
                 }
@@ -730,6 +869,26 @@ mod checkpoint {
     }
 
     impl Sweep {
+        /// The grid-dimension summary this sweep's checkpoints carry
+        /// (and are validated against).
+        pub(crate) fn grid_summary(&self) -> GridSummary {
+            grid_summary_over(self.jobs().iter())
+        }
+
+        /// The header a checkpoint of this sweep must carry when it
+        /// is shard `shard` of `shards` (`0`/`1` for a plain sweep).
+        pub(crate) fn checkpoint_header(&self, shard: usize, shards: usize) -> CheckpointHeader {
+            CheckpointHeader {
+                version: CHECKPOINT_VERSION,
+                jobs: self.len(),
+                warmup_instructions: self.experiment.warmup_instructions,
+                instructions: self.experiment.instructions,
+                shard,
+                shards,
+                grid: self.grid_summary(),
+            }
+        }
+
         /// Runs the grid like [`Sweep::report`] while appending one
         /// JSONL [`JobRecord`] line per finished job to a fresh
         /// checkpoint file at `path` (created or truncated).
@@ -743,9 +902,21 @@ mod checkpoint {
             workers: usize,
             path: &Path,
         ) -> Result<SweepReport, CheckpointError> {
+            self.report_with_checkpoint_sharded(workers, path, 0, 1)
+        }
+
+        /// [`Sweep::report_with_checkpoint`] with an explicit campaign
+        /// shard position stamped into the header.
+        pub(crate) fn report_with_checkpoint_sharded(
+            &self,
+            workers: usize,
+            path: &Path,
+            shard: usize,
+            shards: usize,
+        ) -> Result<SweepReport, CheckpointError> {
             let file = std::fs::File::create(path).map_err(|e| io_err(path, &e))?;
             let preloaded = std::iter::repeat_with(|| None).take(self.len()).collect();
-            self.run_checkpointed(workers, path, file, true, preloaded)
+            self.run_checkpointed(workers, path, file, true, preloaded, shard, shards)
         }
 
         /// Resumes an interrupted checkpointed sweep: validates the
@@ -765,12 +936,25 @@ mod checkpoint {
         /// non-tail line, or any header/digest/workload mismatch
         /// (the checkpoint belongs to a different sweep).
         pub fn resume(&self, workers: usize, path: &Path) -> Result<SweepReport, CheckpointError> {
+            self.resume_sharded(workers, path, 0, 1)
+        }
+
+        /// [`Sweep::resume`] with an explicit campaign shard position:
+        /// the checkpoint's header must carry the same `shard`/`shards`
+        /// pair, and fresh appends stamp it.
+        pub(crate) fn resume_sharded(
+            &self,
+            workers: usize,
+            path: &Path,
+            shard: usize,
+            shards: usize,
+        ) -> Result<SweepReport, CheckpointError> {
             let content = match std::fs::read_to_string(path) {
                 Ok(c) => c,
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
                 Err(e) => return Err(io_err(path, &e)),
             };
-            let loaded = self.parse_checkpoint(&content)?;
+            let loaded = self.parse_checkpoint(&content, shard, shards)?;
             let mut file = std::fs::OpenOptions::new()
                 .create(true)
                 .write(true)
@@ -787,12 +971,25 @@ mod checkpoint {
             if loaded.needs_newline {
                 file.write_all(b"\n").map_err(|e| io_err(path, &e))?;
             }
-            self.run_checkpointed(workers, path, file, !loaded.has_header, loaded.records)
+            self.run_checkpointed(
+                workers,
+                path,
+                file,
+                !loaded.has_header,
+                loaded.records,
+                shard,
+                shards,
+            )
         }
 
         /// Parses and validates the readable prefix of a checkpoint
         /// file against this sweep's grid.
-        fn parse_checkpoint(&self, content: &str) -> Result<LoadedCheckpoint, CheckpointError> {
+        fn parse_checkpoint(
+            &self,
+            content: &str,
+            shard: usize,
+            shards: usize,
+        ) -> Result<LoadedCheckpoint, CheckpointError> {
             let mut loaded = LoadedCheckpoint {
                 records: std::iter::repeat_with(|| None).take(self.len()).collect(),
                 valid_len: 0,
@@ -811,7 +1008,7 @@ mod checkpoint {
                 if !loaded.has_header {
                     match serde_json::from_str::<CheckpointHeader>(line) {
                         Ok(header) => {
-                            self.validate_header(&header)?;
+                            self.validate_header(&header, shard, shards)?;
                             loaded.has_header = true;
                             loaded.valid_len += chunk.len() as u64;
                             loaded.needs_newline = !terminated;
@@ -856,19 +1053,13 @@ mod checkpoint {
             Ok(loaded)
         }
 
-        fn validate_header(&self, header: &CheckpointHeader) -> Result<(), CheckpointError> {
-            let expected = CheckpointHeader {
-                version: CHECKPOINT_VERSION,
-                jobs: self.len(),
-                warmup_instructions: self.experiment.warmup_instructions,
-                instructions: self.experiment.instructions,
-            };
-            if *header != expected {
-                return Err(CheckpointError::HeaderMismatch {
-                    reason: format!("checkpoint has {header:?}, sweep expects {expected:?}"),
-                });
-            }
-            Ok(())
+        pub(crate) fn validate_header(
+            &self,
+            header: &CheckpointHeader,
+            shard: usize,
+            shards: usize,
+        ) -> Result<(), CheckpointError> {
+            validate_header_against(&self.checkpoint_header(shard, shards), header)
         }
 
         fn validate_record(&self, record: &JobRecord) -> Result<(), CheckpointError> {
@@ -899,6 +1090,7 @@ mod checkpoint {
         /// Runs the missing cells, streaming each fresh record to the
         /// checkpoint file (flushed per line, so a kill loses at most
         /// the in-flight cells).
+        #[allow(clippy::too_many_arguments)]
         fn run_checkpointed(
             &self,
             workers: usize,
@@ -906,15 +1098,12 @@ mod checkpoint {
             file: std::fs::File,
             write_header: bool,
             preloaded: Vec<Option<JobRecord>>,
+            shard: usize,
+            shards: usize,
         ) -> Result<SweepReport, CheckpointError> {
             let mut writer = std::io::BufWriter::new(file);
             if write_header {
-                let header = CheckpointHeader {
-                    version: CHECKPOINT_VERSION,
-                    jobs: self.len(),
-                    warmup_instructions: self.experiment.warmup_instructions,
-                    instructions: self.experiment.instructions,
-                };
+                let header = self.checkpoint_header(shard, shards);
                 append_line(&mut writer, &header).map_err(|e| io_string_err(path, &e))?;
             }
             let sink: Mutex<(std::io::BufWriter<std::fs::File>, Option<String>)> =
@@ -942,8 +1131,126 @@ mod checkpoint {
         }
     }
 
+    /// [`GridSummary`] of an arbitrary job sequence. Borrowing the
+    /// jobs matters: the campaign merge validates one shard header
+    /// per input file against a strided view of the full grid, and
+    /// materializing each shard's sweep just to summarize it would
+    /// spike merge memory by a full grid copy.
+    pub(crate) fn grid_summary_over<'a>(jobs: impl Iterator<Item = &'a SweepJob>) -> GridSummary {
+        use std::collections::BTreeSet;
+        let mut cells = 0;
+        let mut workloads = BTreeSet::new();
+        let mut policies = BTreeSet::new();
+        let mut ladders = BTreeSet::new();
+        let mut fsm = BTreeSet::new();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for job in jobs {
+            cells += 1;
+            workloads.insert(job.params.name.to_owned());
+            policies.insert(job.config.policy_name().to_owned());
+            ladders.insert(job.config.vsv.ladder.depth());
+            fsm.insert(format!("{:?}/{:?}", job.config.vsv.down, job.config.vsv.up));
+            for b in job
+                .params
+                .name
+                .bytes()
+                .chain([b':'])
+                .chain(config_digest(&job.config).bytes())
+                .chain([b'\n'])
+            {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        let join = |set: BTreeSet<String>| set.into_iter().collect::<Vec<_>>().join(",");
+        GridSummary {
+            cells,
+            workloads: join(workloads),
+            policies: join(policies),
+            ladders: ladders
+                .into_iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            fsm: fsm.into_iter().collect::<Vec<_>>().join(";"),
+            grid_digest: format!("{h:016x}"),
+        }
+    }
+
+    /// Checks a parsed checkpoint header against the one the owning
+    /// sweep (or campaign shard) expects: version, job count, and
+    /// experiment scale mismatches are [`CheckpointError::HeaderMismatch`];
+    /// a grid-dimension divergence is the typed
+    /// [`CheckpointError::GridMismatch`], naming the first differing
+    /// axis.
+    pub(crate) fn validate_header_against(
+        expected: &CheckpointHeader,
+        header: &CheckpointHeader,
+    ) -> Result<(), CheckpointError> {
+        let scalar_mismatch =
+            |what: &str, found: &dyn std::fmt::Debug, want: &dyn std::fmt::Debug| {
+                CheckpointError::HeaderMismatch {
+                    reason: format!("checkpoint has {what} {found:?}, sweep expects {want:?}"),
+                }
+            };
+        if header.version != expected.version {
+            return Err(scalar_mismatch(
+                "version",
+                &header.version,
+                &expected.version,
+            ));
+        }
+        if header.jobs != expected.jobs {
+            return Err(scalar_mismatch("jobs", &header.jobs, &expected.jobs));
+        }
+        if header.warmup_instructions != expected.warmup_instructions
+            || header.instructions != expected.instructions
+        {
+            return Err(scalar_mismatch(
+                "scale",
+                &(header.warmup_instructions, header.instructions),
+                &(expected.warmup_instructions, expected.instructions),
+            ));
+        }
+        if (header.shard, header.shards) != (expected.shard, expected.shards) {
+            return Err(scalar_mismatch(
+                "shard",
+                &format!("{}/{}", header.shard, header.shards),
+                &format!("{}/{}", expected.shard, expected.shards),
+            ));
+        }
+        if header.grid != expected.grid {
+            return Err(CheckpointError::GridMismatch {
+                reason: grid_diff(&header.grid, &expected.grid),
+            });
+        }
+        Ok(())
+    }
+
+    /// First differing dimension of two grid summaries, checkpoint
+    /// vs. sweep, for the [`CheckpointError::GridMismatch`] message.
+    fn grid_diff(found: &GridSummary, expected: &GridSummary) -> String {
+        let axes = [
+            ("workloads", &found.workloads, &expected.workloads),
+            ("policies", &found.policies, &expected.policies),
+            ("ladder depths", &found.ladders, &expected.ladders),
+            ("fsm policies", &found.fsm, &expected.fsm),
+            (
+                "per-cell configuration digest chain",
+                &found.grid_digest,
+                &expected.grid_digest,
+            ),
+        ];
+        for (axis, f, e) in axes {
+            if f != e {
+                return format!("checkpoint grid has {axis} [{f}], sweep expects [{e}]");
+            }
+        }
+        format!("checkpoint grid summary {found:?}, sweep expects {expected:?}")
+    }
+
     /// Serializes `value` as one JSONL line and flushes it.
-    fn append_line<T: serde::Serialize>(
+    pub(crate) fn append_line<T: serde::Serialize>(
         writer: &mut std::io::BufWriter<std::fs::File>,
         value: &T,
     ) -> Result<(), String> {
@@ -969,6 +1276,10 @@ mod checkpoint {
 
 #[cfg(feature = "serde")]
 pub use checkpoint::CheckpointError;
+#[cfg(feature = "serde")]
+pub(crate) use checkpoint::{
+    append_line, grid_summary_over, validate_header_against, CheckpointHeader, CHECKPOINT_VERSION,
+};
 
 #[cfg(test)]
 mod tests {

@@ -197,14 +197,33 @@ fn checkpoint_for_a_different_grid_is_rejected() {
         .report_with_checkpoint(1, &path)
         .expect("checkpointed run succeeds");
 
-    // Same shape, different configuration: every cached digest is
-    // wrong, and trusting the cache would silently mix grids.
+    // Same shape, different configuration: the v4 header's grid
+    // summary catches the divergence up front, before any per-record
+    // digest check, and names the grid (not a job index).
     let other = Sweep::over_grid(e, &params, &[SystemConfig::vsv_with_fsms()]);
-    let err = other.resume(1, &path).expect_err("digest mismatch");
+    let err = other.resume(1, &path).expect_err("grid mismatch");
+    assert!(
+        matches!(err, vsv::CheckpointError::GridMismatch { .. }),
+        "{err}"
+    );
+
+    // A tampered record line still trips the per-record digest check:
+    // the header matches (same grid), but the cached cell does not.
+    let full = std::fs::read_to_string(&path).expect("checkpoint exists");
+    let mut lines: Vec<String> = full.lines().map(str::to_owned).collect();
+    let expected = vsv::config_digest(&SystemConfig::baseline());
+    assert!(lines[1].contains(&expected), "record line carries digest");
+    lines[1] = lines[1].replace(&expected, "deadbeefdeadbeef");
+    std::fs::write(&path, lines.join("\n")).expect("rewrite checkpoint");
+    let err = original.resume(1, &path).expect_err("digest mismatch");
     assert!(
         matches!(err, vsv::CheckpointError::DigestMismatch { job: 0, .. }),
         "{err}"
     );
+    // Restore the intact checkpoint for the scale check below.
+    original
+        .report_with_checkpoint(1, &path)
+        .expect("rewrite intact checkpoint");
 
     // A different experiment scale is caught by the header.
     let bigger = Experiment {

@@ -48,12 +48,12 @@ fn pinned_json() -> String {
 /// regenerate with:
 /// `cargo test -p vsv-repro --test sweep_report_golden -- --nocapture --ignored print_digest`
 /// and update this constant.
-// Last updated for the voltage-ladder PR: `JobRecord` gained its
-// `ladder` depth field (2 for both of this sweep's jobs — the paper's
-// rails). Simulated results are bit-identical — the two-rail
-// configuration is the depth-2 ladder special case, pinned by
-// `tests/ladder_equivalence.rs`; only the new field was added.
-const PINNED_DIGEST: u64 = 0xeda4_698e_b93d_4e88;
+// Last updated for the campaign PR: `SweepReport` now serializes
+// `metrics` *after* `records`, so the streaming producers (the
+// in-process `ReportAggregator` fold and the campaign merge) can emit
+// the aggregate once the record stream ends. Field order only — every
+// value is bit-identical, pinned by `tests/campaign_equivalence.rs`.
+const PINNED_DIGEST: u64 = 0xe5c4_27bf_efb0_53c0;
 
 #[test]
 fn report_json_matches_pinned_digest() {
