@@ -340,7 +340,7 @@ fn stress_merge(e: Experiment, cells: usize, mode: &str, dir: &Path) -> MergeRss
                 })
                 .collect();
             campaign
-                .write_shard_file(s, &records, &path)
+                .write_shard_file(s, &records, &path, 0)
                 .unwrap_or_else(|err| panic!("synthesize shard {s}: {err}"));
             path
         })

@@ -1,0 +1,291 @@
+//! Reliability-vs-energy frontier under the low-voltage timing-error
+//! model: `error-backoff` against `always-high` (the reliability
+//! ceiling) and `dual-fsm` (the savings ceiling) over the SPEC2K twin
+//! mix, all at the same per-read error rate. Emits
+//! `BENCH_reliability.json` via the in-tree serde.
+//!
+//! The interesting question: how much of `always-high`'s SLO
+//! compliance can an error-aware governor recover while keeping how
+//! much of `dual-fsm`'s energy savings? The headline verdict per
+//! memory-bound twin:
+//!
+//! * `recovers_reliability` — `error-backoff` closes at least half
+//!   of the `dual-fsm` → `always-high` retry-rate gap;
+//! * `keeps_savings` — `error-backoff` keeps at least half of
+//!   `dual-fsm`'s power saving over the disabled baseline;
+//! * `frontier_holds` — both at once.
+//!
+//! Usage: `cargo run --release -p vsv-bench --bin reliability_frontier`
+//! Scale via `VSV_INSTS` / `VSV_WARMUP`. Extra environment:
+//!
+//! * `VSV_ERROR_RATE` — per-read error probability at VDDL
+//!   (default 0.05);
+//! * `VSV_RELIABILITY_JSON` — output path (default
+//!   `BENCH_reliability.json` in the working directory);
+//! * `VSV_WORKERS` — sweep worker threads (results are bit-identical
+//!   for any worker count).
+
+use vsv::{default_workers, Comparison, PolicySpec, SloSpec, Sweep, SystemConfig};
+use vsv_bench::{announce_workers, experiment_from_env, results_or_die, rule, CsvSink};
+use vsv_workloads::spec2k_twins;
+
+/// Per-read error probability at VDDL unless `VSV_ERROR_RATE` is set.
+const DEFAULT_ERROR_RATE: f64 = 0.05;
+
+/// Counter-PRNG seed for the error model (fixed: the frontier is a
+/// deterministic artifact).
+const ERROR_SEED: u64 = 42;
+
+/// The SLO every cell is judged against: at most 10 000 retries per
+/// million fills and at most 8 ns of p99 added read latency (one
+/// detect + reissue round).
+const SLO: SloSpec = SloSpec {
+    max_retry_rate_ppm: 10_000,
+    max_added_latency_p99_ns: 8,
+};
+
+/// Baseline MPKI above which a twin counts as memory-bound.
+const MEMORY_BOUND_MPKI: f64 = 4.0;
+
+/// One (twin, config) cell, relative to the same twin's baseline run.
+#[derive(Debug, Clone, serde::Serialize)]
+struct Record {
+    /// Workload (SPEC2K twin) name.
+    workload: String,
+    /// Config label (`"disabled"` or a policy name).
+    config: String,
+    /// Demand MPKI (to identify memory-bound twins).
+    mpki: f64,
+    /// Total energy in the measured window (mJ).
+    energy_mj: f64,
+    /// Execution-time increase vs. the baseline (%).
+    slowdown_pct: f64,
+    /// Average-power saving vs. the baseline (%).
+    power_saving_pct: f64,
+    /// Erroneous read deliveries in the window.
+    read_errors: u64,
+    /// Read retries in the window.
+    read_retries: u64,
+    /// Observed retry rate (retries per million fills).
+    retry_rate_ppm: u64,
+    /// Observed p99 added read latency (ns).
+    added_latency_p99_ns: u64,
+    /// Whether the cell met the SLO.
+    slo_compliant: bool,
+}
+
+/// The frontier verdict for one memory-bound twin.
+#[derive(Debug, Clone, serde::Serialize)]
+struct FrontierPoint {
+    /// Workload name.
+    workload: String,
+    /// `dual-fsm` retry rate (ppm) — the exposure ceiling.
+    dual_retry_ppm: u64,
+    /// `always-high` retry rate (ppm) — the reliability reference
+    /// (structurally 0: it never leaves VDDH).
+    high_retry_ppm: u64,
+    /// `error-backoff` retry rate (ppm).
+    backoff_retry_ppm: u64,
+    /// `dual-fsm` power saving (%) — the savings ceiling.
+    dual_saving_pct: f64,
+    /// `error-backoff` power saving (%).
+    backoff_saving_pct: f64,
+    /// `error-backoff` closes >= half of the retry-rate gap between
+    /// `dual-fsm` and `always-high`.
+    recovers_reliability: bool,
+    /// `error-backoff` keeps >= half of `dual-fsm`'s power saving.
+    keeps_savings: bool,
+    /// Both at once: the graceful-degradation frontier claim.
+    frontier_holds: bool,
+}
+
+/// The emitted report.
+#[derive(Debug, Clone, serde::Serialize)]
+struct Report {
+    /// Measured instructions per run.
+    instructions_per_run: u64,
+    /// Warm-up instructions per run.
+    warmup_per_run: u64,
+    /// Per-read error probability at VDDL.
+    error_rate: f64,
+    /// Error-model counter-PRNG seed.
+    error_seed: u64,
+    /// The SLO every cell was judged against.
+    slo: SloSpec,
+    /// Every (twin, config) cell, twin-major in grid order.
+    records: Vec<Record>,
+    /// Per memory-bound twin: the reliability/savings verdict.
+    frontier: Vec<FrontierPoint>,
+    /// True when at least one memory-bound twin holds the frontier
+    /// claim (half the compliance recovered, half the savings kept).
+    frontier_holds_somewhere: bool,
+}
+
+fn main() {
+    let e = experiment_from_env();
+    let error_rate = std::env::var("VSV_ERROR_RATE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_ERROR_RATE);
+    let twins = spec2k_twins();
+    let reliability = |c: SystemConfig| {
+        c.with_error_rate(error_rate)
+            .with_error_seed(ERROR_SEED)
+            .with_slo(Some(SLO))
+    };
+    // `error-backoff` runs on a depth-4 ladder so its midpoint engage
+    // rung exists (on the paper's two rails the midpoint degenerates
+    // to VDDH and the engaged policy saves nothing); the ceilings it
+    // is judged against stay on the paper's two-rail configuration.
+    let configs = [
+        reliability(SystemConfig::baseline()),
+        reliability(SystemConfig::with_policy(PolicySpec::AlwaysHigh)),
+        reliability(SystemConfig::with_policy(PolicySpec::DualFsm)),
+        reliability(SystemConfig::with_policy(PolicySpec::ErrorBackoff).with_ladder_depth(4)),
+    ];
+    let labels = ["disabled", "always-high", "dual-fsm", "error-backoff"];
+
+    println!(
+        "Reliability frontier: {} configs × {} twins ({} insts/run, \
+         error rate {error_rate} at VDDL, SLO {}/{} ppm/ns)",
+        configs.len(),
+        twins.len(),
+        e.instructions,
+        SLO.max_retry_rate_ppm,
+        SLO.max_added_latency_p99_ns,
+    );
+    let workers = default_workers();
+    announce_workers(workers);
+
+    let sweep = Sweep::over_grid(e, &twins, &configs);
+    let results = results_or_die(sweep.report(workers));
+
+    let mut csv = CsvSink::from_env("reliability_frontier");
+    csv.row(&[
+        "workload",
+        "config",
+        "power_saving_pct",
+        "retry_rate_ppm",
+        "added_latency_p99_ns",
+        "slo_compliant",
+    ]);
+    println!(
+        "{:<10} {:<14} | {:>9} {:>7} | {:>9} {:>7} {:>5}",
+        "twin", "config", "slowdown%", "saved%", "retry ppm", "p99 ns", "SLO"
+    );
+    rule(72);
+
+    let mut records: Vec<Record> = Vec::new();
+    for (twin, chunk) in twins.iter().zip(results.chunks(labels.len())) {
+        let base = &chunk[0];
+        for (label, r) in labels.iter().zip(chunk) {
+            let cmp = Comparison::of(base, r);
+            let slo = r.slo.expect("every cell carries the SLO judgment");
+            let rec = Record {
+                workload: twin.name.to_string(),
+                config: (*label).to_owned(),
+                mpki: base.mpki,
+                energy_mj: r.energy_pj / 1e9,
+                slowdown_pct: cmp.perf_degradation_pct,
+                power_saving_pct: cmp.power_saving_pct,
+                read_errors: r.read_errors,
+                read_retries: r.read_retries,
+                retry_rate_ppm: slo.retry_rate_ppm,
+                added_latency_p99_ns: slo.added_latency_p99_ns,
+                slo_compliant: slo.compliant,
+            };
+            println!(
+                "{:<10} {:<14} | {:>9.2} {:>7.2} | {:>9} {:>7} {:>5}",
+                rec.workload,
+                rec.config,
+                rec.slowdown_pct,
+                rec.power_saving_pct,
+                rec.retry_rate_ppm,
+                rec.added_latency_p99_ns,
+                if rec.slo_compliant { "ok" } else { "VIOL" },
+            );
+            csv.row(&[
+                &rec.workload,
+                &rec.config,
+                &format!("{:.4}", rec.power_saving_pct),
+                &rec.retry_rate_ppm.to_string(),
+                &rec.added_latency_p99_ns.to_string(),
+                &rec.slo_compliant.to_string(),
+            ]);
+            records.push(rec);
+        }
+    }
+
+    // The verdict over the memory-bound twins, where DVS (and thus
+    // low-voltage exposure) actually bites.
+    let mut frontier = Vec::new();
+    for chunk in records.chunks(labels.len()) {
+        if chunk[0].mpki <= MEMORY_BOUND_MPKI {
+            continue;
+        }
+        let (high, dual, backoff) = (&chunk[1], &chunk[2], &chunk[3]);
+        // Half the retry-rate gap to always-high closed, half the
+        // savings kept: the graceful-degradation frontier claim.
+        let gap_midpoint = high
+            .retry_rate_ppm
+            .saturating_add(dual.retry_rate_ppm.saturating_sub(high.retry_rate_ppm) / 2);
+        let recovers_reliability =
+            dual.retry_rate_ppm > high.retry_rate_ppm && backoff.retry_rate_ppm <= gap_midpoint;
+        let keeps_savings =
+            dual.power_saving_pct > 0.0 && backoff.power_saving_pct >= dual.power_saving_pct / 2.0;
+        frontier.push(FrontierPoint {
+            workload: chunk[0].workload.clone(),
+            dual_retry_ppm: dual.retry_rate_ppm,
+            high_retry_ppm: high.retry_rate_ppm,
+            backoff_retry_ppm: backoff.retry_rate_ppm,
+            dual_saving_pct: dual.power_saving_pct,
+            backoff_saving_pct: backoff.power_saving_pct,
+            recovers_reliability,
+            keeps_savings,
+            frontier_holds: recovers_reliability && keeps_savings,
+        });
+    }
+    let frontier_holds_somewhere = frontier.iter().any(|f| f.frontier_holds);
+
+    rule(72);
+    println!(
+        "{:<10} | {:>9} {:>9} {:>9} | {:>7} {:>7}  (memory-bound, MPKI > {MEMORY_BOUND_MPKI})",
+        "twin", "dual ppm", "bkff ppm", "high ppm", "dual s%", "bkff s%"
+    );
+    for f in &frontier {
+        println!(
+            "{:<10} | {:>9} {:>9} {:>9} | {:>7.2} {:>7.2}{}",
+            f.workload,
+            f.dual_retry_ppm,
+            f.backoff_retry_ppm,
+            f.high_retry_ppm,
+            f.dual_saving_pct,
+            f.backoff_saving_pct,
+            if f.frontier_holds {
+                "  << frontier holds"
+            } else {
+                ""
+            }
+        );
+    }
+    println!("frontier holds somewhere: {frontier_holds_somewhere}");
+    if let Some(path) = csv.path() {
+        println!("csv mirrored to {}", path.display());
+    }
+
+    let out = Report {
+        instructions_per_run: e.instructions,
+        warmup_per_run: e.warmup_instructions,
+        error_rate,
+        error_seed: ERROR_SEED,
+        slo: SLO,
+        records,
+        frontier,
+        frontier_holds_somewhere,
+    };
+    let path = std::env::var("VSV_RELIABILITY_JSON")
+        .unwrap_or_else(|_| "BENCH_reliability.json".to_string());
+    let json = serde_json::to_string_pretty(&out).expect("report serializes");
+    std::fs::write(&path, json).expect("report written");
+    println!("wrote {path}");
+}

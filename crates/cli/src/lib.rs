@@ -69,6 +69,10 @@ pub struct GridSpec {
     pub insts: u64,
     /// Warm-up instructions.
     pub warmup: u64,
+    /// Per-read error probability at VDDL (0 disables the model).
+    pub error_rate: f64,
+    /// Reliability SLO checked against every cell post-run.
+    pub slo: Option<vsv::SloSpec>,
 }
 
 impl GridSpec {
@@ -94,12 +98,17 @@ impl GridSpec {
         if let Some(depth) = self.ladder {
             vsv_side = vsv_side.with_ladder_depth(depth);
         }
+        // The error model and SLO apply to both sides: the baseline
+        // never leaves VDDH, where the error probability is exactly
+        // zero, so it stays bit-identical while sharing the grid's
+        // configuration digesting.
+        let reliability = |c: SystemConfig| c.with_error_rate(self.error_rate).with_slo(self.slo);
         Ok(Sweep::over_grid(
             e,
             &params,
             &[
-                SystemConfig::baseline().with_timekeeping(self.timekeeping),
-                vsv_side.with_timekeeping(self.timekeeping),
+                reliability(SystemConfig::baseline().with_timekeeping(self.timekeeping)),
+                reliability(vsv_side.with_timekeeping(self.timekeeping)),
             ],
         ))
     }
@@ -161,6 +170,10 @@ pub enum Command {
         ladder: Option<usize>,
         /// Attach Time-Keeping to both sides.
         timekeeping: bool,
+        /// Per-read error probability at VDDL (0 disables the model).
+        error_rate: f64,
+        /// Reliability SLO checked against every cell post-run.
+        slo: Option<vsv::SloSpec>,
         /// Measured instructions.
         insts: u64,
         /// Warm-up instructions.
@@ -173,8 +186,9 @@ pub enum Command {
         checkpoint: Option<String>,
         /// Resume a checkpointed sweep, skipping completed cells.
         resume: Option<String>,
-        /// Arm an injected deadlock fault in grid cell N (testing/CI).
-        inject_fault: Option<usize>,
+        /// Arm an injected fault of the given kind in grid cell N
+        /// (testing/CI).
+        inject_fault: Option<(usize, vsv::FaultKind)>,
         /// Write per-job structured JSONL event traces (concatenated
         /// in grid order) to this file.
         trace: Option<String>,
@@ -220,9 +234,9 @@ pub enum Command {
         out: String,
         /// Start over instead of resuming an existing shard file.
         fresh: bool,
-        /// Arm an injected deadlock fault in *global* grid cell N
-        /// (a no-op unless the cell belongs to this shard).
-        inject_fault: Option<usize>,
+        /// Arm an injected fault of the given kind in *global* grid
+        /// cell N (a no-op unless the cell belongs to this shard).
+        inject_fault: Option<(usize, vsv::FaultKind)>,
     },
     /// Stream-merge K finalized shard files into the full-grid
     /// report.
@@ -290,7 +304,9 @@ impl Command {
         let mut svg: Option<String> = None;
         let mut checkpoint: Option<String> = None;
         let mut resume: Option<String> = None;
-        let mut inject_fault: Option<usize> = None;
+        let mut inject_fault: Option<(usize, vsv::FaultKind)> = None;
+        let mut error_rate = 0.0f64;
+        let mut slo: Option<vsv::SloSpec> = None;
         let mut policy: Option<PolicySpec> = None;
         let mut policies: Vec<PolicySpec> = Vec::new();
         let mut ladder: Option<usize> = None;
@@ -381,12 +397,19 @@ impl Command {
                 }
                 "--fresh" => fresh = true,
                 "--inject-fault" => {
-                    inject_fault = Some(
-                        next_value("--inject-fault", &mut it)?
-                            .parse()
-                            .map_err(|e| format!("--inject-fault: {e}"))?,
-                    );
+                    inject_fault = Some(parse_fault(&next_value("--inject-fault", &mut it)?)?);
                 }
+                "--error-rate" => {
+                    error_rate = next_value("--error-rate", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--error-rate: {e}"))?;
+                    if !(0.0..=1.0).contains(&error_rate) {
+                        return Err(format!(
+                            "--error-rate {error_rate}: expected a probability in 0..=1"
+                        ));
+                    }
+                }
+                "--slo" => slo = Some(parse_slo(&next_value("--slo", &mut it)?)?),
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -434,6 +457,8 @@ impl Command {
                     policy,
                     ladder,
                     timekeeping,
+                    error_rate,
+                    slo,
                     insts,
                     warmup,
                     workers,
@@ -453,6 +478,8 @@ impl Command {
                     timekeeping,
                     insts,
                     warmup,
+                    error_rate,
+                    slo,
                 };
                 match campaign_sub.as_deref() {
                     Some("plan") => Ok(Command::CampaignPlan {
@@ -528,15 +555,16 @@ USAGE:
   vsv-cli compare --twin NAME [--policies A,B,.. | --ladders D1,D2,..]
                   [--tk] [--insts N] [--warmup N] [--workers N] [--json]
   vsv-cli sweep   [--twin NAME] [--policy NAME] [--ladder N] [--tk]
+                  [--error-rate F] [--slo PPM,NS]
                   [--insts N] [--warmup N] [--workers N] [--json]
                   [--checkpoint FILE | --resume FILE | --trace FILE]
                   [--trace-level transitions|events|full]
-                  [--inject-fault CELL]
+                  [--inject-fault CELL[:KIND]]
   vsv-cli trace   --twin NAME [--ns N] [--svg FILE]
   vsv-cli trace summarize --input FILE
   vsv-cli campaign plan  --shards K [grid flags]
   vsv-cli campaign run   --shard I/K --out FILE [--fresh] [--workers N]
-                  [--inject-fault CELL] [grid flags]
+                  [--inject-fault CELL[:KIND]] [grid flags]
   vsv-cli campaign merge --inputs A,B,.. --out FILE [--shards K]
                   [--workers N] [grid flags]
 
@@ -546,13 +574,29 @@ bit-identical for any worker count. --workers 0 (the default) uses
 VSV_WORKERS or the host's parallelism.
 
 A sweep never dies with its worst cell: failed cells (deadlock,
-invalid config, exhausted budget, panic) become per-cell failure
-records and the exit code is 1 (0 = all cells ok, 2 = usage error).
+invalid config, exhausted budget, panic, unrecoverable read) become
+per-cell failure records and the exit code is 1 (0 = all cells ok,
+2 = usage error, 3 = all cells ran but some violated the --slo).
 --checkpoint FILE appends one JSONL record per finished cell;
 --resume FILE skips the cells already recorded there (tolerating a
 half-written final line from a crash) and re-runs only the rest.
---inject-fault CELL arms a deterministic deadlock in grid cell CELL
-for exercising these paths (testing/CI).
+--inject-fault CELL[:KIND] arms a deterministic fault in grid cell
+CELL for exercising these paths (testing/CI); KIND is deadlock (the
+default), panic, or unrecoverable-read.
+
+Reliability: --error-rate F enables the low-voltage timing-error
+model — each cache-read delivery errs with probability F at VDDL,
+scaling quadratically with undervolting and exactly 0 at VDDH, drawn
+from a seeded counter PRNG (bit-identical for any worker count).
+Errored reads retry after a fixed detect + reissue delay; a read
+that exhausts its retry budget fails the cell with a typed
+unrecoverable-read error. --slo PPM,NS asserts a reliability SLO on
+every cell post-run: at most PPM retries per million fills and at
+most NS nanoseconds of p99 added read latency. Violations are
+reported per cell and exit with code 3 (cell failures win: 1). The
+error-backoff policy (--policy error-backoff) trades energy for
+reliability: it wraps dual-fsm (or ladder-fsm with --ladder) and
+climbs back to VDDH while the observed retry rate is high.
 
 Observability: sweep --trace FILE writes one structured JSONL event
 per line (schema: docs/observability.md), per job in grid order —
@@ -566,7 +610,9 @@ DVS policies (for --policy / --policies): dual-fsm (the paper's,
 default), always-high (no-DVS control), always-low (static low
 voltage), immediate-down (ramp on every L2 miss), oracle-down
 (clairvoyant upper bound), ladder-fsm (the dual FSMs generalized to
-step down an N-level voltage ladder). compare --policies runs the
+step down an N-level voltage ladder), error-backoff (dual-fsm/
+ladder-fsm wrapped in an error-aware governor that backs off to
+VDDH under read-retry pressure). compare --policies runs the
 baseline plus each named policy on the same twin and prints
 per-policy energy, EDP, slowdown and power savings.
 
@@ -577,8 +623,8 @@ baseline plus one ladder-fsm row per depth — the EDP-vs-depth
 frontier on one twin.
 
 Campaigns scale one sweep across K processes (or machines): the grid
-flags (--twin/--policy/--ladder/--tk/--insts/--warmup) define the
-grid and must be identical in every subcommand. plan shows the
+flags (--twin/--policy/--ladder/--tk/--insts/--warmup/--error-rate/
+--slo) define the grid and must be identical in every subcommand. plan shows the
 partition (cell g belongs to shard g mod K — interleaved, so K need
 not divide the cell count). run executes one shard as an ordinary
 checkpointed sweep: kill it and run again to resume (--fresh starts
@@ -594,6 +640,9 @@ EXAMPLES:
   vsv-cli compare --twin mcf --ladders 1,2,4
   vsv-cli sweep --policy ladder-fsm --ladder 4 --json
   vsv-cli sweep --policy always-high --json
+  vsv-cli sweep --twin mcf --error-rate 0.02 --slo 50000,8
+  vsv-cli sweep --twin mcf --policy error-backoff --error-rate 0.02 --slo 50000,8
+  vsv-cli sweep --twin mcf --inject-fault 1:unrecoverable-read
   vsv-cli run --twin applu --config vsv-fsm --tk --json
   vsv-cli sweep --workers 4 --json
   vsv-cli sweep --checkpoint sweep.jsonl   # then, after a crash:
@@ -746,6 +795,8 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
             policy,
             ladder,
             timekeeping,
+            error_rate,
+            slo,
             insts,
             warmup,
             workers,
@@ -763,6 +814,8 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
                 timekeeping,
                 insts,
                 warmup,
+                error_rate,
+                slo,
             };
             let mut sweep = grid.to_sweep()?;
             arm_fault(&mut sweep, inject_fault)?;
@@ -791,7 +844,7 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
             } else {
                 sweep.report(workers)
             };
-            let code = if report.failed_jobs() > 0 { 1 } else { 0 };
+            let code = report_exit_code(&report);
             if json {
                 serde_json::to_string_pretty(&report)
                     .map(|s| (s, code))
@@ -831,6 +884,9 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
                     out.push_str(&note);
                 }
                 if let Some(summary) = failure_summary(&report) {
+                    out.push_str(&summary);
+                }
+                if let Some(summary) = slo_summary(&report) {
                     out.push_str(&summary);
                 }
                 Ok((out, code))
@@ -894,7 +950,7 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
                     fresh,
                 )
                 .map_err(|e| format!("campaign run --out {out}: {e}"))?;
-            let code = if report.failed_jobs() > 0 { 1 } else { 0 };
+            let code = report_exit_code(&report);
             let mut text = format!(
                 "shard {shard}/{shards}: {} cell(s) on {} worker(s) ({:.1} ms wall) -> {out}\n",
                 report.jobs,
@@ -902,6 +958,9 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
                 report.wall_ns as f64 / 1e6,
             );
             if let Some(summary) = failure_summary(&report) {
+                text.push_str(&summary);
+            }
+            if let Some(summary) = slo_summary(&report) {
                 text.push_str(&summary);
             }
             Ok((text, code))
@@ -1245,17 +1304,64 @@ fn summarize_trace(data: &str) -> Result<String, String> {
     Ok(out)
 }
 
-/// Arms a deterministic deadlock fault in global grid cell `cell`
-/// (the `--inject-fault` flag, testing/CI).
-fn arm_fault(sweep: &mut Sweep, cell: Option<usize>) -> Result<(), String> {
-    let Some(cell) = cell else { return Ok(()) };
+/// Arms a deterministic fault of the given kind in global grid cell
+/// `cell` (the `--inject-fault` flag, testing/CI).
+fn arm_fault(sweep: &mut Sweep, fault: Option<(usize, vsv::FaultKind)>) -> Result<(), String> {
+    let Some((cell, kind)) = fault else {
+        return Ok(());
+    };
     let jobs = sweep.jobs_mut();
     let cells = jobs.len();
     let job = jobs
         .get_mut(cell)
         .ok_or_else(|| format!("--inject-fault {cell}: grid has only {cells} cells"))?;
-    job.config.inject_fault = Some(vsv::FaultKind::Deadlock);
+    job.config.inject_fault = Some(kind);
     Ok(())
+}
+
+/// Maps a finished report to the process exit code: `1` when any
+/// cell failed, else `3` when any cell violated its reliability SLO,
+/// else `0` (failures win over SLO violations — a failed cell has no
+/// SLO judgment at all).
+fn report_exit_code(report: &vsv::SweepReport) -> i32 {
+    if report.failed_jobs() > 0 {
+        1
+    } else if report
+        .records
+        .iter()
+        .any(|r| r.slo.is_some_and(|s| !s.compliant))
+    {
+        3
+    } else {
+        0
+    }
+}
+
+/// Renders a human-readable list of a report's SLO-violating cells,
+/// or `None` when no cell carries a violated SLO judgment.
+fn slo_summary(report: &vsv::SweepReport) -> Option<String> {
+    let violations: Vec<&vsv::JobRecord> = report
+        .records
+        .iter()
+        .filter(|r| r.slo.is_some_and(|s| !s.compliant))
+        .collect();
+    if violations.is_empty() {
+        return None;
+    }
+    let mut out = format!(
+        "{} of {} sweep cells violated the SLO:\n",
+        violations.len(),
+        report.jobs
+    );
+    for r in violations {
+        if let Some(slo) = r.slo {
+            out.push_str(&format!(
+                "  cell #{} ({}, {}): {slo}\n",
+                r.job, r.workload, r.policy
+            ));
+        }
+    }
+    Some(out)
 }
 
 /// Renders a human-readable list of a report's failed cells, or
@@ -1272,6 +1378,49 @@ fn failure_summary(report: &vsv::SweepReport) -> Option<String> {
         }
     }
     Some(out)
+}
+
+/// Parses an `--inject-fault` value: `CELL` or `CELL:KIND` with KIND
+/// one of `deadlock` (the default), `panic`, `unrecoverable-read`.
+fn parse_fault(raw: &str) -> Result<(usize, vsv::FaultKind), String> {
+    let (cell_raw, kind_raw) = match raw.split_once(':') {
+        Some((c, k)) => (c, Some(k)),
+        None => (raw, None),
+    };
+    let cell: usize = cell_raw
+        .parse()
+        .map_err(|e| format!("--inject-fault cell '{cell_raw}': {e}"))?;
+    let kind = match kind_raw {
+        None | Some("deadlock") => vsv::FaultKind::Deadlock,
+        Some("panic") => vsv::FaultKind::Panic,
+        Some("unrecoverable-read") => vsv::FaultKind::UnrecoverableRead,
+        Some(other) => {
+            return Err(format!(
+                "--inject-fault kind '{other}': expected deadlock | panic | unrecoverable-read"
+            ))
+        }
+    };
+    Ok((cell, kind))
+}
+
+/// Parses a `--slo` value: `RATE_PPM,P99_NS` (max retry rate in
+/// retries per million fills, max p99 added read latency in ns).
+fn parse_slo(raw: &str) -> Result<vsv::SloSpec, String> {
+    let Some((rate_raw, p99_raw)) = raw.split_once(',') else {
+        return Err(format!(
+            "--slo '{raw}': expected RATE_PPM,P99_NS (e.g. --slo 50000,8)"
+        ));
+    };
+    let max_retry_rate_ppm: u64 = rate_raw
+        .parse()
+        .map_err(|e| format!("--slo retry rate '{rate_raw}': {e}"))?;
+    let max_added_latency_p99_ns: u64 = p99_raw
+        .parse()
+        .map_err(|e| format!("--slo p99 latency '{p99_raw}': {e}"))?;
+    Ok(vsv::SloSpec::new(
+        max_retry_rate_ppm,
+        max_added_latency_p99_ns,
+    ))
 }
 
 /// Parses a `--shard` value: `I` or `I/N` (0-based shard index,
@@ -1421,6 +1570,8 @@ mod tests {
             policy: None,
             ladder: None,
             timekeeping: false,
+            error_rate: 0.0,
+            slo: None,
             insts: 3_000,
             warmup: 1_000,
             workers,
@@ -1443,6 +1594,8 @@ mod tests {
                 policy: None,
                 ladder: None,
                 timekeeping: false,
+                error_rate: 0.0,
+                slo: None,
                 insts: 300_000,
                 warmup: 100_000,
                 workers: 4,
@@ -1477,7 +1630,61 @@ mod tests {
         };
         assert_eq!(checkpoint.as_deref(), Some("/tmp/ck.jsonl"));
         assert_eq!(resume, None);
-        assert_eq!(inject_fault, Some(1));
+        assert_eq!(inject_fault, Some((1, vsv::FaultKind::Deadlock)));
+    }
+
+    #[test]
+    fn parses_inject_fault_kinds() {
+        for (raw, want) in [
+            ("0", (0, vsv::FaultKind::Deadlock)),
+            ("2:deadlock", (2, vsv::FaultKind::Deadlock)),
+            ("1:panic", (1, vsv::FaultKind::Panic)),
+            (
+                "1:unrecoverable-read",
+                (1, vsv::FaultKind::UnrecoverableRead),
+            ),
+        ] {
+            let cmd = Command::parse(&sv(&["sweep", "--inject-fault", raw])).expect("valid");
+            let Command::Sweep { inject_fault, .. } = cmd else {
+                panic!("expected a sweep command");
+            };
+            assert_eq!(inject_fault, Some(want), "--inject-fault {raw}");
+        }
+        let err = Command::parse(&sv(&["sweep", "--inject-fault", "1:segfault"]))
+            .expect_err("unknown kind");
+        assert!(err.contains("unrecoverable-read"), "{err}");
+        let err =
+            Command::parse(&sv(&["sweep", "--inject-fault", "x:panic"])).expect_err("bad cell");
+        assert!(err.contains("cell"), "{err}");
+    }
+
+    #[test]
+    fn parses_reliability_flags() {
+        let cmd = Command::parse(&sv(&[
+            "sweep",
+            "--twin",
+            "mcf",
+            "--error-rate",
+            "0.02",
+            "--slo",
+            "50000,8",
+        ]))
+        .expect("valid");
+        let Command::Sweep {
+            error_rate, slo, ..
+        } = cmd
+        else {
+            panic!("expected a sweep command");
+        };
+        assert_eq!(error_rate, 0.02);
+        assert_eq!(slo, Some(vsv::SloSpec::new(50_000, 8)));
+
+        let err = Command::parse(&sv(&["sweep", "--error-rate", "1.5"])).expect_err("out of range");
+        assert!(err.contains("probability"), "{err}");
+        let err = Command::parse(&sv(&["sweep", "--slo", "50000"])).expect_err("missing p99");
+        assert!(err.contains("RATE_PPM,P99_NS"), "{err}");
+        let err = Command::parse(&sv(&["sweep", "--slo", "a,b"])).expect_err("non-numeric");
+        assert!(err.contains("retry rate"), "{err}");
     }
 
     #[test]
@@ -1514,7 +1721,7 @@ mod tests {
     fn injected_fault_yields_partial_report_and_exit_1() {
         let mut cmd = sweep_cmd(Some("gzip"), 2, false);
         if let Command::Sweep { inject_fault, .. } = &mut cmd {
-            *inject_fault = Some(1);
+            *inject_fault = Some((1, vsv::FaultKind::Deadlock));
         }
         let (out, code) = execute_with_exit(cmd).expect("sweep still completes");
         assert_eq!(code, 1, "{out}");
@@ -1524,10 +1731,50 @@ mod tests {
     }
 
     #[test]
+    fn injected_unrecoverable_read_fails_the_cell_with_exit_1() {
+        let mut cmd = sweep_cmd(Some("mcf"), 2, false);
+        if let Command::Sweep { inject_fault, .. } = &mut cmd {
+            *inject_fault = Some((1, vsv::FaultKind::UnrecoverableRead));
+        }
+        let (out, code) = execute_with_exit(cmd).expect("sweep still completes");
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("unrecoverable"), "{out}");
+    }
+
+    #[test]
+    fn slo_violation_exits_3_and_names_the_cell() {
+        let mut cmd = sweep_cmd(Some("mcf"), 2, false);
+        if let Command::Sweep {
+            error_rate, slo, ..
+        } = &mut cmd
+        {
+            *error_rate = 0.05;
+            *slo = Some(vsv::SloSpec::new(0, 0));
+        }
+        let (out, code) = execute_with_exit(cmd).expect("sweep completes");
+        assert_eq!(code, 3, "{out}");
+        assert!(out.contains("violated the SLO"), "{out}");
+        assert!(out.contains("dual-fsm"), "{out}");
+
+        // A generous SLO over the same run is compliant: exit 0.
+        let mut cmd = sweep_cmd(Some("mcf"), 2, false);
+        if let Command::Sweep {
+            error_rate, slo, ..
+        } = &mut cmd
+        {
+            *error_rate = 0.05;
+            *slo = Some(vsv::SloSpec::new(1_000_000, 1_000));
+        }
+        let (out, code) = execute_with_exit(cmd).expect("sweep completes");
+        assert_eq!(code, 0, "{out}");
+        assert!(!out.contains("violated"), "{out}");
+    }
+
+    #[test]
     fn injected_fault_out_of_range_is_a_usage_error() {
         let mut cmd = sweep_cmd(Some("gzip"), 1, false);
         if let Command::Sweep { inject_fault, .. } = &mut cmd {
-            *inject_fault = Some(99);
+            *inject_fault = Some((99, vsv::FaultKind::Deadlock));
         }
         let err = execute_with_exit(cmd).expect_err("out of range");
         assert!(err.contains("grid has only 2 cells"), "{err}");
@@ -1820,6 +2067,8 @@ mod tests {
             timekeeping: false,
             insts: 3_000,
             warmup: 1_000,
+            error_rate: 0.0,
+            slo: None,
         }
     }
 
@@ -1968,7 +2217,7 @@ mod tests {
             workers: 1,
             out: dir.join("shard-1.jsonl").display().to_string(),
             fresh: true,
-            inject_fault: Some(1),
+            inject_fault: Some((1, vsv::FaultKind::Deadlock)),
         })
         .expect("shard runs to completion despite the fault");
         assert_eq!(code, 1, "{text}");

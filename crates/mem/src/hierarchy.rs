@@ -24,6 +24,7 @@
 use std::collections::VecDeque;
 
 use vsv_isa::Addr;
+use vsv_power::counter_rng;
 
 use crate::bus::{Bus, BusConfig};
 use crate::cache::{Cache, CacheConfig};
@@ -35,6 +36,35 @@ use crate::mshr::{MshrFile, MshrOutcome};
 /// Identifies one outstanding memory request issued by the core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MemToken(pub u64);
+
+/// Bounded retries per erroneous read before escalation (TS-Cache
+/// style detect-and-retry; see `ErrorCurve` in `vsv-power`).
+pub const MAX_READ_RETRIES: u8 = 3;
+
+/// Nanoseconds to *detect* a timing error on a delivered read (the
+/// razor/ECC-check latency charged before a retry can be issued).
+pub const READ_ERROR_DETECT_NS: u64 = 2;
+
+/// Nanoseconds to re-issue the read at the same operating point after
+/// detection. One failed attempt therefore costs
+/// `READ_ERROR_DETECT_NS + READ_ERROR_RETRY_NS` = 8 ns of added
+/// refill latency.
+pub const READ_ERROR_RETRY_NS: u64 = 6;
+
+/// One low-voltage read error observed by the hierarchy, drained by
+/// the simulator for metrics/trace/policy consumption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadErrorEvent {
+    /// When the erroneous delivery was attempted (ns).
+    pub at: u64,
+    /// Zero-based attempt number that failed (`0` = the first
+    /// delivery, `MAX_READ_RETRIES` = the last permitted retry).
+    pub attempt: u8,
+    /// `true` when the retry budget is exhausted: no retry was
+    /// scheduled and the read must escalate to a typed simulation
+    /// error.
+    pub exhausted: bool,
+}
 
 /// What a data-side access is doing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,8 +185,14 @@ struct Waiter {
 enum Event {
     /// The L2 lookup for `waiter` resolves (hit or detected miss).
     L2Probe { waiter: u64, l2_block: Addr },
-    /// An L2-hit refill reaches the L1 side for `waiter`.
-    L1Fill { waiter: u64, source: DataSource },
+    /// A refill reaches the L1 side for `waiter`. `attempt` counts
+    /// prior failed deliveries of this refill (0 on the first try;
+    /// bumped when the timing-error model forces a retry).
+    L1Fill {
+        waiter: u64,
+        source: DataSource,
+        attempt: u8,
+    },
     /// DRAM data is ready; arbitrate for the response transfer.
     /// (Split transaction: the bus is only reserved when the transfer
     /// actually starts, so requests interleave with earlier misses'
@@ -245,6 +281,18 @@ pub struct HierarchyStats {
     pub hw_prefetches: u64,
     /// Hardware prefetches dropped (already resident or in flight).
     pub hw_prefetches_dropped: u64,
+    /// Low-voltage read errors detected (every failed delivery
+    /// attempt, including the final one of an exhausted read).
+    pub read_errors: u64,
+    /// Retries issued after a detected read error (errors that were
+    /// *not* the final attempt).
+    pub read_retries: u64,
+    /// Successful architectural refills by the number of failed
+    /// attempts that preceded them: `[0]` = delivered clean, `[k]` =
+    /// delivered after `k` retries. Feeds the SLO added-latency
+    /// percentile (each failed attempt adds
+    /// `READ_ERROR_DETECT_NS + READ_ERROR_RETRY_NS` ns).
+    pub fill_retry_hist: [u64; MAX_READ_RETRIES as usize + 1],
 }
 
 /// The composed memory hierarchy.
@@ -280,6 +328,21 @@ pub struct Hierarchy {
     // Scratch reused by `tick` so firing events never allocates.
     event_scratch: Vec<Event>,
     stats: HierarchyStats,
+    // ---- low-voltage timing-error model ----
+    // Counter-based PRNG state: one draw per enabled delivery attempt,
+    // advanced regardless of the current threshold so the stream is
+    // identical at every operating point (VDDH included).
+    error_enabled: bool,
+    error_seed: u64,
+    error_counter: u64,
+    // Probability of the *current* operating point in u64 threshold
+    // space (0 at VDDH); pushed by the simulator on voltage changes.
+    error_threshold: u64,
+    // Injected-fault hook: while armed, every delivery attempt errs,
+    // so the affected read marches straight through its retry budget
+    // into escalation. Cleared on exhaustion.
+    force_error: bool,
+    read_error_events: Vec<ReadErrorEvent>,
     now: u64,
 }
 
@@ -314,9 +377,56 @@ impl Hierarchy {
             l1d_evictions: Vec::new(),
             event_scratch: Vec::new(),
             stats: HierarchyStats::default(),
+            error_enabled: false,
+            error_seed: 0,
+            error_counter: 0,
+            error_threshold: 0,
+            force_error: false,
+            read_error_events: Vec::new(),
             cfg,
             now: 0,
         }
+    }
+
+    /// Enables the low-voltage timing-error model with the given PRNG
+    /// seed. Draw outcomes depend only on `(seed, ordinal)` — never on
+    /// wall clock, thread count, or fast-forward batching — so a fixed
+    /// seed replays bit-identically. While disabled (the default) no
+    /// draws happen and behavior is bit-identical to a build without
+    /// the model.
+    pub fn enable_read_error_model(&mut self, seed: u64) {
+        self.error_enabled = true;
+        self.error_seed = seed;
+    }
+
+    /// Sets the per-read error probability of the *current* operating
+    /// point, pre-mapped into u64 threshold space (see
+    /// `ErrorCurve::threshold` in `vsv-power`). The simulator calls
+    /// this whenever the supply voltage changes; 0 (VDDH) means no
+    /// draw can err.
+    pub fn set_read_error_threshold(&mut self, threshold: u64) {
+        self.error_threshold = threshold;
+    }
+
+    /// Arms a forced read error (the injected-fault rehearsal path):
+    /// every subsequent delivery attempt errs — independent of the
+    /// probabilistic model — until one read exhausts its retries and
+    /// escalates, which disarms the hook.
+    pub fn arm_forced_read_error(&mut self) {
+        self.force_error = true;
+    }
+
+    /// Whether read-error events are buffered awaiting a drain.
+    #[must_use]
+    pub fn has_buffered_read_errors(&self) -> bool {
+        !self.read_error_events.is_empty()
+    }
+
+    /// Moves the read errors recorded since the last call into `out`
+    /// (cleared first), retaining both buffers' capacities.
+    pub fn take_read_error_events_into(&mut self, out: &mut Vec<ReadErrorEvent>) {
+        out.clear();
+        out.append(&mut self.read_error_events);
     }
 
     /// The hierarchy's configuration.
@@ -620,7 +730,11 @@ impl Hierarchy {
     fn process(&mut self, ev: Event) {
         match ev {
             Event::L2Probe { waiter, l2_block } => self.l2_probe(waiter, l2_block),
-            Event::L1Fill { waiter, source } => self.l1_fill(waiter, source),
+            Event::L1Fill {
+                waiter,
+                source,
+                attempt,
+            } => self.l1_fill(waiter, source, attempt),
             Event::DramDone { l2_block } => self.dram_done(l2_block),
             Event::L2Fill { l2_block } => self.l2_fill(l2_block),
         }
@@ -636,6 +750,7 @@ impl Hierarchy {
                 Event::L1Fill {
                     waiter,
                     source: DataSource::L2,
+                    attempt: 0,
                 },
             );
             return;
@@ -703,7 +818,7 @@ impl Hierarchy {
             return;
         };
         for id in waiter_ids {
-            self.l1_fill(id, DataSource::Memory);
+            self.l1_fill(id, DataSource::Memory, 0);
         }
         let outstanding = self.l2_mshr.demand_occupancy();
         self.vsv_signals.push(VsvSignal::L2MissReturned {
@@ -713,11 +828,68 @@ impl Hierarchy {
         });
     }
 
-    fn l1_fill(&mut self, waiter: u64, source: DataSource) {
+    fn l1_fill(&mut self, waiter: u64, source: DataSource, attempt: u8) {
         let now = self.now;
-        let Some(w) = self.waiters.remove(&waiter) else {
+        let Some(&w) = self.waiters.get(&waiter) else {
             return;
         };
+        // Low-voltage timing-error model: architectural (L1-bound)
+        // deliveries may err and retry at the current operating point.
+        // Prefetch-buffer fills are non-binding and skip the model (a
+        // documented deviation: an erroneous speculative fill is
+        // simply useless, never incorrect).
+        if w.side != Side::PrefetchBuffer && (self.error_enabled || self.force_error) {
+            let mut errs = self.force_error;
+            if self.error_enabled {
+                // The counter advances on *every* enabled delivery
+                // attempt, threshold hit or not, so the draw stream is
+                // identical at every operating point — error-rate
+                // behavior at VDDH (threshold 0) is bit-identical to
+                // the model being off.
+                let draw = counter_rng(self.error_seed, self.error_counter);
+                self.error_counter += 1;
+                errs = errs || (self.error_threshold > 0 && draw < self.error_threshold);
+            }
+            if errs {
+                self.stats.read_errors += 1;
+                if attempt < MAX_READ_RETRIES {
+                    // Detect, then re-issue the read at the same
+                    // level; the waiter stays registered so merged
+                    // demands keep targeting it.
+                    self.stats.read_retries += 1;
+                    self.read_error_events.push(ReadErrorEvent {
+                        at: now,
+                        attempt,
+                        exhausted: false,
+                    });
+                    self.events.push(
+                        now + READ_ERROR_DETECT_NS + READ_ERROR_RETRY_NS,
+                        Event::L1Fill {
+                            waiter,
+                            source,
+                            attempt: attempt + 1,
+                        },
+                    );
+                    return;
+                }
+                // Retry budget exhausted: drop the waiter and report —
+                // the simulator escalates to a typed error, so the
+                // never-completing MSHR targets cannot deadlock a run.
+                self.read_error_events.push(ReadErrorEvent {
+                    at: now,
+                    attempt,
+                    exhausted: true,
+                });
+                self.force_error = false;
+                self.waiters.remove(&waiter);
+                self.waiter_index.remove(&(w.side, w.l1_block));
+                return;
+            }
+        }
+        if w.side != Side::PrefetchBuffer {
+            self.stats.fill_retry_hist[attempt as usize] += 1;
+        }
+        self.waiters.remove(&waiter);
         self.waiter_index.remove(&(w.side, w.l1_block));
         match w.side {
             Side::Inst => {
@@ -1241,6 +1413,113 @@ mod pressure_tests {
             ) => assert!(t_detect < t_return),
             other => panic!("unexpected signal order: {other:?}"),
         }
+    }
+
+    #[test]
+    fn forced_read_error_retries_then_exhausts() {
+        let mut mem = Hierarchy::new(HierarchyConfig::baseline());
+        mem.arm_forced_read_error();
+        let L1Outcome::Miss(tok) = mem.access_data(0, Addr(0x6000), AccessKind::Read) else {
+            panic!()
+        };
+        for now in 1..600 {
+            mem.tick(now);
+        }
+        // Every attempt erred: 1 initial + MAX retries, then escalation.
+        let mut errors = Vec::new();
+        mem.take_read_error_events_into(&mut errors);
+        assert_eq!(errors.len(), usize::from(MAX_READ_RETRIES) + 1);
+        assert!(errors[..errors.len() - 1].iter().all(|e| !e.exhausted));
+        let last = errors.last().expect("nonempty");
+        assert!(last.exhausted);
+        assert_eq!(last.attempt, MAX_READ_RETRIES);
+        // Each retry costs detect + reissue.
+        assert_eq!(
+            errors[1].at - errors[0].at,
+            READ_ERROR_DETECT_NS + READ_ERROR_RETRY_NS
+        );
+        // The read never completes; the simulator escalates instead.
+        assert!(!mem.drain_completions().iter().any(|c| c.token == tok));
+        assert_eq!(mem.stats().read_errors, u64::from(MAX_READ_RETRIES) + 1);
+        assert_eq!(mem.stats().read_retries, u64::from(MAX_READ_RETRIES));
+    }
+
+    #[test]
+    fn certain_error_rate_retries_every_fill() {
+        let mut mem = Hierarchy::new(HierarchyConfig::baseline());
+        mem.enable_read_error_model(42);
+        mem.set_read_error_threshold(u64::MAX); // p = 1: every attempt errs
+        let L1Outcome::Miss(_) = mem.access_data(0, Addr(0x7000), AccessKind::Read) else {
+            panic!()
+        };
+        for now in 1..600 {
+            mem.tick(now);
+        }
+        let mut errors = Vec::new();
+        mem.take_read_error_events_into(&mut errors);
+        assert!(errors.last().is_some_and(|e| e.exhausted));
+    }
+
+    #[test]
+    fn zero_threshold_draws_but_never_errs() {
+        let run = |enable: bool| {
+            let mut mem = Hierarchy::new(HierarchyConfig::baseline());
+            if enable {
+                mem.enable_read_error_model(42);
+                mem.set_read_error_threshold(0);
+            }
+            let L1Outcome::Miss(tok) = mem.access_data(0, Addr(0x9000), AccessKind::Read) else {
+                panic!()
+            };
+            let done = drain(&mut mem, 1, 500);
+            done.iter()
+                .find(|c| c.token == tok)
+                .expect("completes clean")
+                .at
+        };
+        // Threshold 0 (= VDDH) is bit-identical to the model being off.
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn retried_fill_succeeds_and_lands_in_the_histogram() {
+        let mut mem = Hierarchy::new(HierarchyConfig::baseline());
+        mem.enable_read_error_model(7);
+        // Find a seed/counter pair where the first draw errs but the
+        // second succeeds under a 50% threshold... simpler: use a
+        // threshold of 1/2 and scan addresses until one retried fill
+        // completes.
+        mem.set_read_error_threshold(1u64 << 63);
+        let mut retried_success = false;
+        let mut at = 0u64;
+        for i in 0..64u64 {
+            let addr = Addr(0x20_0000 + i * 4096);
+            let L1Outcome::Miss(tok) = mem.access_data(at, addr, AccessKind::Read) else {
+                panic!()
+            };
+            let mut done = None;
+            for now in at + 1..at + 2_000 {
+                mem.tick(now);
+                if let Some(c) = mem.drain_completions().into_iter().find(|c| c.token == tok) {
+                    done = Some(c);
+                    break;
+                }
+                let mut errs = Vec::new();
+                mem.take_read_error_events_into(&mut errs);
+                if errs.iter().any(|e| e.exhausted) {
+                    break;
+                }
+            }
+            at += 2_000;
+            if let Some(_c) = done {
+                let hist = mem.stats().fill_retry_hist;
+                if hist[1..].iter().sum::<u64>() > 0 {
+                    retried_success = true;
+                    break;
+                }
+            }
+        }
+        assert!(retried_success, "no retried fill completed in 64 tries");
     }
 
     #[test]

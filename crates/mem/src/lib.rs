@@ -67,6 +67,7 @@ pub use event::EventQueue;
 pub use fx::{FxHashMap, FxHasher};
 pub use hierarchy::{
     AccessKind, Completion, DataSource, Hierarchy, HierarchyConfig, HierarchyStats, L1Outcome,
-    MemToken, StallReason, VsvSignal,
+    MemToken, ReadErrorEvent, StallReason, VsvSignal, MAX_READ_RETRIES, READ_ERROR_DETECT_NS,
+    READ_ERROR_RETRY_NS,
 };
 pub use mshr::{MshrFile, MshrOutcome};

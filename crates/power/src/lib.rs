@@ -36,11 +36,13 @@
 mod accounting;
 mod amortization;
 mod curve;
+mod reliability;
 mod structures;
 mod tech;
 
 pub use accounting::{ActivitySample, DcgModel, EnergyBreakdown, PowerAccountant, PowerConfig};
 pub use amortization::{logic_amortization_ratio, ram_breakeven_accesses, RamGeometry};
 pub use curve::{VoltageCurve, VoltageLadder, MAX_LADDER_DEPTH};
+pub use reliability::{counter_rng, ErrorCurve};
 pub use structures::{default_catalog, StructureId, StructureParams, VddDomain};
 pub use tech::TechParams;

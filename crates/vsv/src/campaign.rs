@@ -43,10 +43,15 @@
 //! end-to-end guarantee.
 //!
 //! Top-level `wall_ns` is the one deliberate divergence: a merged
-//! report has no single-process wall time, so it carries `0` (the
-//! merge's own wall time lives in [`MergeSummary::wall_ns`]).
-//! Comparisons zero wall-clock fields anyway — the determinism
-//! contract in `docs/observability.md`.
+//! report has no single-process wall time, so it carries the **sum**
+//! of the wall clocks stamped into the finalized shard headers —
+//! each itself the sum of that shard's per-cell wall clocks, i.e.
+//! total compute spent, not elapsed time (the merge's own wall time
+//! lives in [`MergeSummary::wall_ns`]). Summing the cached per-cell
+//! clocks keeps shard finalization idempotent: resuming a finished
+//! shard rewrites byte-identical headers. Comparisons zero
+//! wall-clock fields anyway — the determinism contract in
+//! `docs/observability.md`.
 
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
@@ -322,16 +327,27 @@ impl Campaign {
         } else {
             sub.resume_sharded(workers, path, shard, self.shards)?
         };
-        self.write_shard_file(shard, &report.records, path)?;
+        // Stamp the sum of the per-cell wall clocks (cached in the
+        // checkpoint), not the run's elapsed time: resuming a
+        // finished shard must rewrite identical bytes.
+        let wall_ns = report
+            .records
+            .iter()
+            .fold(0u64, |acc, r| acc.saturating_add(r.wall_ns));
+        self.write_shard_file(shard, &report.records, path, wall_ns)?;
         Ok(report)
     }
 
-    /// Writes a complete, finalized shard file: the v4 header
-    /// followed by one compact JSONL [`JobRecord`] line per cell in
-    /// local grid order, atomically (written to `<path>.tmp`, then
-    /// renamed). Each record is validated against the planned grid
-    /// before writing — this is also how the memory benchmark
-    /// synthesizes large shard files without simulating every cell.
+    /// Writes a complete, finalized shard file: the v5 header (with
+    /// `wall_ns` stamped into it — normally the sum of the shard's
+    /// per-cell wall clocks, which the merge sums into the merged
+    /// report's top-level `wall_ns`) followed by one compact JSONL
+    /// [`JobRecord`] line
+    /// per cell in local grid order, atomically (written to
+    /// `<path>.tmp`, then renamed). Each record is validated against
+    /// the planned grid before writing — this is also how the memory
+    /// benchmark synthesizes large shard files without simulating
+    /// every cell.
     ///
     /// # Errors
     ///
@@ -343,6 +359,7 @@ impl Campaign {
         shard: usize,
         records: &[JobRecord],
         path: &Path,
+        wall_ns: u64,
     ) -> Result<(), CampaignError> {
         self.check_shard(shard)?;
         let expected = self.shard_len(shard);
@@ -365,7 +382,9 @@ impl Campaign {
         });
         let file = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, &e))?;
         let mut writer = std::io::BufWriter::new(file);
-        append_line(&mut writer, &self.shard_header(shard)).map_err(|e| io_string_err(&tmp, &e))?;
+        let mut header = self.shard_header(shard);
+        header.wall_ns = wall_ns;
+        append_line(&mut writer, &header).map_err(|e| io_string_err(&tmp, &e))?;
         for record in records {
             append_line(&mut writer, record).map_err(|e| io_string_err(&tmp, &e))?;
         }
@@ -374,11 +393,13 @@ impl Campaign {
         Ok(())
     }
 
-    /// The v4 checkpoint header `shard`'s file must carry — computed
+    /// The v5 checkpoint header `shard`'s file must carry — computed
     /// from a strided *view* of the full grid, identical to what
     /// [`Campaign::shard_sweep`]'s own checkpoint run stamps, but
-    /// without cloning the shard's jobs. The merge validates `K` of
-    /// these, so borrowing keeps merge memory free of grid copies.
+    /// without cloning the shard's jobs (`wall_ns` is left `0`;
+    /// validation ignores it and the finalize rewrite stamps the real
+    /// value). The merge validates `K` of these, so borrowing keeps
+    /// merge memory free of grid copies.
     fn shard_header(&self, shard: usize) -> CheckpointHeader {
         CheckpointHeader {
             version: CHECKPOINT_VERSION,
@@ -387,6 +408,7 @@ impl Campaign {
             instructions: self.sweep.experiment.instructions,
             shard,
             shards: self.shards,
+            wall_ns: 0,
             grid: grid_summary_over(
                 self.sweep
                     .jobs()
@@ -442,11 +464,12 @@ impl Campaign {
     /// The output is byte-identical to
     /// `serde_json::to_string_pretty(&report)` of the equivalent
     /// single-process [`crate::Sweep::report`] run, except the
-    /// top-level `wall_ns` (here `0`) and the per-record `wall_ns`
-    /// values (each shard's real timings — zero them for comparison,
-    /// per the determinism contract). Memory is O(1) in cells: `K`
-    /// buffered readers, one in-flight record, one running
-    /// [`ReportAggregator`].
+    /// top-level `wall_ns` (here the sum of the shard headers'
+    /// stamped wall clocks — total compute, not elapsed time) and the
+    /// per-record `wall_ns` values (each shard's real timings — zero
+    /// them for comparison, per the determinism contract). Memory is
+    /// O(1) in cells: `K` buffered readers, one in-flight record, one
+    /// running [`ReportAggregator`].
     ///
     /// # Errors
     ///
@@ -466,6 +489,7 @@ impl Campaign {
             });
         }
         let mut readers = Vec::with_capacity(self.shards);
+        let mut total_wall_ns: u64 = 0;
         for (shard, path) in inputs.iter().enumerate() {
             let mut reader = ShardReader::open(shard, path)?;
             let line = reader.next_line()?.ok_or(CampaignError::ShardCorrupt {
@@ -480,6 +504,7 @@ impl Campaign {
                     error: e.to_string(),
                 })?;
             validate_header_against(&self.shard_header(shard), &header)?;
+            total_wall_ns = total_wall_ns.saturating_add(header.wall_ns);
             readers.push(reader);
         }
         let cells = self.sweep.len();
@@ -489,7 +514,7 @@ impl Campaign {
         let mut aggregate = ReportAggregator::new();
         write_fmt(out, format_args!("{{\n  \"jobs\": {cells},"))?;
         write_fmt(out, format_args!("\n  \"workers\": {workers},"))?;
-        write_fmt(out, format_args!("\n  \"wall_ns\": 0,"))?;
+        write_fmt(out, format_args!("\n  \"wall_ns\": {total_wall_ns},"))?;
         write_fmt(out, format_args!("\n  \"records\": ["))?;
         for cell in 0..cells {
             let shard = cell % self.shards;

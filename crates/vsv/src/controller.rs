@@ -440,6 +440,9 @@ impl VsvController {
                 });
             }
         }
+        for _ in 0..stats.backoff_engagements - self.traced_policy.backoff_engagements {
+            self.events.push(TraceEvent::BackoffEngaged { at });
+        }
         self.traced_policy = stats;
     }
 
@@ -539,6 +542,20 @@ impl VsvController {
         let d = self.policy.on_signal(sig, self.mode);
         self.sync_policy_trace(at);
         self.apply(d, at);
+    }
+
+    /// Reports one low-voltage read retry to the policy (see
+    /// [`DvsPolicy::on_read_retry`]). Error-aware policies use the
+    /// retry stream to engage graceful degradation; every other policy
+    /// inherits the default no-op, so runs without the error model —
+    /// which never call this — are untouched.
+    pub fn on_read_retry(&mut self, now: u64) {
+        if !self.cfg.enabled {
+            return;
+        }
+        let d = self.policy.on_read_retry(now);
+        self.sync_policy_trace(now);
+        self.apply(d, now);
     }
 
     /// Advances the controller to nanosecond `now` and plans the tick.

@@ -42,6 +42,10 @@ pub enum FaultKind {
     /// The run panics, exercising the sweep's `catch_unwind`
     /// isolation and bounded-retry policy.
     Panic,
+    /// Every cache-read delivery errs until one read exhausts its
+    /// retry budget, exercising the low-voltage escalation path
+    /// ([`SimError::UnrecoverableRead`]) end to end.
+    UnrecoverableRead,
 }
 
 /// Why a simulation run failed.
@@ -93,6 +97,24 @@ pub enum SimError {
         /// The panic payload, if it was a string.
         message: String,
     },
+    /// A low-voltage cache read kept failing after its full retry
+    /// budget (see `MAX_READ_RETRIES` in `vsv-mem`) — the modeled
+    /// machine cannot guarantee the architectural value, so the run
+    /// aborts rather than propagate silent corruption.
+    UnrecoverableRead {
+        /// Simulated time of the final failed attempt, ns.
+        at: u64,
+        /// Instructions committed up to that point.
+        committed: u64,
+        /// Workload name (empty if unset).
+        workload: String,
+        /// Retries attempted before escalation (the read was tried
+        /// `retries + 1` times in total).
+        retries: u8,
+        /// Controller mode at escalation time (the operating point
+        /// whose error rate burned the budget).
+        mode: Mode,
+    },
 }
 
 impl SimError {
@@ -114,6 +136,7 @@ impl SimError {
             SimError::InvalidConfig { .. } => "invalid-config",
             SimError::BudgetExhausted { .. } => "budget-exhausted",
             SimError::Panic { .. } => "panic",
+            SimError::UnrecoverableRead { .. } => "unrecoverable-read",
         }
     }
 }
@@ -162,6 +185,17 @@ impl std::fmt::Display for SimError {
                  at t={at} (committed={committed}, workload={workload:?})"
             ),
             SimError::Panic { message } => write!(f, "simulation panicked: {message}"),
+            SimError::UnrecoverableRead {
+                at,
+                committed,
+                workload,
+                retries,
+                mode,
+            } => write!(
+                f,
+                "unrecoverable read: a low-voltage cache read failed {retries} retries \
+                 at t={at} (committed={committed}, workload={workload:?}, mode={mode:?})"
+            ),
         }
     }
 }
@@ -222,11 +256,24 @@ mod tests {
             SimError::Panic {
                 message: "boom".to_owned(),
             },
+            SimError::UnrecoverableRead {
+                at: 99,
+                committed: 5,
+                workload: "mcf".to_owned(),
+                retries: 3,
+                mode: Mode::Low,
+            },
         ];
         let kinds: std::collections::HashSet<_> = errors.iter().map(SimError::kind).collect();
         assert_eq!(kinds.len(), errors.len());
         assert!(errors[0].to_string().contains("nope"));
         assert!(errors[1].to_string().contains("exceeded 1 simulated ns"));
         assert!(errors[2].to_string().contains("boom"));
+        assert!(
+            errors[3].to_string().contains("failed 3 retries"),
+            "{}",
+            errors[3]
+        );
+        assert_eq!(errors[3].kind(), "unrecoverable-read");
     }
 }

@@ -92,8 +92,11 @@ pub use controller::{Mode, ModeStats, TickPlan, VsvConfig, VsvController};
 pub use error::{FaultKind, ModeTransition, SimError};
 pub use fsm::{DownFsm, DownPolicy, UpFsm, UpPolicy};
 pub use metrics::{CounterId, MetricsRegistry};
-pub use policy::{Decision, DvsPolicy, LadderFsmPolicy, PolicySpec, PolicyStats};
-pub use report::{mean_comparison, Comparison, RunResult};
+pub use policy::{
+    Decision, DvsPolicy, ErrorBackoffPolicy, LadderFsmPolicy, PolicySpec, PolicyStats,
+    BACKOFF_COOLDOWN_NS, BACKOFF_RETRY_THRESHOLD, BACKOFF_WINDOW_NS,
+};
+pub use report::{mean_comparison, Comparison, RunResult, SloOutcome, SloSpec};
 pub use runner::{ComparisonSpread, Experiment};
 #[cfg(feature = "serde")]
 pub use sweep::CheckpointError;
@@ -108,4 +111,4 @@ pub use trace::{
     vdd_mv, FsmId, ModeTrace, NullSink, RingSink, SharedBuf, TraceEvent, TraceLevel, TraceSample,
     TraceSink,
 };
-pub use vsv_power::{VoltageCurve, VoltageLadder, MAX_LADDER_DEPTH};
+pub use vsv_power::{ErrorCurve, VoltageCurve, VoltageLadder, MAX_LADDER_DEPTH};

@@ -53,11 +53,22 @@ pub enum CounterId {
     TraceEvents,
     /// Measurement windows closed.
     Windows,
+    /// Low-voltage read errors detected (every failed delivery
+    /// attempt, including the final attempt of an escalated read).
+    ReadErrors,
+    /// Retries issued after a detected read error.
+    ReadRetries,
+    /// Ramp-down decisions the `error-backoff` policy suppressed while
+    /// engaged (dives vetoed to protect correctness).
+    BackoffVetoes,
+    /// Measurement windows that violated the configured
+    /// [`crate::SloSpec`].
+    SloViolations,
 }
 
 impl CounterId {
     /// Number of counters (the array length).
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 18;
 
     /// All counters, in [`CounterId::index`] order.
     pub const ALL: [CounterId; CounterId::COUNT] = [
@@ -75,6 +86,10 @@ impl CounterId {
         CounterId::FastForwardNs,
         CounterId::TraceEvents,
         CounterId::Windows,
+        CounterId::ReadErrors,
+        CounterId::ReadRetries,
+        CounterId::BackoffVetoes,
+        CounterId::SloViolations,
     ];
 
     /// Dense index into the counter array (declaration-order
@@ -104,6 +119,10 @@ impl CounterId {
             CounterId::FastForwardNs => "fast_forward_ns",
             CounterId::TraceEvents => "trace_events",
             CounterId::Windows => "windows",
+            CounterId::ReadErrors => "read_errors",
+            CounterId::ReadRetries => "read_retries",
+            CounterId::BackoffVetoes => "backoff_vetoes",
+            CounterId::SloViolations => "slo_violations",
         }
     }
 }

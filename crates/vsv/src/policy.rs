@@ -76,6 +76,12 @@ pub struct PolicyStats {
     /// Ramp-up opportunities examined and declined (for `dual-fsm`:
     /// windows that expired on an idle pipeline).
     pub up_expiries: u64,
+    /// Times `error-backoff` engaged (retry rate crossed its
+    /// threshold); 0 for every other policy.
+    pub backoff_engagements: u64,
+    /// Ramp-down decisions `error-backoff` vetoed while engaged; 0
+    /// for every other policy.
+    pub backoff_vetoes: u64,
 }
 
 /// A DVS decision policy.
@@ -113,6 +119,15 @@ pub trait DvsPolicy: std::fmt::Debug + Send {
     /// Policies drop any armed monitors here — evidence gathered in
     /// the old mode does not carry across a transition.
     fn on_transition_start(&mut self) {}
+
+    /// A low-voltage read error triggered a retry at time `now` (one
+    /// call per retry the hierarchy issues). Error-aware policies
+    /// ([`ErrorBackoffPolicy`]) monitor the rate here; every other
+    /// policy keeps the default no-op.
+    fn on_read_retry(&mut self, now: u64) -> Decision {
+        let _ = now;
+        Decision::Hold
+    }
 
     /// The supply settled at ladder `level` (0 = VDDH). Fires on every
     /// completed ramp step, just before the accompanying
@@ -196,17 +211,24 @@ pub enum PolicySpec {
     /// 2-rail ladder this degenerates to [`PolicySpec::DualFsm`]-like
     /// behavior; at depth 1 it can never leave VDDH.
     LadderFsm,
+    /// Error-aware graceful degradation: wraps the FSM policy for the
+    /// configured ladder (`dual-fsm` on 2 rails, `ladder-fsm` when
+    /// deeper), monitors the windowed read-retry rate, and — when the
+    /// rate crosses its threshold — climbs straight to VDDH and
+    /// vetoes further dives until a retry-free cool-down re-arms it.
+    ErrorBackoff,
 }
 
 impl PolicySpec {
     /// Every built-in, in `--policy` listing order.
-    pub const ALL: [PolicySpec; 6] = [
+    pub const ALL: [PolicySpec; 7] = [
         PolicySpec::DualFsm,
         PolicySpec::AlwaysHigh,
         PolicySpec::AlwaysLow,
         PolicySpec::ImmediateDown,
         PolicySpec::OracleDown,
         PolicySpec::LadderFsm,
+        PolicySpec::ErrorBackoff,
     ];
 
     /// The stable command-line name.
@@ -219,6 +241,7 @@ impl PolicySpec {
             PolicySpec::ImmediateDown => "immediate-down",
             PolicySpec::OracleDown => "oracle-down",
             PolicySpec::LadderFsm => "ladder-fsm",
+            PolicySpec::ErrorBackoff => "error-backoff",
         }
     }
 
@@ -249,6 +272,20 @@ impl PolicySpec {
             )),
             PolicySpec::LadderFsm => {
                 Box::new(LadderFsmPolicy::new(cfg.down, cfg.up, cfg.ladder.bottom()))
+            }
+            PolicySpec::ErrorBackoff => {
+                let inner: Box<dyn DvsPolicy> = if cfg.ladder.bottom() <= 1 {
+                    Box::new(DualFsmPolicy::new("dual-fsm", cfg.down, cfg.up))
+                } else {
+                    Box::new(LadderFsmPolicy::new(cfg.down, cfg.up, cfg.ladder.bottom()))
+                };
+                // Engage at the ladder midpoint: halving the
+                // undervolt depth quarters the (quadratic) error
+                // probability. Two rails degenerate to VDDH.
+                Box::new(ErrorBackoffPolicy::new(
+                    inner,
+                    (cfg.ladder.bottom() / 2) as u8,
+                ))
             }
         }
     }
@@ -373,6 +410,7 @@ impl DvsPolicy for DualFsmPolicy {
             down_expiries: self.down.expiries(),
             up_triggers: self.up.triggers(),
             up_expiries: self.up.expiries(),
+            ..PolicyStats::default()
         }
     }
 
@@ -692,11 +730,193 @@ impl DvsPolicy for LadderFsmPolicy {
             down_expiries: self.down.expiries(),
             up_triggers: self.up.triggers(),
             up_expiries: self.up.expiries(),
+            ..PolicyStats::default()
         }
     }
 
     fn armed(&self) -> (bool, bool) {
         (self.down.is_armed(), self.up.is_armed())
+    }
+
+    fn clone_box(&self) -> Box<dyn DvsPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+// ---- error-backoff -------------------------------------------------
+
+/// Retries counted per engagement window: the rate estimator is a
+/// bucketed counter (reset when a retry arrives ≥ window after the
+/// bucket opened), cheap and deterministic.
+pub const BACKOFF_WINDOW_NS: u64 = 4_000;
+
+/// Retries within one window that trip the backoff.
+pub const BACKOFF_RETRY_THRESHOLD: u32 = 2;
+
+/// Retry-free nanoseconds after which an engaged backoff re-arms and
+/// hands control back to the wrapped policy.
+pub const BACKOFF_COOLDOWN_NS: u64 = 20_000;
+
+/// Error-aware graceful degradation (the risk/reward governor): the
+/// wrapped FSM policy chases energy savings as usual, while this
+/// wrapper watches the read-retry rate undervolting is causing. When
+/// retries cluster — [`BACKOFF_RETRY_THRESHOLD`] within
+/// [`BACKOFF_WINDOW_NS`] — it climbs to its *engage level* (the
+/// ladder's midpoint rung: VDDH on the paper's two rails) and clamps
+/// every deeper move to that rung until [`BACKOFF_COOLDOWN_NS`]
+/// retry-free nanoseconds pass, then re-arms. Clamping (rather than
+/// blocking) the dives keeps the policy undervolting on every L2-miss
+/// window — just never below the rung it deems safe.
+///
+/// The midpoint engage level is what makes the degradation graceful
+/// on ladders deeper than two rails: the error probability falls
+/// *quadratically* with undervolt depth, so halving the depth cuts
+/// the error exposure to roughly a quarter while keeping well over
+/// half of the rung's power saving. Two rails have no middle, so
+/// there the backoff climbs all the way to the error-free VDDH.
+#[derive(Debug, Clone)]
+pub struct ErrorBackoffPolicy {
+    inner: Box<dyn DvsPolicy>,
+    engage_level: u8,
+    window_start: u64,
+    window_count: u32,
+    last_retry_at: u64,
+    engaged: bool,
+    engagements: u64,
+    vetoes: u64,
+}
+
+impl ErrorBackoffPolicy {
+    /// Wraps `inner` (normally the FSM policy matching the ladder
+    /// depth; see [`PolicySpec::ErrorBackoff`]). `engage_level` is
+    /// the shallowest rung the policy retreats to while engaged
+    /// (`0` = VDDH; [`PolicySpec::build`] uses the ladder midpoint,
+    /// `bottom / 2`).
+    #[must_use]
+    pub fn new(inner: Box<dyn DvsPolicy>, engage_level: u8) -> Self {
+        ErrorBackoffPolicy {
+            inner,
+            engage_level,
+            window_start: 0,
+            window_count: 0,
+            last_retry_at: 0,
+            engaged: false,
+            engagements: 0,
+            vetoes: 0,
+        }
+    }
+
+    /// Whether the backoff is currently engaged (vetoing dives).
+    #[must_use]
+    pub fn engaged(&self) -> bool {
+        self.engaged
+    }
+
+    /// Filters a wrapped decision: while engaged, any move below the
+    /// engage level is clamped to the engage level (counted as a
+    /// veto); everything else passes through. (`RampDown` always
+    /// targets the ladder bottom, which is strictly below the engage
+    /// level whenever the ladder has more than the engage rung.)
+    fn gate(&mut self, d: Decision) -> Decision {
+        if !self.engaged {
+            return d;
+        }
+        match d {
+            Decision::RampDown => {
+                self.vetoes += 1;
+                Decision::Level(self.engage_level)
+            }
+            Decision::Level(l) if l > self.engage_level => {
+                self.vetoes += 1;
+                Decision::Level(self.engage_level)
+            }
+            other => other,
+        }
+    }
+}
+
+impl DvsPolicy for ErrorBackoffPolicy {
+    fn name(&self) -> &'static str {
+        "error-backoff"
+    }
+
+    fn on_signal(&mut self, sig: &VsvSignal, mode: Mode) -> Decision {
+        let d = self.inner.on_signal(sig, mode);
+        self.gate(d)
+    }
+
+    fn on_tick(&mut self, now: u64, outstanding_demand: usize, mode: Mode) -> Decision {
+        // Re-arm after a retry-free cool-down. (This check runs only
+        // on stepped ticks; that is exact, because retries are events
+        // and events both end fast-forward spans and are the only
+        // source of non-Hold gating differences.)
+        if self.engaged && now.saturating_sub(self.last_retry_at) >= BACKOFF_COOLDOWN_NS {
+            self.engaged = false;
+        }
+        let d = self.inner.on_tick(now, outstanding_demand, mode);
+        self.gate(d)
+    }
+
+    fn on_cycle(&mut self, issued: u32, mode: Mode) -> Decision {
+        let d = self.inner.on_cycle(issued, mode);
+        self.gate(d)
+    }
+
+    fn on_mode_entered(&mut self, mode: Mode, now: u64, outstanding_demand: usize) -> Decision {
+        let d = self.inner.on_mode_entered(mode, now, outstanding_demand);
+        self.gate(d)
+    }
+
+    fn on_transition_start(&mut self) {
+        self.inner.on_transition_start();
+    }
+
+    fn on_read_retry(&mut self, now: u64) -> Decision {
+        if now.saturating_sub(self.window_start) >= BACKOFF_WINDOW_NS {
+            self.window_start = now;
+            self.window_count = 0;
+        }
+        self.window_count += 1;
+        self.last_retry_at = now;
+        if !self.engaged && self.window_count >= BACKOFF_RETRY_THRESHOLD {
+            self.engaged = true;
+            self.engagements += 1;
+            // Climb to the engage level (quadratically safer; VDDH
+            // on two rails); in-flight descents are retargeted
+            // (reversal mid-ramp).
+            return Decision::Level(self.engage_level);
+        }
+        Decision::Hold
+    }
+
+    fn on_level(&mut self, level: usize) {
+        self.inner.on_level(level);
+    }
+
+    fn idle_skip_allowed(&self, mode: Mode, outstanding_demand: usize) -> bool {
+        // Sound to delegate: retries are events, events end
+        // fast-forward spans, and within a retry-free span the gate
+        // only ever sees the Holds the inner policy's own skip
+        // contract guarantees. The cool-down check is time-based but
+        // observable only through a gated non-Hold decision, which
+        // cannot occur inside the span.
+        self.inner.idle_skip_allowed(mode, outstanding_demand)
+    }
+
+    fn skip_idle_cycles(&mut self, edges: u64, mode: Mode) {
+        self.inner.skip_idle_cycles(edges, mode);
+    }
+
+    fn stats(&self) -> PolicyStats {
+        PolicyStats {
+            backoff_engagements: self.engagements,
+            backoff_vetoes: self.vetoes,
+            ..self.inner.stats()
+        }
+    }
+
+    fn armed(&self) -> (bool, bool) {
+        self.inner.armed()
     }
 
     fn clone_box(&self) -> Box<dyn DvsPolicy> {
@@ -1057,6 +1277,89 @@ mod tests {
         }
         assert_eq!(p.stats(), PolicyStats::default());
         assert!(p.idle_skip_allowed(Mode::High, 0));
+    }
+
+    #[test]
+    fn error_backoff_engages_on_retry_bursts_and_vetoes_dives() {
+        let cfg = crate::VsvConfig::with_fsms();
+        let mut p = PolicySpec::ErrorBackoff.build(&cfg);
+        assert_eq!(p.name(), "error-backoff");
+        // Below the threshold: retries are tolerated.
+        for i in 0..u64::from(BACKOFF_RETRY_THRESHOLD) - 1 {
+            assert_eq!(p.on_read_retry(100 + i), Decision::Hold);
+        }
+        // The threshold-crossing retry climbs to VDDH.
+        assert_eq!(
+            p.on_read_retry(100 + u64::from(BACKOFF_RETRY_THRESHOLD)),
+            Decision::Level(0)
+        );
+        assert_eq!(p.stats().backoff_engagements, 1);
+        // While engaged, the wrapped policy's dives are clamped to
+        // the engage rung (VDDH on two rails): arm the inner down-FSM
+        // and run it to a trigger.
+        let _ = p.on_signal(&detected(200, None), Mode::High);
+        let mut vetoed = false;
+        for _ in 0..100 {
+            if p.stats().backoff_vetoes > 0 {
+                vetoed = true;
+                break;
+            }
+            let _ = p.on_tick(200, 1, Mode::High);
+            let d = p.on_cycle(0, Mode::High);
+            assert!(
+                d == Decision::Hold || d == Decision::Level(0),
+                "dive must be clamped to the engage rung, got {d:?}"
+            );
+        }
+        assert!(vetoed, "inner dual-fsm never triggered a clampable dive");
+    }
+
+    #[test]
+    fn error_backoff_rearms_after_cooldown() {
+        let cfg = crate::VsvConfig::with_fsms();
+        let mut p = PolicySpec::ErrorBackoff.build(&cfg);
+        for i in 0..u64::from(BACKOFF_RETRY_THRESHOLD) {
+            let _ = p.on_read_retry(i);
+        }
+        assert_eq!(p.stats().backoff_engagements, 1);
+        // A retry-free cool-down hands control back to the inner FSM.
+        let _ = p.on_tick(BACKOFF_COOLDOWN_NS + 10, 1, Mode::High);
+        let _ = p.on_signal(&detected(BACKOFF_COOLDOWN_NS + 11, None), Mode::High);
+        let mut dove = false;
+        for _ in 0..100 {
+            let _ = p.on_tick(BACKOFF_COOLDOWN_NS + 12, 1, Mode::High);
+            if p.on_cycle(0, Mode::High) == Decision::RampDown {
+                dove = true;
+                break;
+            }
+        }
+        assert!(dove, "after the cool-down the inner policy dives again");
+        assert_eq!(p.stats().backoff_vetoes, 0);
+    }
+
+    #[test]
+    fn error_backoff_windows_do_not_accumulate_sparse_retries() {
+        let cfg = crate::VsvConfig::with_fsms();
+        let mut p = PolicySpec::ErrorBackoff.build(&cfg);
+        // One retry per 2 windows: the bucket resets every time, so
+        // the threshold is never reached.
+        for i in 0..50u64 {
+            assert_eq!(
+                p.on_read_retry(i * 2 * BACKOFF_WINDOW_NS),
+                Decision::Hold,
+                "sparse retries must not engage"
+            );
+        }
+        assert_eq!(p.stats().backoff_engagements, 0);
+    }
+
+    #[test]
+    fn error_backoff_wraps_ladder_fsm_on_deep_ladders() {
+        let cfg = crate::VsvConfig::with_fsms().with_ladder_depth(4);
+        let p = PolicySpec::ErrorBackoff.build(&cfg);
+        // The wrapper reports its own name; behavior checks live in
+        // the system-level tests.
+        assert_eq!(p.name(), "error-backoff");
     }
 
     #[test]

@@ -51,6 +51,16 @@ pub struct RunResult {
     /// Instructions issued per pipeline cycle, bucketed — the
     /// statistic the down/up FSMs sample.
     pub issue_histogram: IssueHistogram,
+    /// Erroneous low-voltage cache reads detected in the window
+    /// (always 0 with the error model off).
+    pub read_errors: u64,
+    /// Read retries issued in the window (errors that still had retry
+    /// budget; an exhausted budget ends the run with
+    /// `SimError::UnrecoverableRead` instead).
+    pub read_retries: u64,
+    /// The window's reliability outcome against the configured
+    /// [`SloSpec`] (`None` when no SLO was set).
+    pub slo: Option<SloOutcome>,
 }
 
 impl RunResult {
@@ -95,6 +105,75 @@ impl Comparison {
                 * 100.0,
             power_saving_pct: (1.0 - vsv.avg_power_w / baseline.avg_power_w) * 100.0,
         }
+    }
+}
+
+/// A run's reliability service-level objective: ceilings on how much
+/// low-voltage timing-error churn the modeled machine may impose on
+/// the workload. Checked per measurement window against the observed
+/// retry stream; a violated window marks its [`RunResult::slo`] (and
+/// sweep record) non-compliant and bumps the `slo_violations` counter.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloSpec {
+    /// Maximum tolerated read-retry rate, in retries per million
+    /// successful architectural fills.
+    pub max_retry_rate_ppm: u64,
+    /// Maximum tolerated 99th-percentile *added* fill latency from
+    /// error detection and retry, in nanoseconds (each retry adds a
+    /// fixed detect + reissue delay; see `vsv-mem`).
+    pub max_added_latency_p99_ns: u64,
+}
+
+impl SloSpec {
+    /// An SLO with the given ceilings.
+    #[must_use]
+    pub fn new(max_retry_rate_ppm: u64, max_added_latency_p99_ns: u64) -> Self {
+        SloSpec {
+            max_retry_rate_ppm,
+            max_added_latency_p99_ns,
+        }
+    }
+
+    /// Judges one window's observed reliability numbers against this
+    /// objective.
+    #[must_use]
+    pub fn evaluate(&self, retry_rate_ppm: u64, added_latency_p99_ns: u64) -> SloOutcome {
+        SloOutcome {
+            retry_rate_ppm,
+            added_latency_p99_ns,
+            compliant: retry_rate_ppm <= self.max_retry_rate_ppm
+                && added_latency_p99_ns <= self.max_added_latency_p99_ns,
+        }
+    }
+}
+
+/// One window's measured reliability, judged against an [`SloSpec`].
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloOutcome {
+    /// Observed read-retry rate: retries per million successful
+    /// architectural fills (0 when the window had no fills).
+    pub retry_rate_ppm: u64,
+    /// Observed 99th-percentile added fill latency, ns.
+    pub added_latency_p99_ns: u64,
+    /// Whether both ceilings held.
+    pub compliant: bool,
+}
+
+impl std::fmt::Display for SloOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "retry rate {} ppm, p99 added latency {} ns — {}",
+            self.retry_rate_ppm,
+            self.added_latency_p99_ns,
+            if self.compliant {
+                "compliant"
+            } else {
+                "VIOLATED"
+            }
+        )
     }
 }
 
@@ -151,6 +230,9 @@ mod tests {
             mispredicts: 0,
             branches: 0,
             issue_histogram: IssueHistogram::default(),
+            read_errors: 0,
+            read_retries: 0,
+            slo: None,
         }
     }
 
@@ -192,6 +274,27 @@ mod tests {
     }
 
     #[test]
+    fn slo_evaluation_checks_both_ceilings() {
+        let spec = SloSpec::new(500, 16);
+        assert!(spec.evaluate(500, 16).compliant, "at the ceilings is ok");
+        assert!(!spec.evaluate(501, 0).compliant, "retry rate over");
+        assert!(!spec.evaluate(0, 17).compliant, "latency over");
+        let o = spec.evaluate(42, 8);
+        assert_eq!(o.retry_rate_ppm, 42);
+        assert_eq!(o.added_latency_p99_ns, 8);
+        assert!(o.to_string().contains("compliant"), "{o}");
+        assert!(spec.evaluate(9999, 0).to_string().contains("VIOLATED"));
+    }
+
+    #[test]
+    fn run_display_includes_slo_line_only_when_set() {
+        let mut r = result(100, 10.0);
+        assert!(!r.to_string().contains("slo:"));
+        r.slo = Some(SloSpec::new(10, 10).evaluate(3, 0));
+        assert!(r.to_string().contains("slo: retry rate 3 ppm"));
+    }
+
+    #[test]
     fn zero_issue_fraction() {
         let mut r = result(100, 10.0);
         r.zero_issue_cycles = 25;
@@ -228,7 +331,15 @@ impl std::fmt::Display for RunResult {
             self.mode.low_residency() * 100.0,
             self.mode.down_transitions,
             self.mode.up_transitions
-        )
+        )?;
+        if let Some(slo) = &self.slo {
+            write!(
+                f,
+                "\n  reliability: {} errors / {} retries; slo: {slo}",
+                self.read_errors, self.read_retries
+            )?;
+        }
+        Ok(())
     }
 }
 

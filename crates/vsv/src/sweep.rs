@@ -54,7 +54,7 @@ use vsv_workloads::WorkloadParams;
 
 use crate::error::SimError;
 use crate::metrics::MetricsRegistry;
-use crate::report::RunResult;
+use crate::report::{RunResult, SloOutcome};
 use crate::runner::Experiment;
 use crate::system::SystemConfig;
 use crate::trace::TraceLevel;
@@ -143,6 +143,11 @@ pub struct JobRecord {
     /// The measured window's [`MetricsRegistry`] (deterministic;
     /// schema in `docs/observability.md`). Empty for failed cells.
     pub metrics: MetricsRegistry,
+    /// The cell's SLO judgment ([`RunResult::slo`]) surfaced for
+    /// report consumers: `None` when the cell failed or the run
+    /// carried no [`SloSpec`](crate::report::SloSpec).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub slo: Option<SloOutcome>,
     /// Host wall-clock nanoseconds this job took. **Not**
     /// deterministic; consumers that digest reports must zero it
     /// first (see `tests/sweep_report_golden.rs`).
@@ -561,6 +566,7 @@ impl Sweep {
                         config_digest: config_digest(&job.config),
                         policy: job.config.policy_name().to_owned(),
                         ladder: job.config.vsv.ladder.depth(),
+                        slo: outcome.result().and_then(|r| r.slo),
                         outcome,
                         metrics,
                         wall_ns: u64::try_from(job_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
@@ -737,6 +743,14 @@ mod checkpoint {
         pub(crate) instructions: u64,
         pub(crate) shard: usize,
         pub(crate) shards: usize,
+        /// Host wall-clock nanoseconds of the run that produced the
+        /// file: `0` while a sweep is still appending (the header is
+        /// written before any cell runs), stamped with the shard's
+        /// measured wall clock when a campaign finalizes the file.
+        /// **Not** deterministic, and deliberately ignored by
+        /// [`validate_header_against`].
+        #[serde(default)]
+        pub(crate) wall_ns: u64,
         pub(crate) grid: GridSummary,
     }
 
@@ -744,9 +758,11 @@ mod checkpoint {
     // `ladder` depth field (N-level voltage ladders); v4: the header
     // gained the grid-dimension summary and the campaign shard
     // contract, and `SweepReport` moved `metrics` after `records` for
-    // single-pass streaming merges. Older files no longer round-trip
-    // and are rejected by the version check.
-    pub(crate) const CHECKPOINT_VERSION: u32 = 4;
+    // single-pass streaming merges; v5: `JobRecord` gained the `slo`
+    // outcome field and the header gained the finalized shard
+    // `wall_ns`. Older files no longer round-trip and are rejected by
+    // the version check.
+    pub(crate) const CHECKPOINT_VERSION: u32 = 5;
 
     /// Why a checkpoint could not be written or resumed.
     #[derive(Debug)]
@@ -885,6 +901,7 @@ mod checkpoint {
                 instructions: self.experiment.instructions,
                 shard,
                 shards,
+                wall_ns: 0,
                 grid: self.grid_summary(),
             }
         }

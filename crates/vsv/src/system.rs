@@ -2,8 +2,11 @@
 //! model + VSV controller, advanced on a shared nanosecond clock.
 
 use vsv_isa::InstStream;
-use vsv_mem::{Hierarchy, HierarchyConfig, HierarchyStats, VsvSignal};
-use vsv_power::{ActivitySample, PowerAccountant, PowerConfig, StructureId};
+use vsv_mem::{
+    Hierarchy, HierarchyConfig, HierarchyStats, ReadErrorEvent, VsvSignal, READ_ERROR_DETECT_NS,
+    READ_ERROR_RETRY_NS,
+};
+use vsv_power::{ActivitySample, ErrorCurve, PowerAccountant, PowerConfig, StructureId};
 use vsv_prefetch::{TimeKeeping, TimeKeepingConfig};
 use vsv_uarch::{Core, CoreConfig, CoreStats, CycleActivity};
 
@@ -11,7 +14,7 @@ use crate::controller::{Mode, ModeStats, VsvConfig, VsvController};
 use crate::error::{FaultKind, ModeTransition, SimError};
 use crate::metrics::{CounterId, MetricsRegistry};
 use crate::policy::{PolicySpec, PolicyStats};
-use crate::report::RunResult;
+use crate::report::{RunResult, SloSpec};
 use crate::trace::{vdd_mv, ModeTrace, TraceEvent, TraceLevel, TraceSample, TraceSink};
 
 /// Simulated nanoseconds without a commit before the watchdog
@@ -49,9 +52,24 @@ pub struct SystemConfig {
     pub max_sim_ns: Option<u64>,
     /// Test-only fault injection: forces the next run window to fail
     /// with the given [`FaultKind`], so sweep-engine error paths can
-    /// be exercised deterministically end to end. `None` (the
+    /// be exercised deterministically and end to end. `None` (the
     /// default) in production.
     pub inject_fault: Option<FaultKind>,
+    /// Per-read error probability at VDDL — the anchor of the
+    /// low-voltage timing-error model ([`ErrorCurve`]). The
+    /// probability is exactly 0 at VDDH and scales quadratically with
+    /// the undervolt toward this value at VDDL, so a rate of `0.0`
+    /// (the default) keeps every run bit-identical to the model being
+    /// absent.
+    pub error_rate: f64,
+    /// Seed of the error model's counter-based draw stream. Runs with
+    /// the same seed (and configuration) err on exactly the same
+    /// reads, independent of worker count or fast-forward.
+    pub error_seed: u64,
+    /// Reliability service-level objective, checked per measurement
+    /// window ([`RunResult::slo`]). `None` (the default) reports no
+    /// outcome and counts no violations.
+    pub slo: Option<SloSpec>,
 }
 
 impl SystemConfig {
@@ -68,6 +86,9 @@ impl SystemConfig {
             fast_forward: true,
             max_sim_ns: None,
             inject_fault: None,
+            error_rate: 0.0,
+            error_seed: 0,
+            slo: None,
         }
     }
 
@@ -151,6 +172,39 @@ impl SystemConfig {
         self
     }
 
+    /// Sets the low-voltage read-error probability at VDDL (see
+    /// [`SystemConfig::error_rate`]; `0.0` disables the model).
+    #[must_use]
+    pub fn with_error_rate(mut self, rate: f64) -> Self {
+        self.error_rate = rate;
+        self
+    }
+
+    /// Seeds the error model's deterministic draw stream (see
+    /// [`SystemConfig::error_seed`]).
+    #[must_use]
+    pub fn with_error_seed(mut self, seed: u64) -> Self {
+        self.error_seed = seed;
+        self
+    }
+
+    /// Sets (or clears) the per-window reliability SLO (see
+    /// [`SystemConfig::slo`]).
+    #[must_use]
+    pub fn with_slo(mut self, slo: Option<SloSpec>) -> Self {
+        self.slo = slo;
+        self
+    }
+
+    /// The error curve this configuration runs under, if the model is
+    /// enabled: anchored at the VSV technology's rails, reaching
+    /// [`SystemConfig::error_rate`] at VDDL.
+    #[must_use]
+    pub fn error_curve(&self) -> Option<ErrorCurve> {
+        (self.error_rate > 0.0)
+            .then(|| ErrorCurve::new(self.vsv.tech.vddh, self.vsv.tech.vddl, self.error_rate))
+    }
+
     /// Replaces the VSV voltage ladder with a uniform `depth`-level
     /// one between the technology's rails (depth 2 is the paper's
     /// two-rail configuration; see [`vsv_power::VoltageLadder`]).
@@ -178,6 +232,11 @@ impl SystemConfig {
             return Err(SimError::invalid_config(
                 "max_sim_ns must be nonzero when set (Some(0) exhausts instantly)",
             ));
+        }
+        if self.error_rate != 0.0 {
+            ErrorCurve::new(self.vsv.tech.vddh, self.vsv.tech.vddl, self.error_rate)
+                .validate()
+                .map_err(SimError::invalid_config)?;
         }
         Ok(())
     }
@@ -231,6 +290,19 @@ pub struct System<S> {
     fast_forward: bool,
     max_sim_ns: Option<u64>,
     inject_fault: Option<FaultKind>,
+    // Low-voltage reliability (see `vsv_power::ErrorCurve` and the
+    // retry path in `vsv_mem`). `error_curve` is `None` — and the
+    // whole layer costs one branch per step — unless
+    // `SystemConfig::error_rate` is nonzero. `last_vdd` caches the
+    // voltage whose threshold the hierarchy currently holds, so the
+    // curve is re-evaluated only when the supply actually moves.
+    error_curve: Option<ErrorCurve>,
+    last_vdd: f64,
+    slo: Option<SloSpec>,
+    // An exhausted retry budget recorded by the hierarchy, awaiting
+    // escalation to `SimError::UnrecoverableRead` at the window loop.
+    pending_unrecoverable: Option<(u64, u8)>,
+    read_error_scratch: Vec<ReadErrorEvent>,
     // Always-on diagnostic ring: the last few controller mode
     // transitions, so a deadlock error is a self-contained bug report
     // even when full tracing is off. Bounded at TRANSITION_RING_LEN.
@@ -260,6 +332,12 @@ impl<S: InstStream> System<S> {
     pub fn try_new(cfg: SystemConfig, stream: S) -> Result<Self, SimError> {
         cfg.validate()?;
         let mut core = Core::new(cfg.core, Hierarchy::new(cfg.mem), stream);
+        let error_curve = cfg.error_curve();
+        if error_curve.is_some() {
+            // The threshold starts at VDDH's (exactly 0) and follows
+            // the supply from `step`.
+            core.mem_mut().enable_read_error_model(cfg.error_seed);
+        }
         if cfg.timekeeping {
             let l1d = cfg.mem.l1d;
             core.attach_prefetcher(TimeKeeping::new(TimeKeepingConfig {
@@ -299,6 +377,11 @@ impl<S: InstStream> System<S> {
             fast_forward: cfg.fast_forward,
             max_sim_ns: cfg.max_sim_ns,
             inject_fault: cfg.inject_fault,
+            error_curve,
+            last_vdd: cfg.vsv.tech.vddh,
+            slo: cfg.slo,
+            pending_unrecoverable: None,
+            read_error_scratch: Vec::new(),
             last_mode,
             recent_transitions,
         })
@@ -470,6 +553,12 @@ impl<S: InstStream> System<S> {
                     "injected panic fault (SystemConfig::inject_fault) at t={}",
                     self.now
                 ),
+                // Unlike the terminal kinds above, this one arms the
+                // hierarchy and lets the window run: every delivery
+                // errs until one read exhausts its budget, so the
+                // escalation below is exercised through the real
+                // retry machinery.
+                FaultKind::UnrecoverableRead => self.core.mem_mut().arm_forced_read_error(),
             }
         }
         let window_start = self.now;
@@ -481,6 +570,15 @@ impl<S: InstStream> System<S> {
                 self.try_fast_forward();
             }
             self.step();
+            if let Some((at, retries)) = self.pending_unrecoverable.take() {
+                return Err(SimError::UnrecoverableRead {
+                    at,
+                    committed: self.core.committed(),
+                    workload: self.workload.clone(),
+                    retries,
+                    mode: self.controller.mode(),
+                });
+            }
             if let Some(limit) = self.max_sim_ns {
                 if self.now - window_start >= limit {
                     return Err(SimError::BudgetExhausted {
@@ -524,7 +622,11 @@ impl<S: InstStream> System<S> {
         // Buffered work would be consumed by the very next step; an
         // empty event queue means the machine is either done or about
         // to be declared deadlocked — never skip over either.
-        if mem.retry_pending() || mem.has_buffered_completions() || mem.has_buffered_vsv_signals() {
+        if mem.retry_pending()
+            || mem.has_buffered_completions()
+            || mem.has_buffered_vsv_signals()
+            || mem.has_buffered_read_errors()
+        {
             return;
         }
         let Some(event_at) = mem.next_event_time() else {
@@ -618,6 +720,9 @@ impl<S: InstStream> System<S> {
     fn step(&mut self) {
         let now = self.now;
         self.core.tick_mem(now);
+        if self.core.mem().has_buffered_read_errors() {
+            self.drain_read_errors(now);
+        }
         let controller = &mut self.controller;
         let metrics = &mut self.metrics;
         self.core.mem_mut().visit_vsv_signals(|sig| {
@@ -633,6 +738,18 @@ impl<S: InstStream> System<S> {
         });
         let outstanding = self.core.mem().outstanding_demand_misses();
         let plan = self.controller.tick(now, outstanding);
+        if let Some(curve) = self.error_curve {
+            // Follow the supply: deliveries at t use the voltage the
+            // controller planned at t-1 (a fixed 1 ns sampling lag,
+            // identical on the fast-forward and ns-stepped paths —
+            // skippable spans hold the voltage constant).
+            if plan.vdd != self.last_vdd {
+                self.last_vdd = plan.vdd;
+                self.core
+                    .mem_mut()
+                    .set_read_error_threshold(curve.threshold(plan.vdd));
+            }
+        }
         let mode = self.controller.mode();
         if mode != self.last_mode {
             self.last_mode = mode;
@@ -668,6 +785,46 @@ impl<S: InstStream> System<S> {
             self.emit_sample(now, plan.vdd, plan.pipeline_edge);
         }
         self.now += 1;
+    }
+
+    /// Consumes the read-error events the hierarchy recorded during
+    /// `tick_mem`: counts them, emits trace events, feeds the retry
+    /// stream to the policy (graceful degradation), and parks an
+    /// exhausted budget for escalation at the window loop.
+    fn drain_read_errors(&mut self, now: u64) {
+        let mut events = std::mem::take(&mut self.read_error_scratch);
+        self.core.mem_mut().take_read_error_events_into(&mut events);
+        for ev in &events {
+            self.metrics.inc(CounterId::ReadErrors);
+            if ev.exhausted {
+                if let Some((level, sink)) = self.event_sink.as_mut() {
+                    if *level >= TraceLevel::Events {
+                        self.metrics.inc(CounterId::TraceEvents);
+                        sink.record(&TraceEvent::RetryExhausted {
+                            at: ev.at,
+                            retries: ev.attempt,
+                        });
+                    }
+                }
+                self.pending_unrecoverable = Some((ev.at, ev.attempt));
+            } else {
+                self.metrics.inc(CounterId::ReadRetries);
+                if let Some((level, sink)) = self.event_sink.as_mut() {
+                    if *level >= TraceLevel::Events {
+                        self.metrics.inc(CounterId::TraceEvents);
+                        sink.record(&TraceEvent::ReadError {
+                            at: ev.at,
+                            attempt: ev.attempt,
+                        });
+                    }
+                }
+                // After the event, so an engagement the retry causes
+                // lands later in the stream than its cause.
+                self.controller.on_read_retry(now);
+            }
+        }
+        events.clear();
+        self.read_error_scratch = events;
     }
 
     /// Delivers a per-nanosecond [`TraceEvent::Sample`] when the sink
@@ -762,6 +919,43 @@ impl<S: InstStream> System<S> {
             CounterId::PolicyUpDeclines,
             pstats.up_expiries - a.policy.up_expiries,
         );
+        self.metrics.add(
+            CounterId::BackoffVetoes,
+            pstats.backoff_vetoes - a.policy.backoff_vetoes,
+        );
+        let read_errors = mem.read_errors - a.mem.read_errors;
+        let read_retries = mem.read_retries - a.mem.read_retries;
+        let slo = self.slo.map(|spec| {
+            let mut hist = mem.fill_retry_hist;
+            for (h, old) in hist.iter_mut().zip(a.mem.fill_retry_hist) {
+                *h -= old;
+            }
+            let fills: u64 = hist.iter().sum();
+            let (retry_rate_ppm, p99_ns) = if fills == 0 {
+                (0, 0)
+            } else {
+                // Each retry adds one fixed detect + reissue delay to
+                // its fill; the p99 added latency is the smallest
+                // retry count covering ≥99% of successful fills.
+                let step_ns = READ_ERROR_DETECT_NS + READ_ERROR_RETRY_NS;
+                let need = (fills * 99).div_ceil(100);
+                let mut cum = 0u64;
+                let mut p99 = 0u64;
+                for (attempts, n) in hist.iter().enumerate() {
+                    cum += n;
+                    if cum >= need {
+                        p99 = attempts as u64 * step_ns;
+                        break;
+                    }
+                }
+                (read_retries.saturating_mul(1_000_000) / fills, p99)
+            };
+            let outcome = spec.evaluate(retry_rate_ppm, p99_ns);
+            if !outcome.compliant {
+                self.metrics.inc(CounterId::SloViolations);
+            }
+            outcome
+        });
         self.metrics.inc(CounterId::Windows);
         self.metrics.fold_issue_buckets(&issue_histogram.buckets);
         if self.event_sink.is_some() {
@@ -807,6 +1001,9 @@ impl<S: InstStream> System<S> {
             mispredicts: core.mispredicts - a.core.mispredicts,
             branches: core.branches - a.core.branches,
             issue_histogram,
+            read_errors,
+            read_retries,
+            slo,
         };
         self.reset_measurement();
         result
@@ -1090,6 +1287,94 @@ mod tests {
             }
             other => panic!("expected Deadlock, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn injected_unrecoverable_read_is_typed_and_counts_the_retries() {
+        let cfg =
+            SystemConfig::vsv_with_fsms().with_injected_fault(crate::FaultKind::UnrecoverableRead);
+        let mut sys = System::new(cfg, Generator::new(memory_bound_params()));
+        sys.set_workload_name("membound");
+        let err = sys.try_warm_up(5_000).expect_err("fault armed");
+        match &err {
+            SimError::UnrecoverableRead {
+                workload, retries, ..
+            } => {
+                assert_eq!(workload, "membound");
+                assert_eq!(
+                    *retries,
+                    vsv_mem::MAX_READ_RETRIES,
+                    "the full budget was burned before escalation"
+                );
+            }
+            other => panic!("expected UnrecoverableRead, got {other:?}"),
+        }
+        assert_eq!(err.kind(), "unrecoverable-read");
+    }
+
+    #[test]
+    fn error_model_at_vddh_is_bit_identical_to_model_off() {
+        // AlwaysHigh never leaves VDDH, where the error probability is
+        // exactly 0: the enabled model must not perturb anything even
+        // though its draw counter advances on every delivery.
+        let run = |rate: f64| {
+            let cfg = SystemConfig::with_policy(PolicySpec::AlwaysHigh)
+                .with_error_rate(rate)
+                .with_error_seed(7);
+            let mut sys = System::new(cfg, Generator::new(memory_bound_params()));
+            sys.warm_up(5_000);
+            sys.run(20_000)
+        };
+        let off = run(0.0);
+        let on = run(0.5);
+        assert_eq!(off, on, "model-on at VDDH must match model-off exactly");
+        assert_eq!(on.read_errors, 0);
+    }
+
+    #[test]
+    fn slo_outcome_is_reported_and_violations_counted() {
+        let cfg = SystemConfig::vsv_with_fsms()
+            .with_error_rate(0.02)
+            .with_error_seed(11)
+            .with_slo(Some(crate::SloSpec::new(0, 0)));
+        let mut sys = System::new(cfg, Generator::new(memory_bound_params()));
+        sys.warm_up(5_000);
+        let r = sys.try_run(20_000).expect("no escalation at this rate");
+        assert!(
+            r.read_retries > 0,
+            "a memory-bound VSV run at 2% VDDL error rate must retry"
+        );
+        assert_eq!(r.read_errors, r.read_retries, "no budget exhausted");
+        let slo = r.slo.expect("SLO configured");
+        assert!(!slo.compliant, "a zero-tolerance SLO must be violated");
+        assert!(slo.retry_rate_ppm > 0);
+        assert_eq!(sys.window_metrics().get(CounterId::SloViolations), 1);
+        assert_eq!(
+            sys.window_metrics().get(CounterId::ReadRetries),
+            r.read_retries
+        );
+        // A generous SLO on the same configuration is compliant.
+        let cfg_ok = SystemConfig::vsv_with_fsms()
+            .with_error_rate(0.02)
+            .with_error_seed(11)
+            .with_slo(Some(crate::SloSpec::new(1_000_000, 1_000)));
+        let mut sys_ok = System::new(cfg_ok, Generator::new(memory_bound_params()));
+        sys_ok.warm_up(5_000);
+        let r_ok = sys_ok.try_run(20_000).expect("no escalation");
+        assert!(r_ok.slo.expect("SLO configured").compliant);
+        assert_eq!(sys_ok.window_metrics().get(CounterId::SloViolations), 0);
+    }
+
+    #[test]
+    fn invalid_error_rate_is_rejected() {
+        let cfg = SystemConfig::baseline().with_error_rate(-0.1);
+        assert!(cfg.validate().is_err());
+        let cfg = SystemConfig::baseline().with_error_rate(1.5);
+        assert!(cfg.validate().is_err());
+        assert!(SystemConfig::baseline()
+            .with_error_rate(1.0)
+            .validate()
+            .is_ok());
     }
 
     #[test]

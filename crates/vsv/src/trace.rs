@@ -160,6 +160,30 @@ pub enum TraceEvent {
         /// wider).
         issue_buckets: [u64; 9],
     },
+    /// A low-voltage cache read erred and will retry
+    /// (`vsv_mem::ReadErrorEvent` with retries remaining).
+    ReadError {
+        /// When the erroneous delivery was attempted (ns).
+        at: u64,
+        /// Zero-based attempt number that failed.
+        attempt: u8,
+    },
+    /// A read burned its whole retry budget; the run escalates to
+    /// [`crate::SimError::UnrecoverableRead`].
+    RetryExhausted {
+        /// When the final attempt failed (ns).
+        at: u64,
+        /// Retries attempted before escalation.
+        retries: u8,
+    },
+    /// The `error-backoff` policy engaged: the windowed retry rate
+    /// crossed its threshold, so the policy climbs to its engage rung
+    /// (the ladder midpoint; VDDH on two rails) and clamps dives to
+    /// that rung until the cool-down re-arms it.
+    BackoffEngaged {
+        /// Engagement time (ns).
+        at: u64,
+    },
     /// One nanosecond of controller state ([`TraceLevel::Full`]
     /// only) — the event-stream twin of [`TraceSample`].
     Sample {
@@ -187,7 +211,10 @@ impl TraceEvent {
             | TraceEvent::FsmExpired { .. }
             | TraceEvent::MissDetected { .. }
             | TraceEvent::MissReturned { .. }
-            | TraceEvent::FastForward { .. } => TraceLevel::Events,
+            | TraceEvent::FastForward { .. }
+            | TraceEvent::ReadError { .. }
+            | TraceEvent::RetryExhausted { .. }
+            | TraceEvent::BackoffEngaged { .. } => TraceLevel::Events,
             TraceEvent::Sample { .. } => TraceLevel::Full,
         }
     }
@@ -205,6 +232,9 @@ impl TraceEvent {
             TraceEvent::MissReturned { .. } => "MissReturned",
             TraceEvent::FastForward { .. } => "FastForward",
             TraceEvent::WindowClosed { .. } => "WindowClosed",
+            TraceEvent::ReadError { .. } => "ReadError",
+            TraceEvent::RetryExhausted { .. } => "RetryExhausted",
+            TraceEvent::BackoffEngaged { .. } => "BackoffEngaged",
             TraceEvent::Sample { .. } => "Sample",
         }
     }

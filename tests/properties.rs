@@ -419,6 +419,9 @@ fn comparison_math() {
             mispredicts: 0,
             branches: 0,
             issue_histogram: Default::default(),
+            read_errors: 0,
+            read_retries: 0,
+            slo: None,
         };
         let c = Comparison::of(&mk(base_ns, base_w), &mk(vsv_ns, vsv_w));
         assert!(

@@ -178,6 +178,9 @@ fn event_time(e: &TraceEvent) -> u64 {
         | TraceEvent::MissDetected { at, .. }
         | TraceEvent::MissReturned { at, .. }
         | TraceEvent::WindowClosed { at, .. }
+        | TraceEvent::ReadError { at, .. }
+        | TraceEvent::RetryExhausted { at, .. }
+        | TraceEvent::BackoffEngaged { at }
         | TraceEvent::Sample { at, .. } => at,
         TraceEvent::FastForward { from, .. } => from,
     }
