@@ -42,6 +42,8 @@ const ERROR_SEED: u64 = 42;
 const SLO: SloSpec = SloSpec {
     max_retry_rate_ppm: 10_000,
     max_added_latency_p99_ns: 8,
+    max_request_p99_ns: None,
+    max_request_p999_ns: None,
 };
 
 /// Baseline MPKI above which a twin counts as memory-bound.

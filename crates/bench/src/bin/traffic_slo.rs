@@ -1,0 +1,359 @@
+//! Offered-load vs tail-latency vs power-saving frontier under the
+//! open-loop service-traffic subsystem. Emits `BENCH_traffic.json`
+//! via the in-tree serde.
+//!
+//! The interesting question: DVS power savings are free in closed
+//! loop (the twin just takes a little longer), but under an open-loop
+//! request stream the lost capacity surfaces as queueing — so at what
+//! offered load does `dual-fsm`'s tail latency part ways with
+//! `always-high`'s? Two phases:
+//!
+//! 1. **Closed loop** — one traffic-free sweep per policy measures
+//!    IPC (→ service capacity in requests/µs) and the power saving
+//!    each policy earns on the twin.
+//! 2. **Load scan** — MMPP burst trains whose ON-phase rate sweeps
+//!    across the capacity band. Per point and policy: request
+//!    p50/p99/p999, backlog, power saving. The point's SLO ceilings
+//!    are the midpoints of the `always-high` and `dual-fsm` p99s and
+//!    p999s — `tension` marks the points where `always-high` meets a
+//!    ceiling that `dual-fsm` violates (p99 or p999) while `dual-fsm`
+//!    still keeps at least half of its closed-loop saving (traffic is
+//!    pure accounting, so the saving is retained exactly; the report
+//!    measures rather than assumes it). DVS capacity loss is a few
+//!    percent, so the gap surfaces first at the extreme tail: the
+//!    deepest-burst victims pay the slower drain, and the p999
+//!    ceiling is where the policies part ways.
+//!
+//! Usage: `cargo run --release -p vsv-bench --bin traffic_slo`
+//! Scale via `VSV_INSTS` / `VSV_WARMUP` (the latency gap needs room
+//! to accumulate: prefer >= 240k measured instructions). Extra
+//! environment:
+//!
+//! * `VSV_TRAFFIC_TWIN` — twin to load (default `mcf`);
+//! * `VSV_ERROR_RATE` — per-read error probability at VDDL
+//!   (default 0.02; exercises `error-backoff`);
+//! * `VSV_REQ_SIZE` — committed instructions per request
+//!   (default 1000);
+//! * `VSV_TRAFFIC_JSON` — output path (default `BENCH_traffic.json`);
+//! * `VSV_WORKERS` — sweep worker threads (results are bit-identical
+//!   for any worker count).
+
+use vsv::{default_workers, Comparison, PolicySpec, RunResult, Sweep, SystemConfig, TrafficSpec};
+use vsv_bench::{announce_workers, experiment_from_env, results_or_die, rule, CsvSink};
+use vsv_workloads::twin;
+
+/// Per-read error probability at VDDL unless `VSV_ERROR_RATE` is set.
+const DEFAULT_ERROR_RATE: f64 = 0.02;
+
+/// Counter-PRNG seed for the error model (fixed: the frontier is a
+/// deterministic artifact).
+const ERROR_SEED: u64 = 42;
+
+/// Committed instructions per request unless `VSV_REQ_SIZE` is set.
+const DEFAULT_REQ_SIZE: u64 = 1_000;
+
+/// ON-phase rate as a multiple of `always-high`'s measured capacity:
+/// the scan brackets the band where `dual-fsm` saturates first.
+const LOAD_MULTIPLIERS: [f64; 5] = [0.70, 0.85, 0.95, 1.05, 1.25];
+
+/// MMPP phase lengths: long ON phases let the capacity shortfall
+/// accumulate into queueing; OFF phases drain the queue so every
+/// burst restarts from the same state.
+const ON_NS: u64 = 30_000;
+const OFF_NS: u64 = 10_000;
+
+/// One policy's measurement at one load point.
+#[derive(Debug, Clone, serde::Serialize)]
+struct PolicyAtLoad {
+    /// Policy label (`"disabled"`, `"always-high"`, ...).
+    policy: String,
+    /// Requests arrived / completed in the measured window.
+    arrived: u64,
+    completed: u64,
+    /// Requests still queued when the window closed.
+    backlog: u64,
+    /// Request end-to-end latency percentiles (log2-bucket upper
+    /// edges, ns).
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+    /// Average-power saving vs. the in-point disabled baseline (%).
+    power_saving_pct: f64,
+    /// `power_saving_pct` over the policy's closed-loop saving
+    /// (1.0 = fully retained; traffic is pure accounting so this is
+    /// exact, not approximate).
+    saving_retention: f64,
+}
+
+/// One offered-load point of the scan.
+#[derive(Debug, Clone, serde::Serialize)]
+struct LoadPoint {
+    /// ON-phase rate as a multiple of `always-high` capacity.
+    load_multiplier: f64,
+    /// ON-phase arrival rate (requests/µs).
+    burst_rate_per_us: f64,
+    /// OFF-phase arrival rate (requests/µs).
+    off_rate_per_us: f64,
+    /// The point's tail-latency SLO ceilings: midpoints of the
+    /// `always-high` and `dual-fsm` p99s / p999s (ns).
+    slo_p99_ns: u64,
+    slo_p999_ns: u64,
+    /// `always-high` meets a ceiling (p99 or p999) that `dual-fsm`
+    /// violates, and `dual-fsm` keeps >= half its closed-loop power
+    /// saving.
+    tension: bool,
+    /// Per-policy measurements, in `POLICIES` order.
+    policies: Vec<PolicyAtLoad>,
+}
+
+/// One policy's closed-loop (traffic-free) reference run.
+#[derive(Debug, Clone, serde::Serialize)]
+struct ClosedLoop {
+    /// Policy label.
+    policy: String,
+    /// Measured IPC (instructions per ns).
+    ipc: f64,
+    /// Service capacity for `request_size`-instruction requests
+    /// (requests/µs).
+    capacity_per_us: f64,
+    /// Average-power saving vs. the disabled baseline (%).
+    power_saving_pct: f64,
+}
+
+/// The emitted report.
+#[derive(Debug, Clone, serde::Serialize)]
+struct Report {
+    /// Twin under load.
+    workload: String,
+    /// Measured instructions per run.
+    instructions_per_run: u64,
+    /// Warm-up instructions per run.
+    warmup_per_run: u64,
+    /// Per-read error probability at VDDL.
+    error_rate: f64,
+    /// Committed instructions per request.
+    request_size: u64,
+    /// MMPP phase lengths (ns).
+    on_ns: u64,
+    off_ns: u64,
+    /// Phase-1 traffic-free reference runs.
+    closed_loop: Vec<ClosedLoop>,
+    /// Phase-2 offered-load scan.
+    points: Vec<LoadPoint>,
+    /// True when at least one load point shows the SLO tension:
+    /// `always-high` compliant, `dual-fsm` in violation with >= half
+    /// its closed-loop saving intact.
+    tension_holds_somewhere: bool,
+}
+
+fn main() {
+    let e = experiment_from_env();
+    let env_f = |name: &str, default: f64| {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let error_rate = env_f("VSV_ERROR_RATE", DEFAULT_ERROR_RATE);
+    let request_size = std::env::var("VSV_REQ_SIZE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_REQ_SIZE);
+    let twin_name = std::env::var("VSV_TRAFFIC_TWIN").unwrap_or_else(|_| "mcf".to_string());
+    let params = twin(&twin_name).unwrap_or_else(|| panic!("unknown twin '{twin_name}'"));
+
+    let reliability = |c: SystemConfig| c.with_error_rate(error_rate).with_error_seed(ERROR_SEED);
+    // `ladder-fsm`/`error-backoff` run on a depth-4 ladder, as in the
+    // reliability frontier (two rails degenerate the backoff rung).
+    let configs: Vec<SystemConfig> = vec![
+        reliability(SystemConfig::baseline()),
+        reliability(SystemConfig::with_policy(PolicySpec::AlwaysHigh)),
+        reliability(SystemConfig::with_policy(PolicySpec::DualFsm)),
+        reliability(SystemConfig::with_policy(PolicySpec::LadderFsm).with_ladder_depth(4)),
+        reliability(SystemConfig::with_policy(PolicySpec::ErrorBackoff).with_ladder_depth(4)),
+    ];
+    let labels = [
+        "disabled",
+        "always-high",
+        "dual-fsm",
+        "ladder-fsm",
+        "error-backoff",
+    ];
+    let workers = default_workers();
+    println!(
+        "Traffic SLO frontier: {} policies × ({} + {} load points) on {twin_name} \
+         ({} insts/run, {request_size} insts/request, error rate {error_rate})",
+        labels.len(),
+        1,
+        LOAD_MULTIPLIERS.len(),
+        e.instructions,
+    );
+    announce_workers(workers);
+
+    // Phase 1: closed loop — capacity and the saving each policy earns.
+    let closed = results_or_die(Sweep::over_grid(e, &[params], &configs).report(workers));
+    let base = &closed[0];
+    let closed_loop: Vec<ClosedLoop> = labels
+        .iter()
+        .zip(&closed)
+        .map(|(label, r)| ClosedLoop {
+            policy: (*label).to_owned(),
+            ipc: r.ipc,
+            capacity_per_us: r.ipc * 1_000.0 / request_size as f64,
+            power_saving_pct: Comparison::of(base, r).power_saving_pct,
+        })
+        .collect();
+    println!(
+        "{:<14} {:>6} {:>9} {:>7}",
+        "policy", "IPC", "cap r/µs", "saved%"
+    );
+    rule(40);
+    for c in &closed_loop {
+        println!(
+            "{:<14} {:>6.3} {:>9.3} {:>7.2}",
+            c.policy, c.ipc, c.capacity_per_us, c.power_saving_pct
+        );
+    }
+    let cap_high = closed_loop[1].capacity_per_us;
+
+    // Phase 2: the load scan. One sweep per point, all policies on
+    // the identical arrival train (the stream is config-independent
+    // and re-anchored at measurement start).
+    let mut csv = CsvSink::from_env("traffic_slo");
+    csv.row(&[
+        "load_multiplier",
+        "policy",
+        "p50_ns",
+        "p99_ns",
+        "p999_ns",
+        "backlog",
+        "power_saving_pct",
+        "saving_retention",
+    ]);
+    rule(78);
+    println!(
+        "{:<6} {:<14} | {:>7} {:>9} {:>9} {:>7} | {:>7} {:>6}",
+        "load", "policy", "p50 ns", "p99 ns", "p999 ns", "backlog", "saved%", "keep"
+    );
+    let mut points: Vec<LoadPoint> = Vec::new();
+    for &mult in &LOAD_MULTIPLIERS {
+        let burst = cap_high * mult;
+        let off_rate = burst / 8.0;
+        let spec = TrafficSpec::mmpp(off_rate, burst, ON_NS, OFF_NS, request_size);
+        let with_traffic: Vec<SystemConfig> =
+            configs.iter().map(|c| c.with_traffic(Some(spec))).collect();
+        let results = results_or_die(Sweep::over_grid(e, &[params], &with_traffic).report(workers));
+        let pbase = &results[0];
+        let at_load = |label: &str, r: &RunResult, closed_saving: f64| {
+            let saving = Comparison::of(pbase, r).power_saving_pct;
+            PolicyAtLoad {
+                policy: label.to_owned(),
+                arrived: r.requests_arrived,
+                completed: r.requests_completed,
+                backlog: r.request_backlog,
+                p50_ns: r.request_p50_ns,
+                p99_ns: r.request_p99_ns,
+                p999_ns: r.request_p999_ns,
+                power_saving_pct: saving,
+                saving_retention: if closed_saving.abs() > f64::EPSILON {
+                    saving / closed_saving
+                } else {
+                    0.0
+                },
+            }
+        };
+        let policies: Vec<PolicyAtLoad> = labels
+            .iter()
+            .zip(&results)
+            .zip(&closed_loop)
+            .map(|((label, r), c)| at_load(label, r, c.power_saving_pct))
+            .collect();
+        let (high, dual) = (&policies[1], &policies[2]);
+        let slo_p99_ns = high.p99_ns.saturating_add(dual.p99_ns) / 2;
+        let slo_p999_ns = high.p999_ns.saturating_add(dual.p999_ns) / 2;
+        let separated_p99 = high.p99_ns <= slo_p99_ns && dual.p99_ns > slo_p99_ns;
+        let separated_p999 = high.p999_ns <= slo_p999_ns && dual.p999_ns > slo_p999_ns;
+        let tension = (separated_p99 || separated_p999) && dual.saving_retention >= 0.5;
+        for p in &policies {
+            println!(
+                "{:<6.2} {:<14} | {:>7} {:>9} {:>9} {:>7} | {:>7.2} {:>6.2}",
+                mult,
+                p.policy,
+                p.p50_ns,
+                p.p99_ns,
+                p.p999_ns,
+                p.backlog,
+                p.power_saving_pct,
+                p.saving_retention
+            );
+            csv.row(&[
+                &format!("{mult:.2}"),
+                &p.policy,
+                &p.p50_ns.to_string(),
+                &p.p99_ns.to_string(),
+                &p.p999_ns.to_string(),
+                &p.backlog.to_string(),
+                &format!("{:.4}", p.power_saving_pct),
+                &format!("{:.4}", p.saving_retention),
+            ]);
+        }
+        println!(
+            "       => SLO p99 <= {slo_p99_ns} / p999 <= {slo_p999_ns} ns: \
+             always-high {}/{}, dual-fsm {}/{}{}",
+            if high.p99_ns <= slo_p99_ns {
+                "ok"
+            } else {
+                "VIOL"
+            },
+            if high.p999_ns <= slo_p999_ns {
+                "ok"
+            } else {
+                "VIOL"
+            },
+            if dual.p99_ns > slo_p99_ns {
+                "VIOL"
+            } else {
+                "ok"
+            },
+            if dual.p999_ns > slo_p999_ns {
+                "VIOL"
+            } else {
+                "ok"
+            },
+            if tension { "  << tension" } else { "" }
+        );
+        points.push(LoadPoint {
+            load_multiplier: mult,
+            burst_rate_per_us: burst,
+            off_rate_per_us: off_rate,
+            slo_p99_ns,
+            slo_p999_ns,
+            tension,
+            policies,
+        });
+    }
+    let tension_holds_somewhere = points.iter().any(|p| p.tension);
+    rule(78);
+    println!("tension holds somewhere: {tension_holds_somewhere}");
+    if let Some(path) = csv.path() {
+        println!("csv mirrored to {}", path.display());
+    }
+
+    let out = Report {
+        workload: twin_name,
+        instructions_per_run: e.instructions,
+        warmup_per_run: e.warmup_instructions,
+        error_rate,
+        request_size,
+        on_ns: ON_NS,
+        off_ns: OFF_NS,
+        closed_loop,
+        points,
+        tension_holds_somewhere,
+    };
+    let path =
+        std::env::var("VSV_TRAFFIC_JSON").unwrap_or_else(|_| "BENCH_traffic.json".to_string());
+    let json = serde_json::to_string_pretty(&out).expect("report serializes");
+    std::fs::write(&path, json).expect("report written");
+    println!("wrote {path}");
+}

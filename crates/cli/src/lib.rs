@@ -73,6 +73,8 @@ pub struct GridSpec {
     pub error_rate: f64,
     /// Reliability SLO checked against every cell post-run.
     pub slo: Option<vsv::SloSpec>,
+    /// Open-loop service-traffic scenario layered over every cell.
+    pub traffic: Option<vsv::TrafficSpec>,
 }
 
 impl GridSpec {
@@ -102,7 +104,11 @@ impl GridSpec {
         // never leaves VDDH, where the error probability is exactly
         // zero, so it stays bit-identical while sharing the grid's
         // configuration digesting.
-        let reliability = |c: SystemConfig| c.with_error_rate(self.error_rate).with_slo(self.slo);
+        let reliability = |c: SystemConfig| {
+            c.with_error_rate(self.error_rate)
+                .with_slo(self.slo)
+                .with_traffic(self.traffic)
+        };
         Ok(Sweep::over_grid(
             e,
             &params,
@@ -119,6 +125,9 @@ impl GridSpec {
 pub enum Command {
     /// List the twins and their Table 2 reference numbers.
     List,
+    /// List the twins with their generator parameters alongside the
+    /// paper's Table 2 targets.
+    Workloads,
     /// Run one twin under one configuration.
     Run {
         /// Twin name.
@@ -174,6 +183,8 @@ pub enum Command {
         error_rate: f64,
         /// Reliability SLO checked against every cell post-run.
         slo: Option<vsv::SloSpec>,
+        /// Open-loop service-traffic scenario layered over every cell.
+        traffic: Option<vsv::TrafficSpec>,
         /// Measured instructions.
         insts: u64,
         /// Warm-up instructions.
@@ -307,6 +318,7 @@ impl Command {
         let mut inject_fault: Option<(usize, vsv::FaultKind)> = None;
         let mut error_rate = 0.0f64;
         let mut slo: Option<vsv::SloSpec> = None;
+        let mut traffic: Option<vsv::TrafficSpec> = None;
         let mut policy: Option<PolicySpec> = None;
         let mut policies: Vec<PolicySpec> = Vec::new();
         let mut ladder: Option<usize> = None;
@@ -410,12 +422,14 @@ impl Command {
                     }
                 }
                 "--slo" => slo = Some(parse_slo(&next_value("--slo", &mut it)?)?),
+                "--traffic" => traffic = Some(parse_traffic(&next_value("--traffic", &mut it)?)?),
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
         let need_twin = |t: Option<String>| t.ok_or_else(|| "--twin is required".to_owned());
         match cmd.as_str() {
             "list" => Ok(Command::List),
+            "workloads" => Ok(Command::Workloads),
             "help" | "--help" | "-h" => Ok(Command::Help),
             "run" => Ok(Command::Run {
                 twin: need_twin(twin_name)?,
@@ -459,6 +473,7 @@ impl Command {
                     timekeeping,
                     error_rate,
                     slo,
+                    traffic,
                     insts,
                     warmup,
                     workers,
@@ -480,6 +495,7 @@ impl Command {
                     warmup,
                     error_rate,
                     slo,
+                    traffic,
                 };
                 match campaign_sub.as_deref() {
                     Some("plan") => Ok(Command::CampaignPlan {
@@ -550,12 +566,14 @@ vsv-cli — run the VSV (MICRO-36 2003) reproduction from the command line
 
 USAGE:
   vsv-cli list
+  vsv-cli workloads
   vsv-cli run     --twin NAME [--config baseline|vsv-fsm|vsv-nofsm]
                   [--tk] [--insts N] [--warmup N] [--json]
   vsv-cli compare --twin NAME [--policies A,B,.. | --ladders D1,D2,..]
                   [--tk] [--insts N] [--warmup N] [--workers N] [--json]
   vsv-cli sweep   [--twin NAME] [--policy NAME] [--ladder N] [--tk]
-                  [--error-rate F] [--slo PPM,NS]
+                  [--error-rate F] [--slo PPM,NS | --slo KEY=VALUE,..]
+                  [--traffic MODEL:KEY=VALUE,..]
                   [--insts N] [--warmup N] [--workers N] [--json]
                   [--checkpoint FILE | --resume FILE | --trace FILE]
                   [--trace-level transitions|events|full]
@@ -592,11 +610,29 @@ Errored reads retry after a fixed detect + reissue delay; a read
 that exhausts its retry budget fails the cell with a typed
 unrecoverable-read error. --slo PPM,NS asserts a reliability SLO on
 every cell post-run: at most PPM retries per million fills and at
-most NS nanoseconds of p99 added read latency. Violations are
+most NS nanoseconds of p99 added read latency. The extended form
+--slo KEY=VALUE,.. (keys: retry, fill_p99, p99, p999; unspecified
+retry/fill_p99 are unbounded) adds end-to-end request-latency
+ceilings p99/p999 in ns, judged against the --traffic request
+histogram (vacuously met without --traffic). Violations are
 reported per cell and exit with code 3 (cell failures win: 1). The
 error-backoff policy (--policy error-backoff) trades energy for
 reliability: it wraps dual-fsm (or ladder-fsm with --ladder) and
 climbs back to VDDH while the observed retry rate is high.
+
+Service traffic: --traffic layers a deterministic open-loop request
+stream over every sweep cell. A request is a SIZE-instruction slice
+of the twin's committed stream, served FIFO from the arrival queue;
+the stream itself is pure accounting — timing, energy, and every
+other metric are bit-identical with traffic on or off, so the power
+saving under load equals the closed-loop saving while tail latency
+shows what that saving costs. poisson:rate=R,size=S[,seed=N] draws
+arrivals at R requests/µs; mmpp:rate=R,burst=B,on=NS,off=NS,size=S
+alternates OFF (rate R) and ON (rate B) phases of fixed lengths — an
+ON/OFF burst train. Each cell reports arrivals, completions, backlog
+and p50/p99/p999 request latency from an exact log2 histogram.
+workloads lists the twins' generator parameters next to the paper's
+Table 2 calibration targets.
 
 Observability: sweep --trace FILE writes one structured JSONL event
 per line (schema: docs/observability.md), per job in grid order —
@@ -624,7 +660,7 @@ frontier on one twin.
 
 Campaigns scale one sweep across K processes (or machines): the grid
 flags (--twin/--policy/--ladder/--tk/--insts/--warmup/--error-rate/
---slo) define the grid and must be identical in every subcommand. plan shows the
+--slo/--traffic) define the grid and must be identical in every subcommand. plan shows the
 partition (cell g belongs to shard g mod K — interleaved, so K need
 not divide the cell count). run executes one shard as an ordinary
 checkpointed sweep: kill it and run again to resume (--fresh starts
@@ -642,6 +678,9 @@ EXAMPLES:
   vsv-cli sweep --policy always-high --json
   vsv-cli sweep --twin mcf --error-rate 0.02 --slo 50000,8
   vsv-cli sweep --twin mcf --policy error-backoff --error-rate 0.02 --slo 50000,8
+  vsv-cli sweep --twin mcf --traffic poisson:rate=0.02,size=5000
+  vsv-cli sweep --twin mcf --traffic mmpp:rate=0.01,burst=0.2,on=20000,off=40000,size=5000 \\
+                --slo p99=60000,p999=120000
   vsv-cli sweep --twin mcf --inject-fault 1:unrecoverable-read
   vsv-cli run --twin applu --config vsv-fsm --tk --json
   vsv-cli sweep --workers 4 --json
@@ -689,6 +728,38 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
                     r.name, r.ipc_base, r.mr_base, r.mr_tk
                 ));
             }
+            Ok((out, 0))
+        }
+        Command::Workloads => {
+            let mut out = format!(
+                "{:<10} {:<12} {:>7} {:>6} {:>5} | {:>9} {:>8} {:>12}\n",
+                "twin", "pattern", "ws_MB", "far%", "pf%", "paper IPC", "paper MR", "paper MR(TK)"
+            );
+            let refs = table2_reference();
+            for p in spec2k_twins() {
+                let pattern = match p.pattern {
+                    vsv_workloads::AccessPattern::Streaming => "streaming".to_owned(),
+                    vsv_workloads::AccessPattern::PermutationChase => "chase".to_owned(),
+                    vsv_workloads::AccessPattern::Random => "random".to_owned(),
+                    vsv_workloads::AccessPattern::Strided { blocks } => format!("strided:{blocks}"),
+                };
+                let target = refs.iter().find(|r| r.name == p.name).map_or_else(
+                    || format!("{:>9} {:>8} {:>12}", "-", "-", "-"),
+                    |r| format!("{:>9.2} {:>8.1} {:>12.1}", r.ipc_base, r.mr_base, r.mr_tk),
+                );
+                out.push_str(&format!(
+                    "{:<10} {:<12} {:>7.1} {:>6.1} {:>5.0} | {target}\n",
+                    p.name,
+                    pattern,
+                    p.working_set_bytes as f64 / (1u64 << 20) as f64,
+                    p.far_fraction * 100.0,
+                    p.sw_prefetch_coverage * 100.0,
+                ));
+            }
+            out.push_str(
+                "(pattern/ws/far drive L2 misses per kilo-inst; paper columns are the \
+                 Table 2 calibration targets — see `list` for the compact form)\n",
+            );
             Ok((out, 0))
         }
         Command::Run {
@@ -797,6 +868,7 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
             timekeeping,
             error_rate,
             slo,
+            traffic,
             insts,
             warmup,
             workers,
@@ -816,6 +888,7 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
                 warmup,
                 error_rate,
                 slo,
+                traffic,
             };
             let mut sweep = grid.to_sweep()?;
             arm_fault(&mut sweep, inject_fault)?;
@@ -888,6 +961,15 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
                 }
                 if let Some(summary) = slo_summary(&report) {
                     out.push_str(&summary);
+                }
+                // A reliability-bounded SLO with the error model off is
+                // judged against a retry rate that is trivially zero.
+                if error_rate == 0.0 && slo.is_some_and(|s| s.bounds_reliability()) {
+                    out.push_str(
+                        "note: the --slo retry/fill ceilings are trivially met because \
+                         --error-rate is 0 (no read ever errs); pass --error-rate to \
+                         exercise them\n",
+                    );
                 }
                 Ok((out, code))
             }
@@ -1181,6 +1263,9 @@ struct JobTraceSummary {
     counts: std::collections::BTreeMap<&'static str, u64>,
     /// `(at, instructions)` of the last `window_closed`, if any.
     window: Option<(u64, u64)>,
+    /// `(completed, total latency ns, max latency ns)` accumulated
+    /// over every `RequestCompleted`.
+    requests: (u64, u64, u64),
 }
 
 /// Parses a JSONL event trace (the `sweep --trace` output format,
@@ -1219,6 +1304,11 @@ fn summarize_trace(data: &str) -> Result<String, String> {
             vsv::TraceEvent::WindowClosed {
                 at, instructions, ..
             } => current.window = Some((at, instructions)),
+            vsv::TraceEvent::RequestCompleted { latency_ns, .. } => {
+                current.requests.0 += 1;
+                current.requests.1 += latency_ns;
+                current.requests.2 = current.requests.2.max(latency_ns);
+            }
             _ => {}
         }
     }
@@ -1243,6 +1333,30 @@ fn summarize_trace(data: &str) -> Result<String, String> {
             .map(|(kind, n)| format!("{kind} {n}"))
             .collect();
         out.push_str(&format!("  events: {total}  ({})\n", by_kind.join(", ")));
+        let count = |kind: &str| summary.counts.get(kind).copied().unwrap_or(0);
+        let (errors, exhausted, backoffs) = (
+            count("ReadError"),
+            count("RetryExhausted"),
+            count("BackoffEngaged"),
+        );
+        if errors + exhausted + backoffs > 0 {
+            out.push_str(&format!(
+                "  reliability: {errors} read errors, {exhausted} retry budgets exhausted, \
+                 {backoffs} backoffs\n"
+            ));
+        }
+        let (arrived, bursts) = (count("RequestArrived"), count("BurstStart"));
+        let (completed, total_latency, max_latency) = summary.requests;
+        if arrived + completed > 0 {
+            let latency = total_latency
+                .checked_div(completed)
+                .map_or_else(String::new, |mean| {
+                    format!(", latency mean {mean} / max {max_latency} ns")
+                });
+            out.push_str(&format!(
+                "  requests: {arrived} arrived, {completed} completed, {bursts} bursts{latency}\n"
+            ));
+        }
         if summary.timeline.is_empty() {
             continue;
         }
@@ -1403,12 +1517,42 @@ fn parse_fault(raw: &str) -> Result<(usize, vsv::FaultKind), String> {
     Ok((cell, kind))
 }
 
-/// Parses a `--slo` value: `RATE_PPM,P99_NS` (max retry rate in
-/// retries per million fills, max p99 added read latency in ns).
+/// Parses a `--slo` value. Two forms:
+///
+/// * legacy `RATE_PPM,P99_NS`: max retry rate (retries per million
+///   fills) and max p99 added read latency (ns);
+/// * `KEY=VALUE,..` with keys `retry` (ppm), `fill_p99` (ns, added
+///   read latency), `p99`/`p999` (ns, end-to-end request latency —
+///   needs `--traffic` to be non-vacuous). Unspecified reliability
+///   ceilings are unbounded.
 fn parse_slo(raw: &str) -> Result<vsv::SloSpec, String> {
+    if raw.contains('=') {
+        let mut spec = vsv::SloSpec::new(u64::MAX, u64::MAX);
+        for pair in raw.split(',') {
+            let Some((key, value)) = pair.split_once('=') else {
+                return Err(format!("--slo '{pair}': expected KEY=VALUE"));
+            };
+            let n: u64 = value
+                .parse()
+                .map_err(|e| format!("--slo {key} '{value}': {e}"))?;
+            match key {
+                "retry" => spec.max_retry_rate_ppm = n,
+                "fill_p99" => spec.max_added_latency_p99_ns = n,
+                "p99" => spec.max_request_p99_ns = Some(n),
+                "p999" => spec.max_request_p999_ns = Some(n),
+                other => {
+                    return Err(format!(
+                        "--slo key '{other}': expected retry | fill_p99 | p99 | p999"
+                    ))
+                }
+            }
+        }
+        return Ok(spec);
+    }
     let Some((rate_raw, p99_raw)) = raw.split_once(',') else {
         return Err(format!(
-            "--slo '{raw}': expected RATE_PPM,P99_NS (e.g. --slo 50000,8)"
+            "--slo '{raw}': expected RATE_PPM,P99_NS (e.g. --slo 50000,8) or KEY=VALUE,.. \
+             (keys: retry, fill_p99, p99, p999)"
         ));
     };
     let max_retry_rate_ppm: u64 = rate_raw
@@ -1421,6 +1565,90 @@ fn parse_slo(raw: &str) -> Result<vsv::SloSpec, String> {
         max_retry_rate_ppm,
         max_added_latency_p99_ns,
     ))
+}
+
+/// Parses a `--traffic` value: `poisson:rate=R,size=S[,seed=N]` or
+/// `mmpp:rate=R,burst=B,on=NS,off=NS,size=S[,seed=N]`. Rates are in
+/// requests per microsecond (`rate` is also the MMPP OFF-phase rate,
+/// `burst` the ON-phase rate); `size` is committed instructions per
+/// request.
+fn parse_traffic(raw: &str) -> Result<vsv::TrafficSpec, String> {
+    let Some((model, rest)) = raw.split_once(':') else {
+        return Err(format!(
+            "--traffic '{raw}': expected poisson:rate=R,size=S or \
+             mmpp:rate=R,burst=B,on=NS,off=NS,size=S"
+        ));
+    };
+    let mut rate: Option<f64> = None;
+    let mut burst: Option<f64> = None;
+    let mut on: Option<u64> = None;
+    let mut off: Option<u64> = None;
+    let mut size: Option<u64> = None;
+    let mut seed: Option<u64> = None;
+    for pair in rest.split(',') {
+        let Some((key, value)) = pair.split_once('=') else {
+            return Err(format!("--traffic '{pair}': expected KEY=VALUE"));
+        };
+        match key {
+            "rate" | "burst" => {
+                let f: f64 = value
+                    .parse()
+                    .map_err(|e| format!("--traffic {key} '{value}': {e}"))?;
+                if key == "rate" {
+                    rate = Some(f);
+                } else {
+                    burst = Some(f);
+                }
+            }
+            "on" | "off" | "size" | "seed" => {
+                let n: u64 = value
+                    .parse()
+                    .map_err(|e| format!("--traffic {key} '{value}': {e}"))?;
+                match key {
+                    "on" => on = Some(n),
+                    "off" => off = Some(n),
+                    "size" => size = Some(n),
+                    _ => seed = Some(n),
+                }
+            }
+            other => {
+                return Err(format!(
+                    "--traffic key '{other}': expected rate | burst | on | off | size | seed"
+                ))
+            }
+        }
+    }
+    let need_f = |o: Option<f64>, key: &str| {
+        o.ok_or_else(|| format!("--traffic {model}: missing {key}=VALUE"))
+    };
+    let need_u = |o: Option<u64>, key: &str| {
+        o.ok_or_else(|| format!("--traffic {model}: missing {key}=VALUE"))
+    };
+    let mut spec = match model {
+        "poisson" => {
+            if burst.is_some() || on.is_some() || off.is_some() {
+                return Err("--traffic poisson: burst/on/off only apply to mmpp".to_owned());
+            }
+            vsv::TrafficSpec::poisson(need_f(rate, "rate")?, need_u(size, "size")?)
+        }
+        "mmpp" => vsv::TrafficSpec::mmpp(
+            need_f(rate, "rate")?,
+            need_f(burst, "burst")?,
+            need_u(on, "on")?,
+            need_u(off, "off")?,
+            need_u(size, "size")?,
+        ),
+        other => {
+            return Err(format!(
+                "--traffic model '{other}': expected poisson | mmpp"
+            ))
+        }
+    };
+    if let Some(s) = seed {
+        spec = spec.with_seed(s);
+    }
+    spec.validate().map_err(|e| format!("--traffic: {e}"))?;
+    Ok(spec)
 }
 
 /// Parses a `--shard` value: `I` or `I/N` (0-based shard index,
@@ -1572,6 +1800,7 @@ mod tests {
             timekeeping: false,
             error_rate: 0.0,
             slo: None,
+            traffic: None,
             insts: 3_000,
             warmup: 1_000,
             workers,
@@ -1596,6 +1825,7 @@ mod tests {
                 timekeeping: false,
                 error_rate: 0.0,
                 slo: None,
+                traffic: None,
                 insts: 300_000,
                 warmup: 100_000,
                 workers: 4,
@@ -1685,6 +1915,139 @@ mod tests {
         assert!(err.contains("RATE_PPM,P99_NS"), "{err}");
         let err = Command::parse(&sv(&["sweep", "--slo", "a,b"])).expect_err("non-numeric");
         assert!(err.contains("retry rate"), "{err}");
+    }
+
+    #[test]
+    fn parses_traffic_specs() {
+        let cmd = Command::parse(&sv(&[
+            "sweep",
+            "--twin",
+            "mcf",
+            "--traffic",
+            "poisson:rate=0.5,size=2000,seed=9",
+        ]))
+        .expect("valid");
+        let Command::Sweep { traffic, .. } = cmd else {
+            panic!("expected a sweep command");
+        };
+        assert_eq!(
+            traffic,
+            Some(vsv::TrafficSpec::poisson(0.5, 2_000).with_seed(9))
+        );
+
+        let cmd = Command::parse(&sv(&[
+            "sweep",
+            "--traffic",
+            "mmpp:rate=0.01,burst=0.2,on=20000,off=40000,size=5000",
+        ]))
+        .expect("valid");
+        let Command::Sweep { traffic, .. } = cmd else {
+            panic!("expected a sweep command");
+        };
+        assert_eq!(
+            traffic,
+            Some(vsv::TrafficSpec::mmpp(0.01, 0.2, 20_000, 40_000, 5_000))
+        );
+
+        let err = Command::parse(&sv(&["sweep", "--traffic", "uniform:rate=1,size=10"]))
+            .expect_err("unknown model");
+        assert!(err.contains("poisson | mmpp"), "{err}");
+        let err = Command::parse(&sv(&["sweep", "--traffic", "poisson:rate=1"]))
+            .expect_err("missing size");
+        assert!(err.contains("missing size"), "{err}");
+        let err = Command::parse(&sv(&["sweep", "--traffic", "poisson:rate=1,size=10,on=5"]))
+            .expect_err("mmpp-only key");
+        assert!(err.contains("only apply to mmpp"), "{err}");
+        let err = Command::parse(&sv(&["sweep", "--traffic", "poisson:rate=0,size=10"]))
+            .expect_err("zero rate");
+        assert!(err.contains("--traffic"), "{err}");
+        let err = Command::parse(&sv(&["sweep", "--traffic", "poisson:pace=1,size=10"]))
+            .expect_err("unknown key");
+        assert!(
+            err.contains("rate | burst | on | off | size | seed"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn parses_slo_key_value_form() {
+        let cmd = Command::parse(&sv(&["sweep", "--slo", "p99=60000,p999=120000"])).expect("valid");
+        let Command::Sweep { slo, .. } = cmd else {
+            panic!("expected a sweep command");
+        };
+        assert_eq!(
+            slo,
+            Some(
+                vsv::SloSpec::new(u64::MAX, u64::MAX)
+                    .with_request_p99(60_000)
+                    .with_request_p999(120_000)
+            )
+        );
+
+        let cmd =
+            Command::parse(&sv(&["sweep", "--slo", "retry=50000,fill_p99=8"])).expect("valid");
+        let Command::Sweep { slo, .. } = cmd else {
+            panic!("expected a sweep command");
+        };
+        assert_eq!(slo, Some(vsv::SloSpec::new(50_000, 8)));
+
+        let err = Command::parse(&sv(&["sweep", "--slo", "p50=10"])).expect_err("unknown key");
+        assert!(err.contains("retry | fill_p99 | p99 | p999"), "{err}");
+        let err = Command::parse(&sv(&["sweep", "--slo", "p99=ten"])).expect_err("non-numeric");
+        assert!(err.contains("p99 'ten'"), "{err}");
+    }
+
+    #[test]
+    fn workloads_lists_params_and_paper_targets() {
+        let (out, code) = execute_with_exit(Command::Workloads).expect("ok");
+        assert_eq!(code, 0);
+        for p in spec2k_twins() {
+            assert!(out.contains(p.name), "missing {}", p.name);
+        }
+        assert!(out.contains("paper IPC"), "{out}");
+        assert!(out.contains("chase"), "{out}");
+        assert!(out.contains("streaming"), "{out}");
+    }
+
+    #[test]
+    fn reliability_slo_without_error_model_notes_the_vacuous_ceilings() {
+        // A retry-rate ceiling with --error-rate 0 is trivially met;
+        // the text output says so (without crying wolf: exit 0, no
+        // violation language).
+        let mut cmd = sweep_cmd(Some("gzip"), 1, false);
+        if let Command::Sweep { slo, .. } = &mut cmd {
+            *slo = Some(vsv::SloSpec::new(50_000, u64::MAX));
+        }
+        let (out, code) = execute_with_exit(cmd).expect("runs");
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("trivially met"), "{out}");
+        assert!(!out.contains("violated"), "{out}");
+
+        // A latency-only SLO has nothing reliability-bound: no note.
+        let mut cmd = sweep_cmd(Some("gzip"), 1, false);
+        if let Command::Sweep { slo, traffic, .. } = &mut cmd {
+            *slo = Some(vsv::SloSpec::new(u64::MAX, u64::MAX).with_request_p99(u64::MAX - 1));
+            *traffic = Some(vsv::TrafficSpec::poisson(0.05, 500));
+        }
+        let (out, code) = execute_with_exit(cmd).expect("runs");
+        assert_eq!(code, 0, "{out}");
+        assert!(!out.contains("trivially met"), "{out}");
+    }
+
+    #[test]
+    fn sweep_with_traffic_reports_request_fields() {
+        let mut cmd = sweep_cmd(Some("gzip"), 1, true);
+        if let Command::Sweep { traffic, .. } = &mut cmd {
+            *traffic = Some(vsv::TrafficSpec::poisson(2.0, 200));
+        }
+        let (out, code) = execute_with_exit(cmd).expect("runs");
+        assert_eq!(code, 0);
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        assert!(
+            out.contains("requests_arrived"),
+            "request fields in the report"
+        );
+        let _ = v;
     }
 
     #[test]
@@ -2069,6 +2432,7 @@ mod tests {
             warmup: 1_000,
             error_rate: 0.0,
             slo: None,
+            traffic: None,
         }
     }
 

@@ -112,3 +112,4 @@ pub use trace::{
     TraceSink,
 };
 pub use vsv_power::{ErrorCurve, VoltageCurve, VoltageLadder, MAX_LADDER_DEPTH};
+pub use vsv_workloads::{TrafficModel, TrafficSpec};

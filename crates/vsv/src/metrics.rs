@@ -64,11 +64,17 @@ pub enum CounterId {
     /// Measurement windows that violated the configured
     /// [`crate::SloSpec`].
     SloViolations,
+    /// Open-loop requests that arrived (traffic scenarios only).
+    RequestsArrived,
+    /// Open-loop requests that completed service.
+    RequestsCompleted,
+    /// MMPP ON (burst) phases begun.
+    BurstStarts,
 }
 
 impl CounterId {
     /// Number of counters (the array length).
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 21;
 
     /// All counters, in [`CounterId::index`] order.
     pub const ALL: [CounterId; CounterId::COUNT] = [
@@ -90,6 +96,9 @@ impl CounterId {
         CounterId::ReadRetries,
         CounterId::BackoffVetoes,
         CounterId::SloViolations,
+        CounterId::RequestsArrived,
+        CounterId::RequestsCompleted,
+        CounterId::BurstStarts,
     ];
 
     /// Dense index into the counter array (declaration-order
@@ -123,6 +132,9 @@ impl CounterId {
             CounterId::ReadRetries => "read_retries",
             CounterId::BackoffVetoes => "backoff_vetoes",
             CounterId::SloViolations => "slo_violations",
+            CounterId::RequestsArrived => "requests_arrived",
+            CounterId::RequestsCompleted => "requests_completed",
+            CounterId::BurstStarts => "burst_starts",
         }
     }
 }
@@ -148,6 +160,11 @@ pub const ISSUE_BUCKETS: usize = 9;
 /// holds spans of `[2^i, 2^(i+1))` ns, the last bucket absorbing
 /// anything longer.
 pub const FF_SPAN_BUCKETS: usize = 16;
+
+/// Number of log2 buckets for open-loop request latency: bucket `i`
+/// holds latencies of `[2^i, 2^(i+1))` ns (bucket 0 also takes 0 ns),
+/// the last bucket absorbing anything from `2^31` ns (~2.1 s) up.
+pub const REQ_LATENCY_BUCKETS: usize = 32;
 
 /// The per-run metrics registry: counters plus two histograms, all
 /// fixed-size plain data.
@@ -175,6 +192,10 @@ pub struct MetricsRegistry {
     /// Fast-forward batch lengths, log2-bucketed
     /// (see [`FF_SPAN_BUCKETS`]).
     pub ff_span_log2: [u64; FF_SPAN_BUCKETS],
+    /// Open-loop request latencies (arrival → completion),
+    /// log2-bucketed (see [`REQ_LATENCY_BUCKETS`]). All-zero unless a
+    /// traffic scenario is configured.
+    pub req_latency_log2: [u64; REQ_LATENCY_BUCKETS],
 }
 
 impl Default for MetricsRegistry {
@@ -183,6 +204,7 @@ impl Default for MetricsRegistry {
             counters: [0; CounterId::COUNT],
             issue_width: [0; ISSUE_BUCKETS],
             ff_span_log2: [0; FF_SPAN_BUCKETS],
+            req_latency_log2: [0; REQ_LATENCY_BUCKETS],
         }
     }
 }
@@ -212,6 +234,40 @@ impl MetricsRegistry {
         self.ff_span_log2[bucket] += 1;
     }
 
+    /// Records one completed request's latency (arrival → completion,
+    /// in ns) into the log2 latency histogram.
+    pub fn observe_request_latency(&mut self, ns: u64) {
+        let bucket = (63 - u64::leading_zeros(ns.max(1)) as usize).min(REQ_LATENCY_BUCKETS - 1);
+        self.req_latency_log2[bucket] += 1;
+    }
+
+    /// Exact rank extraction from the request-latency histogram: the
+    /// inclusive upper edge (`2^(i+1) - 1` ns) of the bucket holding
+    /// the `ceil(total * numer / denom)`-th smallest latency. p50 is
+    /// `(50, 100)`, p99 `(99, 100)`, p999 `(999, 1000)`. Returns 0
+    /// when no request has completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denom` is zero.
+    #[must_use]
+    pub fn request_latency_percentile(&self, numer: u64, denom: u64) -> u64 {
+        assert!(denom > 0, "denom must be nonzero");
+        let total: u64 = self.req_latency_log2.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let need = (total * numer).div_ceil(denom).max(1);
+        let mut cum = 0;
+        for (i, &count) in self.req_latency_log2.iter().enumerate() {
+            cum += count;
+            if cum >= need {
+                return (1u64 << (i + 1)) - 1;
+            }
+        }
+        u64::MAX
+    }
+
     /// Folds a window's issue-width bucket counts (the delta of
     /// `vsv_uarch::IssueHistogram::buckets` over the window) into the
     /// registry.
@@ -235,6 +291,13 @@ impl MetricsRegistry {
         for (mine, theirs) in self.ff_span_log2.iter_mut().zip(&other.ff_span_log2) {
             *mine += theirs;
         }
+        for (mine, theirs) in self
+            .req_latency_log2
+            .iter_mut()
+            .zip(&other.req_latency_log2)
+        {
+            *mine += theirs;
+        }
     }
 
     /// Whether every counter and bucket is zero (a failed job's
@@ -244,6 +307,7 @@ impl MetricsRegistry {
         self.counters.iter().all(|&c| c == 0)
             && self.issue_width.iter().all(|&c| c == 0)
             && self.ff_span_log2.iter().all(|&c| c == 0)
+            && self.req_latency_log2.iter().all(|&c| c == 0)
     }
 
     /// The nonzero counters as `(name, value)` rows, in catalog
@@ -313,6 +377,25 @@ mod tests {
         assert_eq!(a.issue_width[0], 2);
         assert_eq!(a.issue_width[8], 4);
         assert_eq!(a.ff_span_log2[3], 2);
+    }
+
+    #[test]
+    fn request_latency_percentiles_walk_bucket_edges() {
+        let mut m = MetricsRegistry::default();
+        assert_eq!(m.request_latency_percentile(99, 100), 0);
+        // 99 fast requests in bucket 9 (512..=1023 ns), one slow one
+        // in bucket 12 (4096..=8191 ns).
+        for _ in 0..99 {
+            m.observe_request_latency(600);
+        }
+        m.observe_request_latency(5000);
+        assert_eq!(m.request_latency_percentile(50, 100), 1023);
+        assert_eq!(m.request_latency_percentile(99, 100), 1023);
+        assert_eq!(m.request_latency_percentile(999, 1000), 8191);
+        // Zero-latency completions land in bucket 0 (edge 1 ns).
+        let mut z = MetricsRegistry::default();
+        z.observe_request_latency(0);
+        assert_eq!(z.request_latency_percentile(50, 100), 1);
     }
 
     #[test]

@@ -58,6 +58,28 @@ pub struct RunResult {
     /// budget; an exhausted budget ends the run with
     /// `SimError::UnrecoverableRead` instead).
     pub read_retries: u64,
+    /// Open-loop requests that arrived in the window (0 with traffic
+    /// off).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub requests_arrived: u64,
+    /// Open-loop requests that completed service in the window.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub requests_completed: u64,
+    /// Requests still queued when the window closed (nonzero backlog
+    /// = offered load exceeded service capacity).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub request_backlog: u64,
+    /// Median request latency: the log2-bucket upper edge holding the
+    /// window's 50th-percentile arrival → completion latency, ns
+    /// (0 with traffic off or no completions).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub request_p50_ns: u64,
+    /// 99th-percentile request latency (same bucket-edge convention).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub request_p99_ns: u64,
+    /// 99.9th-percentile request latency (same convention).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub request_p999_ns: u64,
     /// The window's reliability outcome against the configured
     /// [`SloSpec`] (`None` when no SLO was set).
     pub slo: Option<SloOutcome>,
@@ -108,11 +130,17 @@ impl Comparison {
     }
 }
 
-/// A run's reliability service-level objective: ceilings on how much
-/// low-voltage timing-error churn the modeled machine may impose on
-/// the workload. Checked per measurement window against the observed
-/// retry stream; a violated window marks its [`RunResult::slo`] (and
-/// sweep record) non-compliant and bumps the `slo_violations` counter.
+/// A run's service-level objective: ceilings on how much low-voltage
+/// timing-error churn the modeled machine may impose on the workload,
+/// and — for traffic scenarios — on the request tail latency. Checked
+/// per measurement window against the observed retry stream and the
+/// request-latency histogram; a violated window marks its
+/// [`RunResult::slo`] (and sweep record) non-compliant and bumps the
+/// `slo_violations` counter.
+///
+/// The tail-latency ceilings are optional so latency-only and
+/// reliability-only SLOs both express naturally; `None` means
+/// unbounded.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SloSpec {
@@ -123,32 +151,90 @@ pub struct SloSpec {
     /// error detection and retry, in nanoseconds (each retry adds a
     /// fixed detect + reissue delay; see `vsv-mem`).
     pub max_added_latency_p99_ns: u64,
+    /// Maximum tolerated 99th-percentile request latency, ns
+    /// (traffic scenarios; `None` = unbounded).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub max_request_p99_ns: Option<u64>,
+    /// Maximum tolerated 99.9th-percentile request latency, ns.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub max_request_p999_ns: Option<u64>,
 }
 
 impl SloSpec {
-    /// An SLO with the given ceilings.
+    /// A reliability-only SLO with the given ceilings (request tail
+    /// latency unbounded).
     #[must_use]
     pub fn new(max_retry_rate_ppm: u64, max_added_latency_p99_ns: u64) -> Self {
         SloSpec {
             max_retry_rate_ppm,
             max_added_latency_p99_ns,
+            max_request_p99_ns: None,
+            max_request_p999_ns: None,
         }
     }
 
+    /// Adds a request-p99 ceiling (ns).
+    #[must_use]
+    pub fn with_request_p99(mut self, ns: u64) -> Self {
+        self.max_request_p99_ns = Some(ns);
+        self
+    }
+
+    /// Adds a request-p999 ceiling (ns).
+    #[must_use]
+    pub fn with_request_p999(mut self, ns: u64) -> Self {
+        self.max_request_p999_ns = Some(ns);
+        self
+    }
+
+    /// Whether any reliability ceiling is finite (used by the CLI to
+    /// warn when a retry-rate bound is asserted without an error
+    /// model, where the retry rate is trivially 0).
+    #[must_use]
+    pub fn bounds_reliability(&self) -> bool {
+        self.max_retry_rate_ppm != u64::MAX || self.max_added_latency_p99_ns != u64::MAX
+    }
+
     /// Judges one window's observed reliability numbers against this
-    /// objective.
+    /// objective (no traffic percentiles; request ceilings are judged
+    /// vacuously satisfied).
     #[must_use]
     pub fn evaluate(&self, retry_rate_ppm: u64, added_latency_p99_ns: u64) -> SloOutcome {
+        self.evaluate_window(retry_rate_ppm, added_latency_p99_ns, None, None)
+    }
+
+    /// Judges one window's observed reliability numbers and request
+    /// tail latencies (`None` when no traffic scenario ran) against
+    /// this objective.
+    #[must_use]
+    pub fn evaluate_window(
+        &self,
+        retry_rate_ppm: u64,
+        added_latency_p99_ns: u64,
+        request_p99_ns: Option<u64>,
+        request_p999_ns: Option<u64>,
+    ) -> SloOutcome {
+        let within = |observed: Option<u64>, ceiling: Option<u64>| match (observed, ceiling) {
+            (Some(seen), Some(max)) => seen <= max,
+            // An unbounded ceiling, or a ceiling with no traffic to
+            // measure against, cannot be violated.
+            _ => true,
+        };
         SloOutcome {
             retry_rate_ppm,
             added_latency_p99_ns,
+            request_p99_ns,
+            request_p999_ns,
             compliant: retry_rate_ppm <= self.max_retry_rate_ppm
-                && added_latency_p99_ns <= self.max_added_latency_p99_ns,
+                && added_latency_p99_ns <= self.max_added_latency_p99_ns
+                && within(request_p99_ns, self.max_request_p99_ns)
+                && within(request_p999_ns, self.max_request_p999_ns),
         }
     }
 }
 
-/// One window's measured reliability, judged against an [`SloSpec`].
+/// One window's measured reliability and tail latency, judged against
+/// an [`SloSpec`].
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SloOutcome {
@@ -157,7 +243,14 @@ pub struct SloOutcome {
     pub retry_rate_ppm: u64,
     /// Observed 99th-percentile added fill latency, ns.
     pub added_latency_p99_ns: u64,
-    /// Whether both ceilings held.
+    /// Observed 99th-percentile request latency, ns (`None` when no
+    /// traffic scenario ran).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub request_p99_ns: Option<u64>,
+    /// Observed 99.9th-percentile request latency, ns.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub request_p999_ns: Option<u64>,
+    /// Whether every ceiling held.
     pub compliant: bool,
 }
 
@@ -165,9 +258,15 @@ impl std::fmt::Display for SloOutcome {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "retry rate {} ppm, p99 added latency {} ns — {}",
-            self.retry_rate_ppm,
-            self.added_latency_p99_ns,
+            "retry rate {} ppm, p99 added latency {} ns",
+            self.retry_rate_ppm, self.added_latency_p99_ns,
+        )?;
+        if let (Some(p99), Some(p999)) = (self.request_p99_ns, self.request_p999_ns) {
+            write!(f, ", request p99 {p99} ns / p999 {p999} ns")?;
+        }
+        write!(
+            f,
+            " — {}",
             if self.compliant {
                 "compliant"
             } else {
@@ -232,6 +331,12 @@ mod tests {
             issue_histogram: IssueHistogram::default(),
             read_errors: 0,
             read_retries: 0,
+            requests_arrived: 0,
+            requests_completed: 0,
+            request_backlog: 0,
+            request_p50_ns: 0,
+            request_p99_ns: 0,
+            request_p999_ns: 0,
             slo: None,
         }
     }
@@ -287,6 +392,38 @@ mod tests {
     }
 
     #[test]
+    fn slo_request_ceilings_judge_tail_latency() {
+        let spec = SloSpec::new(u64::MAX, u64::MAX).with_request_p99(2000);
+        assert!(!spec.bounds_reliability(), "latency-only SLO");
+        assert!(SloSpec::new(5, 5).bounds_reliability());
+        // No traffic ran: the ceiling is vacuously satisfied.
+        assert!(spec.evaluate(0, 0).compliant);
+        assert!(spec.evaluate_window(0, 0, Some(2000), Some(9999)).compliant);
+        let over = spec.evaluate_window(0, 0, Some(2001), Some(2001));
+        assert!(!over.compliant);
+        assert_eq!(over.request_p99_ns, Some(2001));
+        assert!(over.to_string().contains("request p99 2001 ns"), "{over}");
+        let p999 = spec.with_request_p999(4000);
+        assert!(!p999.evaluate_window(0, 0, Some(100), Some(4001)).compliant);
+    }
+
+    #[test]
+    fn run_display_includes_traffic_line_only_under_traffic() {
+        let mut r = result(100, 10.0);
+        assert!(!r.to_string().contains("traffic:"));
+        r.requests_arrived = 12;
+        r.requests_completed = 11;
+        r.request_backlog = 1;
+        r.request_p99_ns = 4095;
+        let s = r.to_string();
+        assert!(
+            s.contains("traffic: 12 arrived / 11 completed (1 queued)"),
+            "{s}"
+        );
+        assert!(s.contains("p99 4095"), "{s}");
+    }
+
+    #[test]
     fn run_display_includes_slo_line_only_when_set() {
         let mut r = result(100, 10.0);
         assert!(!r.to_string().contains("slo:"));
@@ -332,6 +469,18 @@ impl std::fmt::Display for RunResult {
             self.mode.down_transitions,
             self.mode.up_transitions
         )?;
+        if self.requests_arrived > 0 || self.request_backlog > 0 {
+            write!(
+                f,
+                "\n  traffic: {} arrived / {} completed ({} queued); latency p50 {} / p99 {} / p999 {} ns",
+                self.requests_arrived,
+                self.requests_completed,
+                self.request_backlog,
+                self.request_p50_ns,
+                self.request_p99_ns,
+                self.request_p999_ns
+            )?;
+        }
         if let Some(slo) = &self.slo {
             write!(
                 f,

@@ -760,9 +760,13 @@ mod checkpoint {
     // contract, and `SweepReport` moved `metrics` after `records` for
     // single-pass streaming merges; v5: `JobRecord` gained the `slo`
     // outcome field and the header gained the finalized shard
-    // `wall_ns`. Older files no longer round-trip and are rejected by
-    // the version check.
-    pub(crate) const CHECKPOINT_VERSION: u32 = 5;
+    // `wall_ns`; v6: the service-traffic subsystem — `SystemConfig`
+    // gained the `traffic` axis (part of the config digest),
+    // `MetricsRegistry` the request counters and log2 latency
+    // histogram, and `SloSpec`/`SloOutcome`/`RunResult` the
+    // request-latency ceilings and percentiles. Older files no longer
+    // round-trip and are rejected by the version check.
+    pub(crate) const CHECKPOINT_VERSION: u32 = 6;
 
     /// Why a checkpoint could not be written or resumed.
     #[derive(Debug)]

@@ -9,6 +9,7 @@ use vsv_mem::{
 use vsv_power::{ActivitySample, ErrorCurve, PowerAccountant, PowerConfig, StructureId};
 use vsv_prefetch::{TimeKeeping, TimeKeepingConfig};
 use vsv_uarch::{Core, CoreConfig, CoreStats, CycleActivity};
+use vsv_workloads::{TrafficEventKind, TrafficSpec, TrafficStream};
 
 use crate::controller::{Mode, ModeStats, VsvConfig, VsvController};
 use crate::error::{FaultKind, ModeTransition, SimError};
@@ -70,6 +71,17 @@ pub struct SystemConfig {
     /// window ([`RunResult::slo`]). `None` (the default) reports no
     /// outcome and counts no violations.
     pub slo: Option<SloSpec>,
+    /// Open-loop service-traffic scenario: requests arrive on the
+    /// spec's deterministic train and are served as bounded slices of
+    /// the twin's committed-instruction stream, queueing while the
+    /// core works off earlier requests. Pure accounting on top of the
+    /// simulation — the instruction stream, timing, and energy are
+    /// bit-identical with the scenario on or off. `None` (the
+    /// default) runs closed-loop, exactly as before the subsystem
+    /// existed. The arrival clock re-anchors at every measurement
+    /// reset, so each measured window sees the same train relative to
+    /// its own start regardless of warm-up length or policy.
+    pub traffic: Option<TrafficSpec>,
 }
 
 impl SystemConfig {
@@ -89,6 +101,7 @@ impl SystemConfig {
             error_rate: 0.0,
             error_seed: 0,
             slo: None,
+            traffic: None,
         }
     }
 
@@ -196,6 +209,14 @@ impl SystemConfig {
         self
     }
 
+    /// Sets (or clears) the open-loop traffic scenario (see
+    /// [`SystemConfig::traffic`]).
+    #[must_use]
+    pub fn with_traffic(mut self, traffic: Option<TrafficSpec>) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
     /// The error curve this configuration runs under, if the model is
     /// enabled: anchored at the VSV technology's rails, reaching
     /// [`SystemConfig::error_rate`] at VDDL.
@@ -238,7 +259,66 @@ impl SystemConfig {
                 .validate()
                 .map_err(SimError::invalid_config)?;
         }
+        if let Some(traffic) = self.traffic {
+            traffic.validate().map_err(SimError::invalid_config)?;
+        }
         Ok(())
+    }
+}
+
+/// Runtime of one open-loop traffic scenario: the deterministic
+/// arrival train plus the request FIFO and service-attribution state.
+///
+/// Service is pure accounting: the core always executes the twin
+/// stream, and a request is the span of committed instructions between
+/// its service start and completion. Commits while the queue is empty
+/// are background work, attributed to no request — so latency is
+/// genuine queueing plus service at the twin's measured throughput,
+/// while the simulation itself (timing, energy, every existing
+/// counter) is untouched by the scenario.
+#[derive(Debug)]
+struct TrafficState {
+    spec: TrafficSpec,
+    stream: TrafficStream,
+    /// Simulation time the stream's relative clock is anchored to.
+    origin: u64,
+    /// Absolute time of the next un-processed train event.
+    next_at: u64,
+    next_kind: TrafficEventKind,
+    /// Arrival timestamps of queued requests, oldest first (the front
+    /// request is in service).
+    queue: std::collections::VecDeque<u64>,
+    /// When the front request's service began (its queue wait is
+    /// `front_started_at - arrival`).
+    front_started_at: u64,
+    /// Committed instructions credited to the front request so far.
+    served: u64,
+    /// Core commit count at the last attribution, for delta tracking.
+    last_committed: u64,
+}
+
+impl TrafficState {
+    fn new(spec: TrafficSpec, origin: u64, committed: u64) -> Self {
+        let mut stream = TrafficStream::new(spec);
+        let first = stream.next_event();
+        TrafficState {
+            spec,
+            origin,
+            next_at: origin.saturating_add(first.at),
+            next_kind: first.kind,
+            stream,
+            queue: std::collections::VecDeque::new(),
+            front_started_at: 0,
+            served: 0,
+            last_committed: committed,
+        }
+    }
+
+    /// Pulls the train's next event into `next_at`/`next_kind`.
+    fn advance(&mut self) {
+        let ev = self.stream.next_event();
+        self.next_at = self.origin.saturating_add(ev.at);
+        self.next_kind = ev.kind;
     }
 }
 
@@ -303,6 +383,9 @@ pub struct System<S> {
     // escalation to `SimError::UnrecoverableRead` at the window loop.
     pending_unrecoverable: Option<(u64, u8)>,
     read_error_scratch: Vec<ReadErrorEvent>,
+    // Open-loop traffic scenario (see `TrafficState`); `None` — and
+    // one branch per step — unless `SystemConfig::traffic` is set.
+    traffic: Option<TrafficState>,
     // Always-on diagnostic ring: the last few controller mode
     // transitions, so a deadlock error is a self-contained bug report
     // even when full tracing is off. Bounded at TRANSITION_RING_LEN.
@@ -382,6 +465,7 @@ impl<S: InstStream> System<S> {
             slo: cfg.slo,
             pending_unrecoverable: None,
             read_error_scratch: Vec::new(),
+            traffic: cfg.traffic.map(|spec| TrafficState::new(spec, 0, 0)),
             last_mode,
             recent_transitions,
         })
@@ -637,8 +721,13 @@ impl<S: InstStream> System<S> {
             return;
         }
         // TimeKeeping::tick is a pure no-op strictly before its next
-        // harvest time, so cap the skip there.
-        let target = event_at.min(self.core.prefetch_harvest_at().unwrap_or(u64::MAX));
+        // harvest time, so cap the skip there. Traffic events cap it
+        // too: an arrival or burst boundary must be processed at its
+        // exact nanosecond, never skipped over (no commits happen in a
+        // skippable span, so landing on the event is exact).
+        let target = event_at
+            .min(self.core.prefetch_harvest_at().unwrap_or(u64::MAX))
+            .min(self.traffic.as_ref().map_or(u64::MAX, |t| t.next_at));
         if target <= self.now {
             return;
         }
@@ -719,6 +808,9 @@ impl<S: InstStream> System<S> {
     /// One nanosecond of simulated time.
     fn step(&mut self) {
         let now = self.now;
+        if self.traffic.is_some() {
+            self.traffic_arrivals(now);
+        }
         self.core.tick_mem(now);
         if self.core.mem().has_buffered_read_errors() {
             self.drain_read_errors(now);
@@ -771,6 +863,9 @@ impl<S: InstStream> System<S> {
             let act = self.core.cycle(now);
             self.controller.on_cycle(now, act.issued);
             self.power.record_cycle(&sample_from(&act), plan.vdd);
+            if self.traffic.is_some() {
+                self.traffic_completions(now);
+            }
         }
         if let Some(trace) = self.trace.as_mut() {
             trace.push(TraceSample {
@@ -827,6 +922,96 @@ impl<S: InstStream> System<S> {
         self.read_error_scratch = events;
     }
 
+    /// Processes every traffic-train event due by `now`: arrivals join
+    /// the request FIFO (starting service immediately when it was
+    /// empty), burst boundaries are counted and traced. Called at the
+    /// top of every step; fast-forward caps its skips at the next
+    /// train event, so events are always handled at their exact
+    /// nanosecond.
+    fn traffic_arrivals(&mut self, now: u64) {
+        loop {
+            let Some(tr) = self.traffic.as_mut() else {
+                return;
+            };
+            if tr.next_at > now {
+                return;
+            }
+            let at = tr.next_at;
+            match tr.next_kind {
+                TrafficEventKind::Arrival => {
+                    if tr.queue.is_empty() {
+                        tr.front_started_at = at;
+                        tr.served = 0;
+                    }
+                    tr.queue.push_back(at);
+                    let queued = tr.queue.len() as u64;
+                    tr.advance();
+                    self.metrics.inc(CounterId::RequestsArrived);
+                    if let Some((level, sink)) = self.event_sink.as_mut() {
+                        if *level >= TraceLevel::Events {
+                            self.metrics.inc(CounterId::TraceEvents);
+                            sink.record(&TraceEvent::RequestArrived { at, queued });
+                        }
+                    }
+                }
+                TrafficEventKind::BurstStart => {
+                    tr.advance();
+                    self.metrics.inc(CounterId::BurstStarts);
+                    if let Some((level, sink)) = self.event_sink.as_mut() {
+                        if *level >= TraceLevel::Events {
+                            self.metrics.inc(CounterId::TraceEvents);
+                            sink.record(&TraceEvent::BurstStart { at });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Attributes this step's commit delta to the front request and
+    /// completes every request whose instruction budget is now served.
+    /// Commits with an empty queue are background work, credited to no
+    /// request; leftover progress when the queue drains is discarded
+    /// (an idle server banks nothing).
+    fn traffic_completions(&mut self, now: u64) {
+        let committed = self.core.committed();
+        let Some(tr) = self.traffic.as_mut() else {
+            return;
+        };
+        let delta = committed - tr.last_committed;
+        tr.last_committed = committed;
+        if delta == 0 || tr.queue.is_empty() {
+            return;
+        }
+        tr.served += delta;
+        while tr.served >= tr.spec.request_instructions {
+            let Some(arrived) = tr.queue.pop_front() else {
+                break;
+            };
+            tr.served -= tr.spec.request_instructions;
+            let wait_ns = tr.front_started_at.saturating_sub(arrived);
+            let latency_ns = now.saturating_sub(arrived);
+            if tr.queue.is_empty() {
+                tr.served = 0;
+            } else {
+                // The next queued request enters service now.
+                tr.front_started_at = now;
+            }
+            self.metrics.inc(CounterId::RequestsCompleted);
+            self.metrics.observe_request_latency(latency_ns);
+            if let Some((level, sink)) = self.event_sink.as_mut() {
+                if *level >= TraceLevel::Events {
+                    self.metrics.inc(CounterId::TraceEvents);
+                    sink.record(&TraceEvent::RequestCompleted {
+                        at: now,
+                        wait_ns,
+                        latency_ns,
+                    });
+                }
+            }
+        }
+    }
+
     /// Delivers a per-nanosecond [`TraceEvent::Sample`] when the sink
     /// runs at [`TraceLevel::Full`].
     fn emit_sample(&mut self, at: u64, vdd: f64, edge: bool) {
@@ -847,6 +1032,13 @@ impl<S: InstStream> System<S> {
     fn reset_measurement(&mut self) {
         let cfg = *self.power.config();
         self.power = PowerAccountant::new(cfg);
+        // Re-anchor the traffic scenario too: a fresh arrival train
+        // starting at "now" (and an empty queue), so every measured
+        // window sees the same train relative to its own start,
+        // regardless of how long warm-up ran under which policy.
+        if let Some(tr) = self.traffic.as_mut() {
+            *tr = TrafficState::new(tr.spec, self.now, self.core.committed());
+        }
         let (_, _, l2) = self.core.mem().cache_stats();
         self.anchors = Anchors {
             now: self.now,
@@ -925,6 +1117,19 @@ impl<S: InstStream> System<S> {
         );
         let read_errors = mem.read_errors - a.mem.read_errors;
         let read_retries = mem.read_retries - a.mem.read_retries;
+        // Request accounting, read off the in-progress registry before
+        // it is taken below. `None` (traffic off) reports zeros and
+        // judges tail-latency SLO ceilings vacuously satisfied.
+        let traffic_window = self.traffic.as_ref().map(|tr| {
+            (
+                self.metrics.get(CounterId::RequestsArrived),
+                self.metrics.get(CounterId::RequestsCompleted),
+                tr.queue.len() as u64,
+                self.metrics.request_latency_percentile(50, 100),
+                self.metrics.request_latency_percentile(99, 100),
+                self.metrics.request_latency_percentile(999, 1000),
+            )
+        });
         let slo = self.slo.map(|spec| {
             let mut hist = mem.fill_retry_hist;
             for (h, old) in hist.iter_mut().zip(a.mem.fill_retry_hist) {
@@ -950,7 +1155,12 @@ impl<S: InstStream> System<S> {
                 }
                 (read_retries.saturating_mul(1_000_000) / fills, p99)
             };
-            let outcome = spec.evaluate(retry_rate_ppm, p99_ns);
+            let outcome = spec.evaluate_window(
+                retry_rate_ppm,
+                p99_ns,
+                traffic_window.map(|t| t.4),
+                traffic_window.map(|t| t.5),
+            );
             if !outcome.compliant {
                 self.metrics.inc(CounterId::SloViolations);
             }
@@ -1003,6 +1213,12 @@ impl<S: InstStream> System<S> {
             issue_histogram,
             read_errors,
             read_retries,
+            requests_arrived: traffic_window.map_or(0, |t| t.0),
+            requests_completed: traffic_window.map_or(0, |t| t.1),
+            request_backlog: traffic_window.map_or(0, |t| t.2),
+            request_p50_ns: traffic_window.map_or(0, |t| t.3),
+            request_p99_ns: traffic_window.map_or(0, |t| t.4),
+            request_p999_ns: traffic_window.map_or(0, |t| t.5),
             slo,
         };
         self.reset_measurement();
@@ -1392,6 +1608,105 @@ mod tests {
         assert_eq!(a.elapsed_ns, b.elapsed_ns);
         assert!((a.energy_pj - b.energy_pj).abs() < 1e-6);
         assert_eq!(a.mode.down_transitions, b.mode.down_transitions);
+    }
+
+    #[test]
+    fn traffic_completes_requests_under_light_load() {
+        let spec = crate::TrafficSpec::poisson(0.05, 2_000).with_seed(3);
+        let cfg = SystemConfig::baseline().with_traffic(Some(spec));
+        let mut sys = System::new(cfg, Generator::new(WorkloadParams::compute_bound("t")));
+        sys.warm_up(5_000);
+        let r = sys.run(100_000);
+        assert!(r.requests_arrived > 0, "arrivals expected over 100k insts");
+        assert!(
+            r.requests_completed > 0,
+            "light load on a fast twin must drain: {r}"
+        );
+        assert!(
+            r.request_backlog <= 2,
+            "light load must not accumulate a queue: {}",
+            r.request_backlog
+        );
+        assert!(r.request_p50_ns > 0 && r.request_p99_ns >= r.request_p50_ns);
+        assert!(r.request_p999_ns >= r.request_p99_ns);
+    }
+
+    #[test]
+    fn traffic_overload_builds_backlog() {
+        // 2 req/µs of 50k-instruction requests vastly exceeds what an
+        // 8-wide core can commit: the queue must grow, and latency must
+        // be dominated by queueing (p99 far above a lone service time).
+        let spec = crate::TrafficSpec::poisson(2.0, 50_000).with_seed(3);
+        let cfg = SystemConfig::baseline().with_traffic(Some(spec));
+        let mut sys = System::new(cfg, Generator::new(WorkloadParams::compute_bound("t")));
+        sys.warm_up(5_000);
+        let r = sys.run(200_000);
+        assert!(r.request_backlog > 0, "overload must leave a backlog: {r}");
+        assert!(r.requests_arrived > r.requests_completed);
+    }
+
+    #[test]
+    fn traffic_is_pure_accounting_over_the_simulation() {
+        // The request layer observes commits; it must not perturb the
+        // simulation itself. Timing, energy, and microarchitectural
+        // counters are bit-identical with traffic on or off.
+        let run = |traffic: Option<crate::TrafficSpec>| {
+            let cfg = SystemConfig::vsv_with_fsms().with_traffic(traffic);
+            let mut sys = System::new(cfg, Generator::new(memory_bound_params()));
+            sys.warm_up(5_000);
+            sys.run(20_000)
+        };
+        let off = run(None);
+        let on = run(Some(crate::TrafficSpec::mmpp(
+            0.01, 0.2, 4_000, 8_000, 1_000,
+        )));
+        assert!(on.requests_arrived > 0, "traffic must actually run");
+        assert_eq!(off.elapsed_ns, on.elapsed_ns);
+        assert_eq!(off.pipeline_cycles, on.pipeline_cycles);
+        assert_eq!(off.instructions, on.instructions);
+        assert!((off.energy_pj - on.energy_pj).abs() < 1e-9);
+        assert_eq!(off.mode, on.mode);
+        assert_eq!(off.read_retries, on.read_retries);
+    }
+
+    #[test]
+    fn traffic_fast_forward_equals_ns_stepping() {
+        // Fast-forward capping at the next traffic event must make ff
+        // invisible to the request ledger as well as to the core.
+        let run = |ff: bool| {
+            let spec = crate::TrafficSpec::mmpp(0.02, 0.5, 3_000, 6_000, 1_500).with_seed(9);
+            let cfg = SystemConfig::vsv_with_fsms()
+                .with_traffic(Some(spec))
+                .with_fast_forward(ff);
+            let mut sys = System::new(cfg, Generator::new(memory_bound_params()));
+            sys.warm_up(5_000);
+            sys.run(30_000)
+        };
+        let stepped = run(false);
+        let fast = run(true);
+        assert!(fast.requests_arrived > 0, "traffic must actually run");
+        assert_eq!(stepped, fast, "ff must not skip or reorder requests");
+    }
+
+    #[test]
+    fn traffic_slo_ceilings_gate_the_outcome() {
+        // An impossible request-latency ceiling flips the verdict even
+        // when the reliability half of the SLO is untouched.
+        let run = |slo: crate::SloSpec| {
+            let spec = crate::TrafficSpec::poisson(0.05, 2_000).with_seed(3);
+            let cfg = SystemConfig::baseline()
+                .with_traffic(Some(spec))
+                .with_slo(Some(slo));
+            let mut sys = System::new(cfg, Generator::new(WorkloadParams::compute_bound("t")));
+            sys.warm_up(5_000);
+            sys.run(100_000)
+        };
+        let strict = run(crate::SloSpec::new(u64::MAX, u64::MAX).with_request_p99(1));
+        let slo = strict.slo.expect("SLO configured");
+        assert!(!slo.compliant, "1-ns p99 ceiling must be violated");
+        assert_eq!(slo.request_p99_ns, Some(strict.request_p99_ns));
+        let generous = run(crate::SloSpec::new(u64::MAX, u64::MAX).with_request_p99(u64::MAX - 1));
+        assert!(generous.slo.expect("SLO configured").compliant);
     }
 }
 

@@ -184,6 +184,30 @@ pub enum TraceEvent {
         /// Engagement time (ns).
         at: u64,
     },
+    /// One open-loop request arrived (traffic scenarios only; see
+    /// `vsv_workloads::TrafficSpec`).
+    RequestArrived {
+        /// Arrival time (ns).
+        at: u64,
+        /// Queue depth including this request (1 = went straight
+        /// into service).
+        queued: u64,
+    },
+    /// One open-loop request finished service.
+    RequestCompleted {
+        /// Completion time (ns).
+        at: u64,
+        /// Nanoseconds spent queued before service began.
+        wait_ns: u64,
+        /// Total arrival → completion latency (ns); the arrival time
+        /// is `at - latency_ns`.
+        latency_ns: u64,
+    },
+    /// An MMPP ON (burst) phase began.
+    BurstStart {
+        /// Phase-boundary time (ns).
+        at: u64,
+    },
     /// One nanosecond of controller state ([`TraceLevel::Full`]
     /// only) — the event-stream twin of [`TraceSample`].
     Sample {
@@ -214,7 +238,10 @@ impl TraceEvent {
             | TraceEvent::FastForward { .. }
             | TraceEvent::ReadError { .. }
             | TraceEvent::RetryExhausted { .. }
-            | TraceEvent::BackoffEngaged { .. } => TraceLevel::Events,
+            | TraceEvent::BackoffEngaged { .. }
+            | TraceEvent::RequestArrived { .. }
+            | TraceEvent::RequestCompleted { .. }
+            | TraceEvent::BurstStart { .. } => TraceLevel::Events,
             TraceEvent::Sample { .. } => TraceLevel::Full,
         }
     }
@@ -235,6 +262,9 @@ impl TraceEvent {
             TraceEvent::ReadError { .. } => "ReadError",
             TraceEvent::RetryExhausted { .. } => "RetryExhausted",
             TraceEvent::BackoffEngaged { .. } => "BackoffEngaged",
+            TraceEvent::RequestArrived { .. } => "RequestArrived",
+            TraceEvent::RequestCompleted { .. } => "RequestCompleted",
+            TraceEvent::BurstStart { .. } => "BurstStart",
             TraceEvent::Sample { .. } => "Sample",
         }
     }

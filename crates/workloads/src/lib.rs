@@ -35,10 +35,12 @@ mod generator;
 mod mix;
 mod params;
 mod rng;
+mod service;
 mod spec2k;
 
 pub use generator::Generator;
 pub use mix::MixSummary;
 pub use params::{AccessPattern, WorkloadParams};
 pub use rng::XorShift64;
+pub use service::{TrafficEvent, TrafficEventKind, TrafficModel, TrafficSpec, TrafficStream};
 pub use spec2k::{high_mr_names, spec2k_twins, table2_reference, twin, Table2Row};

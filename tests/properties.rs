@@ -421,6 +421,12 @@ fn comparison_math() {
             issue_histogram: Default::default(),
             read_errors: 0,
             read_retries: 0,
+            requests_arrived: 0,
+            requests_completed: 0,
+            request_backlog: 0,
+            request_p50_ns: 0,
+            request_p99_ns: 0,
+            request_p999_ns: 0,
             slo: None,
         };
         let c = Comparison::of(&mk(base_ns, base_w), &mk(vsv_ns, vsv_w));

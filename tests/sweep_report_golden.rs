@@ -48,13 +48,18 @@ fn pinned_json() -> String {
 /// regenerate with:
 /// `cargo test -p vsv-repro --test sweep_report_golden -- --nocapture --ignored print_digest`
 /// and update this constant.
-// Last updated for the reliability PR: `RunResult` gained
-// `read_errors`/`read_retries`/`slo` and `JobRecord` gained `slo` —
-// all zero/null here (the quick sweep runs with error rate 0 and no
-// SLO), so the churn is schema-only; every pre-existing value is
-// bit-identical, pinned by `tests/determinism.rs` and
-// `tests/campaign_equivalence.rs`.
-const PINNED_DIGEST: u64 = 0xb7f4_49f1_cc92_a476;
+// History:
+// * reliability PR: `RunResult` gained `read_errors`/`read_retries`/
+//   `slo` and `JobRecord` gained `slo` — all zero/null here (the
+//   quick sweep runs with error rate 0 and no SLO), so the churn was
+//   schema-only (0xb7f4_49f1_cc92_a476).
+// * service-traffic PR: `RunResult` gained the six request fields
+//   (`requests_arrived`/`requests_completed`/`request_backlog` and
+//   the p50/p99/p999 latency percentiles) — all zero here (the quick
+//   sweep attaches no traffic stream), so the churn is again
+//   schema-only; every pre-existing value is bit-identical, pinned by
+//   `tests/determinism.rs` and `tests/campaign_equivalence.rs`.
+const PINNED_DIGEST: u64 = 0x306c_5cec_daae_1c1b;
 
 #[test]
 fn report_json_matches_pinned_digest() {

@@ -181,6 +181,9 @@ fn event_time(e: &TraceEvent) -> u64 {
         | TraceEvent::ReadError { at, .. }
         | TraceEvent::RetryExhausted { at, .. }
         | TraceEvent::BackoffEngaged { at }
+        | TraceEvent::RequestArrived { at, .. }
+        | TraceEvent::RequestCompleted { at, .. }
+        | TraceEvent::BurstStart { at }
         | TraceEvent::Sample { at, .. } => at,
         TraceEvent::FastForward { from, .. } => from,
     }
