@@ -63,6 +63,10 @@ pub struct GridSpec {
     pub policy: Option<PolicySpec>,
     /// Voltage-ladder depth for the VSV side (`None`: two rails).
     pub ladder: Option<usize>,
+    /// Core count for *both* sides of the grid (`None`: the paper's
+    /// single core). N > 1 runs N per-core voltage domains over a
+    /// shared L2 on each side, so the baseline is contended too.
+    pub cores: Option<usize>,
     /// Attach Time-Keeping to both sides.
     pub timekeeping: bool,
     /// Measured instructions.
@@ -108,6 +112,7 @@ impl GridSpec {
             c.with_error_rate(self.error_rate)
                 .with_slo(self.slo)
                 .with_traffic(self.traffic)
+                .with_cores(self.cores.unwrap_or(1))
         };
         Ok(Sweep::over_grid(
             e,
@@ -127,7 +132,12 @@ pub enum Command {
     List,
     /// List the twins with their generator parameters alongside the
     /// paper's Table 2 targets.
-    Workloads,
+    Workloads {
+        /// Core count to describe: above 1, each twin row is followed
+        /// by its per-core seed/stream breakdown (what a multicore
+        /// run actually executes).
+        cores: usize,
+    },
     /// Run one twin under one configuration.
     Run {
         /// Twin name.
@@ -156,6 +166,10 @@ pub enum Command {
         /// depth; empty: no ladder axis). Mutually exclusive with
         /// `policies`.
         ladders: Vec<usize>,
+        /// Core counts to compare (one baseline-vs-`dual-fsm` pair per
+        /// count; empty: no multicore axis). Mutually exclusive with
+        /// `policies` and `ladders`.
+        cores: Vec<usize>,
         /// Attach Time-Keeping to both sides.
         timekeeping: bool,
         /// Measured instructions.
@@ -177,6 +191,9 @@ pub enum Command {
         /// Voltage-ladder depth for the VSV side (`None`: the paper's
         /// two rails).
         ladder: Option<usize>,
+        /// Core count for both sides (`None`: the paper's single
+        /// core).
+        cores: Option<usize>,
         /// Attach Time-Keeping to both sides.
         timekeeping: bool,
         /// Per-read error probability at VDDL (0 disables the model).
@@ -323,6 +340,7 @@ impl Command {
         let mut policies: Vec<PolicySpec> = Vec::new();
         let mut ladder: Option<usize> = None;
         let mut ladders: Vec<usize> = Vec::new();
+        let mut cores_list: Vec<usize> = Vec::new();
         let mut trace: Option<String> = None;
         let mut trace_level: Option<vsv::TraceLevel> = None;
         let mut input: Option<String> = None;
@@ -379,6 +397,15 @@ impl Command {
                         .map(parse_ladder_depth)
                         .collect::<Result<_, _>>()?;
                 }
+                "--cores" => {
+                    cores_list = next_value("--cores", &mut it)?
+                        .split(',')
+                        .map(parse_cores)
+                        .collect::<Result<_, _>>()?;
+                    if cores_list.is_empty() {
+                        return Err("--cores needs at least one count".to_owned());
+                    }
+                }
                 "--svg" => svg = Some(next_value("--svg", &mut it)?),
                 "--checkpoint" => checkpoint = Some(next_value("--checkpoint", &mut it)?),
                 "--resume" => resume = Some(next_value("--resume", &mut it)?),
@@ -427,9 +454,21 @@ impl Command {
             }
         }
         let need_twin = |t: Option<String>| t.ok_or_else(|| "--twin is required".to_owned());
+        // Every command except `compare` takes at most one core count.
+        let single_cores = |list: &[usize], cmd: &str| -> Result<Option<usize>, String> {
+            match list {
+                [] => Ok(None),
+                [n] => Ok(Some(*n)),
+                _ => Err(format!(
+                    "{cmd} takes a single --cores value (the list form is for compare)"
+                )),
+            }
+        };
         match cmd.as_str() {
             "list" => Ok(Command::List),
-            "workloads" => Ok(Command::Workloads),
+            "workloads" => Ok(Command::Workloads {
+                cores: single_cores(&cores_list, "workloads")?.unwrap_or(1),
+            }),
             "help" | "--help" | "-h" => Ok(Command::Help),
             "run" => Ok(Command::Run {
                 twin: need_twin(twin_name)?,
@@ -440,13 +479,21 @@ impl Command {
                 json,
             }),
             "compare" => {
-                if !ladders.is_empty() && !policies.is_empty() {
-                    return Err("--ladders and --policies are mutually exclusive".to_owned());
+                let axes = [
+                    !policies.is_empty(),
+                    !ladders.is_empty(),
+                    !cores_list.is_empty(),
+                ];
+                if axes.iter().filter(|on| **on).count() > 1 {
+                    return Err(
+                        "--policies, --ladders and --cores are mutually exclusive".to_owned()
+                    );
                 }
                 Ok(Command::Compare {
                     twin: need_twin(twin_name)?,
                     policies,
                     ladders,
+                    cores: cores_list,
                     timekeeping,
                     insts,
                     warmup,
@@ -470,6 +517,7 @@ impl Command {
                     twin: twin_name,
                     policy,
                     ladder,
+                    cores: single_cores(&cores_list, "sweep")?,
                     timekeeping,
                     error_rate,
                     slo,
@@ -490,6 +538,7 @@ impl Command {
                     twin: twin_name,
                     policy,
                     ladder,
+                    cores: single_cores(&cores_list, "campaign")?,
                     timekeeping,
                     insts,
                     warmup,
@@ -566,12 +615,13 @@ vsv-cli — run the VSV (MICRO-36 2003) reproduction from the command line
 
 USAGE:
   vsv-cli list
-  vsv-cli workloads
+  vsv-cli workloads [--cores N]
   vsv-cli run     --twin NAME [--config baseline|vsv-fsm|vsv-nofsm]
                   [--tk] [--insts N] [--warmup N] [--json]
-  vsv-cli compare --twin NAME [--policies A,B,.. | --ladders D1,D2,..]
+  vsv-cli compare --twin NAME [--policies A,B,.. | --ladders D1,D2,..
+                  | --cores C1,C2,..]
                   [--tk] [--insts N] [--warmup N] [--workers N] [--json]
-  vsv-cli sweep   [--twin NAME] [--policy NAME] [--ladder N] [--tk]
+  vsv-cli sweep   [--twin NAME] [--policy NAME] [--ladder N] [--cores N] [--tk]
                   [--error-rate F] [--slo PPM,NS | --slo KEY=VALUE,..]
                   [--traffic MODEL:KEY=VALUE,..]
                   [--insts N] [--warmup N] [--workers N] [--json]
@@ -658,8 +708,21 @@ default; depth 1 = always-VDDH). compare --ladders D1,D2,.. runs the
 baseline plus one ladder-fsm row per depth — the EDP-vs-depth
 frontier on one twin.
 
+Multicore: --cores N replicates the core plus its private hierarchy
+N times over one shared, arbitrated L2/bus/DRAM fabric, with an
+independent VSV controller (voltage domain) per core. Each core runs
+a phase-decorrelated copy of the twin (reseeded per core; `workloads
+--cores N` shows the streams), stepped in nanosecond lockstep so
+results stay bit-identical for any worker count; --cores 1 is the
+paper's single-core machine, byte-for-byte. Chip-level rows report
+summed work and energy over the longest core's window, with per-core
+windows in the JSON `core_results`. compare --cores C1,C2,.. runs
+one baseline-vs-dual-fsm pair per count — each VSV row judged
+against the equally contended baseline — to show how per-domain
+savings scale with core count.
+
 Campaigns scale one sweep across K processes (or machines): the grid
-flags (--twin/--policy/--ladder/--tk/--insts/--warmup/--error-rate/
+flags (--twin/--policy/--ladder/--cores/--tk/--insts/--warmup/--error-rate/
 --slo/--traffic) define the grid and must be identical in every subcommand. plan shows the
 partition (cell g belongs to shard g mod K — interleaved, so K need
 not divide the cell count). run executes one shard as an ordinary
@@ -674,6 +737,8 @@ EXAMPLES:
   vsv-cli compare --twin mcf
   vsv-cli compare --twin mcf --policies dual-fsm,immediate-down,oracle-down
   vsv-cli compare --twin mcf --ladders 1,2,4
+  vsv-cli compare --twin mcf --cores 1,2,4
+  vsv-cli sweep --twin mcf --cores 2 --json
   vsv-cli sweep --policy ladder-fsm --ladder 4 --json
   vsv-cli sweep --policy always-high --json
   vsv-cli sweep --twin mcf --error-rate 0.02 --slo 50000,8
@@ -730,7 +795,7 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
             }
             Ok((out, 0))
         }
-        Command::Workloads => {
+        Command::Workloads { cores } => {
             let mut out = format!(
                 "{:<10} {:<12} {:>7} {:>6} {:>5} | {:>9} {:>8} {:>12}\n",
                 "twin", "pattern", "ws_MB", "far%", "pf%", "paper IPC", "paper MR", "paper MR(TK)"
@@ -755,11 +820,26 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
                     p.far_fraction * 100.0,
                     p.sw_prefetch_coverage * 100.0,
                 ));
+                if cores > 1 {
+                    // What a `--cores N` run actually executes: N
+                    // phase-decorrelated copies of the twin, reseeded
+                    // per core (matching MulticoreSystem::try_new).
+                    let streams: Vec<String> = (0..cores)
+                        .map(|i| format!("{}#{i} seed={}", p.name, p.seed.wrapping_add(i as u64)))
+                        .collect();
+                    out.push_str(&format!("           cores: {}\n", streams.join(", ")));
+                }
             }
             out.push_str(
                 "(pattern/ws/far drive L2 misses per kilo-inst; paper columns are the \
                  Table 2 calibration targets — see `list` for the compact form)\n",
             );
+            if cores > 1 {
+                out.push_str(&format!(
+                    "(--cores {cores}: each twin runs as {cores} per-core streams over a \
+                     shared L2, one voltage domain per core)\n"
+                ));
+            }
             Ok((out, 0))
         }
         Command::Run {
@@ -790,6 +870,7 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
             twin: name,
             policies,
             ladders,
+            cores,
             timekeeping,
             insts,
             warmup,
@@ -801,6 +882,16 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
                 warmup_instructions: warmup,
                 instructions: insts,
             };
+            if !cores.is_empty() {
+                return cross_cores_compare(
+                    e,
+                    params,
+                    &cores,
+                    timekeeping,
+                    resolve_workers(workers),
+                    json,
+                );
+            }
             if !ladders.is_empty() {
                 return cross_ladder_compare(
                     e,
@@ -865,6 +956,7 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
             twin: name,
             policy,
             ladder,
+            cores,
             timekeeping,
             error_rate,
             slo,
@@ -883,6 +975,7 @@ pub fn execute_with_exit(cmd: Command) -> Result<(String, i32), String> {
                 twin: name,
                 policy,
                 ladder,
+                cores,
                 timekeeping,
                 insts,
                 warmup,
@@ -1252,6 +1345,74 @@ fn cross_ladder_compare(
     Ok((out, 0))
 }
 
+/// Runs one baseline-vs-`dual-fsm` pair per requested core count on
+/// one twin (a `1 × 2K` sweep grid) and renders the scaling table (or
+/// its JSON rows). Each VSV row compares against the *equally
+/// contended* baseline at the same core count, so the saving isolates
+/// the policy from the shared-L2 slowdown.
+fn cross_cores_compare(
+    e: Experiment,
+    params: vsv_workloads::WorkloadParams,
+    counts: &[usize],
+    timekeeping: bool,
+    workers: usize,
+    json: bool,
+) -> Result<(String, i32), String> {
+    let configs: Vec<SystemConfig> = counts
+        .iter()
+        .flat_map(|&n| {
+            [
+                SystemConfig::baseline()
+                    .with_timekeeping(timekeeping)
+                    .with_cores(n),
+                SystemConfig::vsv_with_fsms()
+                    .with_timekeeping(timekeeping)
+                    .with_cores(n),
+            ]
+        })
+        .collect();
+    let sweep = Sweep::over_grid(e, &[params], &configs);
+    let report = sweep.report(workers);
+    if let Some(summary) = failure_summary(&report) {
+        return Err(summary);
+    }
+    let results = report.into_results();
+    let mut rows = Vec::with_capacity(counts.len());
+    for (i, &n) in counts.iter().enumerate() {
+        let (base, vsv_run) = (&results[2 * i], &results[2 * i + 1]);
+        let cmp = Comparison::of(base, vsv_run);
+        let energy_mj = vsv_run.energy_pj / 1e9;
+        rows.push(PolicyRow {
+            policy: format!("dual-fsm@c{n}"),
+            elapsed_ns: vsv_run.elapsed_ns,
+            energy_mj,
+            edp_mj_ms: energy_mj * vsv_run.elapsed_ns as f64 / 1e6,
+            slowdown_pct: cmp.perf_degradation_pct,
+            power_saving_pct: cmp.power_saving_pct,
+        });
+    }
+    if json {
+        return serde_json::to_string_pretty(&rows)
+            .map(|s| (s, 0))
+            .map_err(|e| e.to_string());
+    }
+    let mut out = format!(
+        "{:<15} {:>11} {:>10} {:>11} {:>10} {:>8}\n",
+        "cores", "elapsed_ns", "energy_mJ", "EDP(mJ·ms)", "slowdown%", "saved%"
+    );
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<15} {:>11} {:>10.4} {:>11.4} {:>10.2} {:>8.2}\n",
+            r.policy, r.elapsed_ns, r.energy_mj, r.edp_mj_ms, r.slowdown_pct, r.power_saving_pct
+        ));
+    }
+    out.push_str(
+        "(each row compares dual-fsm to the baseline at the same core count, \
+         both contended on the shared L2)\n",
+    );
+    Ok((out, 0))
+}
+
 /// One job's accumulated state while summarizing a JSONL trace.
 #[derive(Default)]
 struct JobTraceSummary {
@@ -1266,6 +1427,58 @@ struct JobTraceSummary {
     /// `(completed, total latency ns, max latency ns)` accumulated
     /// over every `RequestCompleted`.
     requests: (u64, u64, u64),
+    /// Core the stream is currently inside (set by `core_start`
+    /// markers; `None` for single-core traces, which never carry
+    /// one).
+    current_core: Option<u64>,
+    /// Per-core accumulation for multicore traces: event count,
+    /// mode timeline, and last `window_closed`, by core index.
+    cores: std::collections::BTreeMap<u64, CoreTraceSummary>,
+}
+
+/// One core's slice of a multicore job trace.
+#[derive(Default)]
+struct CoreTraceSummary {
+    /// Events attributed to this core.
+    events: u64,
+    /// `(at, mode)` of every `mode_entered`, in stream order.
+    timeline: Vec<(u64, vsv::Mode)>,
+    /// `(at, instructions)` of the last `window_closed`, if any.
+    window: Option<(u64, u64)>,
+}
+
+/// Mode-residency percentages over a `mode_entered` timeline: each
+/// mode holds from its entry to the next entry; the final segment
+/// ends at the window close (or the last entry, contributing nothing,
+/// if the trace has no close). Returns `None` for an empty timeline
+/// or zero span.
+fn residency_line(timeline: &[(u64, vsv::Mode)], window: Option<(u64, u64)>) -> Option<String> {
+    let (last, _) = timeline.last()?;
+    let end = window.map_or(*last, |(at, _)| at);
+    let mut ns_in_mode = [0u64; vsv::Mode::COUNT];
+    for (i, (at, mode)) in timeline.iter().enumerate() {
+        let next = timeline.get(i + 1).map_or(end, |(n, _)| *n).max(*at);
+        ns_in_mode[mode.index()] += next - at;
+    }
+    let span: u64 = ns_in_mode.iter().sum();
+    if span == 0 {
+        return None;
+    }
+    let residency: Vec<String> = vsv::Mode::ALL
+        .iter()
+        .filter(|m| ns_in_mode[m.index()] > 0)
+        .map(|m| {
+            format!(
+                "{} {:.1}%",
+                m.strip_char(),
+                ns_in_mode[m.index()] as f64 * 100.0 / span as f64
+            )
+        })
+        .collect();
+    Some(format!(
+        "residency over {span} ns: {}",
+        residency.join("  ")
+    ))
 }
 
 /// Parses a JSONL event trace (the `sweep --trace` output format,
@@ -1299,16 +1512,41 @@ fn summarize_trace(data: &str) -> Result<String, String> {
         }
         let current = jobs.last_mut().expect("pushed above");
         *current.counts.entry(event.kind()).or_insert(0) += 1;
+        if let vsv::TraceEvent::CoreStart { core } = &event {
+            // Multicore traces are per-core streams behind core_start
+            // markers; everything that follows belongs to that core.
+            current.current_core = Some(*core);
+            current.cores.entry(*core).or_default();
+            continue;
+        }
+        if let vsv::TraceEvent::RequestCompleted { latency_ns, .. } = &event {
+            current.requests.0 += 1;
+            current.requests.1 += *latency_ns;
+            current.requests.2 = current.requests.2.max(*latency_ns);
+        }
+        // In a multicore trace the per-core streams are concatenated,
+        // so the chip-wide timeline would interleave unrelated time
+        // axes — route mode/window state to the core's slice instead.
+        if let Some(core) = current.current_core {
+            let slot = current.cores.entry(core).or_default();
+            slot.events += 1;
+            match event {
+                vsv::TraceEvent::ModeEntered { at, mode, .. } => slot.timeline.push((at, mode)),
+                // A core segment closes twice (measured window, then
+                // the background span up to the chip re-anchor); the
+                // first close is the core's own result.
+                vsv::TraceEvent::WindowClosed {
+                    at, instructions, ..
+                } if slot.window.is_none() => slot.window = Some((at, instructions)),
+                _ => {}
+            }
+            continue;
+        }
         match event {
             vsv::TraceEvent::ModeEntered { at, mode, .. } => current.timeline.push((at, mode)),
             vsv::TraceEvent::WindowClosed {
                 at, instructions, ..
             } => current.window = Some((at, instructions)),
-            vsv::TraceEvent::RequestCompleted { latency_ns, .. } => {
-                current.requests.0 += 1;
-                current.requests.1 += latency_ns;
-                current.requests.2 = current.requests.2.max(latency_ns);
-            }
             _ => {}
         }
     }
@@ -1357,6 +1595,24 @@ fn summarize_trace(data: &str) -> Result<String, String> {
                 "  requests: {arrived} arrived, {completed} completed, {bursts} bursts{latency}\n"
             ));
         }
+        if !summary.cores.is_empty() {
+            // Multicore job: one voltage domain per core, so the
+            // residency story is per core, not chip-wide.
+            for (core, slot) in &summary.cores {
+                let window = slot
+                    .window
+                    .map(|(_, insts)| format!("  ({insts} instructions)"))
+                    .unwrap_or_default();
+                let residency = residency_line(&slot.timeline, slot.window)
+                    .unwrap_or_else(|| "no mode activity".to_owned());
+                out.push_str(&format!(
+                    "  core {core}: {} events, {} mode entries, {residency}{window}\n",
+                    slot.events,
+                    slot.timeline.len()
+                ));
+            }
+            continue;
+        }
         if summary.timeline.is_empty() {
             continue;
         }
@@ -1375,44 +1631,12 @@ fn summarize_trace(data: &str) -> Result<String, String> {
                 String::new()
             }
         ));
-        // Residency: each mode holds from its entry to the next entry;
-        // the final segment ends at the window close (or the last
-        // entry, contributing nothing, if the trace has no close).
-        let end = summary
-            .window
-            .map(|(at, _)| at)
-            .unwrap_or(summary.timeline[summary.timeline.len() - 1].0);
-        let mut ns_in_mode = [0u64; vsv::Mode::COUNT];
-        for (i, (at, mode)) in summary.timeline.iter().enumerate() {
-            let next = summary
-                .timeline
-                .get(i + 1)
-                .map(|(n, _)| *n)
-                .unwrap_or(end)
-                .max(*at);
-            ns_in_mode[mode.index()] += next - at;
-        }
-        let span: u64 = ns_in_mode.iter().sum();
-        if span > 0 {
-            let residency: Vec<String> = vsv::Mode::ALL
-                .iter()
-                .filter(|m| ns_in_mode[m.index()] > 0)
-                .map(|m| {
-                    format!(
-                        "{} {:.1}%",
-                        m.strip_char(),
-                        ns_in_mode[m.index()] as f64 * 100.0 / span as f64
-                    )
-                })
-                .collect();
+        if let Some(residency) = residency_line(&summary.timeline, summary.window) {
             let window = summary
                 .window
                 .map(|(_, insts)| format!("  ({insts} instructions)"))
                 .unwrap_or_default();
-            out.push_str(&format!(
-                "  residency over {span} ns: {}{window}\n",
-                residency.join("  ")
-            ));
+            out.push_str(&format!("  {residency}{window}\n"));
         }
     }
     Ok(out)
@@ -1689,6 +1913,17 @@ fn parse_ladder_depth(s: impl AsRef<str>) -> Result<usize, String> {
     Ok(depth)
 }
 
+/// Parses a `--cores` value; count bounds are checked here so a typo
+/// is a usage error (exit code 2) rather than a failed sweep cell.
+fn parse_cores(s: impl AsRef<str>) -> Result<usize, String> {
+    let s = s.as_ref();
+    let cores: usize = s.parse().map_err(|e| format!("core count '{s}': {e}"))?;
+    if cores == 0 || cores > vsv::MAX_CORES {
+        return Err(format!("core count '{s}': expected 1..={}", vsv::MAX_CORES));
+    }
+    Ok(cores)
+}
+
 fn unknown_twin(name: &str) -> String {
     let names: Vec<&str> = spec2k_twins().iter().map(|p| p.name).collect();
     format!("unknown twin '{name}'; known twins: {}", names.join(", "))
@@ -1781,6 +2016,7 @@ mod tests {
             twin: "gzip".to_owned(),
             policies: Vec::new(),
             ladders: Vec::new(),
+            cores: Vec::new(),
             timekeeping: false,
             insts: 3_000,
             warmup: 1_000,
@@ -1797,6 +2033,7 @@ mod tests {
             twin: twin.map(str::to_owned),
             policy: None,
             ladder: None,
+            cores: None,
             timekeeping: false,
             error_rate: 0.0,
             slo: None,
@@ -1822,6 +2059,7 @@ mod tests {
                 twin: None,
                 policy: None,
                 ladder: None,
+                cores: None,
                 timekeeping: false,
                 error_rate: 0.0,
                 slo: None,
@@ -1999,7 +2237,7 @@ mod tests {
 
     #[test]
     fn workloads_lists_params_and_paper_targets() {
-        let (out, code) = execute_with_exit(Command::Workloads).expect("ok");
+        let (out, code) = execute_with_exit(Command::Workloads { cores: 1 }).expect("ok");
         assert_eq!(code, 0);
         for p in spec2k_twins() {
             assert!(out.contains(p.name), "missing {}", p.name);
@@ -2300,6 +2538,7 @@ mod tests {
             twin: "gzip".to_owned(),
             policies: vec![PolicySpec::AlwaysHigh, PolicySpec::ImmediateDown],
             ladders: Vec::new(),
+            cores: Vec::new(),
             timekeeping: false,
             insts: 3_000,
             warmup: 1_000,
@@ -2320,6 +2559,7 @@ mod tests {
             twin: "gzip".to_owned(),
             policies: vec![PolicySpec::DualFsm],
             ladders: Vec::new(),
+            cores: Vec::new(),
             timekeeping: false,
             insts: 3_000,
             warmup: 1_000,
@@ -2392,6 +2632,7 @@ mod tests {
             twin: "mcf".to_owned(),
             policies: Vec::new(),
             ladders: vec![1, 2, 4],
+            cores: Vec::new(),
             timekeeping: false,
             insts: 3_000,
             warmup: 1_000,
@@ -2412,6 +2653,81 @@ mod tests {
     }
 
     #[test]
+    fn parses_cores_flags() {
+        let cmd = Command::parse(&sv(&["sweep", "--twin", "mcf", "--cores", "2"])).expect("valid");
+        let Command::Sweep { cores, .. } = cmd else {
+            panic!("expected a sweep command");
+        };
+        assert_eq!(cores, Some(2));
+
+        let cmd =
+            Command::parse(&sv(&["compare", "--twin", "mcf", "--cores", "1,2,4"])).expect("valid");
+        let Command::Compare { cores, .. } = cmd else {
+            panic!("expected a compare command");
+        };
+        assert_eq!(cores, vec![1, 2, 4]);
+
+        let cmd = Command::parse(&sv(&["workloads", "--cores", "4"])).expect("valid");
+        assert_eq!(cmd, Command::Workloads { cores: 4 });
+    }
+
+    #[test]
+    fn core_count_bounds_are_usage_errors() {
+        for bad in ["0", "17", "two", ""] {
+            let err = Command::parse(&sv(&["sweep", "--cores", bad])).expect_err("bad count");
+            assert!(err.contains("core count"), "{err}");
+        }
+        let err = Command::parse(&sv(&["compare", "--twin", "mcf", "--cores", "2,0"]))
+            .expect_err("bad count in list");
+        assert!(err.contains("expected 1..=16"), "{err}");
+        let err = Command::parse(&sv(&["sweep", "--cores", "1,2"])).expect_err("list on sweep");
+        assert!(err.contains("single --cores"), "{err}");
+    }
+
+    #[test]
+    fn cores_excludes_the_other_compare_axes() {
+        let err = Command::parse(&sv(&[
+            "compare",
+            "--twin",
+            "mcf",
+            "--cores",
+            "2",
+            "--ladders",
+            "2,4",
+        ]))
+        .expect_err("conflicting axes");
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn cross_cores_compare_prints_one_row_per_count() {
+        let (out, code) = execute_with_exit(Command::Compare {
+            twin: "mcf".to_owned(),
+            policies: Vec::new(),
+            ladders: Vec::new(),
+            cores: vec![1, 2],
+            timekeeping: false,
+            insts: 3_000,
+            warmup: 1_000,
+            workers: 2,
+            json: false,
+        })
+        .expect("runs");
+        assert_eq!(code, 0);
+        for name in ["dual-fsm@c1", "dual-fsm@c2"] {
+            assert!(out.contains(name), "{out}");
+        }
+    }
+
+    #[test]
+    fn workloads_lists_per_core_streams() {
+        let (out, _) = execute_with_exit(Command::Workloads { cores: 2 }).expect("runs");
+        assert!(out.contains("mcf#0"), "{out}");
+        assert!(out.contains("mcf#1"), "{out}");
+        assert!(out.contains("shared L2"), "{out}");
+    }
+
+    #[test]
     fn trace_emits_mode_strip() {
         let out = execute(Command::Trace {
             twin: "ammp".to_owned(),
@@ -2427,6 +2743,7 @@ mod tests {
             twin: Some("mcf".to_owned()),
             policy: None,
             ladder: None,
+            cores: None,
             timekeeping: false,
             insts: 3_000,
             warmup: 1_000,

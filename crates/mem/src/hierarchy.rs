@@ -32,6 +32,7 @@ use crate::dram::{Dram, DramConfig};
 use crate::event::EventQueue;
 use crate::fx::FxHashMap;
 use crate::mshr::{MshrFile, MshrOutcome};
+use crate::shared::{FabricCoreStats, SharedHandle};
 
 /// Identifies one outstanding memory request issued by the core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -343,6 +344,11 @@ pub struct Hierarchy {
     // into escalation. Cleared on exhaustion.
     force_error: bool,
     read_error_events: Vec<ReadErrorEvent>,
+    // Multicore: when attached, the L2, bus, DRAM and L2-MSHR slot
+    // pool live in the shared fabric and the private copies above sit
+    // idle. `None` (single-core) keeps every code path bit-identical
+    // to a build without the fabric.
+    shared: Option<SharedHandle>,
     now: u64,
 }
 
@@ -383,9 +389,31 @@ impl Hierarchy {
             error_threshold: 0,
             force_error: false,
             read_error_events: Vec::new(),
+            shared: None,
             cfg,
             now: 0,
         }
+    }
+
+    /// Attaches this hierarchy to a multicore [`SharedFabric`]
+    /// (`handle` carries the core index). From then on L2 probes, bus
+    /// beats, DRAM accesses and L2-MSHR admission route through the
+    /// shared, arbitrated fabric; the private L2/bus/DRAM stay idle.
+    /// Attach before simulating — never mid-flight, or in-flight
+    /// misses would straddle the two uncore worlds.
+    pub fn attach_shared(&mut self, handle: SharedHandle) {
+        debug_assert!(
+            self.events.is_empty() && self.retry.is_empty(),
+            "attach the shared fabric before simulating"
+        );
+        self.shared = Some(handle);
+    }
+
+    /// This core's shared-fabric statistics, when a fabric is
+    /// attached.
+    #[must_use]
+    pub fn shared_fabric_stats(&self) -> Option<FabricCoreStats> {
+        self.shared.as_ref().map(SharedHandle::stats)
     }
 
     /// Enables the low-voltage timing-error model with the given PRNG
@@ -653,17 +681,105 @@ impl Hierarchy {
         &self.l2
     }
 
-    /// The bus, for utilisation reporting.
+    /// The private bus, for utilisation reporting. Idle when a shared
+    /// fabric is attached — use [`Hierarchy::bus_transactions`] for
+    /// counts that stay correct in both worlds.
     #[must_use]
     pub fn bus(&self) -> &Bus {
         &self.bus
     }
 
-    /// Total DRAM accesses served (refills + write-backs), for uncore
-    /// energy accounting.
+    /// Bus transactions this core caused (request beats, response
+    /// transfers and write-backs), whichever bus carried them.
+    #[must_use]
+    pub fn bus_transactions(&self) -> u64 {
+        if let Some(h) = &self.shared {
+            h.stats().bus_transactions
+        } else {
+            self.bus.transactions()
+        }
+    }
+
+    /// L2 lookups this core made (hits + misses), for uncore energy
+    /// accounting — attributed per core when the L2 is shared.
+    #[must_use]
+    pub fn l2_accesses(&self) -> u64 {
+        if let Some(h) = &self.shared {
+            h.stats().l2_accesses
+        } else {
+            self.l2.stats().accesses()
+        }
+    }
+
+    /// Total DRAM accesses this core caused (refills + write-backs),
+    /// for uncore energy accounting.
     #[must_use]
     pub fn dram_accesses(&self) -> u64 {
-        self.dram.accesses()
+        if let Some(h) = &self.shared {
+            h.stats().dram_accesses
+        } else {
+            self.dram.accesses()
+        }
+    }
+
+    // ---- shared-fabric dispatch ------------------------------------
+    //
+    // Single-core (`shared == None`) takes the private-component arm,
+    // byte-for-byte the pre-multicore code; attached cores route to
+    // the arbitrated fabric.
+
+    fn sched_bus(&mut self, now: u64, bytes: u64) -> (u64, u64) {
+        if let Some(h) = &self.shared {
+            h.schedule(now, bytes)
+        } else {
+            self.bus.schedule(now, bytes)
+        }
+    }
+
+    fn access_dram(&mut self, start: u64) -> u64 {
+        if let Some(h) = &self.shared {
+            h.dram_access(start)
+        } else {
+            self.dram.access(start)
+        }
+    }
+
+    fn l2_lookup(&mut self, block: Addr) -> bool {
+        if let Some(h) = &self.shared {
+            h.l2_access(block)
+        } else {
+            self.l2.access(block, false)
+        }
+    }
+
+    fn l2_install(&mut self, block: Addr) -> Option<Addr> {
+        if let Some(h) = &self.shared {
+            h.l2_fill(block)
+        } else {
+            self.l2.fill(block)
+        }
+    }
+
+    fn l2_set_dirty(&mut self, block: Addr) -> bool {
+        if let Some(h) = &self.shared {
+            h.l2_mark_dirty(block)
+        } else {
+            self.l2.mark_dirty(block)
+        }
+    }
+
+    fn l2_install_writeback(&mut self, block: Addr) -> Option<Addr> {
+        if let Some(h) = &self.shared {
+            h.l2_fill_with(block, true)
+        } else {
+            self.l2.fill_with(block, true)
+        }
+    }
+
+    fn release_pool_slot(&mut self) {
+        if let Some(h) = &self.shared {
+            h.release_mshr();
+        }
     }
 
     // ---- internals ------------------------------------------------
@@ -743,7 +859,7 @@ impl Hierarchy {
     fn l2_probe(&mut self, waiter: u64, l2_block: Addr) {
         let now = self.now;
         let demand = self.waiters.get(&waiter).is_some_and(|w| w.demand);
-        if self.l2.access(l2_block, false) {
+        if self.l2_lookup(l2_block) {
             self.stats.l2_hit_refills += 1;
             self.events.push(
                 now,
@@ -778,20 +894,42 @@ impl Hierarchy {
     /// lower bound carried by [`VsvSignal::L2MissDetected`].
     fn start_l2_miss(&mut self, now: u64, waiter: u64, l2_block: Addr) -> Option<u64> {
         let demand = self.waiters.get(&waiter).is_some_and(|w| w.demand);
+        // Shared-MSHR admission: the chip-wide slot pool caps how many
+        // L2 misses can be outstanding across all cores. A merge into
+        // an already-in-flight miss needs no new slot, so only a fresh
+        // block claims one.
+        let mut pool_slot = false;
+        if let Some(h) = &self.shared {
+            if !self.inflight_return.contains_key(&l2_block) {
+                if !h.try_acquire_mshr() {
+                    self.retry.push_back((waiter, l2_block));
+                    return None;
+                }
+                pool_slot = true;
+            }
+        }
         match self.l2_mshr.allocate(l2_block, waiter, demand) {
             MshrOutcome::Primary => {
                 // Request beat on the bus, then DRAM. The response
                 // transfer arbitrates only when the data is ready
                 // (split transaction), so later requests are not
                 // blocked behind this miss's future response slot.
-                let (_, req_done) = self.bus.schedule(now, 0);
-                let data_ready = self.dram.access(req_done);
+                let (_, req_done) = self.sched_bus(now, 0);
+                let data_ready = self.access_dram(req_done);
                 self.events.push(data_ready, Event::DramDone { l2_block });
                 self.inflight_return.insert(l2_block, data_ready);
                 Some(data_ready)
             }
-            MshrOutcome::Merged => self.inflight_return.get(&l2_block).copied(),
+            MshrOutcome::Merged => {
+                if pool_slot {
+                    self.release_pool_slot();
+                }
+                self.inflight_return.get(&l2_block).copied()
+            }
             MshrOutcome::Full => {
+                if pool_slot {
+                    self.release_pool_slot();
+                }
                 self.retry.push_back((waiter, l2_block));
                 None
             }
@@ -800,7 +938,8 @@ impl Hierarchy {
 
     /// DRAM data ready: claim the bus for the response transfer.
     fn dram_done(&mut self, l2_block: Addr) {
-        let (_, resp_done) = self.bus.schedule(self.now, self.cfg.l2.block_bytes);
+        let now = self.now;
+        let (_, resp_done) = self.sched_bus(now, self.cfg.l2.block_bytes);
         self.events.push(resp_done, Event::L2Fill { l2_block });
     }
 
@@ -808,10 +947,13 @@ impl Hierarchy {
         let now = self.now;
         self.stats.memory_refills += 1;
         self.inflight_return.remove(&l2_block);
-        if let Some(victim) = self.l2.fill(l2_block) {
+        // The refill retires its shared-MSHR slot (held since the
+        // primary allocation in `start_l2_miss`).
+        self.release_pool_slot();
+        if let Some(victim) = self.l2_install(l2_block) {
             // Dirty L2 eviction: write back over the bus to memory.
-            let (_, wb_done) = self.bus.schedule(now, self.cfg.l2.block_bytes);
-            let _ = self.dram.access(wb_done);
+            let (_, wb_done) = self.sched_bus(now, self.cfg.l2.block_bytes);
+            let _ = self.access_dram(wb_done);
             let _ = victim;
         }
         let Some((waiter_ids, demand)) = self.l2_mshr.complete(l2_block) else {
@@ -931,14 +1073,14 @@ impl Hierarchy {
         if let Some(victim) = self.l1d.fill_evicting(l1_block, dirty) {
             if victim.dirty {
                 let v_l2 = victim.addr.block(self.cfg.l2.block_bytes);
-                if !self.l2.mark_dirty(v_l2) {
+                if !self.l2_set_dirty(v_l2) {
                     // Victim not in L2 (e.g. L2 evicted it first):
                     // write-allocate it back, possibly cascading a
                     // dirty L2 eviction to memory.
-                    if self.l2.fill_with(v_l2, true).is_some() {
+                    if self.l2_install_writeback(v_l2).is_some() {
                         let now = self.now;
-                        let (_, wb_done) = self.bus.schedule(now, self.cfg.l2.block_bytes);
-                        let _ = self.dram.access(wb_done);
+                        let (_, wb_done) = self.sched_bus(now, self.cfg.l2.block_bytes);
+                        let _ = self.access_dram(wb_done);
                     }
                 }
             }

@@ -59,6 +59,7 @@ mod event;
 mod fx;
 mod hierarchy;
 mod mshr;
+mod shared;
 
 pub use bus::{Bus, BusConfig};
 pub use cache::{Cache, CacheConfig, CacheStats, Eviction, ReplacementPolicy};
@@ -71,3 +72,4 @@ pub use hierarchy::{
     READ_ERROR_RETRY_NS,
 };
 pub use mshr::{MshrFile, MshrOutcome};
+pub use shared::{FabricCoreStats, SharedFabric, SharedHandle};

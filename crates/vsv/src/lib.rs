@@ -79,6 +79,7 @@ pub mod controller;
 pub mod error;
 pub mod fsm;
 pub mod metrics;
+pub mod multicore;
 pub mod policy;
 pub mod report;
 pub mod runner;
@@ -92,6 +93,7 @@ pub use controller::{Mode, ModeStats, TickPlan, VsvConfig, VsvController};
 pub use error::{FaultKind, ModeTransition, SimError};
 pub use fsm::{DownFsm, DownPolicy, UpFsm, UpPolicy};
 pub use metrics::{CounterId, MetricsRegistry};
+pub use multicore::MulticoreSystem;
 pub use policy::{
     Decision, DvsPolicy, ErrorBackoffPolicy, LadderFsmPolicy, PolicySpec, PolicyStats,
     BACKOFF_COOLDOWN_NS, BACKOFF_RETRY_THRESHOLD, BACKOFF_WINDOW_NS,
@@ -104,7 +106,7 @@ pub use sweep::{
     config_digest, default_workers, resolve_workers, JobOutcome, JobRecord, ReportAggregator,
     Sweep, SweepJob, SweepReport,
 };
-pub use system::{System, SystemConfig};
+pub use system::{System, SystemConfig, MAX_CORES};
 #[cfg(feature = "serde")]
 pub use trace::JsonlSink;
 pub use trace::{

@@ -83,6 +83,14 @@ pub struct RunResult {
     /// The window's reliability outcome against the configured
     /// [`SloSpec`] (`None` when no SLO was set).
     pub slo: Option<SloOutcome>,
+    /// Per-core measured windows when the run simulated a multicore
+    /// chip ([`SystemConfig::cores`](crate::SystemConfig) > 1): entry
+    /// `i` is core `i`'s own voltage domain over the shared fabric,
+    /// and the top-level fields are the chip-wide aggregate (summed
+    /// work and energy over the longest core's window). Empty for
+    /// single-core runs.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub core_results: Vec<RunResult>,
 }
 
 impl RunResult {
@@ -338,6 +346,7 @@ mod tests {
             request_p99_ns: 0,
             request_p999_ns: 0,
             slo: None,
+            core_results: Vec::new(),
         }
     }
 
@@ -486,6 +495,17 @@ impl std::fmt::Display for RunResult {
                 f,
                 "\n  reliability: {} errors / {} retries; slo: {slo}",
                 self.read_errors, self.read_retries
+            )?;
+        }
+        for (i, core) in self.core_results.iter().enumerate() {
+            write!(
+                f,
+                "\n  core {i}: {} insts in {} ns (IPC {:.2}), {:.1} W, {:.0}% low",
+                core.instructions,
+                core.elapsed_ns,
+                core.ipc,
+                core.avg_power_w,
+                core.mode.low_residency() * 100.0
             )?;
         }
         Ok(())

@@ -4,9 +4,10 @@ use vsv_workloads::{Generator, WorkloadParams};
 
 use crate::error::SimError;
 use crate::metrics::MetricsRegistry;
+use crate::multicore::MulticoreSystem;
 use crate::report::{Comparison, RunResult};
 use crate::system::{System, SystemConfig};
-use crate::trace::{TraceEvent, TraceLevel, TraceSink};
+use crate::trace::{CaptureSink, EventBuf, TraceEvent, TraceLevel, TraceSink};
 
 /// Simulation-length policy for an experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +66,9 @@ impl Experiment {
         params: &WorkloadParams,
         cfg: SystemConfig,
     ) -> Result<RunResult, SimError> {
+        if cfg.cores > 1 {
+            return self.try_run_multicore(params, cfg, None).map(|(r, _)| r);
+        }
         let mut sys = System::try_new(cfg, Generator::new(*params))?;
         sys.set_workload_name(params.name);
         sys.try_warm_up(self.warmup_instructions)?;
@@ -87,6 +91,9 @@ impl Experiment {
         cfg: SystemConfig,
         sink: Option<(TraceLevel, Box<dyn TraceSink>, Option<TraceEvent>)>,
     ) -> Result<(RunResult, MetricsRegistry), SimError> {
+        if cfg.cores > 1 {
+            return self.try_run_multicore(params, cfg, sink);
+        }
         let mut sys = System::try_new(cfg, Generator::new(*params))?;
         sys.set_workload_name(params.name);
         sys.try_warm_up(self.warmup_instructions)?;
@@ -102,6 +109,50 @@ impl Experiment {
         drop(sys.take_event_sink());
         let result = result?;
         Ok((result, sys.window_metrics().clone()))
+    }
+
+    /// The `cores > 1` arm of [`Experiment::try_run_instrumented`]:
+    /// builds a [`MulticoreSystem`], warms up, then runs the measured
+    /// window with one in-memory [`CaptureSink`] per core. Afterwards
+    /// the captured streams are replayed into the caller's single
+    /// sink — the `header` first, then each core's events behind a
+    /// [`TraceEvent::CoreStart`] marker — so one JSONL trace carries
+    /// the whole chip while single-core byte streams stay unchanged
+    /// (they never contain a `CoreStart`).
+    fn try_run_multicore(
+        &self,
+        params: &WorkloadParams,
+        cfg: SystemConfig,
+        sink: Option<(TraceLevel, Box<dyn TraceSink>, Option<TraceEvent>)>,
+    ) -> Result<(RunResult, MetricsRegistry), SimError> {
+        let mut chip = MulticoreSystem::try_new(cfg, params)?;
+        chip.try_warm_up(self.warmup_instructions)?;
+        let mut capture: Option<Vec<EventBuf>> = None;
+        if let Some((level, _, _)) = &sink {
+            let bufs: Vec<EventBuf> = (0..chip.cores()).map(|_| EventBuf::default()).collect();
+            for (sys, buf) in chip.systems_mut().iter_mut().zip(&bufs) {
+                sys.set_event_sink(*level, Box::new(CaptureSink::new(buf.clone())));
+            }
+            capture = Some(bufs);
+        }
+        let result = chip.try_run_with_metrics(self.instructions);
+        for sys in chip.systems_mut() {
+            drop(sys.take_event_sink());
+        }
+        let (result, metrics) = result?;
+        if let (Some(bufs), Some((_, mut out, header))) = (capture, sink) {
+            if let Some(header) = &header {
+                out.record(header);
+            }
+            for (i, buf) in bufs.into_iter().enumerate() {
+                out.record(&TraceEvent::CoreStart { core: i as u64 });
+                for event in buf.take() {
+                    out.record(&event);
+                }
+            }
+            out.flush();
+        }
+        Ok((result, metrics))
     }
 
     /// [`Experiment::try_run`] plus the measured window's

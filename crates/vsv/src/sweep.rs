@@ -137,6 +137,13 @@ pub struct JobRecord {
     /// Voltage-ladder depth of the job's configuration (2 for the
     /// paper's two rails; 1 is the degenerate always-VDDH ladder).
     pub ladder: usize,
+    /// Core count of the job's configuration
+    /// ([`SystemConfig::cores`]: 1 is the paper's single-core
+    /// machine; N > 1 ran N voltage domains over a shared L2).
+    /// Defaults to 1 when absent so pre-multicore (v6) checkpoints
+    /// still parse.
+    #[cfg_attr(feature = "serde", serde(default = "default_cores"))]
+    pub cores: usize,
     /// How the cell ended (deterministic: simulated time, energy,
     /// counters, or the typed failure).
     pub outcome: JobOutcome,
@@ -152,6 +159,12 @@ pub struct JobRecord {
     /// deterministic; consumers that digest reports must zero it
     /// first (see `tests/sweep_report_golden.rs`).
     pub wall_ns: u64,
+}
+
+/// Serde default for [`JobRecord::cores`]: pre-multicore checkpoints
+/// (v6 and earlier) were all single-core.
+fn default_cores() -> usize {
+    1
 }
 
 impl JobRecord {
@@ -424,6 +437,24 @@ impl Sweep {
         Self::over_grid(experiment, params, &configs)
     }
 
+    /// The core-count axis: for each parameter point, `base` rebuilt
+    /// at every core count in `cores` (params-major, like
+    /// [`Sweep::over_grid`]). Row `i` corresponds to
+    /// `params[i / cores.len()]` at `cores[i % cores.len()]`. Counts
+    /// above 1 run N voltage domains over a shared L2 (see
+    /// [`crate::MulticoreSystem`]); 1 is the paper's single-core
+    /// machine.
+    #[must_use]
+    pub fn over_cores(
+        experiment: Experiment,
+        params: &[WorkloadParams],
+        base: SystemConfig,
+        cores: &[usize],
+    ) -> Self {
+        let configs: Vec<SystemConfig> = cores.iter().map(|&n| base.with_cores(n)).collect();
+        Self::over_grid(experiment, params, &configs)
+    }
+
     /// The grid, in order.
     #[must_use]
     pub fn jobs(&self) -> &[SweepJob] {
@@ -566,6 +597,7 @@ impl Sweep {
                         config_digest: config_digest(&job.config),
                         policy: job.config.policy_name().to_owned(),
                         ladder: job.config.vsv.ladder.depth(),
+                        cores: job.config.cores,
                         slo: outcome.result().and_then(|r| r.slo),
                         outcome,
                         metrics,
@@ -722,12 +754,23 @@ mod checkpoint {
         pub(crate) policies: String,
         /// Distinct voltage-ladder depths, sorted, comma-joined.
         pub(crate) ladders: String,
+        /// Distinct core counts, sorted, comma-joined. Defaults to
+        /// `"1"` when absent (the multicore axis is newer than the
+        /// summary itself).
+        #[serde(default = "default_cores_axis")]
+        pub(crate) cores: String,
         /// Distinct down/up FSM policy pairs (threshold × window),
         /// sorted, `;`-joined.
         pub(crate) fsm: String,
         /// FNV-1a over every cell's `workload:config_digest` pair in
         /// grid order, as 16 hex digits.
         pub(crate) grid_digest: String,
+    }
+
+    /// Serde default for [`GridSummary::cores`]: pre-multicore grids
+    /// were all single-core.
+    fn default_cores_axis() -> String {
+        "1".to_owned()
     }
 
     /// First line of every checkpoint file: rejects resumes against a
@@ -764,9 +807,13 @@ mod checkpoint {
     // gained the `traffic` axis (part of the config digest),
     // `MetricsRegistry` the request counters and log2 latency
     // histogram, and `SloSpec`/`SloOutcome`/`RunResult` the
-    // request-latency ceilings and percentiles. Older files no longer
+    // request-latency ceilings and percentiles; v7: multicore —
+    // `SystemConfig` gained the `cores` axis (part of the config
+    // digest, so every v6 digest changed), `JobRecord` the `cores`
+    // field, the grid summary its `cores` dimension, and `RunResult`
+    // the per-core `core_results` vector. Older files no longer
     // round-trip and are rejected by the version check.
-    pub(crate) const CHECKPOINT_VERSION: u32 = 6;
+    pub(crate) const CHECKPOINT_VERSION: u32 = 7;
 
     /// Why a checkpoint could not be written or resumed.
     #[derive(Debug)]
@@ -1163,6 +1210,7 @@ mod checkpoint {
         let mut workloads = BTreeSet::new();
         let mut policies = BTreeSet::new();
         let mut ladders = BTreeSet::new();
+        let mut cores = BTreeSet::new();
         let mut fsm = BTreeSet::new();
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for job in jobs {
@@ -1170,6 +1218,7 @@ mod checkpoint {
             workloads.insert(job.params.name.to_owned());
             policies.insert(job.config.policy_name().to_owned());
             ladders.insert(job.config.vsv.ladder.depth());
+            cores.insert(job.config.cores);
             fsm.insert(format!("{:?}/{:?}", job.config.vsv.down, job.config.vsv.up));
             for b in job
                 .params
@@ -1191,6 +1240,11 @@ mod checkpoint {
             ladders: ladders
                 .into_iter()
                 .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            cores: cores
+                .into_iter()
+                .map(|n| n.to_string())
                 .collect::<Vec<_>>()
                 .join(","),
             fsm: fsm.into_iter().collect::<Vec<_>>().join(";"),
@@ -1255,6 +1309,7 @@ mod checkpoint {
             ("workloads", &found.workloads, &expected.workloads),
             ("policies", &found.policies, &expected.policies),
             ("ladder depths", &found.ladders, &expected.ladders),
+            ("core counts", &found.cores, &expected.cores),
             ("fsm policies", &found.fsm, &expected.fsm),
             (
                 "per-cell configuration digest chain",

@@ -20,7 +20,7 @@ use crate::trace::{vdd_mv, ModeTrace, TraceEvent, TraceLevel, TraceSample, Trace
 
 /// Simulated nanoseconds without a commit before the watchdog
 /// declares a model deadlock (2 ms of simulated time).
-const DEADLOCK_WINDOW_NS: u64 = 2_000_000;
+pub(crate) const DEADLOCK_WINDOW_NS: u64 = 2_000_000;
 
 /// How many controller mode transitions the always-on diagnostic ring
 /// retains for deadlock reports.
@@ -82,7 +82,22 @@ pub struct SystemConfig {
     /// reset, so each measured window sees the same train relative to
     /// its own start regardless of warm-up length or policy.
     pub traffic: Option<TrafficSpec>,
+    /// Number of cores (voltage domains) the configuration simulates.
+    /// `1` (the default) is the paper's single-core machine and takes
+    /// exactly the pre-multicore code path. For `N > 1` the run layer
+    /// builds a [`MulticoreSystem`](crate::MulticoreSystem): N
+    /// replicated cores — each with its private L1s, prefetcher,
+    /// controller and [`DvsPolicy`](crate::DvsPolicy) instance — over
+    /// one shared, arbitrated L2/bus/DRAM fabric, stepped in
+    /// nanosecond lockstep. A [`System`] itself always simulates one
+    /// core; this field is consumed by the runner/sweep layers.
+    pub cores: usize,
 }
+
+/// Hard ceiling on [`SystemConfig::cores`] — far above anything the
+/// lockstep driver simulates in reasonable time, low enough to catch
+/// typos (`--cores 100`) at validation instead of after an OOM.
+pub const MAX_CORES: usize = 16;
 
 impl SystemConfig {
     /// The paper's baseline: Table 1 core with DCG and software
@@ -102,6 +117,7 @@ impl SystemConfig {
             error_seed: 0,
             slo: None,
             traffic: None,
+            cores: 1,
         }
     }
 
@@ -235,6 +251,15 @@ impl SystemConfig {
         self
     }
 
+    /// Sets the number of cores (voltage domains); see
+    /// [`SystemConfig::cores`]. Values outside `1..=MAX_CORES` are
+    /// rejected by [`SystemConfig::validate`].
+    #[must_use]
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
+    }
+
     /// Validates the whole configuration tree.
     ///
     /// # Errors
@@ -261,6 +286,12 @@ impl SystemConfig {
         }
         if let Some(traffic) = self.traffic {
             traffic.validate().map_err(SimError::invalid_config)?;
+        }
+        if self.cores == 0 || self.cores > MAX_CORES {
+            return Err(SimError::invalid_config(format!(
+                "cores must be in 1..={MAX_CORES}, got {}",
+                self.cores
+            )));
         }
         Ok(())
     }
@@ -1039,14 +1070,13 @@ impl<S: InstStream> System<S> {
         if let Some(tr) = self.traffic.as_mut() {
             *tr = TrafficState::new(tr.spec, self.now, self.core.committed());
         }
-        let (_, _, l2) = self.core.mem().cache_stats();
         self.anchors = Anchors {
             now: self.now,
             core: self.core.stats(),
             mem: self.core.mem().stats(),
-            l2_accesses: l2.accesses(),
+            l2_accesses: self.core.mem().l2_accesses(),
             dram_accesses: self.core.mem().dram_accesses(),
-            bus_transactions: self.core.mem().bus().transactions(),
+            bus_transactions: self.core.mem().bus_transactions(),
             mode: self.controller.stats(),
             policy: self.controller.policy_stats(),
         };
@@ -1056,10 +1086,9 @@ impl<S: InstStream> System<S> {
     /// window's L2/bus/DRAM events and builds the result.
     fn finish_window(&mut self) -> RunResult {
         let a = self.anchors;
-        let (_, _, l2) = self.core.mem().cache_stats();
-        let l2_accesses = l2.accesses() - a.l2_accesses;
+        let l2_accesses = self.core.mem().l2_accesses() - a.l2_accesses;
         let dram = self.core.mem().dram_accesses() - a.dram_accesses;
-        let bus = self.core.mem().bus().transactions() - a.bus_transactions;
+        let bus = self.core.mem().bus_transactions() - a.bus_transactions;
         self.power.record_uncore(l2_accesses, dram, bus);
 
         let core = self.core.stats();
@@ -1220,9 +1249,71 @@ impl<S: InstStream> System<S> {
             request_p99_ns: traffic_window.map_or(0, |t| t.4),
             request_p999_ns: traffic_window.map_or(0, |t| t.5),
             slo,
+            core_results: Vec::new(),
         };
         self.reset_measurement();
         result
+    }
+
+    // ---- multicore driver hooks ------------------------------------
+    //
+    // `MulticoreSystem` steps N `System`s in nanosecond lockstep from
+    // outside this module, so it needs crate-visible handles onto the
+    // window machinery that `run_internal` drives privately.
+
+    /// Attaches this core's hierarchy to the chip's shared fabric.
+    pub(crate) fn attach_shared_fabric(&mut self, handle: vsv_mem::SharedHandle) {
+        self.core.mem_mut().attach_shared(handle);
+    }
+
+    /// Replays `run_internal`'s window prologue: dispatches an armed
+    /// injected fault (terminal kinds fail immediately; the
+    /// unrecoverable-read kind arms the hierarchy and lets the window
+    /// run).
+    pub(crate) fn begin_window_faults(&mut self) -> Result<(), SimError> {
+        if let Some(kind) = self.inject_fault {
+            match kind {
+                FaultKind::Deadlock => return Err(self.deadlock_error()),
+                FaultKind::Panic => panic!(
+                    "injected panic fault (SystemConfig::inject_fault) at t={}",
+                    self.now
+                ),
+                FaultKind::UnrecoverableRead => self.core.mem_mut().arm_forced_read_error(),
+            }
+        }
+        Ok(())
+    }
+
+    /// Escalates a parked exhausted retry budget into the typed error
+    /// `run_internal` would have returned, if one is pending.
+    pub(crate) fn take_unrecoverable_error(&mut self) -> Option<SimError> {
+        self.pending_unrecoverable
+            .take()
+            .map(|(at, retries)| SimError::UnrecoverableRead {
+                at,
+                committed: self.core.committed(),
+                workload: self.workload.clone(),
+                retries,
+                mode: self.controller.mode(),
+            })
+    }
+
+    /// Crate-visible [`System::deadlock_error`] for the lockstep
+    /// driver's own progress watchdog.
+    pub(crate) fn deadlock_err(&self) -> SimError {
+        self.deadlock_error()
+    }
+
+    /// Crate-visible window close: charges uncore energy, builds the
+    /// [`RunResult`] and re-anchors — exactly what `run_internal` does
+    /// when its commit target is reached.
+    pub(crate) fn finish_window_now(&mut self) -> RunResult {
+        self.finish_window()
+    }
+
+    /// The per-window simulated-time budget, for the lockstep driver.
+    pub(crate) fn sim_budget_ns(&self) -> Option<u64> {
+        self.max_sim_ns
     }
 }
 

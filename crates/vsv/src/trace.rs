@@ -85,6 +85,15 @@ pub enum TraceEvent {
         /// ([`crate::config_digest`]).
         config_digest: String,
     },
+    /// Start-of-core marker heading one core's events inside a
+    /// multicore job's trace: every event after it (until the next
+    /// `CoreStart` or the end of the job) belongs to voltage domain
+    /// `core`. Single-core traces never contain one, so their byte
+    /// streams are unchanged from the pre-multicore format.
+    CoreStart {
+        /// Core (voltage-domain) index, `0..cores`.
+        core: u64,
+    },
     /// The controller entered `mode` at time `at` (every Figure 2/3
     /// sub-phase appears: distribute, ramp, steady).
     ModeEntered {
@@ -228,6 +237,7 @@ impl TraceEvent {
     pub fn level(&self) -> TraceLevel {
         match self {
             TraceEvent::JobStart { .. }
+            | TraceEvent::CoreStart { .. }
             | TraceEvent::ModeEntered { .. }
             | TraceEvent::WindowClosed { .. } => TraceLevel::Transitions,
             TraceEvent::FsmArmed { .. }
@@ -251,6 +261,7 @@ impl TraceEvent {
     pub fn kind(&self) -> &'static str {
         match self {
             TraceEvent::JobStart { .. } => "JobStart",
+            TraceEvent::CoreStart { .. } => "CoreStart",
             TraceEvent::ModeEntered { .. } => "ModeEntered",
             TraceEvent::FsmArmed { .. } => "FsmArmed",
             TraceEvent::FsmFired { .. } => "FsmFired",
@@ -369,6 +380,67 @@ impl TraceSink for RingSink {
             self.dropped += 1;
         }
         self.events.push_back(event.clone());
+    }
+}
+
+/// A shareable, unbounded in-memory buffer of *typed* events: hand a
+/// clone (as a [`CaptureSink`]) to the simulator, keep one handle, and
+/// [`EventBuf::take`] the events after the run. The multicore runner
+/// uses one per core to capture each voltage domain's stream, then
+/// replays them — each headed by a [`TraceEvent::CoreStart`] marker —
+/// into the caller's single sink.
+#[derive(Debug, Clone, Default)]
+pub struct EventBuf(std::sync::Arc<std::sync::Mutex<Vec<TraceEvent>>>);
+
+impl EventBuf {
+    /// Takes the accumulated events, leaving the buffer empty.
+    #[must_use]
+    pub fn take(&self) -> Vec<TraceEvent> {
+        match self.0.lock() {
+            Ok(mut b) => std::mem::take(&mut *b),
+            Err(poisoned) => std::mem::take(&mut *poisoned.into_inner()),
+        }
+    }
+
+    /// Events accumulated so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self.0.lock() {
+            Ok(b) => b.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&self, event: TraceEvent) {
+        match self.0.lock() {
+            Ok(mut b) => b.push(event),
+            Err(poisoned) => poisoned.into_inner().push(event),
+        }
+    }
+}
+
+/// A [`TraceSink`] recording every event, in order, into a shared
+/// [`EventBuf`].
+#[derive(Debug, Clone, Default)]
+pub struct CaptureSink(EventBuf);
+
+impl CaptureSink {
+    /// A sink writing into `buf`.
+    #[must_use]
+    pub fn new(buf: EventBuf) -> Self {
+        CaptureSink(buf)
+    }
+}
+
+impl TraceSink for CaptureSink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.0.push(event.clone());
     }
 }
 

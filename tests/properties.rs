@@ -428,6 +428,7 @@ fn comparison_math() {
             request_p99_ns: 0,
             request_p999_ns: 0,
             slo: None,
+            core_results: Vec::new(),
         };
         let c = Comparison::of(&mk(base_ns, base_w), &mk(vsv_ns, vsv_w));
         assert!(

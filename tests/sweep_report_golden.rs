@@ -59,7 +59,14 @@ fn pinned_json() -> String {
 //   sweep attaches no traffic stream), so the churn is again
 //   schema-only; every pre-existing value is bit-identical, pinned by
 //   `tests/determinism.rs` and `tests/campaign_equivalence.rs`.
-const PINNED_DIGEST: u64 = 0x306c_5cec_daae_1c1b;
+//   (0x306c_5cec_daae_1c1b)
+// * multicore PR: `SystemConfig` gained the `cores` axis (part of the
+//   config digest, so both digests changed), `JobRecord` gained the
+//   `cores` field (1 here) and `RunResult` the `core_results` vector
+//   (empty here — the quick sweep is single-core, which never routes
+//   through the multicore path); every simulated value is
+//   bit-identical, pinned by `tests/multicore_equivalence.rs`.
+const PINNED_DIGEST: u64 = 0xca6d_6445_370e_ad75;
 
 #[test]
 fn report_json_matches_pinned_digest() {
@@ -107,6 +114,7 @@ fn report_shape_is_stable() {
         "config_digest",
         "policy",
         "ladder",
+        "cores",
         "outcome",
         "metrics",
         "wall_ns",
